@@ -1,0 +1,56 @@
+"""Ablations of TurboSYN's design choices (DESIGN.md experiment index).
+
+Three knobs the paper fixes and this reproduction exposes:
+
+* ``Cmax`` — the resynthesis cut bound ("set to be 15 in TurboSYN"):
+  smaller bounds shrink the decomposition search space and should cost
+  clock period on decomposition-limited circuits;
+* ``K`` — the LUT input count (the paper uses 5);
+* ``extra_depth`` — how far below the height threshold the expanded
+  circuit is searched (0 = the paper's partial flow network; more depth
+  exposes reconvergent deeper cuts at extra runtime).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.turbosyn import turbosyn
+
+NAMES = ["bbara", "keyb", "sse"]
+
+
+@pytest.mark.parametrize("name", NAMES)
+@pytest.mark.parametrize("cmax", [5, 9, 15])
+def test_cmax(benchmark, rows, circuits, name, cmax):
+    circuit = circuits(name)
+    result = benchmark.pedantic(
+        lambda: turbosyn(circuit, 5, cmax=cmax), rounds=1, iterations=1
+    )
+    table = "Ablation: Cmax (K=5)"
+    rows.add(table, name, f"Cmax={cmax} phi", result.phi)
+    rows.add(table, name, f"Cmax={cmax} cpu", benchmark.stats["mean"])
+
+
+@pytest.mark.parametrize("name", NAMES)
+@pytest.mark.parametrize("k", [4, 5, 6])
+def test_k(benchmark, rows, circuits, name, k):
+    circuit = circuits(name)
+    result = benchmark.pedantic(
+        lambda: turbosyn(circuit, k), rounds=1, iterations=1
+    )
+    table = "Ablation: LUT size K"
+    rows.add(table, name, f"K={k} phi", result.phi)
+    rows.add(table, name, f"K={k} luts", result.n_luts)
+
+
+@pytest.mark.parametrize("name", NAMES)
+@pytest.mark.parametrize("depth", [0, 1])
+def test_extra_depth(benchmark, rows, circuits, name, depth):
+    circuit = circuits(name)
+    result = benchmark.pedantic(
+        lambda: turbosyn(circuit, 5, extra_depth=depth), rounds=1, iterations=1
+    )
+    table = "Ablation: expanded-circuit search depth"
+    rows.add(table, name, f"depth={depth} phi", result.phi)
+    rows.add(table, name, f"depth={depth} cpu", benchmark.stats["mean"])

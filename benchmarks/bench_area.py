@@ -1,0 +1,49 @@
+"""Area comparison (paper's Table 1 remark + LUT reduction techniques).
+
+The paper notes "TurboSYN loses on area as compared to TurboMap and
+FlowSYN-s due to shortcomings of the single-output functional
+decomposition", and lists label relaxation + low-cost K-cuts +
+mpack/flow-pack as the recovery stage.  This bench reports LUT counts:
+
+* the three mappers' raw outputs,
+* TurboSYN after label relaxation + packing
+  (:mod:`repro.core.area`), quantifying how much of the loss the area
+  stage recovers while preserving the optimal clock period.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comb.pack import pack_luts
+from repro.core.area import map_with_area_recovery
+from repro.core.flowsyn_s import flowsyn_s
+from repro.core.turbomap import turbomap
+from repro.core.turbosyn import turbosyn
+from repro.retime.mdr import min_feasible_period
+
+K = 5
+TABLE = "Area: LUT counts (K=5)"
+NAMES = ["bbara", "bbsse", "dk16", "keyb", "sse", "s838", "s1423"]
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_area(benchmark, rows, circuits, name):
+    circuit = circuits(name)
+
+    def run():
+        fs = flowsyn_s(circuit, K)
+        tm = turbomap(circuit, K)
+        ts = turbosyn(circuit, K, upper_bound=tm.phi)
+        recovered = map_with_area_recovery(
+            circuit, ts.phi, ts.labels, K, name=f"{name}_area"
+        )
+        return fs, tm, ts, recovered
+
+    fs, tm, ts, recovered = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert min_feasible_period(recovered) <= ts.phi
+    rows.add(TABLE, name, "flowsyn_s", pack_luts(fs.mapped, K).n_gates)
+    rows.add(TABLE, name, "turbomap", pack_luts(tm.mapped, K).n_gates)
+    rows.add(TABLE, name, "turbosyn", ts.n_luts)
+    rows.add(TABLE, name, "turbosyn+area", recovered.n_gates)
+    rows.add(TABLE, name, "ts phi", ts.phi)

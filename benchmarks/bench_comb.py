@@ -1,0 +1,42 @@
+"""Combinational background: FlowSYN beats FlowMap's depth limit.
+
+Section 1 of the paper builds on the combinational results it extends:
+FlowMap [6] is depth-optimal among structural mappings, and FlowSYN [5]
+"can produce mapping solutions with even smaller depth using resynthesis
+techniques by exploiting Boolean optimization".  This bench regenerates
+that background claim on the combinational views of the suite circuits
+(cut at registers) plus classical decomposable structures, reporting
+LUT depth and area for both algorithms.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comb.flowmap import flowmap
+from repro.comb.flowsyn import flowsyn
+from repro.core.flowsyn_s import split_at_registers
+from tests.helpers import xor_chain
+
+TABLE = "Combinational background: FlowMap vs FlowSYN depth (K=5)"
+
+_SUITE_VIEWS = ["bbara", "keyb", "sse"]
+
+
+def _xor_chain_case():
+    return xor_chain(17, name="xor17")
+
+
+@pytest.mark.parametrize("name", _SUITE_VIEWS + ["xor17"])
+@pytest.mark.parametrize("algo", ["flowmap", "flowsyn"])
+def test_comb_depth(benchmark, rows, circuits, name, algo):
+    if name == "xor17":
+        circuit = _xor_chain_case()
+    else:
+        circuit = split_at_registers(circuits(name))
+    run = flowmap if algo == "flowmap" else flowsyn
+    result = benchmark.pedantic(lambda: run(circuit, 5), rounds=1, iterations=1)
+    rows.add(TABLE, name, "gates", circuit.n_gates)
+    rows.add(TABLE, name, f"{algo} depth", result.depth)
+    rows.add(TABLE, name, f"{algo} luts", result.n_luts)
+    rows.add(TABLE, name, f"{algo} cpu", benchmark.stats["mean"])

@@ -1,0 +1,37 @@
+"""Pipelining's contribution (paper Section 2).
+
+"Since pipelining can eliminate all critical I/O paths, but not critical
+loops, we concentrate on FPGA synthesis to eliminate the critical loops"
+— the premise of the whole paper.  This bench quantifies it: TurboMap's
+optimum with pipelining (loops only, the paper's setting) versus the
+original retiming-only objective (I/O paths count), per circuit.  The
+ratio is the clock period pipelining buys *before* any resynthesis.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.turbomap import turbomap
+
+K = 5
+TABLE = "Pipelining contribution: TurboMap retiming-only vs pipelined (K=5)"
+NAMES = ["bbara", "keyb", "sse", "dk16", "s838", "s1423"]
+
+_phis = {}
+
+
+@pytest.mark.parametrize("name", NAMES)
+@pytest.mark.parametrize("mode", ["retiming-only", "pipelined"])
+def test_pipelining(benchmark, rows, circuits, name, mode):
+    circuit = circuits(name)
+    result = benchmark.pedantic(
+        lambda: turbomap(circuit, K, pipelining=(mode == "pipelined")),
+        rounds=1,
+        iterations=1,
+    )
+    rows.add(TABLE, name, f"{mode} phi", result.phi)
+    _phis[(name, mode)] = result.phi
+    if (name, "retiming-only") in _phis and (name, "pipelined") in _phis:
+        ratio = _phis[(name, "retiming-only")] / _phis[(name, "pipelined")]
+        rows.add(TABLE, name, "I/O-path cost", f"{ratio:.2f}x")

@@ -1,0 +1,60 @@
+"""Scalability (paper abstract: 10^4 gates / 10^3 FFs "in reasonable time").
+
+The authors' C implementation optimizes circuits of over 10^4 gates on a
+1996 workstation.  This Python reproduction is interpreted, so the
+absolute scale is reduced (see ``DESIGN.md`` Section 3); what this bench
+establishes is the *trend*: TurboMap and TurboSYN runtime versus circuit
+size on a geometric size sweep, reported as gates/second so the paper's
+headline can be extrapolated.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.suite import large_circuit
+from repro.core.turbomap import turbomap
+from repro.core.turbosyn import turbosyn
+
+K = 5
+TABLE = "Scaling: runtime vs circuit size (K=5)"
+SCALES = [1, 2, 4, 8]
+
+
+@pytest.mark.parametrize("scale", SCALES)
+@pytest.mark.parametrize("algo", ["turbomap", "turbosyn"])
+def test_scaling(benchmark, rows, scale, algo):
+    circuit = large_circuit(scale=scale)
+    run = turbomap if algo == "turbomap" else turbosyn
+    result = benchmark.pedantic(lambda: run(circuit, K), rounds=1, iterations=1)
+    cpu = benchmark.stats["mean"]
+    label = f"scale={scale}"
+    rows.add(TABLE, label, "gates", circuit.n_gates)
+    rows.add(TABLE, label, "FFs", circuit.n_ffs)
+    rows.add(TABLE, label, f"{algo} phi", result.phi)
+    rows.add(TABLE, label, f"{algo} cpu", cpu)
+    rows.add(TABLE, label, f"{algo} gates/s", f"{circuit.n_gates / max(cpu, 1e-9):.0f}")
+
+
+def test_scaling_headline(benchmark, rows):
+    """The abstract's headline scale: >10^4 gates and >10^3 flip-flops.
+
+    TurboMap only in the default run (TurboSYN at this size takes tens of
+    minutes in the interpreter; EXPERIMENTS.md records a one-off
+    measurement).
+    """
+    circuit = large_circuit(scale=16)
+    assert circuit.n_gates > 10_000
+    assert circuit.n_ffs > 1_000
+    result = benchmark.pedantic(
+        lambda: turbomap(circuit, K), rounds=1, iterations=1
+    )
+    cpu = benchmark.stats["mean"]
+    label = "scale=16 (headline)"
+    rows.add(TABLE, label, "gates", circuit.n_gates)
+    rows.add(TABLE, label, "FFs", circuit.n_ffs)
+    rows.add(TABLE, label, "turbomap phi", result.phi)
+    rows.add(TABLE, label, "turbomap cpu", cpu)
+    rows.add(
+        TABLE, label, "turbomap gates/s", f"{circuit.n_gates / max(cpu, 1e-9):.0f}"
+    )

@@ -1,0 +1,55 @@
+"""TurboMap vs the SeqMapII-style schedule (background of Section 1).
+
+The paper builds on TurboMap's earlier result [11]: replacing SeqMapII's
+global-round label computation with SCC-topological processing, partial
+flow networks, memoization (and here PLD) cut runtimes by orders of
+magnitude at identical answers.  This bench re-measures that on small
+circuits — the SeqMapII schedule is quadratic on infeasible probes, so
+suite-sized circuits are out of its reach, which is itself the result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.fsm import fsm_to_circuit, random_fsm
+from repro.core.seqmap2 import seqmap2_min_phi
+from repro.core.turbomap import turbomap
+
+TABLE = "TurboMap vs SeqMapII-style schedule"
+
+_PROBES = {
+    "fsm6": lambda: fsm_to_circuit(random_fsm("fsm6", 6, 3, 2, seed=21, split_depth=2)),
+    "fsm9": lambda: fsm_to_circuit(random_fsm("fsm9", 9, 3, 2, seed=22, split_depth=2)),
+    "fsm12": lambda: fsm_to_circuit(random_fsm("fsm12", 12, 3, 2, seed=23, split_depth=2)),
+}
+
+_cache = {}
+_cpu = {}
+
+
+@pytest.mark.parametrize("name", list(_PROBES))
+@pytest.mark.parametrize("algo", ["turbomap", "seqmap2"])
+def test_seqmap2(benchmark, rows, name, algo):
+    if name not in _cache:
+        _cache[name] = _PROBES[name]()
+    circuit = _cache[name]
+
+    if algo == "turbomap":
+        result = benchmark.pedantic(
+            lambda: turbomap(circuit, 5), rounds=1, iterations=1
+        )
+        phi = result.phi
+    else:
+        result = benchmark.pedantic(
+            lambda: seqmap2_min_phi(circuit, 5), rounds=1, iterations=1
+        )
+        phi = result.phi
+    cpu = benchmark.stats["mean"]
+    rows.add(TABLE, name, "gates", circuit.n_gates)
+    rows.add(TABLE, name, f"{algo} phi", phi)
+    rows.add(TABLE, name, f"{algo} cpu", cpu)
+    _cpu[(name, algo)] = cpu
+    if (name, "turbomap") in _cpu and (name, "seqmap2") in _cpu:
+        ratio = _cpu[(name, "seqmap2")] / max(_cpu[(name, "turbomap")], 1e-9)
+        rows.add(TABLE, name, "speedup", f"{ratio:.1f}x")

@@ -1,0 +1,69 @@
+"""Table 1: minimum clock period and CPU time for the 16-circuit suite.
+
+Paper columns: per circuit, GATE / FF counts and, for FlowSYN-s,
+TurboMap and TurboSYN, the minimum clock period (MDR ratio) under
+retiming + pipelining plus CPU seconds.  Headline numbers: TurboSYN
+reduces the clock period by 1.72x vs FlowSYN-s and 1.96x vs TurboMap
+on average (K = 5).
+
+Each mapper runs once per circuit (``pedantic`` with a single round —
+these are end-to-end algorithm runs, not microbenchmarks); the phi /
+LUT / CPU values land in the rendered table and ``benchmarks/results/``.
+The run also re-verifies that every mapped network's MDR bound does not
+exceed the reported phi.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.suite import SUITE
+from repro.core.flowsyn_s import flowsyn_s
+from repro.core.turbomap import turbomap
+from repro.core.turbosyn import turbosyn
+from repro.retime.mdr import min_feasible_period
+
+K = 5
+TABLE = "Table 1: clock period under retiming + pipelining (K=5)"
+NAMES = [e.name for e in SUITE]
+
+_ALGOS = {
+    "flowsyn_s": lambda c: flowsyn_s(c, K),
+    "turbomap": lambda c: turbomap(c, K),
+    "turbosyn": lambda c: turbosyn(c, K),
+}
+
+_phi_store = {}
+
+
+@pytest.mark.parametrize("name", NAMES)
+@pytest.mark.parametrize("algo", list(_ALGOS))
+def test_table1(benchmark, rows, circuits, name, algo):
+    circuit = circuits(name)
+    rows.add(TABLE, name, "GATE", circuit.n_gates)
+    rows.add(TABLE, name, "FF", circuit.n_ffs)
+    result = benchmark.pedantic(_ALGOS[algo], args=(circuit,), rounds=1, iterations=1)
+    assert min_feasible_period(result.mapped) <= result.phi
+    rows.add(TABLE, name, f"{algo} phi", result.phi)
+    rows.add(TABLE, name, f"{algo} cpu", benchmark.stats["mean"])
+    _phi_store[(name, algo)] = result.phi
+    _maybe_summary(rows)
+
+
+def _maybe_summary(rows):
+    """Once every cell is measured, add the paper's geomean ratio row."""
+    if len(_phi_store) != len(NAMES) * len(_ALGOS):
+        return
+    ratios_fs = []
+    ratios_tm = []
+    for name in NAMES:
+        ts = _phi_store[(name, "turbosyn")]
+        ratios_fs.append(_phi_store[(name, "flowsyn_s")] / ts)
+        ratios_tm.append(_phi_store[(name, "turbomap")] / ts)
+    geo_fs = math.exp(sum(math.log(r) for r in ratios_fs) / len(ratios_fs))
+    geo_tm = math.exp(sum(math.log(r) for r in ratios_tm) / len(ratios_tm))
+    rows.add(TABLE, "geomean", "flowsyn_s phi", f"{geo_fs:.2f}x")
+    rows.add(TABLE, "geomean", "turbomap phi", f"{geo_tm:.2f}x")
+    rows.add(TABLE, "geomean", "turbosyn phi", "1.00x")

@@ -1,0 +1,96 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one table/figure of the paper (see
+``DESIGN.md`` Section 4).  Timings come from pytest-benchmark; the
+*reported quantities* (clock periods, LUT counts, iteration counts) are
+collected by the session-scoped :class:`RowCollector` and printed as a
+paper-style table at the end of the run, as well as written under
+``benchmarks/results/``.
+
+Circuits are built once per session and shared across benchmarks.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Dict, List
+
+import pytest
+
+from repro.bench import suite as bench_suite
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+class RowCollector:
+    """Collects labelled result rows per table and renders them."""
+
+    def __init__(self) -> None:
+        self.tables: "OrderedDict[str, Dict[str, OrderedDict]]" = OrderedDict()
+
+    def add(self, table: str, row: str, column: str, value) -> None:
+        rows = self.tables.setdefault(table, OrderedDict())
+        cells = rows.setdefault(row, OrderedDict())
+        cells[column] = value
+
+    def render(self, table: str) -> str:
+        rows = self.tables.get(table, {})
+        columns: List[str] = []
+        for cells in rows.values():
+            for col in cells:
+                if col not in columns:
+                    columns.append(col)
+        width = max([len(r) for r in rows] + [8])
+        lines = [f"== {table} =="]
+        header = " " * width + " | " + " | ".join(f"{c:>12s}" for c in columns)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row, cells in rows.items():
+            rendered = " | ".join(
+                f"{_fmt(cells.get(c, '')):>12s}" for c in columns
+            )
+            lines.append(f"{row:<{width}s} | {rendered}")
+        return "\n".join(lines)
+
+    def flush(self) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        for table in self.tables:
+            text = self.render(table)
+            print("\n" + text)
+            safe = table.lower().replace(" ", "_").replace("/", "-")
+            with open(os.path.join(RESULTS_DIR, f"{safe}.txt"), "w") as fh:
+                fh.write(text + "\n")
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+_collector = RowCollector()
+_circuit_cache: Dict[str, object] = {}
+
+
+@pytest.fixture(scope="session")
+def rows():
+    """The session row collector (rendered at the end of the run)."""
+    return _collector
+
+
+@pytest.fixture(scope="session")
+def circuits():
+    """Lazily built, session-cached suite circuits."""
+
+    def get(name: str):
+        if name not in _circuit_cache:
+            _circuit_cache[name] = bench_suite.build(name)
+        return _circuit_cache[name]
+
+    return get
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _collector.tables:
+        _collector.flush()

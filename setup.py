@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so the
+PEP 517 editable path (which needs ``bdist_wheel``) is unavailable;
+``pip install -e . --no-build-isolation`` falls back to this file.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

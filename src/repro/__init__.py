@@ -1,0 +1,75 @@
+"""TurboSYN reproduction.
+
+A from-scratch Python implementation of the system described in
+
+    Jason Cong and Chang Wu,
+    "FPGA Synthesis with Retiming and Pipelining for Clock Period
+    Minimization of Sequential Circuits", DAC 1997,
+
+together with every substrate it depends on: a retiming-graph netlist
+representation with BLIF/KISS2 I/O, a Boolean function engine (packed truth
+tables, a ROBDD manager, two-level covers, Roth-Karp functional
+decomposition), combinational LUT mapping (FlowMap, FlowSYN, packing, gate
+decomposition), Leiserson-Saxe retiming and pipelining, and the sequential
+mapping core (TurboMap and TurboSYN label computation with positive loop
+detection).
+
+Quickstart::
+
+    from repro import SeqCircuit, turbosyn
+
+    circuit = SeqCircuit.from_blif_file("design.blif")
+    result = turbosyn(circuit, k=5)
+    print(result.phi, result.mapped.n_gates)
+"""
+
+from importlib import import_module
+
+# Public name -> defining module.  Resolved lazily so that importing the
+# top-level package stays cheap and submodules remain independently
+# importable.
+_EXPORTS = {
+    "NodeKind": "repro.netlist.graph",
+    "Pin": "repro.netlist.graph",
+    "SeqCircuit": "repro.netlist.graph",
+    "TruthTable": "repro.boolfn.truthtable",
+    "turbomap": "repro.core.turbomap",
+    "turbosyn": "repro.core.turbosyn",
+    "flowsyn_s": "repro.core.flowsyn_s",
+    "flowmap": "repro.comb.flowmap",
+    "flowsyn": "repro.comb.flowsyn",
+    "area_flow_map": "repro.comb.areamap",
+    "pack_luts": "repro.comb.pack",
+    "mdr_ratio": "repro.retime.mdr",
+    "min_feasible_period": "repro.retime.mdr",
+    "pipeline_and_retime": "repro.retime.pipeline",
+    "min_period_retiming": "repro.retime.leiserson",
+    "minimize_registers": "repro.retime.regmin",
+    "read_blif": "repro.netlist.blif",
+    "write_blif": "repro.netlist.blif",
+    "read_blif_file": "repro.netlist.blif",
+    "write_blif_file": "repro.netlist.blif",
+    "read_kiss": "repro.netlist.kiss",
+    "write_kiss": "repro.netlist.kiss",
+    "FSM": "repro.netlist.kiss",
+    "simulation_equivalent": "repro.verify.equiv",
+    "unrolled_equivalent": "repro.verify.equiv",
+}
+
+
+def __getattr__(name):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    value = getattr(import_module(module), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+__all__ = sorted(_EXPORTS)
+
+__version__ = "1.0.0"

@@ -1,0 +1,100 @@
+"""The Table-1 benchmark suite: 12 MCNC-FSM-like + 4 ISCAS'89-like circuits.
+
+The paper evaluates on 12 MCNC FSM benchmarks and 4 ISCAS'89 circuits
+processed by SIS + dmig.  Those netlists are not redistributable, so each
+suite entry is a *synthetic stand-in generated with the named benchmark's
+published state/input/output profile* (FSMs; inputs/outputs capped at
+8/19 to keep the structural synthesis tractable — see ``DESIGN.md``
+Section 3) or a datapath composition sized to a comparable gate/FF count
+(ISCAS-like entries).  All generation is seeded and deterministic, so
+every run of the benchmark harness sees the same circuits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.bench.datapath import datapath_circuit
+from repro.bench.fsm import fsm_to_circuit, random_fsm
+from repro.netlist.graph import SeqCircuit
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One benchmark of the Table-1 suite."""
+
+    name: str
+    kind: str  # "fsm" or "datapath"
+    params: tuple
+    description: str
+
+    def build(self) -> SeqCircuit:
+        if self.kind == "fsm":
+            states, inputs, outputs, seed, depth = self.params
+            fsm = random_fsm(
+                self.name, states, inputs, outputs, seed=seed, split_depth=depth
+            )
+            return fsm_to_circuit(fsm)
+        if self.kind == "datapath":
+            width, blocks, seed = self.params
+            return datapath_circuit(self.name, width, seed=seed, n_blocks=blocks)
+        raise ValueError(f"unknown suite kind {self.kind!r}")
+
+
+#: The 12 MCNC-FSM-like entries carry the published benchmark profiles
+#: (states, inputs, outputs, seed, guard split depth) — large I/O counts
+#: capped, and the two largest controllers use a shallower transition
+#: split to bound the synthesized gate count; the 4 ISCAS-like entries
+#: are (bus width, block count, seed) datapath mixes.
+SUITE: List[SuiteEntry] = [
+    SuiteEntry("bbara", "fsm", (10, 4, 2, 101, 4), "MCNC bbara profile: 10 states"),
+    SuiteEntry("bbsse", "fsm", (16, 7, 7, 102, 4), "MCNC bbsse profile: 16 states"),
+    SuiteEntry("cse", "fsm", (16, 7, 7, 103, 4), "MCNC cse profile: 16 states"),
+    SuiteEntry("dk16", "fsm", (27, 2, 3, 104, 4), "MCNC dk16 profile: 27 states"),
+    SuiteEntry("keyb", "fsm", (19, 7, 2, 105, 4), "MCNC keyb profile: 19 states"),
+    SuiteEntry("kirkman", "fsm", (16, 8, 6, 106, 4), "MCNC kirkman (inputs capped at 8)"),
+    SuiteEntry("planet", "fsm", (48, 7, 19, 107, 3), "MCNC planet profile: 48 states"),
+    SuiteEntry("s1", "fsm", (20, 8, 6, 108, 4), "MCNC s1 profile: 20 states"),
+    SuiteEntry("sand", "fsm", (32, 8, 9, 109, 4), "MCNC sand (inputs capped at 8)"),
+    SuiteEntry("scf", "fsm", (121, 8, 16, 110, 3), "MCNC scf (I/O capped at 8/16)"),
+    SuiteEntry("sse", "fsm", (16, 7, 7, 111, 4), "MCNC sse profile: 16 states"),
+    SuiteEntry("styr", "fsm", (30, 8, 10, 112, 4), "MCNC styr (inputs capped at 8)"),
+    SuiteEntry("s838", "datapath", (16, 4, 201), "ISCAS s838-like datapath"),
+    SuiteEntry("s953", "datapath", (20, 5, 202), "ISCAS s953-like datapath"),
+    SuiteEntry("s1423", "datapath", (24, 6, 203), "ISCAS s1423-like datapath"),
+    SuiteEntry("s5378", "datapath", (32, 8, 204), "ISCAS s5378-like datapath"),
+]
+
+_BY_NAME: Dict[str, SuiteEntry] = {e.name: e for e in SUITE}
+
+
+def entry(name: str) -> SuiteEntry:
+    return _BY_NAME[name]
+
+
+def build(name: str) -> SeqCircuit:
+    """Build one suite circuit by benchmark name."""
+    return _BY_NAME[name].build()
+
+
+def build_suite(names: Optional[Iterable[str]] = None) -> Dict[str, SeqCircuit]:
+    """Build the full suite (or a named subset), deterministically."""
+    selected = list(names) if names is not None else [e.name for e in SUITE]
+    return {name: build(name) for name in selected}
+
+
+def quick_subset() -> List[str]:
+    """The smaller circuits, used by CI-speed tests and examples."""
+    return ["bbara", "bbsse", "dk16", "keyb", "s838"]
+
+
+def large_circuit(scale: int = 4, seed: int = 999) -> SeqCircuit:
+    """A scaling-study circuit: several suite-sized blocks glued together.
+
+    ``scale`` multiplies the block count; ``scale=4`` lands in the few-
+    thousand-gate range used by ``benchmarks/bench_scaling.py`` (the
+    paper's 10^4-gate headline scaled to interpreted-Python throughput —
+    see ``DESIGN.md`` Section 3).
+    """
+    return datapath_circuit("scalex", width=8 * scale, seed=seed, n_blocks=3 * scale)

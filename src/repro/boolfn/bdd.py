@@ -1,0 +1,309 @@
+"""A from-scratch ROBDD (reduced ordered binary decision diagram) manager.
+
+The paper performs its functional decomposition on OBDDs (following FlowSYN
+[5] and Lai-Pan-Pedram [14]).  This module provides the OBDD substrate:
+
+* a :class:`BDD` manager with a unique table and memoized ``apply``/``ite``,
+* conversions to and from :class:`repro.boolfn.truthtable.TruthTable`,
+* cofactor/compose/satcount/support queries,
+* :meth:`BDD.cut_multiplicity`, the OBDD formulation of Roth-Karp column
+  multiplicity: with the bound variables ordered on top, the number of
+  distinct sub-functions hanging below the cut level equals the column
+  multiplicity of the decomposition chart.
+
+Nodes are referenced by integer handles; handles ``0`` and ``1`` are the
+terminals.  The variable order is the identity over ``range(num_vars)``
+(callers permute their functions instead of reordering the manager, which is
+sufficient for the bounded-support cones TurboSYN resynthesizes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.boolfn.truthtable import TruthTable
+
+ZERO = 0
+ONE = 1
+
+
+class BDD:
+    """A reduced ordered BDD manager over ``num_vars`` variables."""
+
+    def __init__(self, num_vars: int) -> None:
+        if num_vars < 0:
+            raise ValueError("num_vars must be non-negative")
+        self.num_vars = num_vars
+        # Node storage: parallel lists indexed by handle.  Terminals use
+        # variable index ``num_vars`` so that ``var(u) < var(terminal)``.
+        self._var: List[int] = [num_vars, num_vars]
+        self._low: List[int] = [0, 1]
+        self._high: List[int] = [0, 1]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+    def node(self, var: int, low: int, high: int) -> int:
+        """The canonical node ``(var ? high : low)``."""
+        if not 0 <= var < self.num_vars:
+            raise ValueError(f"variable index {var} outside [0, {self.num_vars})")
+        if low == high:
+            return low
+        key = (var, low, high)
+        handle = self._unique.get(key)
+        if handle is None:
+            handle = len(self._var)
+            self._var.append(var)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = handle
+        return handle
+
+    def var_node(self, i: int) -> int:
+        """The BDD of the projection ``x_i``."""
+        return self.node(i, ZERO, ONE)
+
+    def var_of(self, u: int) -> int:
+        """Decision variable of node ``u`` (``num_vars`` for terminals)."""
+        return self._var[u]
+
+    def low(self, u: int) -> int:
+        return self._low[u]
+
+    def high(self, u: int) -> int:
+        return self._high[u]
+
+    def is_terminal(self, u: int) -> bool:
+        return u <= ONE
+
+    def __len__(self) -> int:
+        """Total number of live nodes including terminals."""
+        return len(self._var)
+
+    # ------------------------------------------------------------------
+    # Core algorithm: if-then-else
+    # ------------------------------------------------------------------
+    def ite(self, f: int, g: int, h: int) -> int:
+        """``f ? g : h`` — the universal ROBDD operator."""
+        if f == ONE:
+            return g
+        if f == ZERO:
+            return h
+        if g == h:
+            return g
+        if g == ONE and h == ZERO:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        top = min(self._var[f], self._var[g], self._var[h])
+        f0, f1 = self._cofactors(f, top)
+        g0, g1 = self._cofactors(g, top)
+        h0, h1 = self._cofactors(h, top)
+        result = self.node(top, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactors(self, u: int, var: int) -> Tuple[int, int]:
+        if self._var[u] == var:
+            return self._low[u], self._high[u]
+        return u, u
+
+    # ------------------------------------------------------------------
+    # Boolean algebra
+    # ------------------------------------------------------------------
+    def apply_not(self, f: int) -> int:
+        return self.ite(f, ZERO, ONE)
+
+    def apply_and(self, f: int, g: int) -> int:
+        return self.ite(f, g, ZERO)
+
+    def apply_or(self, f: int, g: int) -> int:
+        return self.ite(f, ONE, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        return self.ite(f, self.apply_not(g), g)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def restrict(self, f: int, var: int, value: int) -> int:
+        """Cofactor of ``f`` with respect to ``x_var = value``."""
+        if self.is_terminal(f):
+            return f
+        fvar = self._var[f]
+        if fvar > var:
+            return f
+        if fvar == var:
+            return self._high[f] if value else self._low[f]
+        lo = self.restrict(self._low[f], var, value)
+        hi = self.restrict(self._high[f], var, value)
+        return self.node(fvar, lo, hi)
+
+    def compose(self, f: int, var: int, g: int) -> int:
+        """Substitute ``g`` for variable ``var`` in ``f``."""
+        f1 = self.restrict(f, var, 1)
+        f0 = self.restrict(f, var, 0)
+        return self.ite(g, f1, f0)
+
+    def support(self, f: int) -> Set[int]:
+        """The set of variables ``f`` depends on."""
+        seen: Set[int] = set()
+        out: Set[int] = set()
+        stack = [f]
+        while stack:
+            u = stack.pop()
+            if u in seen or self.is_terminal(u):
+                continue
+            seen.add(u)
+            out.add(self._var[u])
+            stack.append(self._low[u])
+            stack.append(self._high[u])
+        return out
+
+    def sat_count(self, f: int) -> int:
+        """Number of satisfying assignments over all ``num_vars`` variables."""
+        if f == ZERO:
+            return 0
+        if f == ONE:
+            return 1 << self.num_vars
+        memo: Dict[int, int] = {}
+
+        def count(u: int) -> int:
+            """Assignments over the suffix variables ``var(u) .. num_vars-1``."""
+            if u == ZERO:
+                return 0
+            if u == ONE:
+                return 1
+            cached = memo.get(u)
+            if cached is not None:
+                return cached
+            v = self._var[u]
+            lo, hi = self._low[u], self._high[u]
+            total = (count(lo) << (self._var[lo] - v - 1)) + (
+                count(hi) << (self._var[hi] - v - 1)
+            )
+            memo[u] = total
+            return total
+
+        return count(f) << self._var[f]
+
+    def eval(self, f: int, inputs: Sequence[int]) -> int:
+        """Evaluate ``f`` on an explicit input vector."""
+        if len(inputs) != self.num_vars:
+            raise ValueError("wrong number of inputs")
+        u = f
+        while not self.is_terminal(u):
+            u = self._high[u] if inputs[self._var[u]] else self._low[u]
+        return u
+
+    def node_count(self, f: int) -> int:
+        """Number of distinct internal nodes reachable from ``f``."""
+        seen: Set[int] = set()
+        stack = [f]
+        while stack:
+            u = stack.pop()
+            if u in seen or self.is_terminal(u):
+                continue
+            seen.add(u)
+            stack.append(self._low[u])
+            stack.append(self._high[u])
+        return len(seen)
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def from_truthtable(self, table: TruthTable) -> int:
+        """Build the ROBDD of a packed truth table (Shannon expansion).
+
+        Table variable ``j`` maps to manager variable ``j``; since the
+        manager keeps variable 0 on top, the recursion splits on the least
+        significant index bit first.
+        """
+        if table.n > self.num_vars:
+            raise ValueError("table arity exceeds manager width")
+        if table.n == 0:
+            return ONE if table.bits else ZERO
+        arr = table.to_array()
+        memo: Dict[Tuple[int, bytes], int] = {}
+
+        def build(sub: np.ndarray, var: int) -> int:
+            if len(sub) == 1:
+                return ONE if sub[0] else ZERO
+            key = (var, sub.tobytes())
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
+            lo = build(sub[0::2], var + 1)
+            hi = build(sub[1::2], var + 1)
+            result = self.node(var, lo, hi) if lo != hi else lo
+            memo[key] = result
+            return result
+
+        return build(arr, 0)
+
+    def to_truthtable(self, f: int, n: "int | None" = None) -> TruthTable:
+        """Expand ``f`` into a packed truth table over ``n`` variables."""
+        width = self.num_vars if n is None else n
+        sup = self.support(f)
+        if sup and max(sup) >= width:
+            raise ValueError("requested arity smaller than the support")
+        memo: Dict[Tuple[int, int], "np.ndarray"] = {}
+
+        def expand(u: int, var: int) -> "np.ndarray":
+            """Output column of ``u`` over variables ``var .. width-1``."""
+            if var == width:
+                return np.array([1 if u == ONE else 0], dtype=np.uint8)
+            key = (u, var)
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
+            out = np.empty(1 << (width - var), dtype=np.uint8)
+            if self.is_terminal(u) or self._var[u] > var:
+                half = expand(u, var + 1)
+                out[0::2] = half
+                out[1::2] = half
+            else:  # self._var[u] == var, ordering forbids smaller
+                out[0::2] = expand(self._low[u], var + 1)
+                out[1::2] = expand(self._high[u], var + 1)
+            memo[key] = out
+            return out
+
+        return TruthTable.from_array(expand(f, 0))
+
+    # ------------------------------------------------------------------
+    # Decomposition support
+    # ------------------------------------------------------------------
+    def cut_multiplicity(self, f: int, cut_level: int) -> int:
+        """Column multiplicity through the OBDD cut below ``cut_level``.
+
+        The manager keeps variable 0 on top, so a caller with bound set
+        ``B`` permutes its function to place the bound variables at indices
+        ``0 .. |B|-1``.  Every bound-set assignment then selects, by
+        following ``|B|`` decision levels, one node at or below the cut;
+        that node canonically represents the sub-function
+        ``f(bound := assignment, free)``.  The number of distinct nodes
+        reachable across the cut therefore equals the Roth-Karp column
+        multiplicity ``mu`` (Lai-Pan-Pedram [14]).
+        """
+        if not 0 <= cut_level <= self.num_vars:
+            raise ValueError("cut level out of range")
+        boundary: Set[int] = set()
+        seen: Set[int] = set()
+        stack = [f]
+        while stack:
+            u = stack.pop()
+            if u in seen:
+                continue
+            seen.add(u)
+            if self.is_terminal(u) or self._var[u] >= cut_level:
+                boundary.add(u)
+                continue
+            stack.append(self._low[u])
+            stack.append(self._high[u])
+        return len(boundary)

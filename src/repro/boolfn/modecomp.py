@@ -1,0 +1,178 @@
+"""Multiple-output functional decomposition (the paper's future work).
+
+The paper closes: *"the multi-output functional decomposition [26] will
+be useful for area minimization.  However, multi-output functional
+decomposition is more difficult and takes much longer time.  We are going
+to incorporate new logic synthesis methods into our TurboSYN algorithm
+for area minimization."*  This module implements that extension in the
+Wurth-Eckl-Antreich [26] single-bound-set form:
+
+for functions ``f_1 .. f_m`` over the same variables and a common bound
+set ``B``, the *joint* column multiplicity is the number of distinct
+**vector** columns ``(f_1(b, .), ..., f_m(b, .))``; if it fits ``t``
+code bits with ``t < |B|``, one shared encoder bank ``alpha_1..alpha_t``
+serves every function:
+
+    f_i(B, F) = g_i(alpha_1(B) .. alpha_t(B), F)      for all i.
+
+Compared to decomposing each output alone, the encoders are built once —
+the area saving the paper anticipates.  :func:`shared_decompose` performs
+one joint step; :func:`best_shared_bound` searches bound sets by joint
+multiplicity.  Exactness is property-tested (every output recomposes
+bit-for-bit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.boolfn.truthtable import TruthTable
+
+
+@dataclass(frozen=True)
+class SharedDecomposition:
+    """A joint Roth-Karp step for several functions with shared encoders."""
+
+    bound: Tuple[int, ...]
+    free: Tuple[int, ...]
+    alphas: Tuple[TruthTable, ...]  # over len(bound) vars, shared
+    images: Tuple[TruthTable, ...]  # one per function: code bits + free
+
+    def recompose(self, index: int, n: int) -> TruthTable:
+        """Rebuild function ``index`` over ``n`` variables (for checks)."""
+        t = len(self.alphas)
+        g = self.images[index].extend(
+            n + t, list(range(n, n + t)) + list(self.free)
+        )
+        for j, alpha in enumerate(self.alphas):
+            lifted = alpha.extend(n + t, list(self.bound))
+            g = g.compose(n + j, lifted)
+        for j in reversed(range(t)):
+            g = g.remove_var(n + j)
+        return g
+
+
+def joint_multiplicity(
+    funcs: Sequence[TruthTable], bound: Sequence[int]
+) -> int:
+    """Number of distinct vector columns over the bound set."""
+    if not funcs:
+        raise ValueError("need at least one function")
+    n = funcs[0].n
+    if any(f.n != n for f in funcs):
+        raise ValueError("functions must share one variable space")
+    per_func = [f.columns(bound).tolist() for f in funcs]
+    vectors = set(zip(*per_func))
+    return len(vectors)
+
+
+def shared_decompose(
+    funcs: Sequence[TruthTable], bound: Sequence[int]
+) -> Optional[SharedDecomposition]:
+    """One joint decomposition step, or ``None`` when there is no gain.
+
+    Gain requires the joint code width ``t = ceil(log2(mu))`` to be
+    smaller than the bound set, exactly as in the single-output case —
+    but ``mu`` here is the *joint* multiplicity, so a step that pays off
+    for the vector can be refused for each function alone and vice versa.
+    """
+    bound = tuple(bound)
+    if not funcs:
+        raise ValueError("need at least one function")
+    n = funcs[0].n
+    free = tuple(i for i in range(n) if i not in bound)
+    per_func = [f.columns(bound).tolist() for f in funcs]
+    vectors = list(zip(*per_func))
+    code_of: Dict[Tuple[int, ...], int] = {}
+    codes: List[int] = []
+    for vec in vectors:
+        if vec not in code_of:
+            code_of[vec] = len(code_of)
+        codes.append(code_of[vec])
+    mu = len(code_of)
+    t = max(1, (mu - 1).bit_length())
+    if t >= len(bound):
+        return None
+
+    b = len(bound)
+    alphas = []
+    for j in range(t):
+        bits = 0
+        for assignment, code in enumerate(codes):
+            if (code >> j) & 1:
+                bits |= 1 << assignment
+        alphas.append(TruthTable(b, bits))
+
+    vector_of_code: List[Tuple[int, ...]] = [
+        (0,) * len(funcs)
+    ] * (1 << t)
+    for vec, code in code_of.items():
+        vector_of_code[code] = vec
+    nf = len(free)
+    images = []
+    for func_idx in range(len(funcs)):
+        bits = 0
+        for code in range(1 << t):
+            col = vector_of_code[code][func_idx]
+            for a in range(1 << nf):
+                if (col >> a) & 1:
+                    bits |= 1 << (code + (a << t))
+        images.append(TruthTable(t + nf, bits))
+    return SharedDecomposition(bound, free, tuple(alphas), tuple(images))
+
+
+def best_shared_bound(
+    funcs: Sequence[TruthTable],
+    size: int,
+    max_candidates: int = 64,
+) -> Optional[Tuple[int, ...]]:
+    """The bound set of the given size with the smallest joint multiplicity.
+
+    Exhaustive over at most ``max_candidates`` size-``size`` subsets of
+    the common support (ordered lexicographically); ``None`` when no
+    candidate decomposes with gain.
+    """
+    if not funcs:
+        raise ValueError("need at least one function")
+    n = funcs[0].n
+    support = sorted(set().union(*(f.support() for f in funcs)))
+    if size > len(support):
+        return None
+    best: Optional[Tuple[int, ...]] = None
+    best_mu = None
+    for count, cand in enumerate(combinations(support, size)):
+        if count >= max_candidates:
+            break
+        mu = joint_multiplicity(funcs, cand)
+        t = max(1, (mu - 1).bit_length())
+        if t >= size:
+            continue
+        if best_mu is None or mu < best_mu:
+            best_mu = mu
+            best = tuple(cand)
+    return best
+
+
+def encoder_savings(
+    funcs: Sequence[TruthTable], bound: Sequence[int]
+) -> Optional[int]:
+    """Encoder LUTs saved by sharing vs per-function decomposition.
+
+    Positive when the joint step uses fewer total encoder functions than
+    decomposing every output separately; ``None`` when the joint step
+    does not exist.
+    """
+    joint = shared_decompose(funcs, bound)
+    if joint is None:
+        return None
+    separate = 0
+    from repro.boolfn.decompose import disjoint_decompose
+
+    for f in funcs:
+        step = disjoint_decompose(f, bound)
+        if step is None:
+            return None  # not comparable: single-output refuses
+        separate += len(step.alphas)
+    return separate - len(joint.alphas)

@@ -1,0 +1,129 @@
+"""P- and NPN-canonical forms for small Boolean functions.
+
+Two LUTs compute "the same function" in a mapping sense when one's truth
+table becomes the other's under input permutation (P-equivalence) —
+possibly with input/output complementation (NPN-equivalence, free only
+when inverters are free, which LUT inputs are not).  Canonical forms let
+the packer share LUTs that a syntactic comparison misses
+(:func:`repro.comb.pack.pack_luts` uses :func:`p_canonical_with_pins`)
+and power function-profile statistics over mapped netlists.
+
+Exhaustive enumeration over the ``n!`` permutations (times ``2^{n+1}``
+complementations for NPN) with memoization; intended for LUT-sized
+functions (``n <= 6`` guarded).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import permutations
+from typing import Dict, Sequence, Tuple
+
+from repro.boolfn.truthtable import TruthTable
+
+#: Enumeration bound: 7! permutations would already be 5040 per call.
+MAX_NPN_VARS = 6
+
+
+def _check(func: TruthTable) -> None:
+    if func.n > MAX_NPN_VARS:
+        raise ValueError(
+            f"canonical forms are enumerated exhaustively; arity "
+            f"{func.n} exceeds {MAX_NPN_VARS}"
+        )
+
+
+@lru_cache(maxsize=65536)
+def _perm_variants(n: int, bits: int) -> Tuple[Tuple[int, Tuple[int, ...]], ...]:
+    """All ``(permuted_bits, perm)`` pairs of the function."""
+    table = TruthTable(n, bits)
+    out = []
+    for perm in permutations(range(n)):
+        out.append((table.permute(list(perm)).bits, perm))
+    return tuple(out)
+
+
+def p_canonical(func: TruthTable) -> TruthTable:
+    """The P-canonical representative (minimum bits over permutations)."""
+    _check(func)
+    if func.n <= 1:
+        return func
+    best = min(bits for bits, _perm in _perm_variants(func.n, func.bits))
+    return TruthTable(func.n, best)
+
+
+def p_equivalent(a: TruthTable, b: TruthTable) -> bool:
+    """True when some input permutation maps ``a`` onto ``b``."""
+    if a.n != b.n:
+        return False
+    return p_canonical(a) == p_canonical(b)
+
+
+def p_canonical_with_pins(
+    func: TruthTable, pins: Sequence[Tuple[int, int]]
+) -> Tuple[int, Tuple[Tuple[int, int], ...]]:
+    """Joint canonical key of a LUT: function *and* fanin list.
+
+    Returns ``(canonical_bits, canonical_pins)`` where the pins are
+    reordered by the same permutation that canonicalizes the table (ties
+    broken toward the lexicographically smallest pin tuple).  Two LUTs
+    with equal keys compute identical functions of identical sources and
+    can be merged.
+    """
+    _check(func)
+    if func.n != len(pins):
+        raise ValueError("pin count must match the function arity")
+    if func.n <= 1:
+        return func.bits, tuple(pins)
+    best_bits = None
+    best_pins = None
+    for bits, perm in _perm_variants(func.n, func.bits):
+        # permute([p0..]) maps new var j <- old var perm[j]; the new pin
+        # list must present old pin perm[j] at position j.
+        candidate = tuple(pins[perm[j]] for j in range(func.n))
+        key = (bits, candidate)
+        if best_bits is None or key < (best_bits, best_pins):
+            best_bits, best_pins = key
+    return best_bits, best_pins
+
+
+def _flip_input(table: TruthTable, i: int) -> TruthTable:
+    """Complement input ``i`` (swap its cofactor blocks)."""
+    mask_hi = TruthTable.var(i, table.n).bits
+    full = (1 << table.size) - 1
+    mask_lo = full ^ mask_hi
+    shift = 1 << i
+    hi = table.bits & mask_hi
+    lo = table.bits & mask_lo
+    return TruthTable(table.n, (hi >> shift) | ((lo << shift) & full))
+
+
+def npn_canonical(func: TruthTable) -> TruthTable:
+    """The NPN-canonical representative.
+
+    Minimum table over all input permutations, input complementations and
+    output complementation.  Used for function-profile statistics (e.g.
+    "how many distinct 5-input functions does this mapping use?").
+    """
+    _check(func)
+    best = None
+    for bits, _perm in _perm_variants(func.n, func.bits):
+        table = TruthTable(func.n, bits)
+        for mask in range(1 << func.n):
+            flipped = table
+            for i in range(func.n):
+                if (mask >> i) & 1:
+                    flipped = _flip_input(flipped, i)
+            for out_bits in (flipped.bits, (~flipped).bits):
+                if best is None or out_bits < best:
+                    best = out_bits
+    return TruthTable(func.n, best)
+
+
+def npn_classes(funcs: Sequence[TruthTable]) -> Dict[TruthTable, int]:
+    """Histogram of NPN classes over a function collection."""
+    counts: Dict[TruthTable, int] = {}
+    for f in funcs:
+        canon = npn_canonical(f)
+        counts[canon] = counts.get(canon, 0) + 1
+    return counts

@@ -1,0 +1,242 @@
+"""Cube covers (sum-of-products) and light two-level minimization.
+
+The benchmark-circuit generator synthesizes finite state machines into
+gate networks through a classical two-level step: every next-state bit and
+output bit becomes a sum-of-products cover, which is then factored into a
+K-bounded gate network (:mod:`repro.bench.fsm`,
+:mod:`repro.comb.gatedecomp`).  BLIF ``.names`` bodies are also cube covers.
+
+A :class:`Cube` is a pair of integer bit masks ``(care, polarity)`` over
+``n`` variables: the cube contains an assignment ``x`` iff
+``x & care == polarity``.  A :class:`Cover` is a list of cubes interpreted
+as their OR.
+
+The minimizer is intentionally modest (this project needs *reasonable*
+covers for circuit generation, not an espresso replacement): exact
+Quine-McCluskey prime generation with a greedy set cover for functions of
+up to ``QM_MAX_VARS`` variables, and a cube-merging heuristic beyond that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.boolfn.truthtable import TruthTable
+
+#: Exact Quine-McCluskey is used up to this arity; above it the greedy
+#: merge heuristic keeps runtime bounded.
+QM_MAX_VARS = 10
+
+
+@dataclass(frozen=True)
+class Cube:
+    """A product term over ``n`` variables as ``(care, polarity)`` masks."""
+
+    care: int
+    polarity: int
+
+    def __post_init__(self) -> None:
+        if self.polarity & ~self.care:
+            raise ValueError("polarity bits outside the care mask")
+
+    def contains(self, assignment: int) -> bool:
+        """True when the assignment lies inside the cube."""
+        return (assignment & self.care) == self.polarity
+
+    def literal(self, i: int) -> str:
+        """Literal of variable ``i``: ``'0'``, ``'1'`` or ``'-'``."""
+        if not (self.care >> i) & 1:
+            return "-"
+        return "1" if (self.polarity >> i) & 1 else "0"
+
+    def to_string(self, n: int) -> str:
+        """BLIF-style cube string, variable 0 first."""
+        return "".join(self.literal(i) for i in range(n))
+
+    @classmethod
+    def from_string(cls, text: str) -> "Cube":
+        """Parse a BLIF-style cube string (variable 0 first)."""
+        care = polarity = 0
+        for i, ch in enumerate(text):
+            if ch == "1":
+                care |= 1 << i
+                polarity |= 1 << i
+            elif ch == "0":
+                care |= 1 << i
+            elif ch != "-":
+                raise ValueError(f"bad cube character {ch!r}")
+        return cls(care, polarity)
+
+    def num_literals(self) -> int:
+        return bin(self.care).count("1")
+
+    def table(self, n: int) -> TruthTable:
+        """The characteristic function of the cube over ``n`` variables."""
+        result = TruthTable.const(n, True)
+        for i in range(n):
+            if (self.care >> i) & 1:
+                var = TruthTable.var(i, n)
+                result = result & (var if (self.polarity >> i) & 1 else ~var)
+        return result
+
+
+class Cover:
+    """An OR of cubes over ``n`` variables."""
+
+    def __init__(self, n: int, cubes: Iterable[Cube] = ()) -> None:
+        self.n = n
+        self.cubes: List[Cube] = list(cubes)
+
+    def __len__(self) -> int:
+        return len(self.cubes)
+
+    def __iter__(self):
+        return iter(self.cubes)
+
+    def add(self, cube: Cube) -> None:
+        self.cubes.append(cube)
+
+    def num_literals(self) -> int:
+        """Total literal count — the classical two-level cost measure."""
+        return sum(c.num_literals() for c in self.cubes)
+
+    def to_truthtable(self) -> TruthTable:
+        table = TruthTable.const(self.n, False)
+        for cube in self.cubes:
+            table = table | cube.table(self.n)
+        return table
+
+    def to_strings(self) -> List[str]:
+        return [c.to_string(self.n) for c in self.cubes]
+
+    @classmethod
+    def from_strings(cls, n: int, lines: Iterable[str]) -> "Cover":
+        return cls(n, (Cube.from_string(line) for line in lines))
+
+    @classmethod
+    def from_truthtable(cls, table: TruthTable) -> "Cover":
+        """A two-level cover of ``table`` (see :func:`minimize_cover`)."""
+        return minimize_cover(table)
+
+
+# ----------------------------------------------------------------------
+# Quine-McCluskey prime generation + greedy cover
+# ----------------------------------------------------------------------
+def _combine(a: Tuple[int, int], b: Tuple[int, int]) -> "Tuple[int, int] | None":
+    """Merge two implicants differing in exactly one cared bit."""
+    care_a, pol_a = a
+    care_b, pol_b = b
+    if care_a != care_b:
+        return None
+    diff = pol_a ^ pol_b
+    if bin(diff).count("1") != 1:
+        return None
+    return (care_a & ~diff, pol_a & ~diff)
+
+
+def prime_implicants(table: TruthTable) -> List[Cube]:
+    """All prime implicants of the function (exact, QM iteration)."""
+    n = table.n
+    full = (1 << n) - 1
+    current: Set[Tuple[int, int]] = {
+        (full, m) for m in range(1 << n) if table.value(m)
+    }
+    primes: Set[Tuple[int, int]] = set()
+    while current:
+        merged: Set[Tuple[int, int]] = set()
+        used: Set[Tuple[int, int]] = set()
+        items = sorted(current)
+        by_care: Dict[int, List[Tuple[int, int]]] = {}
+        for imp in items:
+            by_care.setdefault(imp[0], []).append(imp)
+        for care, group in by_care.items():
+            group_set = set(group)
+            for care_, pol in group:
+                for bit in range(n):
+                    mask = 1 << bit
+                    if not care & mask:
+                        continue
+                    partner = (care, pol ^ mask)
+                    if partner in group_set:
+                        used.add((care, pol))
+                        used.add(partner)
+                        merged.add((care & ~mask, pol & ~mask & (care & ~mask)))
+        primes |= current - used
+        current = merged
+    return [Cube(c, p) for c, p in sorted(primes)]
+
+
+def minimize_cover(table: TruthTable) -> Cover:
+    """A small two-level cover of ``table``.
+
+    Uses exact prime implicant generation with a greedy minterm set cover
+    for arities up to :data:`QM_MAX_VARS`, otherwise a one-pass merge
+    heuristic over the minterm list.  The result always evaluates exactly
+    to ``table`` (verified by the caller-facing invariant tests).
+    """
+    n = table.n
+    if table.bits == 0:
+        return Cover(n, [])
+    if table.is_const():
+        return Cover(n, [Cube(0, 0)])
+    if n <= QM_MAX_VARS:
+        primes = prime_implicants(table)
+        minterms = [m for m in range(1 << n) if table.value(m)]
+        uncovered = set(minterms)
+        chosen: List[Cube] = []
+        # Essential primes first.
+        coverage: Dict[int, List[int]] = {m: [] for m in minterms}
+        for idx, cube in enumerate(primes):
+            for m in minterms:
+                if cube.contains(m):
+                    coverage[m].append(idx)
+        essential = {ids[0] for ids in coverage.values() if len(ids) == 1}
+        for idx in sorted(essential):
+            chosen.append(primes[idx])
+            uncovered -= {m for m in uncovered if primes[idx].contains(m)}
+        while uncovered:
+            best = max(
+                range(len(primes)),
+                key=lambda idx: sum(1 for m in uncovered if primes[idx].contains(m)),
+            )
+            gained = {m for m in uncovered if primes[best].contains(m)}
+            if not gained:  # pragma: no cover - primes always cover minterms
+                raise AssertionError("prime cover failure")
+            chosen.append(primes[best])
+            uncovered -= gained
+        return Cover(n, chosen)
+    return _greedy_cover(table)
+
+
+def _greedy_cover(table: TruthTable) -> Cover:
+    """Merge-adjacent heuristic for arities above :data:`QM_MAX_VARS`."""
+    n = table.n
+    full = (1 << n) - 1
+    remaining = [m for m in range(1 << n) if table.value(m)]
+    remaining_set = set(remaining)
+    cover = Cover(n)
+    covered: Set[int] = set()
+    for m in remaining:
+        if m in covered:
+            continue
+        care, pol = full, m
+        # Try to widen the cube one variable at a time.
+        for bit in range(n):
+            mask = 1 << bit
+            trial_care = care & ~mask
+            trial_pol = pol & ~mask
+            trial = Cube(trial_care, trial_pol)
+            if _cube_inside(trial, table):
+                care, pol = trial_care, trial_pol
+        cube = Cube(care, pol)
+        cover.add(cube)
+        covered |= {x for x in remaining_set if cube.contains(x)}
+    return cover
+
+
+def _cube_inside(cube: Cube, table: TruthTable) -> bool:
+    """True when every minterm of the cube satisfies the function."""
+    cube_bits = cube.table(table.n).bits
+    off_set = ((1 << table.size) - 1) ^ table.bits
+    return cube_bits & off_set == 0

@@ -1,0 +1,339 @@
+"""Packed truth tables for Boolean functions of a bounded number of variables.
+
+A :class:`TruthTable` represents a completely specified Boolean function of
+``n`` ordered variables as ``2**n`` bits packed into a Python integer.  Bit
+``i`` of :attr:`TruthTable.bits` is the function value on the input
+assignment encoded by ``i``, with variable 0 in the least significant
+position (``x0 = i & 1``, ``x1 = (i >> 1) & 1``, ...).
+
+Truth tables are the workhorse function representation of this project: the
+cones resynthesized by TurboSYN are bounded to ``Cmax = 15`` inputs, so a
+dense table (at most ``2**15`` bits, i.e. 4 KiB) is both exact and fast.
+Tables are immutable and hashable; bulk operations use numpy internally.
+
+The companion :mod:`repro.boolfn.bdd` module provides a ROBDD engine used to
+cross-check decompositions and for equivalence checking of larger functions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+#: Hard cap on the number of variables of a dense table.  ``2**MAX_VARS``
+#: bits must stay cheap to copy; 20 variables is a 128 KiB table.
+MAX_VARS = 20
+
+
+def _check_nvars(n: int) -> None:
+    if not 0 <= n <= MAX_VARS:
+        raise ValueError(f"truth table arity {n} outside [0, {MAX_VARS}]")
+
+
+class TruthTable:
+    """An immutable, completely specified Boolean function of ``n`` variables.
+
+    Parameters
+    ----------
+    n:
+        Number of input variables (0 to :data:`MAX_VARS`).
+    bits:
+        The ``2**n`` function bits packed into an int (bit ``i`` is the value
+        on assignment ``i``).  Bits above ``2**n`` must be zero.
+    """
+
+    __slots__ = ("n", "bits", "_hash")
+
+    def __init__(self, n: int, bits: int) -> None:
+        _check_nvars(n)
+        size = 1 << n
+        if bits < 0 or bits >> size:
+            raise ValueError("bits outside table range")
+        object.__setattr__(self, "n", n)
+        object.__setattr__(self, "bits", bits)
+        object.__setattr__(self, "_hash", None)
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("TruthTable is immutable")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def const(cls, n: int, value: bool) -> "TruthTable":
+        """The constant-``value`` function of ``n`` variables."""
+        _check_nvars(n)
+        bits = ((1 << (1 << n)) - 1) if value else 0
+        return cls(n, bits)
+
+    @classmethod
+    def var(cls, i: int, n: int) -> "TruthTable":
+        """The projection function ``f(x) = x_i`` over ``n`` variables."""
+        _check_nvars(n)
+        if not 0 <= i < n:
+            raise ValueError(f"variable index {i} outside [0, {n})")
+        period = 1 << (i + 1)
+        half = 1 << i
+        block = ((1 << half) - 1) << half  # one period: low half 0, high half 1
+        table = 0
+        width = period
+        # Double the pattern until it spans the full table.
+        full = 1 << n
+        table = block
+        while width < full:
+            table |= table << width
+            width <<= 1
+        return cls(n, table)
+
+    @classmethod
+    def from_values(cls, values: Sequence[int]) -> "TruthTable":
+        """Build a table from an explicit output column of length ``2**n``."""
+        size = len(values)
+        n = size.bit_length() - 1
+        if 1 << n != size:
+            raise ValueError("length of values must be a power of two")
+        bits = 0
+        for i, v in enumerate(values):
+            if v:
+                bits |= 1 << i
+        return cls(n, bits)
+
+    @classmethod
+    def from_function(cls, n: int, fn: Callable[..., bool]) -> "TruthTable":
+        """Build a table by evaluating ``fn(x0, x1, ..., x{n-1})`` everywhere."""
+        _check_nvars(n)
+        bits = 0
+        for i in range(1 << n):
+            args = [(i >> j) & 1 for j in range(n)]
+            if fn(*args):
+                bits |= 1 << i
+        return cls(n, bits)
+
+    @classmethod
+    def from_array(cls, arr: np.ndarray) -> "TruthTable":
+        """Build a table from a numpy 0/1 vector of length ``2**n``."""
+        arr = np.asarray(arr, dtype=np.uint8).ravel()
+        packed = np.packbits(arr, bitorder="little")
+        return cls(len(arr).bit_length() - 1, int.from_bytes(packed.tobytes(), "little"))
+
+    @classmethod
+    def random(cls, n: int, rng: "np.random.Generator") -> "TruthTable":
+        """A uniformly random function of ``n`` variables."""
+        _check_nvars(n)
+        nbytes = max(1, (1 << n) // 8) if n >= 3 else 1
+        raw = int.from_bytes(rng.bytes(nbytes), "little")
+        return cls(n, raw & ((1 << (1 << n)) - 1))
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of rows (``2**n``)."""
+        return 1 << self.n
+
+    def value(self, assignment: int) -> int:
+        """Function value on the assignment encoded as an integer."""
+        if not 0 <= assignment < self.size:
+            raise ValueError("assignment out of range")
+        return (self.bits >> assignment) & 1
+
+    def eval(self, inputs: Sequence[int]) -> int:
+        """Function value on an explicit 0/1 input vector."""
+        if len(inputs) != self.n:
+            raise ValueError(f"expected {self.n} inputs, got {len(inputs)}")
+        idx = 0
+        for j, v in enumerate(inputs):
+            if v:
+                idx |= 1 << j
+        return (self.bits >> idx) & 1
+
+    def is_const(self) -> bool:
+        """True when the function is constant 0 or constant 1."""
+        return self.bits == 0 or self.bits == (1 << self.size) - 1
+
+    def count_ones(self) -> int:
+        """Number of satisfying assignments (minterm count)."""
+        return bin(self.bits).count("1")
+
+    def depends_on(self, i: int) -> bool:
+        """True when the function essentially depends on variable ``i``."""
+        return self.cofactor_keep(i, 0).bits != self.cofactor_keep(i, 1).bits
+
+    def support(self) -> Tuple[int, ...]:
+        """Indices of the variables the function essentially depends on."""
+        return tuple(i for i in range(self.n) if self.depends_on(i))
+
+    def to_array(self) -> np.ndarray:
+        """Output column as a numpy uint8 vector of length ``2**n``."""
+        nbytes = (self.size + 7) // 8
+        raw = np.frombuffer(self.bits.to_bytes(nbytes, "little"), dtype=np.uint8)
+        return np.unpackbits(raw, bitorder="little")[: self.size]
+
+    # ------------------------------------------------------------------
+    # Boolean algebra
+    # ------------------------------------------------------------------
+    def _binop(self, other: "TruthTable", fn: Callable[[int, int], int]) -> "TruthTable":
+        if not isinstance(other, TruthTable):
+            return NotImplemented  # type: ignore[return-value]
+        if other.n != self.n:
+            raise ValueError("arity mismatch in truth table operation")
+        return TruthTable(self.n, fn(self.bits, other.bits) & ((1 << self.size) - 1))
+
+    def __and__(self, other: "TruthTable") -> "TruthTable":
+        return self._binop(other, lambda a, b: a & b)
+
+    def __or__(self, other: "TruthTable") -> "TruthTable":
+        return self._binop(other, lambda a, b: a | b)
+
+    def __xor__(self, other: "TruthTable") -> "TruthTable":
+        return self._binop(other, lambda a, b: a ^ b)
+
+    def __invert__(self) -> "TruthTable":
+        return TruthTable(self.n, self.bits ^ ((1 << self.size) - 1))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TruthTable)
+            and other.n == self.n
+            and other.bits == self.bits
+        )
+
+    def __hash__(self) -> int:
+        h = object.__getattribute__(self, "_hash")
+        if h is None:
+            h = hash((self.n, self.bits))
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def __repr__(self) -> str:
+        if self.n <= 6:
+            digits = (self.size + 3) // 4
+            return f"TruthTable({self.n}, 0x{self.bits:0{digits}x})"
+        return f"TruthTable({self.n} vars, {self.count_ones()} minterms)"
+
+    # ------------------------------------------------------------------
+    # Structural operations
+    # ------------------------------------------------------------------
+    def cofactor_keep(self, i: int, val: int) -> "TruthTable":
+        """Cofactor w.r.t. ``x_i = val`` keeping the original arity.
+
+        Rows where ``x_i != val`` are overwritten by their mirror rows, so
+        the result no longer depends on ``x_i``.
+        """
+        if not 0 <= i < self.n:
+            raise ValueError(f"variable index {i} outside [0, {self.n})")
+        mask = TruthTable.var(i, self.n).bits
+        full = (1 << self.size) - 1
+        if val:
+            high = self.bits & mask
+            return TruthTable(self.n, high | (high >> (1 << i)))
+        low = self.bits & (full ^ mask)
+        return TruthTable(self.n, low | ((low << (1 << i)) & full))
+
+    def cofactor(self, i: int, val: int) -> "TruthTable":
+        """Cofactor w.r.t. ``x_i = val`` with variable ``i`` removed.
+
+        Variables above ``i`` shift down by one position.
+        """
+        kept = self.cofactor_keep(i, val)
+        return kept.remove_var(i)
+
+    def remove_var(self, i: int) -> "TruthTable":
+        """Drop variable ``i`` (which must be non-essential)."""
+        if self.depends_on(i):
+            raise ValueError(f"variable {i} is essential; cannot remove")
+        arr = self.to_array().reshape([2] * self.n)
+        # numpy axis 0 corresponds to the most significant variable.
+        axis = self.n - 1 - i
+        sub = np.take(arr, 0, axis=axis)
+        return TruthTable.from_array(sub.ravel())
+
+    def permute(self, perm: Sequence[int]) -> "TruthTable":
+        """Reorder variables: new variable ``j`` is old variable ``perm[j]``.
+
+        ``perm`` must be a permutation of ``range(n)``.  The resulting table
+        ``g`` satisfies ``g(y0..y{n-1}) = f(x)`` with ``x[perm[j]] = y[j]``.
+        """
+        if sorted(perm) != list(range(self.n)):
+            raise ValueError("perm must be a permutation of range(n)")
+        if list(perm) == list(range(self.n)):
+            return self
+        arr = self.to_array().reshape([2] * self.n)
+        # arr axes are ordered most-significant-first: axis a <-> var n-1-a.
+        # We want out[idx with y_j at position j] = f(x with x_perm[j]=y_j),
+        # i.e. axis for new var j must be the old axis of var perm[j].
+        axes = [self.n - 1 - perm[self.n - 1 - a] for a in range(self.n)]
+        out = np.transpose(arr, axes)
+        return TruthTable.from_array(out.ravel())
+
+    def extend(self, n: int, placement: Sequence[int]) -> "TruthTable":
+        """Embed into a larger arity ``n``: old var ``j`` becomes ``placement[j]``."""
+        if n < self.n:
+            raise ValueError("cannot extend to a smaller arity")
+        if len(set(placement)) != self.n or any(not 0 <= p < n for p in placement):
+            raise ValueError("placement must be distinct indices below n")
+        arr = self.to_array()
+        idx = np.arange(1 << n)
+        small_idx = np.zeros(1 << n, dtype=np.int64)
+        for j, p in enumerate(placement):
+            small_idx |= (((idx >> p) & 1) << j).astype(np.int64)
+        return TruthTable.from_array(arr[small_idx])
+
+    def compose(self, i: int, g: "TruthTable") -> "TruthTable":
+        """Substitute function ``g`` (same arity) for variable ``i``."""
+        if g.n != self.n:
+            raise ValueError("compose requires matching arities")
+        f1 = self.cofactor_keep(i, 1)
+        f0 = self.cofactor_keep(i, 0)
+        return (g & f1) | (~g & f0)
+
+    def shrink_to_support(self) -> Tuple["TruthTable", Tuple[int, ...]]:
+        """Project onto the essential support.
+
+        Returns ``(g, support)`` where ``g`` has arity ``len(support)`` and
+        ``g(x[support[0]], ...) == f(x)``.
+        """
+        sup = self.support()
+        table = self
+        removed = 0
+        for i in range(self.n):
+            if i not in sup:
+                table = table.remove_var(i - removed)
+                removed += 1
+        return table, sup
+
+    # ------------------------------------------------------------------
+    # Decomposition support
+    # ------------------------------------------------------------------
+    def columns(self, bound: Sequence[int]) -> np.ndarray:
+        """Decomposition chart columns for a bound set of variables.
+
+        For the (disjoint) partition ``bound`` / ``free = rest``, returns a
+        1-D object array of Python ints of shape ``(2**|bound|,)`` where
+        entry ``b`` packs the sub-function ``f(bound := b, free)`` as
+        ``2**|free|`` bits (free variables in ascending original order).
+        The number of distinct entries is the classical Roth-Karp *column
+        multiplicity* ``mu``: ``f`` has a disjoint decomposition
+        ``f = g(alpha_1(bound) .. alpha_t(bound), free)`` iff
+        ``mu <= 2**t``.
+        """
+        bound = list(bound)
+        if len(set(bound)) != len(bound) or any(not 0 <= b < self.n for b in bound):
+            raise ValueError("bound set must be distinct variable indices")
+        free = [i for i in range(self.n) if i not in bound]
+        perm = free + bound  # new var j <- old var perm[j]: free vars low
+        reordered = self.permute(perm)
+        chunk = 1 << len(free)
+        mask = (1 << chunk) - 1
+        bits = reordered.bits
+        out = np.empty(1 << len(bound), dtype=object)
+        for b in range(1 << len(bound)):
+            out[b] = (bits >> (b * chunk)) & mask
+        return out
+
+    def column_multiplicity(self, bound: Sequence[int]) -> int:
+        """Roth-Karp column multiplicity for the given bound set."""
+        cols = self.columns(bound)
+        return len(set(cols.tolist()))

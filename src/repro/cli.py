@@ -1,0 +1,255 @@
+"""Command line interface: ``turbosyn <command>``.
+
+Commands
+--------
+``map``
+    Map a BLIF circuit with TurboSYN / TurboMap / FlowSYN-s, report the
+    minimum clock period (MDR ratio) and LUT count, optionally write the
+    mapped + pipelined/retimed network back to BLIF.
+``stats``
+    Print a circuit's retiming-graph statistics and MDR bound.
+``gen``
+    Emit one of the built-in benchmark suite circuits as BLIF.
+``suite``
+    Run all three mappers over the benchmark suite and print Table-1-style
+    rows (the full harness with timing lives in ``benchmarks/``).
+``verify``
+    Check two BLIF circuits for behavioural equivalence (lag-aligned
+    random simulation; exact BDD comparison for combinational pairs).
+``critical``
+    Criticality analysis: exact MDR ratio, the binding loops, label
+    slack distribution.
+``dot``
+    Export a circuit as Graphviz DOT (optionally highlighting the
+    critical cycle).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.bench import suite as bench_suite
+from repro.core.flowsyn_s import flowsyn_s
+from repro.core.turbomap import turbomap
+from repro.core.turbosyn import turbosyn
+from repro.netlist.blif import read_blif_file, write_blif_file
+from repro.retime.mdr import mdr_ratio, min_feasible_period
+from repro.retime.pipeline import pipeline_and_retime
+
+_ALGOS = {
+    "turbosyn": lambda c, k: turbosyn(c, k),
+    "turbomap": lambda c, k: turbomap(c, k),
+    "flowsyn-s": lambda c, k: flowsyn_s(c, k),
+}
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    circuit, _info = read_blif_file(args.circuit)
+    t0 = time.perf_counter()
+    result = _ALGOS[args.algo](circuit, args.k)
+    elapsed = time.perf_counter() - t0
+    print(
+        f"{circuit.name}: algo={args.algo} K={args.k} "
+        f"phi={result.phi} luts={result.n_luts} cpu={elapsed:.2f}s"
+    )
+    final = result.mapped
+    if args.retime:
+        pipe = pipeline_and_retime(final)
+        final = pipe.circuit
+        lags = ", ".join(f"{n}:+{l}" for n, l in pipe.po_lags.items() if l)
+        print(
+            f"retimed to clock period {pipe.circuit.clock_period()}"
+            + (f" (output lags: {lags})" if lags else "")
+        )
+    if args.out:
+        write_blif_file(final, args.out)
+        print(f"wrote {args.out}")
+    if args.verilog:
+        from repro.netlist.verilog import write_verilog_file
+
+        write_verilog_file(final, args.verilog)
+        print(f"wrote {args.verilog}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.netlist.stats import lut_profile, profile, render_profile
+
+    circuit, _info = read_blif_file(args.circuit)
+    print(render_profile(profile(circuit)))
+    print(f"MDR bound (retiming + pipelining): {min_feasible_period(circuit)}")
+    print(f"exact MDR ratio: {mdr_ratio(circuit)}")
+    if args.luts:
+        info = lut_profile(circuit)
+        print(
+            f"LUT profile: fill {info['fill_histogram']}, "
+            f"avg {info['average_inputs']:.2f} inputs, "
+            f"{info['npn_classes']} NPN classes"
+        )
+    return 0
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    circuit = bench_suite.build(args.name)
+    write_blif_file(circuit, args.out)
+    print(f"wrote {args.out}: {circuit.stats()}")
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    names = bench_suite.quick_subset() if args.quick else [
+        e.name for e in bench_suite.SUITE
+    ]
+    header = f"{'circuit':10s} {'GATE':>6s} {'FF':>5s} | "
+    header += " | ".join(f"{a:>18s}" for a in _ALGOS)
+    print(header)
+    for name in names:
+        circuit = bench_suite.build(name)
+        cells: List[str] = []
+        for algo, run in _ALGOS.items():
+            t0 = time.perf_counter()
+            result = run(circuit, args.k)
+            elapsed = time.perf_counter() - t0
+            cells.append(f"phi={result.phi:2d} {elapsed:7.1f}s")
+        print(
+            f"{name:10s} {circuit.n_gates:6d} {circuit.n_ffs:5d} | "
+            + " | ".join(f"{cell:>18s}" for cell in cells)
+        )
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify.bdd_equiv import combinational_equivalent
+    from repro.verify.equiv import simulation_equivalent
+
+    a, _ = read_blif_file(args.golden)
+    b, _ = read_blif_file(args.revised)
+    sequential = any(w for *_e, w in a.edges()) or any(
+        w for *_e, w in b.edges()
+    )
+    if not sequential:
+        ok = combinational_equivalent(a, b)
+        print(f"combinational BDD check: {'EQUIVALENT' if ok else 'DIFFERENT'}")
+        return 0 if ok else 1
+    lags = {}
+    if args.lag:
+        for item in args.lag:
+            name, _sep, value = item.partition("=")
+            lags[name] = int(value)
+    ok = simulation_equivalent(
+        a, b, cycles=args.cycles, warmup=args.warmup, po_lags=lags
+    )
+    print(
+        f"simulation check ({args.cycles} cycles, warmup {args.warmup}): "
+        f"{'EQUIVALENT' if ok else 'DIFFERENT'}"
+    )
+    return 0 if ok else 1
+
+
+def _cmd_critical(args: argparse.Namespace) -> int:
+    from repro.core.slack import report
+
+    circuit, _ = read_blif_file(args.circuit)
+    print(report(circuit, k=args.k))
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    from repro.netlist.dot import write_dot_file
+    from repro.retime.mdr import critical_ratio_cycle
+
+    circuit, _ = read_blif_file(args.circuit)
+    highlight = None
+    if args.highlight_critical:
+        highlight = critical_ratio_cycle(circuit)
+    write_dot_file(circuit, args.out, highlight=highlight)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="turbosyn",
+        description="TurboSYN reproduction: FPGA synthesis with retiming "
+        "and pipelining (Cong & Wu, DAC 1997)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_map = sub.add_parser("map", help="map a BLIF circuit onto K-LUTs")
+    p_map.add_argument("circuit", help="input BLIF file")
+    p_map.add_argument("--algo", choices=sorted(_ALGOS), default="turbosyn")
+    p_map.add_argument("-k", type=int, default=5, help="LUT input count")
+    p_map.add_argument("--out", help="write the mapped network as BLIF")
+    p_map.add_argument(
+        "--verilog", help="write the mapped network as structural Verilog"
+    )
+    p_map.add_argument(
+        "--retime",
+        action="store_true",
+        help="pipeline + retime the mapped network before writing",
+    )
+    p_map.set_defaults(func=_cmd_map)
+
+    p_stats = sub.add_parser("stats", help="show retiming-graph statistics")
+    p_stats.add_argument("circuit", help="input BLIF file")
+    p_stats.add_argument(
+        "--luts",
+        action="store_true",
+        help="also print the LUT fill / NPN-class profile",
+    )
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_gen = sub.add_parser("gen", help="generate a benchmark circuit")
+    p_gen.add_argument(
+        "name", choices=[e.name for e in bench_suite.SUITE]
+    )
+    p_gen.add_argument("out", help="output BLIF file")
+    p_gen.set_defaults(func=_cmd_gen)
+
+    p_suite = sub.add_parser("suite", help="run the Table-1 sweep")
+    p_suite.add_argument("-k", type=int, default=5)
+    p_suite.add_argument(
+        "--quick", action="store_true", help="only the small circuits"
+    )
+    p_suite.set_defaults(func=_cmd_suite)
+
+    p_verify = sub.add_parser("verify", help="equivalence-check two BLIFs")
+    p_verify.add_argument("golden", help="reference BLIF")
+    p_verify.add_argument("revised", help="circuit under check")
+    p_verify.add_argument("--cycles", type=int, default=128)
+    p_verify.add_argument("--warmup", type=int, default=16)
+    p_verify.add_argument(
+        "--lag",
+        action="append",
+        metavar="PO=N",
+        help="expected latency of an output (repeatable)",
+    )
+    p_verify.set_defaults(func=_cmd_verify)
+
+    p_crit = sub.add_parser("critical", help="criticality / slack analysis")
+    p_crit.add_argument("circuit", help="input BLIF file")
+    p_crit.add_argument("-k", type=int, default=5)
+    p_crit.set_defaults(func=_cmd_critical)
+
+    p_dot = sub.add_parser("dot", help="export Graphviz DOT")
+    p_dot.add_argument("circuit", help="input BLIF file")
+    p_dot.add_argument("out", help="output .dot file")
+    p_dot.add_argument(
+        "--highlight-critical",
+        action="store_true",
+        help="fill the nodes of one MDR-critical cycle",
+    )
+    p_dot.set_defaults(func=_cmd_dot)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

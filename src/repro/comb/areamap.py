@@ -1,0 +1,77 @@
+"""Area-oriented combinational LUT mapping (area-flow heuristic).
+
+FlowMap (and the sequential mappers built on it) optimize depth first;
+this module provides the complementary area-first mapping built on cut
+enumeration (:mod:`repro.comb.cutenum`): each gate picks its minimum
+area-flow cut, mapping generation walks the chosen cuts from the POs,
+and packing cleans up.  Not part of the paper's flow — provided because
+a usable open-source mapper needs an area mode, and the comparison makes
+the depth/area trade-off of Table 1's discussion concrete (see
+``benchmarks/bench_area.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.comb.cone import cone_function
+from repro.comb.cutenum import area_flow_cuts
+from repro.comb.flowmap import CombMapping
+from repro.comb.pack import pack_luts
+from repro.netlist.graph import NodeKind, SeqCircuit
+from repro.netlist.validate import ensure_mappable
+
+
+def area_flow_map(
+    circuit: SeqCircuit,
+    k: int = 5,
+    cap: Optional[int] = 24,
+    pack: bool = True,
+    name: Optional[str] = None,
+) -> CombMapping:
+    """Map a combinational circuit onto K-LUTs minimizing estimated area."""
+    ensure_mappable(circuit, k)
+    chosen = area_flow_cuts(circuit, k, cap)
+
+    needed = []
+    seen = set()
+
+    def require(src: int) -> None:
+        if circuit.kind(src) is NodeKind.GATE and src not in seen:
+            seen.add(src)
+            needed.append(src)
+
+    for po in circuit.pos:
+        require(circuit.fanins(po)[0].src)
+    idx = 0
+    while idx < len(needed):
+        v = needed[idx]
+        idx += 1
+        for u in chosen[v]:
+            require(u)
+
+    mapped = SeqCircuit(name or f"{circuit.name}_area")
+    new_id: Dict[int, int] = {}
+    for pi in circuit.pis:
+        new_id[pi] = mapped.add_pi(circuit.name_of(pi))
+    order_pos = {nid: i for i, nid in enumerate(circuit.comb_topo_order())}
+    for v in sorted(needed, key=lambda nid: order_pos[nid]):
+        cut = sorted(chosen[v])
+        func = cone_function(circuit, v, cut)
+        mapped.add_gate(
+            circuit.name_of(v), func, [(new_id[u], 0) for u in cut]
+        )
+        new_id[v] = mapped.id_of(circuit.name_of(v))
+    for po in circuit.pos:
+        pin = circuit.fanins(po)[0]
+        mapped.add_po(circuit.name_of(po), new_id[pin.src], pin.weight)
+    mapped.check()
+    if pack:
+        mapped = pack_luts(mapped, k)
+    labels = {v: 0 for v in circuit.node_ids()}
+    return CombMapping(
+        mapped=mapped,
+        depth=mapped.clock_period(),
+        labels=labels,
+        cuts={v: tuple(sorted(c)) for v, c in chosen.items()},
+    )

@@ -1,0 +1,147 @@
+"""Algebraic tree balancing (technology-independent preprocessing).
+
+SIS-style flows rebalance associative gate chains (AND/OR/XOR) into
+minimum-depth trees before mapping; it is the cheapest slice of what
+Boolean resynthesis can do.  This module provides that step for the
+retiming-graph representation:
+
+* maximal *chains* of same-function associative 2-input gates connected
+  by zero-weight, single-fanout edges are collected into one n-ary
+  operation;
+* each is re-emitted as a Huffman-style tree over optional leaf arrival
+  estimates, which minimizes the local depth contribution;
+* registered edges, fanout points, POs and non-associative gates are
+  barriers — sequential behaviour is untouched.
+
+``benchmarks/bench_balance.py`` uses it for the ablation "TurboSYN vs
+balance + TurboMap": balancing recovers part of the resynthesis gain on
+skewed networks, but cannot move logic *across registers* — only the
+sequential decomposition can (that gap is the paper's contribution).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.boolfn.truthtable import TruthTable
+from repro.netlist.graph import NodeKind, Pin, SeqCircuit
+
+_AND2 = TruthTable.from_function(2, lambda a, b: a and b)
+_OR2 = TruthTable.from_function(2, lambda a, b: a or b)
+_XOR2 = TruthTable.from_function(2, lambda a, b: a != b)
+
+#: Associative, commutative 2-input functions eligible for balancing.
+ASSOCIATIVE = (_AND2, _OR2, _XOR2)
+
+
+def _collect_chain(
+    circuit: SeqCircuit, root: int, func: TruthTable
+) -> Optional[Tuple[List[Pin], Set[int]]]:
+    """Leaves and interior gates of the maximal same-function tree.
+
+    A fanin is absorbed into the chain when it is a gate with the same
+    function, read through a zero-weight edge, and has no other reader;
+    anything else is a leaf (keeping its register count).  Returns
+    ``None`` when nothing was absorbed.
+    """
+    leaves: List[Pin] = []
+    interior: Set[int] = set()
+    stack = list(circuit.fanins(root))
+    while stack:
+        pin = stack.pop()
+        node = circuit.node(pin.src)
+        if (
+            pin.weight == 0
+            and node.kind is NodeKind.GATE
+            and node.func == func
+            and len(circuit.fanouts(pin.src)) == 1
+            and pin.src != root
+        ):
+            interior.add(pin.src)
+            stack.extend(node.fanins)
+        else:
+            leaves.append(pin)
+    if not interior:
+        return None
+    return leaves, interior
+
+
+def balance_circuit(
+    circuit: SeqCircuit,
+    depths: Optional[Dict[int, int]] = None,
+    name: Optional[str] = None,
+) -> SeqCircuit:
+    """Rebuild associative chains as balanced (Huffman) trees.
+
+    ``depths`` optionally provides leaf arrival estimates (leaves with
+    larger values end up closer to the root); by default every leaf
+    weighs equally.  Returns a new circuit with identical PI/PO names and
+    behaviour.
+    """
+    chains: Dict[int, List[Pin]] = {}
+    absorbed: Set[int] = set()
+    for v in circuit.gates:
+        if v in absorbed:
+            continue
+        func = circuit.func(v)
+        if func not in ASSOCIATIVE:
+            continue
+        found = _collect_chain(circuit, v, func)
+        if found is None:
+            continue
+        leaves, interior = found
+        chains[v] = leaves
+        absorbed |= interior
+    # A chain root absorbed by a *later* root would corrupt the rebuild;
+    # the single-fanout requirement plus gate iteration order prevent it,
+    # but drop any chain whose root was absorbed anyway (defensive).
+    for v in list(chains):
+        if v in absorbed:
+            del chains[v]
+
+    out = SeqCircuit(name or circuit.name)
+    new_id: Dict[int, int] = {}
+    for v in circuit.node_ids():
+        node = circuit.node(v)
+        if node.kind is NodeKind.PI:
+            new_id[v] = out.add_pi(node.name)
+        elif node.kind is NodeKind.GATE and v not in absorbed:
+            new_id[v] = out.add_gate_placeholder(node.name, node.func)
+
+    counter = [0]
+
+    def wire_tree(v: int, leaves: List[Pin], func: TruthTable) -> None:
+        """Huffman tree over the leaves; the root reuses node ``v``."""
+        heap: List[Tuple[int, int, Tuple[int, int]]] = []
+        for tie, pin in enumerate(leaves):
+            depth = (depths or {}).get(pin.src, 0)
+            heap.append((depth, tie, (new_id[pin.src], pin.weight)))
+        heapq.heapify(heap)
+        tie = len(leaves)
+        while len(heap) > 2:
+            d1, _t1, a = heapq.heappop(heap)
+            d2, _t2, b = heapq.heappop(heap)
+            counter[0] += 1
+            g = out.add_gate(
+                f"{circuit.name_of(v)}~b{counter[0]}", func, [a, b]
+            )
+            heapq.heappush(heap, (max(d1, d2) + 1, tie, (g, 0)))
+            tie += 1
+        pins = [item[2] for item in sorted(heap)]
+        out.set_fanins(new_id[v], pins)
+
+    for v in circuit.node_ids():
+        node = circuit.node(v)
+        if node.kind is NodeKind.PO:
+            pin = node.fanins[0]
+            out.add_po(node.name, new_id[pin.src], pin.weight)
+        elif node.kind is NodeKind.GATE and v not in absorbed:
+            if v in chains:
+                wire_tree(v, chains[v], node.func)
+            else:
+                out.set_fanins(
+                    new_id[v], [(new_id[p.src], p.weight) for p in node.fanins]
+                )
+    out.check()
+    return out

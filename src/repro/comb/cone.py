@@ -1,0 +1,106 @@
+"""Cone extraction and cone-function evaluation on combinational logic.
+
+A *cut* ``(X, X-bar)`` for a node ``v`` separates ``v`` from the inputs of
+its fan-in cone; the nodes between the cut and ``v`` (the ``X-bar`` side)
+form the logic a single LUT must realize.  This module collects that logic
+and composes its exact Boolean function over the cut nodes, which is what
+FlowMap's mapping generation and FlowSYN's resynthesis consume.
+
+Only zero-weight (combinational) edges are traversed; callers working on
+sequential circuits cut at registers first or use the expanded-circuit
+machinery in :mod:`repro.core.expanded`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.boolfn.truthtable import TruthTable
+from repro.netlist.graph import NodeKind, SeqCircuit
+
+
+def fanin_cone(circuit: SeqCircuit, root: int) -> Set[int]:
+    """All nodes reaching ``root`` through zero-weight edges, incl. ``root``."""
+    seen = {root}
+    stack = [root]
+    while stack:
+        v = stack.pop()
+        for pin in circuit.fanins(v):
+            if pin.weight == 0 and pin.src not in seen:
+                seen.add(pin.src)
+                stack.append(pin.src)
+    return seen
+
+
+def cluster_between(
+    circuit: SeqCircuit, root: int, cut: Iterable[int]
+) -> List[int]:
+    """Nodes between ``cut`` and ``root`` in topological order.
+
+    Walks fanins from ``root`` stopping at cut nodes; the returned list
+    contains the cluster's gates (cut nodes excluded, ``root`` included)
+    ordered so that every gate appears after its in-cluster fanins.
+    Raises ``ValueError`` when the walk escapes past a PI that is not in
+    the cut (the cut does not cover the cone).
+    """
+    cut_set = set(cut)
+    if root in cut_set:
+        raise ValueError("root cannot be part of its own cut")
+    order: List[int] = []
+    state: Dict[int, int] = {}  # 0 visiting, 1 done
+
+    stack: List[Tuple[int, bool]] = [(root, False)]
+    while stack:
+        v, processed = stack.pop()
+        if processed:
+            state[v] = 1
+            order.append(v)
+            continue
+        if state.get(v) == 1:
+            continue
+        state[v] = 0
+        stack.append((v, True))
+        for pin in circuit.fanins(v):
+            if pin.weight != 0:
+                raise ValueError(
+                    "cluster crosses a registered edge; cut must stop at it"
+                )
+            src = pin.src
+            if src in cut_set or state.get(src) == 1:
+                continue
+            if circuit.kind(src) is NodeKind.PI:
+                raise ValueError(
+                    f"cut does not cover PI {circuit.name_of(src)!r}"
+                )
+            stack.append((src, False))
+    return order
+
+
+def cone_function(
+    circuit: SeqCircuit, root: int, cut: Sequence[int]
+) -> TruthTable:
+    """Exact function of ``root`` over the ordered ``cut`` nodes.
+
+    ``cut`` must cover the fan-in cone of ``root``; variable ``i`` of the
+    result corresponds to ``cut[i]``.  Evaluation is bit-parallel over all
+    ``2**len(cut)`` assignments.
+    """
+    cut = list(cut)
+    m = len(cut)
+    if m > 20:
+        raise ValueError(f"cut of {m} nodes is too wide for dense evaluation")
+    values: Dict[int, np.ndarray] = {}
+    for i, u in enumerate(cut):
+        values[u] = TruthTable.var(i, m).to_array() if m else np.array([0], dtype=np.uint8)
+    for v in cluster_between(circuit, root, cut):
+        node = circuit.node(v)
+        if node.kind is not NodeKind.GATE:
+            raise ValueError(f"cluster contains non-gate {node.name!r}")
+        idx = np.zeros(1 << m, dtype=np.int64)
+        for j, pin in enumerate(node.fanins):
+            idx |= values[pin.src].astype(np.int64) << j
+        table = node.func.to_array()
+        values[v] = table[idx]
+    return TruthTable.from_array(values[root])

@@ -1,0 +1,172 @@
+"""Bottom-up K-feasible cut enumeration for combinational networks.
+
+FlowMap answers "is there a K-cut of height h?" with one max-flow query;
+the classical alternative enumerates *all* K-feasible cuts bottom-up:
+
+    cuts(PI)  = { {PI} }
+    cuts(v)   = { {v} }  ∪  { merge(c1, ..., cm) : ci ∈ cuts(fanin_i),
+                              |merge| <= K }
+
+This module provides that enumeration (with the standard dominance
+pruning and an optional per-node cap, i.e. *priority cuts*), plus two
+consumers:
+
+* :func:`min_depth_by_cuts` — depth-optimal labels computed from the cut
+  sets; used by the test suite as an independent oracle for FlowMap;
+* :func:`area_flow_cuts` — the classical area-flow heuristic for
+  area-oriented cut selection, the substrate of
+  :func:`repro.comb.areamap.area_flow_map`.
+
+Cut enumeration is exponential in the worst case; the cap bounds it in
+the priority-cuts style (Mishchenko et al.), at the cost of optimality
+when the cap bites.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.netlist.graph import NodeKind, SeqCircuit
+
+Cut = FrozenSet[int]
+
+
+def _merge(
+    parts: List[List[Cut]], k: int, cap: Optional[int]
+) -> List[Cut]:
+    """Cross-product merge of fanin cut sets, K-bounded and deduplicated."""
+    acc: List[Cut] = [frozenset()]
+    for cuts in parts:
+        nxt: List[Cut] = []
+        seen = set()
+        for base in acc:
+            for cut in cuts:
+                merged = base | cut
+                if len(merged) > k or merged in seen:
+                    continue
+                seen.add(merged)
+                nxt.append(merged)
+        acc = nxt
+        if cap is not None and len(acc) > 4 * cap:
+            acc.sort(key=len)
+            acc = acc[: 4 * cap]
+    return acc
+
+
+def _prune_dominated(cuts: List[Cut]) -> List[Cut]:
+    """Drop cuts that are supersets of another cut (dominance)."""
+    cuts = sorted(set(cuts), key=len)
+    kept: List[Cut] = []
+    for cut in cuts:
+        if not any(other <= cut for other in kept):
+            kept.append(cut)
+    return kept
+
+
+def enumerate_cuts(
+    circuit: SeqCircuit,
+    k: int,
+    cap: Optional[int] = 64,
+) -> Dict[int, List[Cut]]:
+    """All (or the ``cap`` best-by-size) K-feasible cuts per node.
+
+    Only zero-weight edges are traversed: the circuit must be
+    combinational.  Each node's list includes its trivial cut ``{v}``
+    (PIs have only that).
+    """
+    for *_e, w in circuit.edges():
+        if w != 0:
+            raise ValueError("cut enumeration requires a combinational circuit")
+    cuts: Dict[int, List[Cut]] = {}
+    for v in circuit.comb_topo_order():
+        kind = circuit.kind(v)
+        if kind is NodeKind.PI:
+            cuts[v] = [frozenset([v])]
+            continue
+        if kind is NodeKind.PO:
+            continue
+        fanin_cuts = [cuts[p.src] for p in circuit.fanins(v)]
+        merged = _merge(fanin_cuts, k, cap) if fanin_cuts else [frozenset()]
+        merged = _prune_dominated(merged)
+        if cap is not None and len(merged) > cap:
+            merged = merged[:cap]
+        result = [frozenset([v])]
+        for cut in merged:
+            if cut != frozenset([v]):
+                result.append(cut)
+        cuts[v] = result
+    return cuts
+
+
+def min_depth_by_cuts(
+    circuit: SeqCircuit, k: int, cap: Optional[int] = None
+) -> Dict[int, int]:
+    """Depth-optimal labels by dynamic programming over enumerated cuts.
+
+    With ``cap=None`` (full enumeration) this equals FlowMap's optimum;
+    the test suite uses it as an independent oracle.
+    """
+    all_cuts = enumerate_cuts(circuit, k, cap)
+    depth: Dict[int, int] = {}
+    for v in circuit.comb_topo_order():
+        kind = circuit.kind(v)
+        if kind is NodeKind.PI:
+            depth[v] = 0
+            continue
+        if kind is NodeKind.PO:
+            depth[v] = depth[circuit.fanins(v)[0].src]
+            continue
+        best = None
+        for cut in all_cuts[v]:
+            if cut == frozenset([v]):
+                continue
+            height = max((depth[u] for u in cut), default=0)
+            best = height + 1 if best is None else min(best, height + 1)
+        if best is None:  # constant generator
+            best = 1
+        depth[v] = best
+    return depth
+
+
+def area_flow_cuts(
+    circuit: SeqCircuit, k: int, cap: Optional[int] = 24
+) -> Dict[int, Cut]:
+    """Pick one cut per node minimizing *area flow*.
+
+    Area flow estimates shared area: ``af(v) = (1 + sum af(u)/fanouts(u))
+    over the cut leaves``; choosing the minimum per node approximates
+    minimum-area mapping (ties broken toward smaller depth, then smaller
+    cuts).  Returns the chosen cut per gate.
+    """
+    all_cuts = enumerate_cuts(circuit, k, cap)
+    depth = min_depth_by_cuts(circuit, k, cap)
+    area_flow: Dict[int, float] = {}
+    chosen: Dict[int, Cut] = {}
+    for v in circuit.comb_topo_order():
+        kind = circuit.kind(v)
+        if kind is NodeKind.PI:
+            area_flow[v] = 0.0
+            continue
+        if kind is NodeKind.PO:
+            continue
+        best_key = None
+        best_cut = None
+        for cut in all_cuts[v]:
+            if cut == frozenset([v]):
+                continue
+            flow = 1.0
+            height = 0
+            for u in cut:
+                fanout = max(1, len(circuit.fanouts(u)))
+                flow += area_flow[u] / fanout
+                height = max(height, depth[u])
+            key = (flow, height + 1, len(cut))
+            if best_key is None or key < best_key:
+                best_key = key
+                best_cut = cut
+        if best_cut is None:  # constant generator
+            best_cut = frozenset()
+            best_key = (1.0, 1, 0)
+        area_flow[v] = best_key[0]
+        chosen[v] = best_cut
+    return chosen

@@ -1,0 +1,172 @@
+"""FlowMap: depth-optimal K-LUT technology mapping for combinational DAGs.
+
+Implements Cong-Ding [6].  For every node ``v`` in topological order the
+label ``l(v)`` — the minimum LUT depth of any mapping of the fan-in cone of
+``v`` — is computed by one bounded max-flow query: with
+``L = max(l(fanin))``, ``l(v) = L`` iff the cone has a K-feasible cut whose
+cut nodes all have labels ``<= L - 1``, which holds iff the max flow
+through the node-split cone network (nodes labelled ``L`` collapsed into
+the sink) is at most ``K``; otherwise ``l(v) = L + 1``.  Mapping generation
+walks the recorded cuts from the POs, realizing one LUT per needed node
+with its exact cone function.
+
+The returned mapping is depth-optimal; this module is both the
+combinational baseline of the paper's FlowSYN-s flow and the substrate
+FlowSYN builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.comb.cone import cone_function, fanin_cone
+from repro.comb.maxflow import SplitNetwork
+from repro.netlist.graph import NodeKind, SeqCircuit
+from repro.netlist.validate import ensure_mappable
+
+
+@dataclass
+class CombMapping:
+    """Result of a combinational mapping run."""
+
+    mapped: SeqCircuit
+    depth: int
+    labels: Dict[int, int]
+    #: per-gate chosen cut (LUT input nodes in the *subject* circuit)
+    cuts: Dict[int, Tuple[int, ...]]
+
+    @property
+    def n_luts(self) -> int:
+        return self.mapped.n_gates
+
+
+def _check_combinational(circuit: SeqCircuit) -> None:
+    for _src, _dst, weight in circuit.edges():
+        if weight != 0:
+            raise ValueError(
+                "flowmap requires a combinational circuit; "
+                "cut sequential circuits at their registers first"
+            )
+
+
+def compute_labels(
+    circuit: SeqCircuit, k: int
+) -> Tuple[Dict[int, int], Dict[int, Tuple[int, ...]]]:
+    """FlowMap labels and height-minimal cuts for every gate.
+
+    Returns ``(labels, cuts)``; PIs have label 0 and no cut.  ``cuts[v]``
+    lists the LUT inputs realizing ``l(v)``.
+    """
+    _check_combinational(circuit)
+    ensure_mappable(circuit, k)
+    labels: Dict[int, int] = {}
+    cuts: Dict[int, Tuple[int, ...]] = {}
+    order = circuit.comb_topo_order()
+    for v in order:
+        kind = circuit.kind(v)
+        if kind is NodeKind.PI:
+            labels[v] = 0
+            continue
+        if kind is NodeKind.PO:
+            labels[v] = labels[circuit.fanins(v)[0].src]
+            continue
+        fanins = circuit.fanins(v)
+        if not fanins:  # constant generator: one LUT at depth 1
+            labels[v] = 1
+            cuts[v] = ()
+            continue
+        big_l = max(labels[p.src] for p in fanins)
+        cut = _find_cut(circuit, v, labels, big_l, k)
+        if cut is not None:
+            labels[v] = big_l
+            cuts[v] = cut
+        else:
+            labels[v] = big_l + 1
+            cuts[v] = tuple(dict.fromkeys(p.src for p in fanins))
+    return labels, cuts
+
+
+def _find_cut(
+    circuit: SeqCircuit,
+    v: int,
+    labels: Dict[int, int],
+    big_l: int,
+    k: int,
+) -> Optional[Tuple[int, ...]]:
+    """A K-feasible cut of height ``<= big_l - 1`` for ``v``, or ``None``."""
+    cone = fanin_cone(circuit, v)
+    net = SplitNetwork()
+    sink_side = {u for u in cone if u == v or labels[u] == big_l}
+    for u in cone:
+        net.add_dag_node(u, cuttable=u not in sink_side)
+    for u in cone:
+        for pin in circuit.fanins(u):
+            if pin.src in cone:
+                net.add_dag_edge(pin.src, u)
+        if circuit.kind(u) is NodeKind.PI:
+            net.attach_source(u)
+    for u in sink_side:
+        net.attach_sink(u)
+    if net.max_flow(k) > k:
+        return None
+    return tuple(sorted(net.cut_nodes()))
+
+
+def generate_mapping(
+    circuit: SeqCircuit,
+    labels: Dict[int, int],
+    cuts: Dict[int, Tuple[int, ...]],
+    name: Optional[str] = None,
+) -> SeqCircuit:
+    """Materialize the LUT network selected by ``cuts``.
+
+    Every needed gate becomes one LUT whose function is the exact cone
+    function between its cut and itself; PIs pass through; POs reconnect
+    to their drivers' LUTs.
+    """
+    needed: List[int] = []
+    seen = set()
+    for po in circuit.pos:
+        src = circuit.fanins(po)[0].src
+        if circuit.kind(src) is NodeKind.GATE and src not in seen:
+            seen.add(src)
+            needed.append(src)
+    idx = 0
+    while idx < len(needed):
+        v = needed[idx]
+        idx += 1
+        for u in cuts[v]:
+            if circuit.kind(u) is NodeKind.GATE and u not in seen:
+                seen.add(u)
+                needed.append(u)
+
+    mapped = SeqCircuit(name or f"{circuit.name}_lut")
+    new_id: Dict[int, int] = {}
+    for pi in circuit.pis:
+        new_id[pi] = mapped.add_pi(circuit.name_of(pi))
+    # Create LUTs bottom-up: order needed gates by label then topo position.
+    order_pos = {nid: i for i, nid in enumerate(circuit.comb_topo_order())}
+    for v in sorted(needed, key=lambda nid: order_pos[nid]):
+        cut = cuts[v]
+        func = cone_function(circuit, v, list(cut))
+        new_id[v] = mapped.add_gate(
+            circuit.name_of(v), func, [(new_id[u], 0) for u in cut]
+        )
+    for po in circuit.pos:
+        pin = circuit.fanins(po)[0]
+        mapped.add_po(circuit.name_of(po), new_id[pin.src], pin.weight)
+    mapped.check()
+    return mapped
+
+
+def flowmap(circuit: SeqCircuit, k: int = 5, name: Optional[str] = None) -> CombMapping:
+    """Depth-optimal K-LUT mapping of a combinational circuit."""
+    labels, cuts = compute_labels(circuit, k)
+    mapped = generate_mapping(circuit, labels, cuts, name)
+    return CombMapping(
+        mapped=mapped,
+        depth=mapped.clock_period(),
+        labels=labels,
+        cuts=cuts,
+    )

@@ -1,0 +1,211 @@
+"""FlowSYN: combinational LUT mapping beyond the depth limit of FlowMap.
+
+Implements the resynthesis idea of Cong-Ding [5]: when FlowMap's label
+computation finds no K-feasible cut of height ``L - 1`` for node ``v``
+(which would force ``l(v) = L + 1``), FlowSYN looks for *wider* min-cuts —
+up to ``Cmax`` nodes — of the same or lower height, composes the exact
+cone function, and tries to realize it as a tree of K-LUTs through
+OBDD/Roth-Karp functional decomposition whose root still achieves depth
+``L``.  Inputs are sorted by increasing label so the latest-arriving
+signals stay near the root (paper Section 3.3).
+
+This module is the combinational engine reused by the FlowSYN-s baseline
+of the paper's Table 1 (:mod:`repro.core.flowsyn_s`); the sequential
+variant used inside TurboSYN lives in :mod:`repro.core.seqdecomp`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.boolfn.decompose import LutTree, synthesize_lut_tree
+from repro.comb.cone import cone_function, fanin_cone
+from repro.comb.flowmap import CombMapping, _find_cut
+from repro.comb.maxflow import SplitNetwork
+from repro.netlist.graph import NodeKind, SeqCircuit
+from repro.netlist.validate import ensure_mappable
+
+#: The paper bounds resynthesis cuts to 15 inputs ("which is set to be 15
+#: in TurboSYN").
+DEFAULT_CMAX = 15
+
+
+@dataclass(frozen=True)
+class Resynthesis:
+    """A recorded resynthesis: cut nodes and the LUT tree over them."""
+
+    cut: Tuple[int, ...]
+    tree: LutTree
+
+
+def compute_labels_resyn(
+    circuit: SeqCircuit, k: int, cmax: int = DEFAULT_CMAX
+) -> Tuple[Dict[int, int], Dict[int, Tuple[int, ...]], Dict[int, Resynthesis]]:
+    """FlowSYN labels: FlowMap labels improved by functional decomposition.
+
+    Returns ``(labels, cuts, resyn)``.  Nodes in ``resyn`` achieve their
+    label through a decomposition tree instead of a single cut.
+    """
+    ensure_mappable(circuit, k)
+    labels: Dict[int, int] = {}
+    cuts: Dict[int, Tuple[int, ...]] = {}
+    resyn: Dict[int, Resynthesis] = {}
+    for v in circuit.comb_topo_order():
+        kind = circuit.kind(v)
+        if kind is NodeKind.PI:
+            labels[v] = 0
+            continue
+        if kind is NodeKind.PO:
+            labels[v] = labels[circuit.fanins(v)[0].src]
+            continue
+        fanins = circuit.fanins(v)
+        if not fanins:
+            labels[v] = 1
+            cuts[v] = ()
+            continue
+        big_l = max(labels[p.src] for p in fanins)
+        cut = _find_cut(circuit, v, labels, big_l, k)
+        if cut is not None:
+            labels[v] = big_l
+            cuts[v] = cut
+            continue
+        entry = _try_resynthesis(circuit, v, labels, big_l, k, cmax)
+        if entry is not None:
+            labels[v] = big_l
+            resyn[v] = entry
+        else:
+            labels[v] = big_l + 1
+            cuts[v] = tuple(dict.fromkeys(p.src for p in fanins))
+    return labels, cuts, resyn
+
+
+def _min_cut_below(
+    circuit: SeqCircuit,
+    v: int,
+    labels: Dict[int, int],
+    max_label: int,
+    cmax: int,
+) -> Optional[Tuple[int, ...]]:
+    """A min-cut for ``v`` whose nodes all have ``label <= max_label``.
+
+    Returns ``None`` when no such cut of at most ``cmax`` nodes exists.
+    """
+    if max_label < 0:
+        return None
+    cone = fanin_cone(circuit, v)
+    net = SplitNetwork()
+    sink_side = {u for u in cone if u == v or labels[u] > max_label}
+    if any(circuit.kind(u) is NodeKind.PI for u in sink_side):
+        return None  # a PI would have to be inside the LUT: impossible
+    for u in cone:
+        net.add_dag_node(u, cuttable=u not in sink_side)
+    for u in cone:
+        for pin in circuit.fanins(u):
+            if pin.src in cone:
+                net.add_dag_edge(pin.src, u)
+        if circuit.kind(u) is NodeKind.PI:
+            net.attach_source(u)
+    for u in sink_side:
+        net.attach_sink(u)
+    if net.max_flow(cmax) > cmax:
+        return None
+    return tuple(sorted(net.cut_nodes()))
+
+
+def _try_resynthesis(
+    circuit: SeqCircuit,
+    v: int,
+    labels: Dict[int, int],
+    big_l: int,
+    k: int,
+    cmax: int,
+) -> Optional[Resynthesis]:
+    """Paper's resynthesis loop: min-cuts of decreasing height, decompose."""
+    for h in range(big_l):
+        cut = _min_cut_below(circuit, v, labels, big_l - 1 - h, cmax)
+        if cut is None:
+            return None  # deeper cuts only grow; stop
+        func = cone_function(circuit, v, list(cut))
+        arrival = [labels[u] for u in cut]
+        tree = synthesize_lut_tree(func, arrival, k, deadline=big_l)
+        if tree is not None:
+            return Resynthesis(cut, tree)
+    return None
+
+
+def generate_mapping_resyn(
+    circuit: SeqCircuit,
+    labels: Dict[int, int],
+    cuts: Dict[int, Tuple[int, ...]],
+    resyn: Dict[int, Resynthesis],
+    name: Optional[str] = None,
+) -> SeqCircuit:
+    """Mapping generation that also materializes decomposition trees."""
+    needed: List[int] = []
+    seen = set()
+
+    def require(src: int) -> None:
+        if circuit.kind(src) is NodeKind.GATE and src not in seen:
+            seen.add(src)
+            needed.append(src)
+
+    for po in circuit.pos:
+        require(circuit.fanins(po)[0].src)
+    idx = 0
+    while idx < len(needed):
+        v = needed[idx]
+        idx += 1
+        inputs = resyn[v].cut if v in resyn else cuts[v]
+        for u in inputs:
+            require(u)
+
+    mapped = SeqCircuit(name or f"{circuit.name}_lut")
+    new_id: Dict[int, int] = {}
+    for pi in circuit.pis:
+        new_id[pi] = mapped.add_pi(circuit.name_of(pi))
+    order_pos = {nid: i for i, nid in enumerate(circuit.comb_topo_order())}
+    for v in sorted(needed, key=lambda nid: order_pos[nid]):
+        if v in resyn:
+            entry = resyn[v]
+            leaf_ids = [new_id[u] for u in entry.cut]
+            refs: List[int] = []
+            base = circuit.name_of(v)
+            for j, lut in enumerate(entry.tree.luts):
+                pins = [
+                    (leaf_ids[r], 0) if r >= 0 else (refs[-1 - r], 0)
+                    for r in lut.inputs
+                ]
+                is_root = j == len(entry.tree.luts) - 1
+                refs.append(
+                    mapped.add_gate(base if is_root else f"{base}~s{j}", lut.func, pins)
+                )
+            new_id[v] = refs[-1]
+        else:
+            cut = cuts[v]
+            func = cone_function(circuit, v, list(cut))
+            new_id[v] = mapped.add_gate(
+                circuit.name_of(v), func, [(new_id[u], 0) for u in cut]
+            )
+    for po in circuit.pos:
+        pin = circuit.fanins(po)[0]
+        mapped.add_po(circuit.name_of(po), new_id[pin.src], pin.weight)
+    mapped.check()
+    return mapped
+
+
+def flowsyn(
+    circuit: SeqCircuit,
+    k: int = 5,
+    cmax: int = DEFAULT_CMAX,
+    name: Optional[str] = None,
+) -> CombMapping:
+    """FlowSYN mapping: FlowMap depth further reduced by resynthesis."""
+    labels, cuts, resyn = compute_labels_resyn(circuit, k, cmax)
+    mapped = generate_mapping_resyn(circuit, labels, cuts, resyn, name)
+    return CombMapping(
+        mapped=mapped,
+        depth=mapped.clock_period(),
+        labels=labels,
+        cuts=cuts,
+    )

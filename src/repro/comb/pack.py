@@ -1,0 +1,234 @@
+"""LUT packing for area recovery (mpack / flow-pack stand-in).
+
+After mapping generation the paper runs ``mpack`` [4] and ``flow-pack``
+[6] to reduce the LUT count.  This module provides the same
+post-processing contract with two passes iterated to a fixed point:
+
+* **duplicate sharing** — LUTs with identical functions and identical
+  (source, weight) fanin lists are merged;
+* **predecessor packing** — a LUT feeding exactly one other LUT through a
+  zero-weight edge is absorbed into its consumer when the union of their
+  inputs still fits ``k`` (the flow-pack move).
+
+Both moves are behaviour-preserving by construction: sharing merges
+syntactically identical nodes; absorption composes the exact functions
+(property-tested in ``tests/comb/test_pack.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.boolfn.truthtable import TruthTable
+from repro.netlist.graph import NodeKind, Pin, SeqCircuit
+
+
+def pack_luts(circuit: SeqCircuit, k: int, name: Optional[str] = None) -> SeqCircuit:
+    """Return an equivalent LUT network with fewer (or equal) LUTs."""
+    current = circuit
+    while True:
+        shared = _share_duplicates(current)
+        packed = _absorb_single_fanout(shared, k)
+        if packed.n_gates == current.n_gates:
+            if name is not None:
+                packed = packed.copy(name)
+            return packed
+        current = packed
+
+
+# ----------------------------------------------------------------------
+# Duplicate sharing
+# ----------------------------------------------------------------------
+def _share_duplicates(circuit: SeqCircuit) -> SeqCircuit:
+    """Merge gates computing the same function of the same sources.
+
+    Keys are P-canonical (function + fanins canonicalized under the same
+    input permutation, :mod:`repro.boolfn.npn`), so ``AND(a, b)`` and
+    ``AND(b, a)`` — or any permuted LUT pair — share; functions too wide
+    for canonical enumeration fall back to the syntactic key.
+    """
+    from repro.boolfn.npn import MAX_NPN_VARS, p_canonical_with_pins
+
+    replacement: Dict[int, int] = {}
+    canonical: Dict[Tuple, int] = {}
+    changed = False
+    for v in circuit.comb_topo_order():
+        if circuit.kind(v) is not NodeKind.GATE:
+            continue
+        node = circuit.node(v)
+        pins = tuple(
+            (replacement.get(p.src, p.src), p.weight) for p in node.fanins
+        )
+        if node.func.n <= MAX_NPN_VARS:
+            key = p_canonical_with_pins(node.func, pins)
+        else:
+            key = (node.func.bits, pins)
+        if key in canonical:
+            replacement[v] = canonical[key]
+            changed = True
+        else:
+            canonical[key] = v
+    if not changed:
+        return circuit
+    return _rebuild(circuit, drop=set(replacement), redirect=replacement)
+
+
+def _rebuild(
+    circuit: SeqCircuit, drop: set, redirect: Dict[int, int]
+) -> SeqCircuit:
+    """Copy ``circuit`` without the ``drop`` gates, rerouting their readers."""
+
+    def target(nid: int) -> int:
+        while nid in redirect:
+            nid = redirect[nid]
+        return nid
+
+    out = SeqCircuit(circuit.name)
+    new_id: Dict[int, int] = {}
+    for nid in circuit.node_ids():
+        node = circuit.node(nid)
+        if node.kind is NodeKind.PI:
+            new_id[nid] = out.add_pi(node.name)
+        elif node.kind is NodeKind.GATE and nid not in drop:
+            new_id[nid] = out.add_gate_placeholder(node.name, node.func)
+    for nid in circuit.node_ids():
+        node = circuit.node(nid)
+        if node.kind is NodeKind.PO:
+            pin = node.fanins[0]
+            out.add_po(node.name, new_id[target(pin.src)], pin.weight)
+        elif node.kind is NodeKind.GATE and nid not in drop:
+            out.set_fanins(
+                new_id[nid],
+                [(new_id[target(p.src)], p.weight) for p in node.fanins],
+            )
+    out.check()
+    return out
+
+
+# ----------------------------------------------------------------------
+# Predecessor absorption (flow-pack move)
+# ----------------------------------------------------------------------
+def _absorb_single_fanout(circuit: SeqCircuit, k: int) -> SeqCircuit:
+    """Absorb single-fanout LUTs into their consumers where inputs fit."""
+    funcs: Dict[int, TruthTable] = {}
+    pins: Dict[int, List[Pin]] = {}
+    for g in circuit.gates:
+        funcs[g] = circuit.func(g)
+        pins[g] = list(circuit.fanins(g))
+    absorbed: set = set()
+
+    for v in reversed(circuit.comb_topo_order()):
+        if circuit.kind(v) is not NodeKind.GATE or v in absorbed:
+            continue
+        outs = circuit.fanouts(v)
+        consumers = {dst for dst, _w in outs}
+        if len(consumers) != 1:
+            continue
+        consumer = next(iter(consumers))
+        if (
+            any(w != 0 for _dst, w in outs)
+            or consumer == v
+            or circuit.kind(consumer) is not NodeKind.GATE
+            or consumer in absorbed
+        ):
+            continue
+        merged = _compose_into(funcs[consumer], pins[consumer], v, funcs[v], pins[v])
+        if merged is None:
+            continue
+        new_func, new_pins = merged
+        if len(new_pins) > k:
+            continue
+        funcs[consumer] = new_func
+        pins[consumer] = new_pins
+        absorbed.add(v)
+
+    if not absorbed:
+        return circuit
+    out = SeqCircuit(circuit.name)
+    new_id: Dict[int, int] = {}
+    for nid in circuit.node_ids():
+        node = circuit.node(nid)
+        if node.kind is NodeKind.PI:
+            new_id[nid] = out.add_pi(node.name)
+        elif node.kind is NodeKind.GATE and nid not in absorbed:
+            new_id[nid] = out.add_gate_placeholder(node.name, funcs[nid])
+    for nid in circuit.node_ids():
+        node = circuit.node(nid)
+        if node.kind is NodeKind.PO:
+            pin = node.fanins[0]
+            out.add_po(node.name, new_id[pin.src], pin.weight)
+        elif node.kind is NodeKind.GATE and nid not in absorbed:
+            out.set_fanins(
+                new_id[nid], [(new_id[p.src], p.weight) for p in pins[nid]]
+            )
+    out.check()
+    return out
+
+
+def _compose_into(
+    consumer_func: TruthTable,
+    consumer_pins: List[Pin],
+    producer: int,
+    producer_func: TruthTable,
+    producer_pins: List[Pin],
+) -> Optional[Tuple[TruthTable, List[Pin]]]:
+    """Substitute the producer LUT into its consumer.
+
+    Returns the merged ``(function, pins)`` with shared sources fused and
+    non-essential inputs pruned, or ``None`` when the producer only feeds
+    the consumer through registered pins (absorbing would retime it).
+    """
+    reads = [
+        i
+        for i, p in enumerate(consumer_pins)
+        if p.src == producer and p.weight == 0
+    ]
+    if not reads:
+        return None
+    if any(p.src == producer and p.weight != 0 for p in consumer_pins):
+        return None
+
+    merged_pins: List[Pin] = []
+    index_of: Dict[Tuple[int, int], int] = {}
+
+    def pin_var(p: Pin) -> int:
+        key = (p.src, p.weight)
+        if key not in index_of:
+            index_of[key] = len(merged_pins)
+            merged_pins.append(p)
+        return index_of[key]
+
+    consumer_map: List[Optional[int]] = [
+        None if i in reads else pin_var(p) for i, p in enumerate(consumer_pins)
+    ]
+    producer_map = [pin_var(p) for p in producer_pins]
+
+    n = len(merged_pins)
+    width = n + 1  # scratch variable n carries the producer output
+    prod = _extend_with_repeats(producer_func, producer_map, width)
+    placement = [n if m is None else m for m in consumer_map]
+    cons = _extend_with_repeats(consumer_func, placement, width)
+    merged = cons.compose(n, prod).remove_var(n)
+
+    shrunk, sup = merged.shrink_to_support()
+    return shrunk, [merged_pins[i] for i in sup]
+
+
+def _extend_with_repeats(
+    func: TruthTable, placement: List[int], width: int
+) -> TruthTable:
+    """``TruthTable.extend`` allowing repeated placement targets.
+
+    Variables mapping to the same target are fused onto the first
+    occurrence before extending (``extend`` itself requires distinct
+    targets).
+    """
+    seen: Dict[int, int] = {}
+    fused = func
+    for i, target in enumerate(placement):
+        if target in seen:
+            fused = fused.compose(i, TruthTable.var(seen[target], fused.n))
+        else:
+            seen[target] = i
+    shrunk, sup = fused.shrink_to_support()
+    return shrunk.extend(width, [placement[i] for i in sup])

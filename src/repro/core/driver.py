@@ -1,0 +1,173 @@
+"""Shared driver: binary search of the minimum feasible clock period.
+
+Implements the skeleton of the paper's Figure 4: obtain an upper bound
+``UB`` on the minimum MDR ratio, binary search integer ``phi`` in
+``[1, UB]`` running the label computation per candidate, then regenerate
+the mapping at the optimum.  Feasibility is monotone in ``phi`` (any
+mapping for ``phi`` is a mapping for ``phi + 1``), which justifies the
+search.
+
+``turbomap`` uses the MDR ratio of the *unmapped* network (the identity
+mapping) as its upper bound; ``turbosyn`` starts from TurboMap's optimum,
+exactly as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.labels import LabelOutcome, LabelSolver, LabelStats, ResynHook
+from repro.core.mapping import generate_mapping
+from repro.core.seqdecomp import DEFAULT_CMAX, find_seq_resynthesis
+from repro.netlist.graph import SeqCircuit
+from repro.netlist.validate import ensure_mappable
+from repro.retime.mdr import min_feasible_period
+
+
+@dataclass
+class SeqMapResult:
+    """Result of a sequential mapping run (TurboMap or TurboSYN)."""
+
+    algorithm: str
+    phi: int  # minimum feasible MDR ratio / clock period found
+    mapped: SeqCircuit
+    labels: List[int]
+    #: label outcome per phi probed during the binary search
+    outcomes: Dict[int, LabelOutcome] = field(default_factory=dict)
+
+    @property
+    def n_luts(self) -> int:
+        return self.mapped.n_gates
+
+    @property
+    def total_stats(self) -> LabelStats:
+        total = LabelStats()
+        for outcome in self.outcomes.values():
+            s = outcome.stats
+            total.rounds += s.rounds
+            total.updates += s.updates
+            total.flow_queries += s.flow_queries
+            total.cache_hits += s.cache_hits
+            total.pld_checks += s.pld_checks
+            total.resyn_calls += s.resyn_calls
+            total.resyn_wins += s.resyn_wins
+        return total
+
+
+def search_min_phi(
+    circuit: SeqCircuit,
+    k: int,
+    upper_bound: int,
+    resynthesize: bool,
+    cmax: int = DEFAULT_CMAX,
+    pld: bool = True,
+    extra_depth: int = 0,
+    io_constrained: bool = False,
+) -> "tuple[int, Dict[int, LabelOutcome]]":
+    """Binary search the minimum feasible integer ``phi``.
+
+    Returns ``(phi_min, outcomes)``; raises ``RuntimeError`` if even the
+    gate count (a trivially sufficient period) is infeasible, which would
+    indicate a solver bug rather than a hard instance.
+    """
+    ensure_mappable(circuit, k)
+    outcomes: Dict[int, LabelOutcome] = {}
+
+    def probe(phi: int) -> bool:
+        hook: Optional[ResynHook] = None
+        if resynthesize:
+
+            def hook(solver: LabelSolver, v: int, big_l: int) -> bool:
+                entry = find_seq_resynthesis(
+                    solver.circuit,
+                    v,
+                    solver.phi,
+                    solver.labels,
+                    big_l,
+                    solver.k,
+                    cmax,
+                    solver.extra_depth,
+                )
+                return entry is not None
+
+        solver = LabelSolver(
+            circuit,
+            k,
+            phi,
+            resyn_hook=hook,
+            pld=pld,
+            extra_depth=extra_depth,
+            io_constrained=io_constrained,
+        )
+        outcome = solver.run()
+        outcomes[phi] = outcome
+        return outcome.feasible
+
+    hi = max(1, upper_bound)
+    ceiling = max(1, circuit.n_gates)
+    if io_constrained:
+        # I/O paths count: the unretimed identity mapping's clock period
+        # is always attainable, so it bounds the search (and the optimum
+        # can exceed the loop-only MDR bound).
+        hi = max(hi, circuit.clock_period())
+        ceiling = max(ceiling, hi)
+    while not probe(hi):
+        if hi >= ceiling:
+            raise RuntimeError(
+                f"{circuit.name}: labels infeasible even at phi={hi}; "
+                "the input may contain a combinational cycle"
+            )
+        hi = min(2 * hi, ceiling)
+    lo = 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if probe(mid):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo, outcomes
+
+
+def run_mapper(
+    circuit: SeqCircuit,
+    k: int,
+    algorithm: str,
+    resynthesize: bool,
+    upper_bound: Optional[int] = None,
+    cmax: int = DEFAULT_CMAX,
+    pld: bool = True,
+    extra_depth: int = 0,
+    io_constrained: bool = False,
+    name: Optional[str] = None,
+) -> SeqMapResult:
+    """Full mapper pipeline: search ``phi``, regenerate the mapping."""
+    ub = upper_bound if upper_bound is not None else min_feasible_period(circuit)
+    phi, outcomes = search_min_phi(
+        circuit,
+        k,
+        ub,
+        resynthesize,
+        cmax=cmax,
+        pld=pld,
+        extra_depth=extra_depth,
+        io_constrained=io_constrained,
+    )
+    labels = outcomes[phi].labels
+    mapped = generate_mapping(
+        circuit,
+        phi,
+        labels,
+        k,
+        cmax=cmax,
+        allow_resyn=resynthesize,
+        extra_depth=extra_depth,
+        name=name,
+    )
+    return SeqMapResult(
+        algorithm=algorithm,
+        phi=phi,
+        mapped=mapped,
+        labels=labels,
+        outcomes=outcomes,
+    )

@@ -1,0 +1,149 @@
+"""FlowSYN-s: the sequential FlowSYN baseline of the paper's Table 1.
+
+The paper compares TurboSYN against "FlowSYN-s", built from the purely
+combinational FlowSYN [5]: *"It first partitions the sequential circuits
+into a set of combinational subcircuits by cutting at all FFs, then maps
+every subcircuit independently with the FlowSYN algorithm, and finally,
+merges the mapped LUT circuits with the original FFs."*  Because the
+partition freezes the register positions during mapping, loops are mapped
+without the freedom of retiming — which is exactly the disadvantage
+TurboSYN's Table 1 quantifies (1.72x higher clock periods on average).
+
+Implementation: registered fanins become pseudo-PIs of the combinational
+view, register drivers become pseudo-POs (forcing a mapped root), the view
+is mapped with :func:`repro.comb.flowsyn.flowsyn`, and the registers are
+re-attached as edge weights between the mapped roots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.comb.flowsyn import flowsyn
+from repro.core.driver import SeqMapResult
+from repro.netlist.graph import NodeKind, SeqCircuit
+from repro.netlist.validate import ensure_mappable
+from repro.retime.mdr import min_feasible_period
+
+_PSEUDO_PI = "{name}@@w{weight}"
+_PSEUDO_PO = "{name}@@root"
+
+
+def split_at_registers(circuit: SeqCircuit) -> SeqCircuit:
+    """The combinational view: registered edges cut into pseudo-PIs/POs."""
+    comb = SeqCircuit(f"{circuit.name}_comb")
+    new_id: Dict[int, int] = {}
+    pseudo_pi: Dict[Tuple[int, int], int] = {}
+    register_drivers = sorted(
+        {
+            pin.src
+            for v in circuit.node_ids()
+            for pin in circuit.fanins(v)
+            if pin.weight > 0
+        }
+    )
+
+    def pseudo_input(src: int, weight: int) -> int:
+        key = (src, weight)
+        if key not in pseudo_pi:
+            name = _PSEUDO_PI.format(name=circuit.name_of(src), weight=weight)
+            pseudo_pi[key] = comb.add_pi(name)
+        return pseudo_pi[key]
+
+    for pi in circuit.pis:
+        new_id[pi] = comb.add_pi(circuit.name_of(pi))
+    for v in circuit.comb_topo_order():
+        node = circuit.node(v)
+        if node.kind is not NodeKind.GATE:
+            continue
+        pins = []
+        for pin in node.fanins:
+            if pin.weight > 0:
+                pins.append((pseudo_input(pin.src, pin.weight), 0))
+            else:
+                pins.append((new_id[pin.src], 0))
+        new_id[v] = comb.add_gate(node.name, node.func, pins)
+    for po in circuit.pos:
+        pin = circuit.fanins(po)[0]
+        if pin.weight > 0:
+            comb.add_po(circuit.name_of(po), pseudo_input(pin.src, pin.weight), 0)
+        else:
+            comb.add_po(circuit.name_of(po), new_id[pin.src], 0)
+    for src in register_drivers:
+        if circuit.kind(src) is NodeKind.GATE:
+            comb.add_po(
+                _PSEUDO_PO.format(name=circuit.name_of(src)), new_id[src], 0
+            )
+    comb.check()
+    return comb
+
+
+def merge_registers(
+    circuit: SeqCircuit, mapped_comb: SeqCircuit, name: str
+) -> SeqCircuit:
+    """Re-attach the original registers to the mapped combinational view."""
+    out = SeqCircuit(name)
+    new_id: Dict[int, int] = {}
+    # Pass 1: nodes (placeholders: register edges may point forward).
+    for v in mapped_comb.node_ids():
+        node = mapped_comb.node(v)
+        if node.kind is NodeKind.PI:
+            if "@@w" not in node.name:
+                new_id[v] = out.add_pi(node.name)
+        elif node.kind is NodeKind.GATE:
+            new_id[v] = out.add_gate_placeholder(node.name, node.func)
+
+    def resolve(mapped_node: int) -> Tuple[int, int]:
+        """Mapped node -> (output node id, register count) in ``out``."""
+        node = mapped_comb.node(mapped_node)
+        if node.kind is NodeKind.PI and "@@w" in node.name:
+            base, _sep, wtext = node.name.rpartition("@@w")
+            # ``base`` is either an original PI (copied verbatim) or a
+            # register-driving gate, whose mapped root kept the name.
+            return out.id_of(base), int(wtext)
+        return new_id[mapped_node], 0
+
+    # Pass 2: wiring.
+    for v in mapped_comb.node_ids():
+        node = mapped_comb.node(v)
+        if node.kind is NodeKind.GATE:
+            pins = []
+            for pin in node.fanins:
+                src, weight = resolve(pin.src)
+                pins.append((src, weight + pin.weight))
+            out.set_fanins(new_id[v], pins)
+        elif node.kind is NodeKind.PO and "@@root" not in node.name:
+            pin = node.fanins[0]
+            src, weight = resolve(pin.src)
+            out.add_po(node.name, src, weight + pin.weight)
+    out.check()
+    return out
+
+
+def flowsyn_s(
+    circuit: SeqCircuit,
+    k: int = 5,
+    cmax: int = 15,
+    name: Optional[str] = None,
+) -> SeqMapResult:
+    """FlowSYN-s mapping; ``result.phi`` is the merged network's MDR bound.
+
+    The reported clock period assumes the same retiming + pipelining
+    post-processing as the other mappers (the paper's Table 1 compares
+    "minimum clock periods (or MDR ratios) under retiming and
+    pipelining").
+    """
+    ensure_mappable(circuit, k)
+    comb = split_at_registers(circuit)
+    mapped_view = flowsyn(comb, k=k, cmax=cmax).mapped
+    merged = merge_registers(
+        circuit, mapped_view, name or f"{circuit.name}_flowsyn_s"
+    )
+    phi = min_feasible_period(merged) if merged.n_gates else 1
+    return SeqMapResult(
+        algorithm="flowsyn-s",
+        phi=phi,
+        mapped=merged,
+        labels=[],
+        outcomes={},
+    )

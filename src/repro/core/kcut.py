@@ -1,0 +1,75 @@
+"""Height-constrained K-feasible cuts on expanded circuits.
+
+The TurboMap label update [11] asks: *does ``E_v`` have a K-feasible cut
+of height at most ``L``?*  Following the paper, the partial expansion
+(copies above the height threshold collapsed into the sink, copies at or
+below it as unit-capacity candidates) turns the question into a bounded
+max-flow: a cut of at most ``K`` nodes exists iff the max flow is at most
+``K``, and the residual min-cut *is* the LUT input set.
+
+The same machinery with the looser bound ``Cmax`` produces the wider
+min-cuts that TurboSYN's sequential functional decomposition resynthesizes
+(:mod:`repro.core.seqdecomp`).
+
+The returned min-cut is the max-volume one (closest to the source), which
+makes each LUT swallow as much logic as possible — the low-cost choice
+the paper uses for area.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.comb.maxflow import SplitNetwork
+from repro.core.expanded import Copy, PartialExpansion, expand_partial
+from repro.netlist.graph import SeqCircuit
+
+
+def find_height_cut(
+    circuit: SeqCircuit,
+    v: int,
+    phi: int,
+    height_of: Callable[[int, int], int],
+    threshold: int,
+    max_cut: int,
+    extra_depth: int = 0,
+) -> Optional[List[Copy]]:
+    """A cut of ``E_v`` with height ``<= threshold`` and at most
+    ``max_cut`` nodes, or ``None``.
+
+    ``height_of(u, w)`` must return ``l(u) - phi*w + 1`` under the current
+    label lower bounds.  The expansion itself certifies height feasibility
+    (every candidate or leaf copy is at or below the threshold); the flow
+    bounds the cut size.  ``extra_depth`` expands through candidate copies
+    below the threshold (see :mod:`repro.core.expanded`).
+    """
+    expansion = expand_partial(
+        circuit, v, phi, height_of, threshold, extra_depth=extra_depth
+    )
+    return cut_on_expansion(expansion, max_cut)
+
+
+def cut_on_expansion(
+    expansion: PartialExpansion, max_cut: int
+) -> Optional[List[Copy]]:
+    """Run the bounded flow on a prepared partial expansion."""
+    if expansion.blocked:
+        return None
+    if not expansion.leaves and not expansion.candidates:
+        return []  # the cone closes on constant generators: zero inputs
+    net = SplitNetwork()
+    for copy in expansion.interior:
+        net.add_dag_node(copy, cuttable=False)
+        net.attach_sink(copy)
+    for copy in expansion.candidates:
+        net.add_dag_node(copy, cuttable=True)
+    for copy in expansion.leaves:
+        net.add_dag_node(copy, cuttable=True)
+        net.attach_source(copy)
+    for child, parent in expansion.edges:
+        net.add_dag_edge(child, parent)
+    if net.max_flow(max_cut) > max_cut:
+        return None
+    cut = net.cut_nodes()
+    cut.sort()
+    return cut

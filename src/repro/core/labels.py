@@ -1,0 +1,269 @@
+"""Iterative label computation for a target clock period (TurboMap core).
+
+For a target integer clock period ``phi``, every node gets a label
+``l(v)`` — intuitively its phi-normalized sequential arrival time in the
+best mapping.  Following TurboMap [11] (and Pan-Liu [19]), labels are
+computed as monotonically increasing lower bounds:
+
+* ``l(PI) = 0`` (fixed); every gate starts at 1;
+* one *update* of gate ``v`` computes ``L(v) = max(l(u) - phi * w(e))``
+  over its fanin edges and raises ``l(v)`` to ``L(v)`` if the expanded
+  circuit ``E_v`` has a K-feasible cut of height ``<= L(v)``, and to
+  ``L(v) + 1`` otherwise; TurboSYN additionally tries sequential
+  functional decomposition before accepting ``L(v) + 1``
+  (:mod:`repro.core.seqdecomp`);
+* updates repeat until a fixpoint.  The target is feasible iff a fixpoint
+  is reached; labels of nodes on *positive loops* (cycles with
+  ``d(C) > phi * w(C)``) grow forever instead.
+
+Two mechanisms bound the iteration, reproducing the paper's Section 4:
+
+* SCCs are processed in topological order (upstream labels freeze first);
+* within an SCC, either the conservative ``n^2`` round bound of [21]
+  (``pld=False``) or the paper's predecessor-graph **positive loop
+  detection** with its ``6n`` round bound (``pld=True``, Theorem 2): after
+  every round the justification graph
+  ``pi[v] = {u : l(u) - phi*w(e) + 1 >= l(v)}`` is built and the SCC is
+  declared infeasible as soon as no member label is *grounded* — justified
+  transitively from outside the SCC (or by the trivial bound
+  ``l(v) <= 1``).
+
+A per-node memo keyed on the labels actually read by the last flow query
+skips unchanged re-checks, which is what makes whole-suite runs practical
+in Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Set
+
+from repro.core.expanded import expand_partial
+from repro.core.kcut import cut_on_expansion
+from repro.core.pld import grounded_members
+from repro.netlist.graph import NodeKind, SeqCircuit
+
+
+@dataclass
+class LabelStats:
+    """Counters describing one feasibility run (used by the PLD bench)."""
+
+    rounds: int = 0
+    updates: int = 0
+    flow_queries: int = 0
+    cache_hits: int = 0
+    pld_checks: int = 0
+    resyn_calls: int = 0
+    resyn_wins: int = 0
+
+
+@dataclass
+class LabelOutcome:
+    """Result of one feasibility run at a fixed ``phi``."""
+
+    feasible: bool
+    labels: List[int]
+    stats: LabelStats
+    #: members of the SCC on which infeasibility was detected (empty when
+    #: feasible).
+    failed_scc: List[int] = field(default_factory=list)
+
+
+#: Signature of a resynthesis hook: ``(solver, v, big_l) -> bool`` — may
+#: consult solver labels; returns True when the node can still make label
+#: ``big_l`` through decomposition.
+ResynHook = Callable[["LabelSolver", int, int], bool]
+
+
+class LabelSolver:
+    """Label computation for one ``(circuit, k, phi)`` query."""
+
+    #: An SCC is declared infeasible once its justification graph stays
+    #: isolated from the outside for this many consecutive changed rounds.
+    #: A genuinely positive loop is isolated forever, so patience costs a
+    #: constant; a converging SCC can look isolated on the single round
+    #: where a zero-gain cycle settles, which patience rides out.
+    PLD_PATIENCE = 3
+
+    def __init__(
+        self,
+        circuit: SeqCircuit,
+        k: int,
+        phi: int,
+        resyn_hook: Optional[ResynHook] = None,
+        pld: bool = True,
+        extra_depth: int = 0,
+        io_constrained: bool = False,
+    ) -> None:
+        if phi < 1:
+            raise ValueError("target clock period must be at least 1")
+        self.circuit = circuit
+        self.k = k
+        self.phi = phi
+        self.resyn_hook = resyn_hook
+        self.pld = pld
+        self.extra_depth = extra_depth
+        #: When True, primary outputs must also meet the period (the
+        #: retiming-only objective of TurboMap/SeqMapII [11, 19]); the
+        #: paper's setting is False — pipelining absorbs I/O paths and
+        #: only loops constrain feasibility.
+        self.io_constrained = io_constrained
+        self.stats = LabelStats()
+        n = len(circuit)
+        self.labels: List[int] = [0] * n
+        for g in circuit.gates:
+            self.labels[g] = 1
+        # Memoization: when a node's label last changed, and per node the
+        # set of nodes its last flow query looked at.
+        self._change_stamp: List[int] = [0] * n
+        self._clock = 0
+        self._check_stamp: List[int] = [-1] * n
+        self._check_l: List[Optional[int]] = [None] * n
+        self._check_result: List[Optional[bool]] = [None] * n
+        self._check_cone: List[Optional[List[int]]] = [None] * n
+
+    # ------------------------------------------------------------------
+    def height_of(self, u: int, w: int) -> int:
+        """Height contribution ``l(u) - phi*w + 1`` of copy ``u^w``."""
+        return self.labels[u] - self.phi * w + 1
+
+    def _has_kcut(self, v: int, threshold: int) -> bool:
+        """Memoized K-cut existence test at the given height threshold."""
+        if (
+            self._check_l[v] == threshold
+            and self._check_cone[v] is not None
+            and all(
+                self._change_stamp[u] <= self._check_stamp[v]
+                for u in self._check_cone[v]
+            )
+        ):
+            self.stats.cache_hits += 1
+            return bool(self._check_result[v])
+        expansion = expand_partial(
+            self.circuit,
+            v,
+            self.phi,
+            self.height_of,
+            threshold,
+            extra_depth=self.extra_depth,
+        )
+        self.stats.flow_queries += 1
+        cut = cut_on_expansion(expansion, self.k)
+        cone_nodes = {v}
+        for u, _w in expansion.interior:
+            cone_nodes.add(u)
+        for u, _w in expansion.candidates:
+            cone_nodes.add(u)
+        for u, _w in expansion.leaves:
+            cone_nodes.add(u)
+        self._check_l[v] = threshold
+        self._check_stamp[v] = self._clock
+        self._check_result[v] = cut is not None
+        self._check_cone[v] = list(cone_nodes)
+        return cut is not None
+
+    def _update(self, v: int) -> bool:
+        """One label update; returns True when ``l(v)`` increased."""
+        self.stats.updates += 1
+        pins = self.circuit.fanins(v)
+        if not pins:
+            return False  # constant generators keep label 1
+        big_l = max(self.labels[p.src] - self.phi * p.weight for p in pins)
+        if big_l < self.labels[v]:
+            return False  # cannot raise the label
+        if self._has_kcut(v, big_l):
+            new = big_l
+        elif self.resyn_hook is not None:
+            self.stats.resyn_calls += 1
+            if self.resyn_hook(self, v, big_l):
+                self.stats.resyn_wins += 1
+                new = big_l
+            else:
+                new = big_l + 1
+        else:
+            new = big_l + 1
+        if new > self.labels[v]:
+            self.labels[v] = new
+            self._clock += 1
+            self._change_stamp[v] = self._clock
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def _grounded(self, members: List[int], member_set: Set[int]) -> bool:
+        """PLD signal: is any SCC label still justified from outside?
+
+        See :mod:`repro.core.pld` for the predecessor-graph construction.
+        """
+        self.stats.pld_checks += 1
+        return bool(
+            grounded_members(self.circuit, self.labels, self.phi, members, member_set)
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> LabelOutcome:
+        """Compute all labels or detect infeasibility."""
+        order_pos = {nid: i for i, nid in enumerate(self.circuit.comb_topo_order())}
+        for component in self.circuit.sccs():
+            members = [
+                v for v in component if self.circuit.kind(v) is NodeKind.GATE
+            ]
+            if not members:
+                continue
+            members.sort(key=lambda nid: order_pos[nid])
+            member_set = set(members)
+            n_scc = len(members)
+            self_looped = any(
+                pin.src in member_set
+                for v in members
+                for pin in self.circuit.fanins(v)
+            )
+            if n_scc == 1 and not self_looped:
+                self.stats.rounds += 1
+                self._update(members[0])
+                continue
+            max_rounds = 6 * n_scc + self.PLD_PATIENCE if self.pld else n_scc * n_scc + 2
+            converged = False
+            isolated_streak = 0
+            for _round in range(max_rounds):
+                self.stats.rounds += 1
+                changed = False
+                for v in members:
+                    if self._update(v):
+                        changed = True
+                if not changed:
+                    converged = True
+                    break
+                if self.pld:
+                    if self._grounded(members, member_set):
+                        isolated_streak = 0
+                    else:
+                        isolated_streak += 1
+                        if isolated_streak >= self.PLD_PATIENCE:
+                            return LabelOutcome(
+                                feasible=False,
+                                labels=self.labels,
+                                stats=self.stats,
+                                failed_scc=members,
+                            )
+            if not converged:
+                return LabelOutcome(
+                    feasible=False,
+                    labels=self.labels,
+                    stats=self.stats,
+                    failed_scc=members,
+                )
+        if self.io_constrained:
+            # Retiming-only feasibility additionally requires every PO's
+            # sequential arrival to fit one period: l(u) - phi*w <= phi
+            # for the PO edge e(u, po) (Pan-Liu [19]).
+            for po in self.circuit.pos:
+                pin = self.circuit.fanins(po)[0]
+                if self.labels[pin.src] - self.phi * pin.weight > self.phi:
+                    return LabelOutcome(
+                        feasible=False,
+                        labels=self.labels,
+                        stats=self.stats,
+                        failed_scc=[po],
+                    )
+        return LabelOutcome(feasible=True, labels=self.labels, stats=self.stats)

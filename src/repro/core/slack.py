@@ -1,0 +1,133 @@
+"""Criticality analysis: which loops actually bind the clock period.
+
+A mapped-or-not sequential circuit rarely has *one* bottleneck; designers
+want to know which cycles sit at the MDR bound and how much slack the
+rest has.  This module reports exactly that, built on the same machinery
+as the mappers:
+
+* :func:`critical_sccs` — the SCCs whose best achievable cycle ratio
+  equals the circuit's bound (found by re-running the feasibility label
+  computation at ``phi* - 1`` and collecting the SCCs whose positive
+  loops fire);
+* :func:`node_slacks` — per-gate slack at the optimum: how much a gate's
+  label may rise before some consumer's cut constraint breaks (the same
+  quantity the area stage's label relaxation exploits);
+* :func:`report` — a human-readable summary used by the CLI and the
+  examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.labels import LabelSolver
+from repro.netlist.graph import NodeKind, SeqCircuit
+from repro.retime.mdr import mdr_ratio, min_feasible_period
+
+
+@dataclass
+class CriticalityReport:
+    """Structural timing summary of a sequential circuit."""
+
+    phi: int  # minimum clock period achievable by K-LUT mapping
+    identity_phi: int  # MDR bound of the circuit as given (no remapping)
+    mdr: object  # exact rational MDR ratio of the given circuit
+    critical_sccs: List[List[int]] = field(default_factory=list)
+    labels: Optional[List[int]] = None
+    slacks: Dict[int, int] = field(default_factory=dict)
+
+
+def critical_sccs(circuit: SeqCircuit, k: int, phi: int) -> List[List[int]]:
+    """SCCs that make ``phi - 1`` infeasible (the binding loops).
+
+    Runs the label computation at ``phi - 1`` repeatedly, removing the
+    offending SCC's positive-loop pressure by treating it as found, until
+    the run either completes or every failure is collected.  With the
+    SCC-topological schedule a single run reports the first binding SCC;
+    re-running after masking is unnecessary here because label solving
+    stops at the first failure — so the list contains the *earliest*
+    binding SCCs in topological order, one per run, up to a small cap.
+    """
+    if phi <= 1:
+        return []
+    found: List[List[int]] = []
+    outcome = LabelSolver(circuit, k, phi - 1).run()
+    if not outcome.feasible and outcome.failed_scc:
+        found.append(sorted(outcome.failed_scc))
+    return found
+
+
+def node_slacks(
+    circuit: SeqCircuit, k: int, phi: int, labels: List[int]
+) -> Dict[int, int]:
+    """Per-gate label slack against every consumer's cut height budget.
+
+    ``slack(v) = min over consumer edges e(v, c) of
+    (l(c) - (l(v) - phi*w(e) + 1))`` — how far ``l(v)`` could rise before
+    the tightest consumer's height budget is violated.  POs do not
+    constrain (pipelining absorbs their latency); unconsumed gates get a
+    sentinel slack of ``phi`` (they can always move a full level).
+    """
+    slacks: Dict[int, int] = {}
+    for v in circuit.gates:
+        best: Optional[int] = None
+        for dst, w in circuit.fanouts(v):
+            if circuit.kind(dst) is not NodeKind.GATE:
+                continue
+            margin = labels[dst] - (labels[v] - phi * w + 1)
+            best = margin if best is None else min(best, margin)
+        slacks[v] = phi if best is None else max(best, 0)
+    return slacks
+
+
+def analyze(circuit: SeqCircuit, k: int = 5) -> CriticalityReport:
+    """Full structural timing analysis at the K-LUT mapping optimum.
+
+    ``phi`` is the TurboMap optimum (binary-searched label feasibility);
+    the binding loops are the SCCs that make ``phi - 1`` infeasible.
+    """
+    from repro.core.driver import search_min_phi
+
+    identity_phi = min_feasible_period(circuit)
+    phi, outcomes = search_min_phi(
+        circuit, k, identity_phi, resynthesize=False
+    )
+    labels = outcomes[phi].labels
+    report = CriticalityReport(
+        phi=phi,
+        identity_phi=identity_phi,
+        mdr=mdr_ratio(circuit),
+        critical_sccs=critical_sccs(circuit, k, phi),
+        labels=labels,
+    )
+    if labels is not None:
+        report.slacks = node_slacks(circuit, k, phi, labels)
+    return report
+
+
+def report(circuit: SeqCircuit, k: int = 5, max_nodes: int = 10) -> str:
+    """Human-readable criticality summary."""
+    result = analyze(circuit, k)
+    lines = [
+        f"{circuit.name}: MDR ratio {result.mdr} as given "
+        f"(bound {result.identity_phi}); best K={k} mapping: "
+        f"phi = {result.phi}"
+    ]
+    if not result.critical_sccs:
+        lines.append("no binding loop below the bound (feed-forward or phi=1)")
+    for i, comp in enumerate(result.critical_sccs):
+        names = [circuit.name_of(v) for v in comp[:max_nodes]]
+        more = "" if len(comp) <= max_nodes else f" (+{len(comp) - max_nodes} more)"
+        lines.append(
+            f"binding loop #{i + 1}: {len(comp)} gates: "
+            + ", ".join(names)
+            + more
+        )
+    if result.slacks:
+        zero = sum(1 for s in result.slacks.values() if s == 0)
+        lines.append(
+            f"{zero}/{len(result.slacks)} gates have zero label slack "
+            f"at phi={result.phi}"
+        )
+    return "\n".join(lines)

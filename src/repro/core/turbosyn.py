@@ -1,0 +1,61 @@
+"""TurboSYN: FPGA synthesis with retiming and pipelining (the paper).
+
+The complete algorithm of Figure 4:
+
+1. run TurboMap to obtain an upper bound ``UB`` of the minimum MDR ratio;
+2. binary search ``phi`` in ``[1, UB]``; each probe runs the label
+   computation with **sequential functional decomposition** — when no
+   K-feasible cut of height ``L(v)`` exists, wider min-cuts (up to
+   ``Cmax = 15`` inputs) of decreasing height are Roth-Karp-decomposed
+   into K-LUT trees whose root still meets the label
+   (:mod:`repro.core.seqdecomp`) — and positive loop detection
+   (:mod:`repro.core.labels`);
+3. regenerate the mapping at the optimum, resynthesizing only the nodes
+   that need it, and leave clock-period realization to pipelining +
+   retiming (:mod:`repro.retime.pipeline`).
+
+Compared to TurboMap the clock period drops (the paper reports 1.96x on
+average) at some LUT-count cost, which the area stage
+(:mod:`repro.core.area`, :mod:`repro.comb.pack`) partially recovers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.driver import SeqMapResult, run_mapper
+from repro.core.seqdecomp import DEFAULT_CMAX
+from repro.core.turbomap import turbomap
+from repro.netlist.graph import SeqCircuit
+
+
+def turbosyn(
+    circuit: SeqCircuit,
+    k: int = 5,
+    cmax: int = DEFAULT_CMAX,
+    pld: bool = True,
+    extra_depth: int = 0,
+    upper_bound: Optional[int] = None,
+    name: Optional[str] = None,
+) -> SeqMapResult:
+    """Map ``circuit`` onto K-LUTs minimizing the MDR ratio with
+    sequential functional decomposition.
+
+    ``upper_bound`` defaults to a fresh TurboMap run's optimum, exactly as
+    the paper's Figure 4 prescribes; pass a known value to skip that run.
+    """
+    if upper_bound is None:
+        upper_bound = turbomap(
+            circuit, k, pld=pld, extra_depth=extra_depth
+        ).phi
+    return run_mapper(
+        circuit,
+        k,
+        algorithm="turbosyn",
+        resynthesize=True,
+        upper_bound=upper_bound,
+        cmax=cmax,
+        pld=pld,
+        extra_depth=extra_depth,
+        name=name or f"{circuit.name}_turbosyn",
+    )

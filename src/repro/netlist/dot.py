@@ -1,0 +1,75 @@
+"""Graphviz DOT export for retiming graphs.
+
+Renders the circuit the way the paper draws its figures: gates as boxes,
+PIs/POs as ovals, and registers as edge labels (``w`` slashes on the
+connection).  Optional per-node annotations (labels from the solver,
+retiming lags, ...) go into the node captions, which makes the export a
+handy debugging companion for the label computation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.netlist.graph import NodeKind, SeqCircuit
+
+_SHAPES = {
+    NodeKind.PI: "ellipse",
+    NodeKind.PO: "doubleoctagon",
+    NodeKind.GATE: "box",
+}
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def to_dot(
+    circuit: SeqCircuit,
+    annotate: Optional[Callable[[int], str]] = None,
+    highlight: Optional[Iterable[int]] = None,
+    rankdir: str = "LR",
+) -> str:
+    """Serialize the circuit as a Graphviz digraph.
+
+    ``annotate(node_id)`` may return extra caption text (e.g. a label
+    value); ``highlight`` draws the given nodes filled (e.g. a critical
+    cycle from :func:`repro.retime.mdr.critical_ratio_cycle`).
+    """
+    marked = set(highlight or ())
+    lines = [
+        f"digraph {_quote(circuit.name)} {{",
+        f"  rankdir={rankdir};",
+        "  node [fontsize=10];",
+    ]
+    for v in circuit.node_ids():
+        node = circuit.node(v)
+        caption = node.name
+        if annotate is not None:
+            extra = annotate(v)
+            if extra:
+                caption += f"\\n{extra}"
+        attrs = [f"shape={_SHAPES[node.kind]}", f"label={_quote(caption)}"]
+        if v in marked:
+            attrs.append("style=filled")
+            attrs.append("fillcolor=lightsalmon")
+        lines.append(f"  n{v} [{', '.join(attrs)}];")
+    for src, dst, weight in circuit.edges():
+        attrs = []
+        if weight:
+            attrs.append(f"label={_quote(str(weight))}")
+            attrs.append("style=bold")
+        suffix = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f"  n{src} -> n{dst}{suffix};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def write_dot_file(
+    circuit: SeqCircuit,
+    path: str,
+    annotate: Optional[Callable[[int], str]] = None,
+    highlight: Optional[Iterable[int]] = None,
+) -> None:
+    with open(path, "w") as handle:
+        handle.write(to_dot(circuit, annotate=annotate, highlight=highlight))

@@ -1,0 +1,155 @@
+"""KISS2 finite-state-machine format and the FSM model.
+
+The paper's MCNC test set consists of FSM benchmarks distributed as KISS2
+state-transition tables; the flow encodes them and synthesizes logic.  This
+module provides the :class:`FSM` model and the reader/writer;
+:mod:`repro.bench.fsm` builds gate-level circuits from it.
+
+Format (SIS): header lines ``.i N`` ``.o M`` ``.p P`` ``.s S`` ``.r reset``
+followed by ``P`` transition lines ``<input> <state> <next> <output>``
+where ``<input>`` is an ``N``-character cube over ``{0,1,-}`` and
+``<output>`` is an ``M``-character string over ``{0,1,-}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One row of the state transition table."""
+
+    inputs: str  # cube over {0,1,-}, length = FSM.num_inputs
+    state: str
+    next_state: str
+    outputs: str  # string over {0,1,-}, length = FSM.num_outputs
+
+    def matches(self, input_bits: int, num_inputs: int) -> bool:
+        """True when an input assignment (bit i = input i) matches the cube."""
+        for i, ch in enumerate(self.inputs):
+            bit = (input_bits >> i) & 1
+            if ch == "1" and bit != 1:
+                return False
+            if ch == "0" and bit != 0:
+                return False
+        return True
+
+
+@dataclass
+class FSM:
+    """A Mealy finite state machine (completely or partially specified)."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    transitions: List[Transition] = field(default_factory=list)
+    reset_state: Optional[str] = None
+
+    @property
+    def states(self) -> List[str]:
+        """All state names, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for t in self.transitions:
+            seen.setdefault(t.state)
+            seen.setdefault(t.next_state)
+        return list(seen)
+
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    def add(self, inputs: str, state: str, next_state: str, outputs: str) -> None:
+        if len(inputs) != self.num_inputs or len(outputs) != self.num_outputs:
+            raise ValueError("transition width mismatch")
+        if any(c not in "01-" for c in inputs + outputs):
+            raise ValueError("transition fields must be over {0,1,-}")
+        self.transitions.append(Transition(inputs, state, next_state, outputs))
+
+    def step(self, state: str, input_bits: int) -> Tuple[str, str]:
+        """Simulate one step; returns ``(next_state, output_string)``.
+
+        The first matching transition wins (SIS convention); a missing
+        entry keeps the state and outputs all zeros.
+        """
+        for t in self.transitions:
+            if t.state == state and t.matches(input_bits, self.num_inputs):
+                outs = "".join("1" if c == "1" else "0" for c in t.outputs)
+                return t.next_state, outs
+        return state, "0" * self.num_outputs
+
+    def check(self) -> None:
+        """Validate deterministic single-source rows (overlaps allowed)."""
+        for t in self.transitions:
+            if len(t.inputs) != self.num_inputs:
+                raise ValueError("input cube width mismatch")
+            if len(t.outputs) != self.num_outputs:
+                raise ValueError("output width mismatch")
+
+
+def read_kiss(text: str) -> FSM:
+    """Parse KISS2 text into an :class:`FSM`."""
+    name = "fsm"
+    num_inputs = num_outputs = None
+    reset = None
+    rows: List[Tuple[str, str, str, str]] = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        head = tokens[0]
+        if head == ".i":
+            num_inputs = int(tokens[1])
+        elif head == ".o":
+            num_outputs = int(tokens[1])
+        elif head == ".p" or head == ".s":
+            pass  # informational counts
+        elif head == ".r":
+            reset = tokens[1]
+        elif head == ".model":
+            name = tokens[1] if len(tokens) > 1 else name
+        elif head in (".end", ".e"):
+            break
+        elif head.startswith("."):
+            continue  # unsupported directive
+        else:
+            if len(tokens) != 4:
+                raise ValueError(f"bad KISS transition line: {line!r}")
+            rows.append((tokens[0], tokens[1], tokens[2], tokens[3]))
+    if num_inputs is None or num_outputs is None:
+        raise ValueError("KISS file missing .i or .o header")
+    fsm = FSM(name, num_inputs, num_outputs, reset_state=reset)
+    for inputs, state, nxt, outputs in rows:
+        fsm.add(inputs, state, nxt, outputs)
+    if fsm.reset_state is None and fsm.transitions:
+        fsm.reset_state = fsm.transitions[0].state
+    fsm.check()
+    return fsm
+
+
+def write_kiss(fsm: FSM) -> str:
+    """Serialize an :class:`FSM` to KISS2 text."""
+    lines = [
+        f".i {fsm.num_inputs}",
+        f".o {fsm.num_outputs}",
+        f".p {len(fsm.transitions)}",
+        f".s {fsm.num_states}",
+    ]
+    if fsm.reset_state is not None:
+        lines.append(f".r {fsm.reset_state}")
+    for t in fsm.transitions:
+        lines.append(f"{t.inputs} {t.state} {t.next_state} {t.outputs}")
+    lines.append(".e")
+    return "\n".join(lines) + "\n"
+
+
+def read_kiss_file(path: str) -> FSM:
+    with open(path) as handle:
+        return read_kiss(handle.read())
+
+
+def write_kiss_file(fsm: FSM, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(write_kiss(fsm))

@@ -1,0 +1,152 @@
+"""Circuit statistics and profiles (reporting substrate).
+
+The benchmark tables report GATE/FF counts; users of a mapper want more:
+logic-level distribution, fanin/fanout histograms, register depths, SCC
+structure, and — for mapped networks — the LUT fill and NPN function
+profile.  This module computes them all from the retiming graph; the CLI
+``stats`` command and the examples print them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.netlist.graph import NodeKind, SeqCircuit
+
+
+@dataclass
+class CircuitProfile:
+    """Aggregated structural statistics of a sequential circuit."""
+
+    name: str
+    pis: int
+    pos: int
+    gates: int
+    ffs: int
+    clock_period: int  # combinational depth as placed
+    fanin_histogram: Dict[int, int] = field(default_factory=dict)
+    fanout_histogram: Dict[int, int] = field(default_factory=dict)
+    level_histogram: Dict[int, int] = field(default_factory=dict)
+    weight_histogram: Dict[int, int] = field(default_factory=dict)
+    scc_sizes: List[int] = field(default_factory=list)
+
+    @property
+    def max_fanout(self) -> int:
+        return max(self.fanout_histogram, default=0)
+
+    @property
+    def loop_gates(self) -> int:
+        """Nodes sitting on some cycle.
+
+        ``scc_sizes`` contains only cyclic components (non-trivial SCCs
+        plus genuine self-loops), so the sum is the on-cycle node count.
+        """
+        return sum(self.scc_sizes)
+
+
+def profile(circuit: SeqCircuit) -> CircuitProfile:
+    """Compute the full structural profile."""
+    fanin_hist: Counter = Counter()
+    fanout_hist: Counter = Counter()
+    weight_hist: Counter = Counter()
+    for g in circuit.gates:
+        fanin_hist[len(circuit.fanins(g))] += 1
+    for v in circuit.node_ids():
+        if circuit.kind(v) is not NodeKind.PO:
+            fanout_hist[len(circuit.fanouts(v))] += 1
+    for *_e, w in circuit.edges():
+        weight_hist[w] += 1
+
+    # Combinational level per gate (registered inputs restart at 0).
+    level: Dict[int, int] = {}
+    level_hist: Counter = Counter()
+    for v in circuit.comb_topo_order():
+        node = circuit.node(v)
+        worst = 0
+        for pin in node.fanins:
+            if pin.weight == 0:
+                worst = max(worst, level.get(pin.src, 0))
+        level[v] = worst + node.delay
+        if node.kind is NodeKind.GATE:
+            level_hist[level[v]] += 1
+
+    scc_sizes = sorted(
+        (len(comp) for comp in circuit.sccs() if len(comp) > 1), reverse=True
+    )
+    # Self-loops count as cycles too.
+    for comp in circuit.sccs():
+        if len(comp) == 1:
+            v = comp[0]
+            if any(p.src == v for p in circuit.fanins(v)):
+                scc_sizes.append(1)
+    stats = circuit.stats()
+    return CircuitProfile(
+        name=circuit.name,
+        pis=stats["pis"],
+        pos=stats["pos"],
+        gates=stats["gates"],
+        ffs=stats["ffs"],
+        clock_period=circuit.clock_period(),
+        fanin_histogram=dict(sorted(fanin_hist.items())),
+        fanout_histogram=dict(sorted(fanout_hist.items())),
+        level_histogram=dict(sorted(level_hist.items())),
+        weight_histogram=dict(sorted(weight_hist.items())),
+        scc_sizes=sorted(scc_sizes, reverse=True),
+    )
+
+
+def lut_profile(circuit: SeqCircuit, max_npn_arity: int = 6) -> Dict[str, object]:
+    """Mapping-quality metrics for a LUT network.
+
+    Returns input-fill distribution, average fill, and the number of
+    distinct NPN function classes used (functions wider than
+    ``max_npn_arity`` are counted syntactically).
+    """
+    from repro.boolfn.npn import npn_canonical
+
+    fills: Counter = Counter()
+    classes = set()
+    for g in circuit.gates:
+        func = circuit.func(g)
+        fills[func.n] += 1
+        if func.n <= max_npn_arity:
+            classes.add((func.n, npn_canonical(func).bits))
+        else:
+            classes.add((func.n, func.bits))
+    total = sum(fills.values())
+    avg = (
+        sum(n * count for n, count in fills.items()) / total if total else 0.0
+    )
+    return {
+        "luts": total,
+        "fill_histogram": dict(sorted(fills.items())),
+        "average_inputs": avg,
+        "npn_classes": len(classes),
+    }
+
+
+def render_profile(p: CircuitProfile) -> str:
+    """Human-readable multi-line profile summary."""
+    lines = [
+        f"{p.name}: {p.pis} PI, {p.pos} PO, {p.gates} gates, {p.ffs} FFs, "
+        f"depth {p.clock_period}",
+        f"fanins : {_fmt_hist(p.fanin_histogram)}",
+        f"fanouts: {_fmt_hist(p.fanout_histogram)} (max {p.max_fanout})",
+        f"levels : {_fmt_hist(p.level_histogram)}",
+        f"weights: {_fmt_hist(p.weight_histogram)}",
+    ]
+    if p.scc_sizes:
+        shown = ", ".join(str(s) for s in p.scc_sizes[:8])
+        more = "" if len(p.scc_sizes) <= 8 else f" (+{len(p.scc_sizes) - 8})"
+        lines.append(f"loops  : sizes {shown}{more} ({p.loop_gates} gates on cycles)")
+    else:
+        lines.append("loops  : none (feed-forward)")
+    return "\n".join(lines)
+
+
+def _fmt_hist(hist: Dict[int, int], limit: int = 10) -> str:
+    items = list(hist.items())[:limit]
+    text = " ".join(f"{k}:{v}" for k, v in items)
+    return text + (" ..." if len(hist) > limit else "")

@@ -1,0 +1,67 @@
+"""Structural validation helpers for retiming graphs.
+
+The mapping algorithms assume their input is a *K-bounded* sequential
+circuit (paper Section 2): every gate has at most K fanins, every cycle
+carries at least one register, and the PI/PO discipline of
+:meth:`repro.netlist.graph.SeqCircuit.check` holds.  These helpers give
+precise diagnostics and are used as preconditions throughout the core.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.netlist.graph import NodeKind, SeqCircuit
+
+
+class ValidationError(ValueError):
+    """A structural precondition does not hold."""
+
+
+def ensure_valid(circuit: SeqCircuit) -> None:
+    """Run all structural checks; raise :class:`ValidationError` on failure."""
+    try:
+        circuit.check()
+    except ValueError as exc:
+        raise ValidationError(str(exc)) from exc
+
+
+def ensure_k_bounded(circuit: SeqCircuit, k: int) -> None:
+    """Require every gate to have at most ``k`` fanins."""
+    offenders = [
+        circuit.name_of(g)
+        for g in circuit.gates
+        if len(circuit.fanins(g)) > k
+    ]
+    if offenders:
+        shown = ", ".join(offenders[:5])
+        raise ValidationError(
+            f"{circuit.name}: {len(offenders)} gate(s) exceed {k} fanins "
+            f"(e.g. {shown}); run gate decomposition first"
+        )
+
+
+def ensure_mappable(circuit: SeqCircuit, k: int) -> None:
+    """Full precondition of the mapping core: valid and K-bounded."""
+    ensure_valid(circuit)
+    ensure_k_bounded(circuit, k)
+
+
+def dangling_nodes(circuit: SeqCircuit) -> List[int]:
+    """Gates and PIs from which no PO is reachable (dead logic)."""
+    n = len(circuit)
+    useful = [False] * n
+    stack = list(circuit.pos)
+    for nid in stack:
+        useful[nid] = True
+    while stack:
+        v = stack.pop()
+        for pin in circuit.fanins(v):
+            if not useful[pin.src]:
+                useful[pin.src] = True
+                stack.append(pin.src)
+    return [
+        i
+        for i in circuit.node_ids()
+        if not useful[i] and circuit.kind(i) is not NodeKind.PO
+    ]

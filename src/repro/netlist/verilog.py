@@ -1,0 +1,174 @@
+"""Structural Verilog writer for mapped LUT networks.
+
+Downstream FPGA flows consume netlists, not BLIF alone; this writer emits
+a self-contained synthesizable module per circuit:
+
+* each gate becomes an ``assign`` whose expression is the function's
+  minimized sum-of-products over the fanin wires (LUT semantics without
+  vendor primitives, so the output simulates anywhere);
+* registers are materialized as an always-block shift chain per driver
+  (matching the retiming-graph fanout-sharing semantics of
+  :attr:`repro.netlist.graph.SeqCircuit.n_ffs`), reset to zero by an
+  optional synchronous ``rst`` port;
+* identifiers are sanitized deterministically and uniquely.
+
+The writer is exercised against the Python simulator in
+``tests/netlist/test_verilog.py`` (expression semantics) — no external
+tools are assumed.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.boolfn.sop import minimize_cover
+from repro.netlist.graph import NodeKind, SeqCircuit
+
+_IDENT = re.compile(r"[^A-Za-z0-9_]")
+_KEYWORDS = {
+    "module", "endmodule", "input", "output", "wire", "reg", "assign",
+    "always", "begin", "end", "if", "else", "case", "endcase", "posedge",
+    "negedge", "initial", "not", "and", "or", "xor",
+}
+
+
+class _Namer:
+    """Deterministic, collision-free Verilog identifiers."""
+
+    def __init__(self) -> None:
+        self._taken: Dict[str, int] = {}
+        self._by_node: Dict[int, str] = {}
+
+    def name(self, nid: int, raw: str) -> str:
+        if nid in self._by_node:
+            return self._by_node[nid]
+        base = _IDENT.sub("_", raw) or "n"
+        if base[0].isdigit() or base in _KEYWORDS:
+            base = "n_" + base
+        count = self._taken.get(base, 0)
+        self._taken[base] = count + 1
+        final = base if count == 0 else f"{base}_{count}"
+        self._by_node[nid] = final
+        return final
+
+
+def _expression(circuit: SeqCircuit, gate: int, operand: List[str]) -> str:
+    """Sum-of-products expression of the gate over operand wire names."""
+    func = circuit.func(gate)
+    if func.n == 0:
+        return "1'b1" if func.bits & 1 else "1'b0"
+    if func.bits == 0:
+        return "1'b0"
+    if func.is_const():
+        return "1'b1"
+    cover = minimize_cover(func)
+    terms: List[str] = []
+    for cube in cover.cubes:
+        lits = []
+        for i in range(func.n):
+            ch = cube.literal(i)
+            if ch == "1":
+                lits.append(operand[i])
+            elif ch == "0":
+                lits.append(f"~{operand[i]}")
+        terms.append(" & ".join(lits) if lits else "1'b1")
+    if len(terms) == 1:
+        return terms[0]
+    return " | ".join(f"({t})" for t in terms)
+
+
+def write_verilog(
+    circuit: SeqCircuit,
+    module_name: Optional[str] = None,
+    clock: str = "clk",
+    reset: Optional[str] = "rst",
+) -> str:
+    """Serialize the circuit as one synthesizable Verilog module.
+
+    ``reset=None`` omits the synchronous reset port (registers then have
+    no defined power-up value, exactly like the retiming-graph model).
+    """
+    namer = _Namer()
+    module = _IDENT.sub("_", module_name or circuit.name) or "top"
+
+    # Register chains: per driver, depth = max fanout weight.
+    depth: Dict[int, int] = {}
+    for dst in circuit.node_ids():
+        for pin in circuit.fanins(dst):
+            depth[pin.src] = max(depth.get(pin.src, 0), pin.weight)
+
+    def wire(nid: int) -> str:
+        return namer.name(nid, circuit.name_of(nid))
+
+    def delayed(nid: int, w: int) -> str:
+        return wire(nid) if w == 0 else f"{wire(nid)}_d{w}"
+
+    pis = [wire(p) for p in circuit.pis]
+    pos: List[Tuple[str, str]] = []  # (port, driving expression)
+    for po in circuit.pos:
+        raw = circuit.name_of(po)
+        raw = raw[: -len("@po")] if raw.rstrip("'").endswith("@po") else raw
+        pin = circuit.fanins(po)[0]
+        pos.append((namer.name(po, raw), delayed(pin.src, pin.weight)))
+
+    has_regs = any(d > 0 for d in depth.values())
+    ports = []
+    if has_regs:
+        ports.append(clock)
+        if reset:
+            ports.append(reset)
+    ports += pis + [name for name, _src in pos]
+
+    lines = [f"module {module} ("]
+    lines.append("    " + ",\n    ".join(ports))
+    lines.append(");")
+    if has_regs:
+        lines.append(f"  input {clock};")
+        if reset:
+            lines.append(f"  input {reset};")
+    for p in pis:
+        lines.append(f"  input {p};")
+    for name, _src in pos:
+        lines.append(f"  output {name};")
+
+    for g in circuit.gates:
+        lines.append(f"  wire {wire(g)};")
+    for nid, d in sorted(depth.items()):
+        for w in range(1, d + 1):
+            lines.append(f"  reg {delayed(nid, w)};")
+
+    lines.append("")
+    for g in circuit.gates:
+        operands = [delayed(p.src, p.weight) for p in circuit.fanins(g)]
+        lines.append(f"  assign {wire(g)} = {_expression(circuit, g, operands)};")
+    for name, src in pos:
+        lines.append(f"  assign {name} = {src};")
+
+    if has_regs:
+        lines.append("")
+        lines.append(f"  always @(posedge {clock}) begin")
+        if reset:
+            lines.append(f"    if ({reset}) begin")
+            for nid, d in sorted(depth.items()):
+                for w in range(1, d + 1):
+                    lines.append(f"      {delayed(nid, w)} <= 1'b0;")
+            lines.append("    end else begin")
+        indent = "      " if reset else "    "
+        for nid, d in sorted(depth.items()):
+            for w in range(1, d + 1):
+                lines.append(
+                    f"{indent}{delayed(nid, w)} <= {delayed(nid, w - 1)};"
+                )
+        if reset:
+            lines.append("    end")
+        lines.append("  end")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def write_verilog_file(
+    circuit: SeqCircuit, path: str, **kwargs: object
+) -> None:
+    with open(path, "w") as handle:
+        handle.write(write_verilog(circuit, **kwargs))

@@ -1,0 +1,287 @@
+"""Leiserson-Saxe retiming for unit-delay (LUT) networks.
+
+Retiming moves registers across gates without changing behaviour [16]: a
+retiming is an integer lag ``r(v)`` per node, the retimed weight of edge
+``e(u, v)`` is ``w(e) + r(v) - r(u)``, and the retiming is *legal* when
+every retimed weight is non-negative.  The clock period of the retimed
+circuit is the longest chain of gates between registers.
+
+This module implements the FEAS feasibility algorithm: starting from
+``r = 0``, repeatedly compute combinational arrival times on the retimed
+graph and increment ``r(v)`` for every node whose arrival exceeds the
+target period ``phi``; if violations persist past the iteration bound the
+period is infeasible.  Two modes:
+
+* **pipelined** (the paper's setting): POs may take positive lags, which
+  inserts registers on I/O paths; FEAS increments-only is complete here
+  (any legal solution can be shifted to non-negative gate/PO lags).
+  Combined with the ordinary moves this is exactly "pipelining +
+  retiming", and every period at or above the circuit's ceiled MDR ratio
+  is feasible.
+* **strict** (classical Leiserson-Saxe): PIs and POs keep lag 0 —
+  registers only move, I/O latency is untouched.  Increments-only FEAS is
+  *incomplete* in this mode (registers may have to move backward, needing
+  negative lags), so strict mode solves the exact OPT1 difference
+  constraints over the ``W``/``D`` path matrices with Bellman-Ford.
+  The all-pairs matrices are quadratic; strict mode guards its input size
+  and is meant for the classical demos, not for the mapping flow.
+
+:func:`min_period_retiming` binary-searches the smallest feasible period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.netlist.graph import SeqCircuit
+from repro.retime.mdr import min_feasible_period
+
+
+@dataclass
+class RetimingResult:
+    """A legal retiming achieving ``period``."""
+
+    circuit: SeqCircuit  # the retimed circuit
+    r: List[int]  # lag per node id of the *input* circuit
+    period: int
+    #: extra latency (in cycles) each PO gained relative to the PIs;
+    #: zero everywhere in strict mode.
+    po_lags: Dict[str, int]
+
+
+class RetimingInfeasible(ValueError):
+    """No legal retiming meets the requested period."""
+
+
+class _FeasGraph:
+    """Internal node/edge arrays for the FEAS iteration."""
+
+    def __init__(self, circuit: SeqCircuit) -> None:
+        self.delay = [circuit.node(v).delay for v in circuit.node_ids()]
+        self.edges: List[Tuple[int, int, int]] = list(circuit.edges())
+        self.n = len(self.delay)
+
+    def arrivals(self, r: List[int]) -> Optional[List[int]]:
+        """Arrival times on the retimed graph, or ``None`` if it has a
+        zero-weight cycle (the candidate lags are unusable)."""
+        indeg = [0] * self.n
+        fanouts: List[List[int]] = [[] for _ in range(self.n)]
+        for src, dst, w in self.edges:
+            if w + r[dst] - r[src] <= 0:
+                indeg[dst] += 1
+                fanouts[src].append(dst)
+        order = [v for v in range(self.n) if indeg[v] == 0]
+        head = 0
+        arrival = [0] * self.n
+        while head < len(order):
+            u = order[head]
+            head += 1
+            for v in fanouts[u]:
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    order.append(v)
+        if len(order) != self.n:
+            return None
+        for v in order:
+            arrival[v] = self.delay[v]
+        for u in order:
+            for v in fanouts[u]:
+                arrival[v] = max(arrival[v], arrival[u] + self.delay[v])
+        return arrival
+
+
+def feas(
+    circuit: SeqCircuit,
+    phi: int,
+    allow_pipelining: bool = True,
+    max_rounds: Optional[int] = None,
+) -> Optional[List[int]]:
+    """Lags of a legal retiming with period ``<= phi``, or ``None``.
+
+    Pipelined mode runs the FEAS increment iteration; strict mode solves
+    the exact OPT1 constraint system (see module docstring).
+    """
+    if phi < 1:
+        return None
+    if not allow_pipelining:
+        return _strict_retime(circuit, phi)
+    graph = _FeasGraph(circuit)
+    n = graph.n
+    r = [0] * n
+    rounds = max_rounds if max_rounds is not None else 4 * n + 16
+    for _ in range(rounds):
+        arrival = graph.arrivals(r)
+        if arrival is None:
+            return None  # pragma: no cover - increments keep legality
+        changed = False
+        for v in range(n):
+            # PIs never violate: they have no fanins and zero delay.
+            if arrival[v] > phi:
+                r[v] += 1
+                changed = True
+        # POs must lag at least as much as their driver demands so their
+        # input edge stays non-negative.
+        for po in circuit.pos:
+            pin = circuit.fanins(po)[0]
+            need = r[pin.src] - pin.weight
+            if r[po] < need:
+                r[po] = need
+                changed = True
+        if not changed:
+            break
+    else:
+        return None
+    arrival = graph.arrivals(r)
+    if arrival is None or any(a > phi for a in arrival):
+        return None
+    for src, dst, w in circuit.edges():
+        if w + r[dst] - r[src] < 0:
+            return None  # pragma: no cover - increments preserve legality
+    return r
+
+
+#: Strict retiming builds all-pairs W/D matrices; refuse above this size.
+STRICT_NODE_LIMIT = 1200
+
+
+def _strict_retime(circuit: SeqCircuit, phi: int) -> Optional[List[int]]:
+    """Exact OPT1: difference constraints over the W/D matrices.
+
+    Constraints (Leiserson-Saxe):
+
+    * ``r(u) - r(v) <= w(e)`` for every edge ``e(u, v)`` (legality);
+    * ``r(u) - r(v) <= W(u, v) - 1`` for every pair with ``D(u, v) > phi``;
+    * ``r = 0`` on PIs and POs (no I/O latency change).
+
+    Solved by Bellman-Ford shortest paths; ``None`` on a negative cycle.
+    """
+    n = len(circuit)
+    if n > STRICT_NODE_LIMIT:
+        raise ValueError(
+            f"strict retiming is quadratic and limited to {STRICT_NODE_LIMIT} "
+            f"nodes ({n} given); use pipelined mode for mapped circuits"
+        )
+    big_w, big_d = _wd_matrices(circuit)
+    constraints: List[Tuple[int, int, int]] = []  # r[a] - r[b] <= c
+    for src, dst, w in circuit.edges():
+        constraints.append((src, dst, w))
+    for u in range(n):
+        row_w, row_d = big_w[u], big_d[u]
+        for v in range(n):
+            if u != v and row_d[v] > phi and row_w[v] < (1 << 29):
+                constraints.append((u, v, row_w[v] - 1))
+    # Anchor PIs and POs to lag zero via a reference pseudo-node.
+    ref = n
+    anchored = list(circuit.pis) + list(circuit.pos)
+    for x in anchored:
+        constraints.append((x, ref, 0))
+        constraints.append((ref, x, 0))
+    # Bellman-Ford on the constraint graph: edge b -> a with cost c for
+    # each constraint r[a] - r[b] <= c; potentials are a feasible r.
+    dist = [0] * (n + 1)
+    for _ in range(n + 1):
+        changed = False
+        for a, b, c in constraints:
+            if dist[b] + c < dist[a]:
+                dist[a] = dist[b] + c
+                changed = True
+        if not changed:
+            break
+    else:
+        return None
+    shift = dist[ref]
+    r = [dist[v] - shift for v in range(n)]
+    arrival = _FeasGraph(circuit).arrivals(r)
+    if arrival is None or any(a > phi for a in arrival):
+        return None  # pragma: no cover - OPT1 constraints are exact
+    return r
+
+
+def _wd_matrices(circuit: SeqCircuit) -> Tuple[List[List[int]], List[List[int]]]:
+    """All-pairs ``W`` (min path registers) and ``D`` (max delay at ``W``).
+
+    ``W[u][v]`` is the minimum edge-weight sum over ``u -> v`` paths and
+    ``D[u][v]`` the maximum vertex-delay sum among those minimum-weight
+    paths (delays include both endpoints).  Unreachable pairs hold
+    ``W = INF`` and ``D = -INF``-ish sentinels.
+    """
+    n = len(circuit)
+    inf = 1 << 30
+    fanouts: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+    for src, dst, w in circuit.edges():
+        fanouts[src].append((dst, w))
+    big_w = [[inf] * n for _ in range(n)]
+    big_d = [[-inf] * n for _ in range(n)]
+    for s in range(n):
+        w_row, d_row = big_w[s], big_d[s]
+        w_row[s] = 0
+        d_row[s] = circuit.node(s).delay
+        # Label-correcting relaxation with lexicographic (W, -D) cost.
+        queue = [s]
+        in_queue = [False] * n
+        in_queue[s] = True
+        while queue:
+            u = queue.pop()
+            in_queue[u] = False
+            wu, du = w_row[u], d_row[u]
+            for v, w in fanouts[u]:
+                nw = wu + w
+                nd = du + circuit.node(v).delay
+                if nw < w_row[v] or (nw == w_row[v] and nd > d_row[v]):
+                    w_row[v] = nw
+                    d_row[v] = nd
+                    if not in_queue[v]:
+                        in_queue[v] = True
+                        queue.append(v)
+    return big_w, big_d
+
+
+def retime_for_period(
+    circuit: SeqCircuit, phi: int, allow_pipelining: bool = True
+) -> RetimingResult:
+    """Retime (and pipeline, if allowed) to clock period ``phi``.
+
+    Raises :class:`RetimingInfeasible` when ``phi`` is unattainable.
+    """
+    r = feas(circuit, phi, allow_pipelining)
+    if r is None:
+        raise RetimingInfeasible(
+            f"{circuit.name}: no legal retiming with period {phi}"
+        )
+    retimed = circuit.apply_retiming(r, name=f"{circuit.name}_r{phi}")
+    period = retimed.clock_period()
+    base = min((r[pi] for pi in circuit.pis), default=0)
+    po_lags = {circuit.name_of(po): r[po] - base for po in circuit.pos}
+    return RetimingResult(circuit=retimed, r=r, period=period, po_lags=po_lags)
+
+
+def min_period_retiming(
+    circuit: SeqCircuit, allow_pipelining: bool = True
+) -> RetimingResult:
+    """The smallest-period retiming (pipelined by default).
+
+    With pipelining the optimum equals the ceiled MDR bound and a single
+    FEAS run suffices; in strict mode the optimum is binary-searched
+    between that lower bound and the current clock period.
+    """
+    lower = min_feasible_period(circuit)
+    if allow_pipelining:
+        return retime_for_period(circuit, lower, allow_pipelining=True)
+    lo, hi = lower, max(lower, circuit.clock_period())
+    best: Optional[RetimingResult] = None
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        try:
+            best_mid = retime_for_period(circuit, mid, allow_pipelining=False)
+        except RetimingInfeasible:
+            lo = mid + 1
+            continue
+        best = best_mid
+        hi = mid - 1
+    if best is None:
+        raise RetimingInfeasible(
+            f"{circuit.name}: no strict retiming found up to period "
+            f"{max(lower, circuit.clock_period())}"
+        )
+    return best

@@ -1,0 +1,175 @@
+"""Maximum delay-to-register (MDR) ratio of a sequential circuit.
+
+The paper's Problem 1 minimizes the MDR ratio: the maximum, over all
+directed cycles ``C`` of the retiming graph, of ``d(C) / w(C)`` — total
+gate delay over total register count.  By the retiming/pipelining theory
+of Leiserson-Saxe [16] and Papaefthymiou [22], the clock period of a
+circuit under retiming *and* pipelining is limited only by this quantity;
+with unit gate delays the minimum achievable integer clock period is the
+smallest ``phi`` such that no cycle satisfies ``d(C) > phi * w(C)``.
+
+Core primitive: :func:`has_positive_cycle` — does any cycle have
+``q * d(C) - p * w(C) > 0``?  (i.e. is the MDR ratio ``> p/q``?)  It runs
+a vectorized Bellmann-Ford longest-path relaxation; a cycle of positive
+gain exists iff values keep relaxing after ``|V|`` rounds.
+:func:`min_feasible_period` binary-searches integer ``phi`` and
+:func:`mdr_ratio` recovers the exact rational via denominator-bounded
+approximation.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.netlist.graph import SeqCircuit
+
+
+def _edge_arrays(circuit: SeqCircuit) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """(src, dst, weight, delay-of-dst) arrays over all edges."""
+    src: List[int] = []
+    dst: List[int] = []
+    weight: List[int] = []
+    delay: List[int] = []
+    for s, d, w in circuit.edges():
+        src.append(s)
+        dst.append(d)
+        weight.append(w)
+        delay.append(circuit.node(d).delay)
+    return (
+        np.asarray(src, dtype=np.int64),
+        np.asarray(dst, dtype=np.int64),
+        np.asarray(weight, dtype=np.int64),
+        np.asarray(delay, dtype=np.int64),
+    )
+
+
+def has_positive_cycle(circuit: SeqCircuit, ratio: Fraction) -> bool:
+    """True iff some cycle has ``d(C) / w(C) > ratio``.
+
+    Works on exact integers: with ``ratio = p/q`` the test is whether a
+    cycle of positive total gain exists for edge gains
+    ``q * d(v) - p * w(e)`` (delay attributed to the edge's head).
+    """
+    p, q = ratio.numerator, ratio.denominator
+    src, dst, weight, delay = _edge_arrays(circuit)
+    if len(src) == 0:
+        return False
+    n = len(circuit)
+    # Exact arithmetic: accumulated distances reach ~n * max|gain|; switch
+    # to Python-int (object) arrays when that nears the int64 range.
+    gains = [q * int(d) - p * int(w) for d, w in zip(delay.tolist(), weight.tolist())]
+    bound = max((abs(g) for g in gains), default=0) * (n + 2)
+    if bound < (1 << 62):
+        gain = np.asarray(gains, dtype=np.int64)
+        dist = np.zeros(n, dtype=np.int64)
+    else:
+        gain = np.asarray(gains, dtype=object)
+        dist = np.zeros(n, dtype=object)
+    # Longest-path relaxation from an implicit super-source (dist 0 at all
+    # nodes).  Any positive-gain cycle keeps increasing its nodes forever;
+    # without one, distances stabilize within n rounds.
+    for _ in range(n + 1):
+        candidate = dist[src] + gain
+        new = dist.copy()
+        np.maximum.at(new, dst, candidate)
+        if np.array_equal(new, dist):
+            return False
+        dist = new
+    return True
+
+
+def min_feasible_period(circuit: SeqCircuit) -> int:
+    """Smallest integer ``phi`` with no cycle ``d(C) > phi * w(C)``.
+
+    This is the minimum clock period achievable by LUT-count-preserving
+    retiming plus pipelining (unit delay model).  Raises ``ValueError``
+    when a zero-weight (combinational) cycle exists.
+    """
+    lo, hi = 1, max(1, circuit.n_gates)
+    if has_positive_cycle(circuit, Fraction(hi, 1)):
+        raise ValueError("combinational cycle: MDR ratio is unbounded")
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if has_positive_cycle(circuit, Fraction(mid, 1)):
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def mdr_ratio(circuit: SeqCircuit) -> Fraction:
+    """Exact maximum cycle ratio ``max_C d(C) / w(C)`` (0 when acyclic).
+
+    Binary search over rationals: candidate ratios are fractions with
+    numerator at most the gate count and denominator at most the total
+    register count, so once the search interval is narrower than
+    ``1 / q_max**2`` the unique representable fraction inside it is the
+    answer.
+    """
+    n_delay = circuit.n_gates
+    q_max = max(1, circuit.total_edge_weight)
+    if not has_positive_cycle(circuit, Fraction(0, 1)):
+        return Fraction(0, 1)
+    lo = Fraction(0, 1)  # ratio > lo holds
+    hi = Fraction(n_delay + 1, 1)  # ratio > hi fails
+    min_gap = Fraction(1, 2 * q_max * q_max)
+    while hi - lo > min_gap:
+        mid = (lo + hi) / 2
+        if has_positive_cycle(circuit, mid):
+            lo = mid
+        else:
+            hi = mid
+    # The answer is the unique fraction with denominator <= q_max in
+    # (lo, hi]; limit_denominator on the midpoint finds it.
+    answer = ((lo + hi) / 2).limit_denominator(q_max)
+    if answer <= lo:
+        answer = hi.limit_denominator(q_max)
+    return answer
+
+
+def critical_ratio_cycle(circuit: SeqCircuit) -> Optional[List[int]]:
+    """One cycle achieving the MDR ratio, as a node list (or ``None``).
+
+    Used by diagnostics and the examples; found by running the positive
+    cycle test just below the MDR ratio and extracting a still-relaxing
+    cycle through predecessor tracking.
+    """
+    ratio = mdr_ratio(circuit)
+    if ratio == 0:
+        return None
+    # Test at ratio - epsilon: the critical cycle has positive gain there.
+    eps = Fraction(1, 2 * max(1, circuit.total_edge_weight) ** 2)
+    target = ratio - eps
+    p, q = target.numerator, target.denominator
+    src, dst, weight, delay = _edge_arrays(circuit)
+    gain = q * delay - p * weight
+    n = len(circuit)
+    dist = np.zeros(n, dtype=object)  # exact ints (gains can be huge)
+    pred = np.full(n, -1, dtype=np.int64)
+    edge_count = len(src)
+    last_improved = None
+    for _round in range(n + 1):
+        improved = False
+        for i in range(edge_count):
+            cand = dist[src[i]] + int(gain[i])
+            if cand > dist[dst[i]]:
+                dist[dst[i]] = cand
+                pred[dst[i]] = src[i]
+                improved = True
+                last_improved = dst[i]
+        if not improved:
+            return None  # pragma: no cover - ratio>0 guarantees a cycle
+    # Walk predecessors n steps to land inside a cycle, then extract it.
+    v = last_improved
+    for _ in range(n):
+        v = pred[v]
+    cycle = [v]
+    u = pred[v]
+    while u != v:
+        cycle.append(u)
+        u = pred[u]
+    cycle.reverse()
+    return cycle

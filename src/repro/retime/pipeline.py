@@ -1,0 +1,69 @@
+"""Pipelining + retiming to the MDR-ratio clock-period bound.
+
+Pipelining inserts the same number of registers on the fanout edges of
+every PI and retimes (paper Section 2); its effect is to free the I/O
+paths from the clock-period constraint, leaving only loops — whose bound
+is the MDR ratio [22].  In lag terms, inserting ``L`` pipeline stages is
+``r(PI) = -L``, or equivalently (after normalization) letting POs take
+positive lags, which is exactly the pipelined FEAS mode of
+:mod:`repro.retime.leiserson`.
+
+:func:`pipeline_and_retime` is the post-processing step every mapper in
+this project shares: given a mapped LUT network it produces a circuit
+whose measured clock period equals the integer MDR bound, plus the
+per-output latency introduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.netlist.graph import SeqCircuit
+from repro.retime.leiserson import RetimingResult, retime_for_period
+from repro.retime.mdr import min_feasible_period
+
+
+@dataclass
+class PipelineResult:
+    """A pipelined + retimed circuit achieving the MDR-bound period."""
+
+    circuit: SeqCircuit
+    phi: int  # achieved (and minimal) integer clock period
+    po_lags: Dict[str, int]  # extra cycles of latency per PO
+    retiming: RetimingResult
+
+
+def pipeline_and_retime(
+    circuit: SeqCircuit,
+    phi: Optional[int] = None,
+    minimize_ffs: bool = False,
+) -> PipelineResult:
+    """Retime with pipelining to period ``phi`` (default: the MDR bound).
+
+    ``phi`` below the circuit's MDR bound raises ``ValueError`` — no
+    amount of pipelining beats the loops.  ``minimize_ffs`` runs the
+    register-minimization hill climb of :mod:`repro.retime.regmin` on the
+    FEAS solution (the paper leaves "flipflop minimization ... for
+    retiming [16]").
+    """
+    bound = min_feasible_period(circuit)
+    if phi is None:
+        phi = bound
+    elif phi < bound:
+        raise ValueError(
+            f"period {phi} is below the MDR bound {bound}; "
+            "pipelining cannot break loops"
+        )
+    result = retime_for_period(circuit, phi, allow_pipelining=True)
+    assert result.period <= phi, "FEAS returned an over-period retiming"
+    if minimize_ffs:
+        from repro.retime.regmin import minimize_registers
+
+        result = minimize_registers(circuit, phi, result.r)
+    return PipelineResult(
+        circuit=result.circuit,
+        phi=phi,
+        po_lags=result.po_lags,
+        retiming=result,
+    )

@@ -1,0 +1,130 @@
+"""VCD (value change dump) trace writer for the simulator.
+
+Debugging a mapped/retimed circuit usually means looking at waveforms;
+this module records :class:`repro.verify.simulate.Simulator` runs into
+standard VCD files (one lane) that any waveform viewer opens.
+
+Usage::
+
+    sim = Simulator(circuit, lanes=1)
+    trace = VcdTracer(circuit, signals=["rst", "q_s0", "po0"])
+    for frame in stimulus:
+        outs = sim.step(frame)
+        trace.sample(frame, sim, outs)
+    trace.write("run.vcd")
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.netlist.graph import NodeKind, SeqCircuit
+from repro.verify.simulate import Simulator
+
+_ID_CHARS = "".join(chr(c) for c in range(33, 127))
+
+
+def _short_id(index: int) -> str:
+    out = ""
+    index += 1
+    while index:
+        index, rem = divmod(index - 1, len(_ID_CHARS))
+        out = _ID_CHARS[rem] + out
+    return out
+
+
+class VcdTracer:
+    """Collects per-cycle samples of selected signals and writes VCD."""
+
+    def __init__(
+        self,
+        circuit: SeqCircuit,
+        signals: Optional[Sequence[str]] = None,
+        timescale: str = "1ns",
+        clock_period: int = 2,
+    ) -> None:
+        self.circuit = circuit
+        if signals is None:
+            names = [circuit.name_of(p) for p in circuit.pis] + [
+                circuit.name_of(p) for p in circuit.pos
+            ]
+        else:
+            names = list(signals)
+            for name in names:
+                if name not in circuit:
+                    raise ValueError(f"unknown signal {name!r}")
+        self.names = names
+        self.node_ids = [circuit.id_of(n) for n in names]
+        self.timescale = timescale
+        self.clock_period = clock_period
+        self._samples: List[Dict[str, int]] = []
+
+    def sample(
+        self,
+        pi_frame: Dict[int, int],
+        sim: Simulator,
+        outputs: Dict[int, int],
+    ) -> None:
+        """Record one cycle (lane 0 of each watched signal)."""
+        row: Dict[str, int] = {}
+        for name, nid in zip(self.names, self.node_ids):
+            kind = self.circuit.kind(nid)
+            if kind is NodeKind.PI:
+                value = pi_frame.get(nid, 0)
+            elif nid in outputs:
+                value = outputs[nid]
+            else:
+                # gates: most recent history entry holds this cycle's value
+                hist = sim._hist[nid]
+                value = hist[0] if hist else 0
+            row[name] = value & 1
+        self._samples.append(row)
+
+    def render(self) -> str:
+        lines = [
+            "$date repro trace $end",
+            f"$timescale {self.timescale} $end",
+            f"$scope module {self.circuit.name} $end",
+        ]
+        ids = {name: _short_id(i) for i, name in enumerate(self.names)}
+        clk_id = _short_id(len(self.names))
+        for name in self.names:
+            lines.append(f"$var wire 1 {ids[name]} {name} $end")
+        lines.append(f"$var wire 1 {clk_id} clk $end")
+        lines.append("$upscope $end")
+        lines.append("$enddefinitions $end")
+        previous: Dict[str, Optional[int]] = {n: None for n in self.names}
+        half = max(1, self.clock_period // 2)
+        for t, row in enumerate(self._samples):
+            lines.append(f"#{t * self.clock_period}")
+            lines.append(f"1{clk_id}")
+            for name in self.names:
+                value = row[name]
+                if previous[name] != value:
+                    lines.append(f"{value}{ids[name]}")
+                    previous[name] = value
+            lines.append(f"#{t * self.clock_period + half}")
+            lines.append(f"0{clk_id}")
+        lines.append(f"#{len(self._samples) * self.clock_period}")
+        return "\n".join(lines) + "\n"
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.render())
+
+
+def trace_random_run(
+    circuit: SeqCircuit,
+    cycles: int,
+    seed: int = 0,
+    signals: Optional[Sequence[str]] = None,
+) -> VcdTracer:
+    """Convenience: simulate random stimulus and return the loaded tracer."""
+    from repro.verify.simulate import random_stimulus
+
+    sim = Simulator(circuit, lanes=1)
+    tracer = VcdTracer(circuit, signals=signals)
+    for frame in random_stimulus(circuit, cycles, seed, lanes=1):
+        outs = sim.step(frame)
+        tracer.sample(frame, sim, outs)
+    return tracer

@@ -1,0 +1,174 @@
+"""Ternary (0/1/X) simulation: synchronization from unknown states.
+
+The reset-preamble verification of :mod:`repro.verify.equiv` compares two
+concrete zero-initialized runs; a sharper question is whether a reset
+sequence synchronizes a machine from *every* initial state.  Ternary
+simulation answers it conservatively: start all registers at X (unknown),
+drive the candidate synchronizing input sequence, and propagate
+three-valued values exactly per gate (an output is known iff all
+completions of its unknown inputs agree).  If every register is known
+afterwards, the sequence is a synchronizing sequence — and any two
+implementations of the machine agree from that point on regardless of
+power-up state, which is precisely the property the equivalence flow
+relies on after mapping and retiming.
+
+Conservative means one-sided: X-outputs may be reported for registers
+that are in fact determined (ternary simulation is not complete), so
+``synchronizes`` returning True is a proof, False is "unknown".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.netlist.graph import NodeKind, SeqCircuit
+
+#: Ternary values.
+ZERO, ONE, X = 0, 1, 2
+
+
+def _gate_eval(func, inputs: List[int]) -> int:
+    """Exact ternary evaluation: known iff all completions agree."""
+    unknown = [i for i, v in enumerate(inputs) if v == X]
+    base = 0
+    for i, v in enumerate(inputs):
+        if v == ONE:
+            base |= 1 << i
+    if not unknown:
+        return func.value(base)
+    first: Optional[int] = None
+    for combo in range(1 << len(unknown)):
+        idx = base
+        for j, pos in enumerate(unknown):
+            if (combo >> j) & 1:
+                idx |= 1 << pos
+        value = func.value(idx)
+        if first is None:
+            first = value
+        elif value != first:
+            return X
+    return first if first is not None else X
+
+
+class XSimulator:
+    """Single-lane ternary simulator over the retiming graph."""
+
+    def __init__(self, circuit: SeqCircuit) -> None:
+        self.circuit = circuit
+        self._order = circuit.comb_topo_order()
+        self._depth: List[int] = [0] * len(circuit)
+        for dst in circuit.node_ids():
+            for pin in circuit.fanins(dst):
+                self._depth[pin.src] = max(self._depth[pin.src], pin.weight)
+        self.reset_unknown()
+
+    def reset_unknown(self) -> None:
+        """Every register/history entry becomes X (arbitrary power-up)."""
+        self._hist: List[List[int]] = [
+            [X] * (self._depth[v] + 1) for v in self.circuit.node_ids()
+        ]
+
+    def step(self, pi_values: Dict[int, int]) -> Dict[int, int]:
+        """Advance one cycle with ternary PI values (default X)."""
+        circuit = self.circuit
+        current: List[int] = [X] * len(circuit)
+        outputs: Dict[int, int] = {}
+        for v in self._order:
+            node = circuit.node(v)
+            if node.kind is NodeKind.PI:
+                current[v] = pi_values.get(v, X)
+            elif node.kind is NodeKind.PO:
+                pin = node.fanins[0]
+                value = (
+                    current[pin.src]
+                    if pin.weight == 0
+                    else self._hist[pin.src][pin.weight - 1]
+                )
+                current[v] = value
+                outputs[v] = value
+            else:
+                ins = [
+                    current[pin.src]
+                    if pin.weight == 0
+                    else self._hist[pin.src][pin.weight - 1]
+                    for pin in node.fanins
+                ]
+                current[v] = _gate_eval(node.func, ins)
+        for v in circuit.node_ids():
+            hist = self._hist[v]
+            if hist:
+                hist.insert(0, current[v])
+                hist.pop()
+        return outputs
+
+    def unknown_state_bits(self) -> int:
+        """Number of still-unknown register (history) entries."""
+        total = 0
+        for v in self.circuit.node_ids():
+            depth = self._depth[v]
+            total += sum(1 for entry in self._hist[v][:depth] if entry == X)
+        return total
+
+
+@dataclass
+class SyncReport:
+    """Outcome of a synchronization check."""
+
+    synchronized: bool
+    cycles_used: int
+    unknown_bits: int
+
+
+def synchronizes(
+    circuit: SeqCircuit,
+    frames: Sequence[Dict[str, int]],
+) -> SyncReport:
+    """Does driving ``frames`` (PI name -> 0/1) pin down every register?
+
+    Unlisted PIs stay X each cycle, so a ``True`` result holds for *all*
+    possible data inputs — e.g. ``[{"rst": 1}] * 4`` certifies a 4-cycle
+    reset pulse as a synchronizing sequence.
+    """
+    sim = XSimulator(circuit)
+    used = 0
+    for frame in frames:
+        values = {circuit.id_of(name): v for name, v in frame.items()}
+        sim.step(values)
+        used += 1
+        if sim.unknown_state_bits() == 0:
+            return SyncReport(True, used, 0)
+    remaining = sim.unknown_state_bits()
+    return SyncReport(remaining == 0, used, remaining)
+
+
+def outputs_synchronized(
+    circuit: SeqCircuit,
+    frames: Sequence[Dict[str, int]],
+    probe_cycles: int = 8,
+    probe_inputs: Optional[Sequence[Dict[str, int]]] = None,
+) -> bool:
+    """Are the primary outputs determined after the preamble?
+
+    Weaker than full-state synchronization but exactly what behavioural
+    equivalence needs: residual X state bits are harmless when they can
+    no longer reach an output.  After driving ``frames`` (unlisted PIs
+    X), ``probe_cycles`` further cycles are driven with *known* inputs
+    (all-zero unless ``probe_inputs`` given) and every PO value must be
+    known.  Conservative: a True is a proof.
+    """
+    sim = XSimulator(circuit)
+    for frame in frames:
+        sim.step({circuit.id_of(name): v for name, v in frame.items()})
+    probes = list(probe_inputs or [])
+    while len(probes) < probe_cycles:
+        probes.append({})
+    for frame in probes[:probe_cycles]:
+        values = {pi: ZERO for pi in circuit.pis}
+        values.update(
+            {circuit.id_of(name): v for name, v in frame.items()}
+        )
+        outs = sim.step(values)
+        if any(v == X for v in outs.values()):
+            return False
+    return True

@@ -1,0 +1,198 @@
+"""Tests for the ISCAS-like datapath generators."""
+
+import pytest
+
+from repro.bench.datapath import (
+    accumulator,
+    datapath_circuit,
+    fir_taps,
+    lfsr,
+    ripple_counter,
+)
+from repro.netlist.graph import SeqCircuit
+from repro.verify.simulate import Simulator
+
+
+class TestRippleCounter:
+    def test_counts(self):
+        c = SeqCircuit("cnt")
+        en = c.add_pi("en")
+        bits = ripple_counter(c, "c", 4, (en, 0))
+        for i, b in enumerate(bits):
+            c.add_po(f"b{i}", b)
+        c.check()
+        sim = Simulator(c, lanes=1)
+        values = []
+        for _ in range(10):
+            outs = sim.step({en: 1})
+            values.append(
+                sum(outs[c.id_of(f"b{i}")] << i for i in range(4))
+            )
+        # the PO sees the *next* value; counting starts at 1
+        assert values == [(i + 1) % 16 for i in range(10)]
+
+    def test_enable_holds(self):
+        c = SeqCircuit("cnt")
+        en = c.add_pi("en")
+        bits = ripple_counter(c, "c", 3, (en, 0))
+        c.add_po("b0", bits[0])
+        sim = Simulator(c, lanes=1)
+        sim.step({en: 1})
+        frozen = [sim.step({en: 0})[c.pos[0]] for _ in range(4)]
+        assert frozen == [1, 1, 1, 1]
+
+
+class TestLfsr:
+    def test_period_of_maximal_lfsr(self):
+        # x^3 + x^2 + 1 over stages [2, 1] gives period 7 when seeded...
+        # all-zero state is absorbing for a XOR LFSR, so check instead
+        # that an enabled LFSR stays all-zero from reset (fixed point).
+        c = SeqCircuit("l")
+        en = c.add_pi("en")
+        stages = lfsr(c, "l", 3, [2, 1], (en, 0))
+        c.add_po("o", stages[-1])
+        c.check()
+        sim = Simulator(c, lanes=1)
+        outs = [sim.step({en: 1})[c.pos[0]] for _ in range(8)]
+        assert outs == [0] * 8
+
+    def test_bad_taps(self):
+        c = SeqCircuit("l")
+        en = c.add_pi("en")
+        with pytest.raises(ValueError):
+            lfsr(c, "l", 3, [5], (en, 0))
+
+
+class TestAccumulator:
+    def test_accumulates(self):
+        c = SeqCircuit("acc")
+        xs = [c.add_pi(f"x{i}") for i in range(4)]
+        sums = accumulator(c, "a", 4, [(x, 0) for x in xs])
+        for i, s in enumerate(sums):
+            c.add_po(f"s{i}", s)
+        c.check()
+        sim = Simulator(c, lanes=1)
+        total = 0
+        for addend in [3, 5, 7, 11, 2]:
+            frame = {xs[i]: (addend >> i) & 1 for i in range(4)}
+            outs = sim.step(frame)
+            total = (total + addend) % 16
+            got = sum(outs[c.id_of(f"s{i}")] << i for i in range(4))
+            assert got == total
+
+    def test_width_mismatch(self):
+        c = SeqCircuit("acc")
+        x = c.add_pi("x")
+        with pytest.raises(ValueError):
+            accumulator(c, "a", 2, [(x, 0)])
+
+
+class TestArrayMultiplier:
+    def _build(self, n, m, pipelined):
+        from repro.bench.datapath import array_multiplier
+
+        c = SeqCircuit("mult")
+        a = [c.add_pi(f"a{i}") for i in range(n)]
+        b = [c.add_pi(f"b{i}") for i in range(m)]
+        prod = array_multiplier(
+            c,
+            "m",
+            [(x, 0) for x in a],
+            [(x, 0) for x in b],
+            pipeline_rows=pipelined,
+        )
+        for i, p in enumerate(prod):
+            c.add_po(f"p{i}", p)
+        c.check()
+        return c, a, b
+
+    def _check_products(self, c, a, b, latency, trials=30, seed=2):
+        import numpy as np
+
+        n, m = len(a), len(b)
+        sim = Simulator(c, lanes=1)
+        rng = np.random.default_rng(seed)
+        history = []
+        for t in range(trials):
+            av = int(rng.integers(0, 1 << n))
+            bv = int(rng.integers(0, 1 << m))
+            history.append((av, bv))
+            frame = {a[i]: (av >> i) & 1 for i in range(n)}
+            frame.update({b[i]: (bv >> i) & 1 for i in range(m)})
+            outs = sim.step(frame)
+            if t >= latency:
+                ea, eb = history[t - latency]
+                got = sum(
+                    outs[c.id_of(f"p{i}")] << i for i in range(n + m)
+                )
+                assert got == ea * eb, (t, ea, eb, got)
+
+    def test_combinational_products(self):
+        c, a, b = self._build(4, 4, pipelined=False)
+        assert c.n_ffs == 0
+        self._check_products(c, a, b, latency=0)
+
+    def test_pipelined_products_with_latency(self):
+        c, a, b = self._build(4, 4, pipelined=True)
+        assert c.n_ffs > 0
+        self._check_products(c, a, b, latency=3)
+
+    def test_rectangular_operands(self):
+        c, a, b = self._build(3, 5, pipelined=True)
+        self._check_products(c, a, b, latency=4)
+
+    def test_pipelining_cuts_depth(self):
+        comb, *_ = self._build(4, 4, pipelined=False)
+        piped, *_ = self._build(4, 4, pipelined=True)
+        assert piped.clock_period() < comb.clock_period()
+
+    def test_retiming_on_pipelined_multiplier(self):
+        from repro.core.turbomap import turbomap
+
+        c, a, b = self._build(3, 3, pipelined=True)
+        tm = turbomap(c, k=5)
+        assert tm.phi <= c.clock_period()
+
+    def test_empty_operands_rejected(self):
+        from repro.bench.datapath import array_multiplier
+
+        c = SeqCircuit("bad")
+        x = c.add_pi("x")
+        with pytest.raises(ValueError):
+            array_multiplier(c, "m", [], [(x, 0)])
+
+
+class TestFirTaps:
+    def test_parity_of_window(self):
+        c = SeqCircuit("fir")
+        x = c.add_pi("x")
+        one = c.add_pi("one")  # drive 1 to enable all taps
+        out = fir_taps(c, "f", (x, 0), 3, [(one, 0)] * 3)
+        c.add_po("y", out)
+        c.check()
+        sim = Simulator(c, lanes=1)
+        seq = [1, 0, 1, 1, 0, 1, 0]
+        outs = [sim.step({x: v, one: 1})[c.pos[0]] for v in seq]
+        window = lambda t: seq[t] ^ (seq[t - 1] if t >= 1 else 0) ^ (
+            seq[t - 2] if t >= 2 else 0
+        )
+        assert outs == [window(t) for t in range(len(seq))]
+
+
+class TestDatapathCircuit:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_valid_and_two_bounded(self, seed):
+        c = datapath_circuit("dp", 12, seed=seed, n_blocks=4)
+        c.check()
+        assert c.is_k_bounded(2)
+        assert c.n_gates > 50
+        assert c.n_ffs > 5
+
+    def test_deterministic(self):
+        a = datapath_circuit("dp", 8, seed=3, n_blocks=3)
+        b = datapath_circuit("dp", 8, seed=3, n_blocks=3)
+        assert a.stats() == b.stats()
+
+    def test_has_loops(self):
+        c = datapath_circuit("dp", 8, seed=1, n_blocks=4)
+        assert any(len(comp) > 1 for comp in c.sccs())

@@ -1,0 +1,55 @@
+"""Tests for the Table-1 benchmark suite."""
+
+import pytest
+
+from repro.bench.suite import SUITE, build, build_suite, entry, large_circuit, quick_subset
+
+
+class TestSuiteDefinition:
+    def test_sixteen_entries(self):
+        assert len(SUITE) == 16
+
+    def test_twelve_fsm_four_datapath(self):
+        kinds = [e.kind for e in SUITE]
+        assert kinds.count("fsm") == 12
+        assert kinds.count("datapath") == 4
+
+    def test_paper_names_present(self):
+        names = {e.name for e in SUITE}
+        for expected in ["bbara", "planet", "scf", "styr", "s1423", "s5378"]:
+            assert expected in names
+
+    def test_entry_lookup(self):
+        assert entry("bbara").kind == "fsm"
+        with pytest.raises(KeyError):
+            entry("nonexistent")
+
+
+class TestBuild:
+    def test_deterministic(self):
+        a = build("bbara")
+        b = build("bbara")
+        assert a.stats() == b.stats()
+
+    @pytest.mark.parametrize("name", ["bbara", "dk16", "s838"])
+    def test_valid_circuits(self, name):
+        c = build(name)
+        c.check()
+        assert c.is_k_bounded(2)
+
+    def test_quick_subset_builds(self):
+        circuits = build_suite(quick_subset())
+        assert len(circuits) == 5
+        for c in circuits.values():
+            assert c.n_gates > 50
+
+    def test_fsm_profiles(self):
+        c = build("bbara")
+        assert len(c.pis) == 4
+        assert len(c.pos) == 2
+        assert c.n_ffs == 10  # one-hot: FF count = state count
+
+    def test_large_circuit_scales(self):
+        small = large_circuit(scale=1)
+        big = large_circuit(scale=3)
+        assert big.n_gates > small.n_gates

@@ -1,0 +1,160 @@
+"""Unit and property tests for the ROBDD manager."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.boolfn.bdd import ONE, ZERO, BDD
+from repro.boolfn.truthtable import TruthTable
+
+tables = st.integers(min_value=0, max_value=5).flatmap(
+    lambda n: st.builds(
+        TruthTable,
+        st.just(n),
+        st.integers(min_value=0, max_value=(1 << (1 << n)) - 1),
+    )
+)
+
+
+class TestBasics:
+    def test_terminals(self):
+        bdd = BDD(3)
+        assert bdd.is_terminal(ZERO) and bdd.is_terminal(ONE)
+        assert len(bdd) == 2
+
+    def test_var_node(self):
+        bdd = BDD(2)
+        x = bdd.var_node(0)
+        assert bdd.var_of(x) == 0
+        assert bdd.low(x) == ZERO and bdd.high(x) == ONE
+
+    def test_node_reduction(self):
+        bdd = BDD(2)
+        assert bdd.node(0, ONE, ONE) == ONE
+
+    def test_unique_table_sharing(self):
+        bdd = BDD(2)
+        a = bdd.node(0, ZERO, ONE)
+        b = bdd.node(0, ZERO, ONE)
+        assert a == b
+
+    def test_bad_var(self):
+        bdd = BDD(2)
+        with pytest.raises(ValueError):
+            bdd.node(2, ZERO, ONE)
+
+
+class TestAlgebra:
+    def test_and_or_not(self):
+        bdd = BDD(2)
+        a, b = bdd.var_node(0), bdd.var_node(1)
+        f = bdd.apply_and(a, b)
+        g = bdd.apply_not(bdd.apply_or(bdd.apply_not(a), bdd.apply_not(b)))
+        assert f == g  # De Morgan + canonicity
+
+    def test_xor(self):
+        bdd = BDD(2)
+        a, b = bdd.var_node(0), bdd.var_node(1)
+        f = bdd.apply_xor(a, b)
+        assert bdd.eval(f, [0, 1]) == 1
+        assert bdd.eval(f, [1, 1]) == 0
+
+    def test_ite_terminal_cases(self):
+        bdd = BDD(1)
+        x = bdd.var_node(0)
+        assert bdd.ite(ONE, x, ZERO) == x
+        assert bdd.ite(ZERO, x, ONE) == ONE
+        assert bdd.ite(x, ONE, ZERO) == x
+
+
+class TestConversions:
+    @given(tables)
+    def test_truthtable_roundtrip(self, t):
+        bdd = BDD(max(t.n, 1))
+        f = bdd.from_truthtable(t)
+        assert bdd.to_truthtable(f, t.n) == t
+
+    @given(tables)
+    def test_canonicity(self, t):
+        """Structurally different constructions of equal functions unify."""
+        bdd = BDD(max(t.n, 1))
+        f = bdd.from_truthtable(t)
+        # Rebuild via Shannon expansion on var 0.
+        if t.n == 0:
+            return
+        x = bdd.var_node(0)
+        f1 = bdd.from_truthtable(t.cofactor_keep(0, 1))
+        f0 = bdd.from_truthtable(t.cofactor_keep(0, 0))
+        assert bdd.ite(x, f1, f0) == f
+
+    def test_majority_node_count(self):
+        bdd = BDD(3)
+        maj = TruthTable.from_function(3, lambda a, b, c: a + b + c >= 2)
+        f = bdd.from_truthtable(maj)
+        assert bdd.node_count(f) == 4  # classic: 3 levels, 4 internal nodes
+
+    def test_support(self):
+        bdd = BDD(4)
+        t = TruthTable.var(1, 4) ^ TruthTable.var(3, 4)
+        f = bdd.from_truthtable(t)
+        assert bdd.support(f) == {1, 3}
+
+
+class TestQueries:
+    @given(tables)
+    def test_sat_count_matches_table(self, t):
+        bdd = BDD(max(t.n, 1))
+        f = bdd.from_truthtable(t)
+        expected = t.count_ones() << (max(t.n, 1) - t.n)
+        assert bdd.sat_count(f) == expected
+
+    @given(tables, st.data())
+    def test_restrict_matches_cofactor(self, t, data):
+        if t.n == 0:
+            return
+        i = data.draw(st.integers(min_value=0, max_value=t.n - 1))
+        val = data.draw(st.integers(min_value=0, max_value=1))
+        bdd = BDD(t.n)
+        f = bdd.from_truthtable(t)
+        restricted = bdd.restrict(f, i, val)
+        assert bdd.to_truthtable(restricted, t.n) == t.cofactor_keep(i, val)
+
+    def test_compose(self):
+        bdd = BDD(3)
+        f = bdd.apply_or(bdd.var_node(0), bdd.var_node(2))
+        g = bdd.apply_and(bdd.var_node(1), bdd.var_node(2))
+        h = bdd.compose(f, 0, g)
+        t = bdd.to_truthtable(h, 3)
+        expected = (TruthTable.var(1, 3) & TruthTable.var(2, 3)) | TruthTable.var(
+            2, 3
+        )
+        assert t == expected
+
+    @given(tables)
+    def test_eval_pointwise(self, t):
+        bdd = BDD(max(t.n, 1))
+        f = bdd.from_truthtable(t)
+        for idx in range(min(t.size, 32)):
+            x = [(idx >> j) & 1 for j in range(t.n)] + [0] * (bdd.num_vars - t.n)
+            assert bdd.eval(f, x) == t.value(idx)
+
+
+class TestCutMultiplicity:
+    @given(tables, st.data())
+    def test_matches_truthtable_multiplicity(self, t, data):
+        if t.n < 2:
+            return
+        b = data.draw(st.integers(min_value=1, max_value=t.n - 1))
+        bdd = BDD(t.n)
+        f = bdd.from_truthtable(t)
+        # Bound set = vars 0..b-1, already on top of the manager order.
+        assert bdd.cut_multiplicity(f, b) == t.column_multiplicity(list(range(b)))
+
+    def test_and_chain(self):
+        bdd = BDD(4)
+        t = TruthTable.const(4, True)
+        for i in range(4):
+            t = t & TruthTable.var(i, 4)
+        f = bdd.from_truthtable(t)
+        assert bdd.cut_multiplicity(f, 2) == 2

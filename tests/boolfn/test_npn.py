@@ -1,0 +1,120 @@
+"""Tests for P/NPN canonical forms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolfn.npn import (
+    MAX_NPN_VARS,
+    npn_canonical,
+    npn_classes,
+    p_canonical,
+    p_canonical_with_pins,
+    p_equivalent,
+)
+from repro.boolfn.truthtable import TruthTable
+
+small_tables = st.integers(min_value=1, max_value=4).flatmap(
+    lambda n: st.builds(
+        TruthTable,
+        st.just(n),
+        st.integers(min_value=0, max_value=(1 << (1 << n)) - 1),
+    )
+)
+
+
+class TestPCanonical:
+    def test_permuted_pairs_agree(self):
+        a = TruthTable.var(0, 3) & TruthTable.var(2, 3)
+        b = TruthTable.var(1, 3) & TruthTable.var(0, 3)
+        assert p_canonical(a) == p_canonical(b)
+        assert p_equivalent(a, b)
+
+    def test_different_functions_differ(self):
+        a = TruthTable.var(0, 2) & TruthTable.var(1, 2)
+        b = TruthTable.var(0, 2) | TruthTable.var(1, 2)
+        assert not p_equivalent(a, b)
+
+    @given(small_tables, st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_invariant_under_permutation(self, t, rnd):
+        perm = list(range(t.n))
+        rnd.shuffle(perm)
+        assert p_canonical(t) == p_canonical(t.permute(perm))
+
+    def test_arity_guard(self):
+        with pytest.raises(ValueError):
+            p_canonical(TruthTable.const(MAX_NPN_VARS + 1, True))
+
+    def test_arity_mismatch_not_equivalent(self):
+        assert not p_equivalent(
+            TruthTable.const(2, True), TruthTable.const(3, True)
+        )
+
+
+class TestPCanonicalWithPins:
+    def test_commutative_gate_shares(self):
+        f = TruthTable.var(0, 2) & TruthTable.var(1, 2)
+        key_ab = p_canonical_with_pins(f, [(7, 0), (9, 1)])
+        key_ba = p_canonical_with_pins(f, [(9, 1), (7, 0)])
+        assert key_ab == key_ba
+
+    def test_noncommutative_positions_matter(self):
+        # f = x0 AND NOT x1 is not symmetric: swapping pins changes it.
+        f = TruthTable.from_function(2, lambda a, b: a and not b)
+        key_ab = p_canonical_with_pins(f, [(7, 0), (9, 0)])
+        key_ba = p_canonical_with_pins(f, [(9, 0), (7, 0)])
+        assert key_ab != key_ba
+
+    def test_pin_count_checked(self):
+        f = TruthTable.var(0, 2)
+        with pytest.raises(ValueError):
+            p_canonical_with_pins(f, [(1, 0)])
+
+
+class TestNpnCanonical:
+    def test_and_class_members(self):
+        # AND, NOR-of-negations, etc. share an NPN class with OR.
+        and2 = TruthTable.from_function(2, lambda a, b: a and b)
+        or2 = TruthTable.from_function(2, lambda a, b: a or b)
+        nand2 = ~and2
+        assert npn_canonical(and2) == npn_canonical(or2) == npn_canonical(nand2)
+
+    def test_xor_is_its_own_class(self):
+        xor2 = TruthTable.from_function(2, lambda a, b: a != b)
+        and2 = TruthTable.from_function(2, lambda a, b: a and b)
+        assert npn_canonical(xor2) != npn_canonical(and2)
+
+    @given(small_tables, st.randoms(use_true_random=False), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_invariant_under_npn_moves(self, t, rnd, data):
+        perm = list(range(t.n))
+        rnd.shuffle(perm)
+        variant = t.permute(perm)
+        if data.draw(st.booleans()):
+            variant = ~variant
+        assert npn_canonical(t) == npn_canonical(variant)
+
+    def test_two_input_class_count(self):
+        # All 16 two-input functions fall into exactly 4 NPN classes:
+        # const, projection, AND-type, XOR-type.
+        funcs = [TruthTable(2, bits) for bits in range(16)]
+        assert len(npn_classes(funcs)) == 4
+
+
+class TestPackUsesCanonicalKeys:
+    def test_swapped_fanins_merge(self):
+        from repro.comb.pack import pack_luts
+        from repro.netlist.graph import SeqCircuit
+
+        and2 = TruthTable.from_function(2, lambda a, b: a and b)
+        or2 = TruthTable.from_function(2, lambda a, b: a or b)
+        c = SeqCircuit()
+        a, b = c.add_pi("a"), c.add_pi("b")
+        g1 = c.add_gate("g1", and2, [(a, 0), (b, 0)])
+        g2 = c.add_gate("g2", and2, [(b, 0), (a, 0)])  # swapped pins
+        o = c.add_gate("o", or2, [(g1, 0), (g2, 0)])
+        c.add_po("out", o)
+        packed = pack_luts(c, k=4)
+        assert packed.n_gates == 1  # g1 == g2, then absorbed into o

@@ -1,0 +1,116 @@
+"""Tests for algebraic tree balancing."""
+
+import pytest
+
+from repro.comb.balance import balance_circuit
+from repro.comb.cone import cone_function
+from repro.netlist.graph import SeqCircuit
+from repro.verify.equiv import simulation_equivalent
+from tests.helpers import AND2, OR2, XOR2, random_seq_circuit, xor_chain
+
+
+def and_chain(n, name="andchain"):
+    c = SeqCircuit(name)
+    pis = [c.add_pi(f"x{i}") for i in range(n)]
+    acc = pis[0]
+    for i in range(1, n):
+        acc = c.add_gate(f"g{i}", AND2, [(acc, 0), (pis[i], 0)])
+    c.add_po("out", acc)
+    return c
+
+
+class TestBalanceDepth:
+    def test_chain_becomes_log_depth(self):
+        c = and_chain(16)
+        assert c.clock_period() == 15
+        balanced = balance_circuit(c)
+        assert balanced.clock_period() == 4  # ceil(log2 16)
+
+    def test_xor_chain(self):
+        c = xor_chain(9)
+        balanced = balance_circuit(c)
+        assert balanced.clock_period() == 4  # ceil(log2 9)
+
+    def test_gate_count_preserved(self):
+        c = and_chain(12)
+        balanced = balance_circuit(c)
+        assert balanced.n_gates == c.n_gates  # trees keep n-1 gates
+
+
+class TestBarriers:
+    def test_fanout_point_not_absorbed(self):
+        c = SeqCircuit("fan")
+        pis = [c.add_pi(f"x{i}") for i in range(4)]
+        g1 = c.add_gate("g1", AND2, [(pis[0], 0), (pis[1], 0)])
+        g2 = c.add_gate("g2", AND2, [(g1, 0), (pis[2], 0)])
+        c.add_po("o1", g2)
+        c.add_po("o2", g1)  # g1 observed: must survive
+        balanced = balance_circuit(c)
+        assert "g1" in balanced
+
+    def test_registers_block_chains(self):
+        c = SeqCircuit("reg")
+        pis = [c.add_pi(f"x{i}") for i in range(3)]
+        g1 = c.add_gate("g1", AND2, [(pis[0], 0), (pis[1], 0)])
+        g2 = c.add_gate("g2", AND2, [(g1, 1), (pis[2], 0)])
+        c.add_po("o", g2)
+        balanced = balance_circuit(c)
+        assert balanced.n_ffs == 1
+        assert "g1" in balanced
+
+    def test_mixed_functions_not_merged(self):
+        c = SeqCircuit("mix")
+        pis = [c.add_pi(f"x{i}") for i in range(3)]
+        g1 = c.add_gate("g1", OR2, [(pis[0], 0), (pis[1], 0)])
+        g2 = c.add_gate("g2", AND2, [(g1, 0), (pis[2], 0)])
+        c.add_po("o", g2)
+        balanced = balance_circuit(c)
+        assert balanced.n_gates == 2
+
+
+class TestBehaviour:
+    def test_combinational_function_preserved(self):
+        c = and_chain(10)
+        balanced = balance_circuit(c)
+        root = balanced.fanins(balanced.pos[0])[0].src
+        orig_root = c.fanins(c.pos[0])[0].src
+        assert cone_function(balanced, root, list(balanced.pis)) == cone_function(
+            c, orig_root, list(c.pis)
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sequential_behaviour_preserved(self, seed):
+        c = random_seq_circuit(4, 20, seed=seed, feedback=4)
+        balanced = balance_circuit(c)
+        assert simulation_equivalent(c, balanced, cycles=50, warmup=10, seed=seed)
+
+    def test_depth_hints_respected(self):
+        # leaf x3 declared "late": it must sit adjacent to the root.
+        c = and_chain(8)
+        late = c.id_of("x3")
+        balanced = balance_circuit(c, depths={late: 10})
+        root = balanced.fanins(balanced.pos[0])[0].src
+        direct = {p.src for p in balanced.fanins(root)}
+        assert late in direct
+
+
+class TestMappingInteraction:
+    def test_balance_helps_turbomap_on_chains(self):
+        from repro.core.turbomap import turbomap
+
+        c = SeqCircuit("loopchain")
+        pis = [c.add_pi(f"x{i}") for i in range(8)]
+        g = c.add_gate_placeholder("fb", AND2)
+        acc = (g, 1)
+        mids = []
+        for i in range(8):
+            m = c.add_gate(f"m{i}", AND2, [acc, (pis[i], 0)])
+            mids.append(m)
+            acc = (m, 0)
+        c.set_fanins(g, [acc, acc])
+        c.add_po("o", mids[-1])
+        c.check()
+        plain = turbomap(c, k=5)
+        balanced = balance_circuit(c)
+        helped = turbomap(balanced, k=5)
+        assert helped.phi <= plain.phi

@@ -1,0 +1,93 @@
+"""Tests for cone extraction and cone-function evaluation."""
+
+import pytest
+
+from repro.boolfn.truthtable import TruthTable
+from repro.comb.cone import cluster_between, cone_function, fanin_cone
+from repro.netlist.graph import SeqCircuit
+from tests.helpers import AND2, OR2, XOR2
+
+
+def diamond():
+    c = SeqCircuit()
+    a, b = c.add_pi("a"), c.add_pi("b")
+    l = c.add_gate("l", AND2, [(a, 0), (b, 0)])
+    r = c.add_gate("r", OR2, [(a, 0), (b, 0)])
+    root = c.add_gate("root", XOR2, [(l, 0), (r, 0)])
+    c.add_po("o", root)
+    return c, a, b, l, r, root
+
+
+class TestFaninCone:
+    def test_full_cone(self):
+        c, a, b, l, r, root = diamond()
+        assert fanin_cone(c, root) == {a, b, l, r, root}
+
+    def test_stops_at_registers(self):
+        c = SeqCircuit()
+        a = c.add_pi("a")
+        g1 = c.add_gate("g1", AND2, [(a, 0), (a, 0)])
+        g2 = c.add_gate("g2", AND2, [(g1, 1), (a, 0)])
+        c.add_po("o", g2)
+        assert fanin_cone(c, g2) == {a, g2}
+
+
+class TestClusterBetween:
+    def test_topological_order(self):
+        c, a, b, l, r, root = diamond()
+        order = cluster_between(c, root, [a, b])
+        assert order.index(l) < order.index(root)
+        assert order.index(r) < order.index(root)
+        assert a not in order and b not in order
+
+    def test_cut_at_internal_nodes(self):
+        c, a, b, l, r, root = diamond()
+        assert cluster_between(c, root, [l, r]) == [root]
+
+    def test_uncovered_pi_rejected(self):
+        c, a, b, l, r, root = diamond()
+        with pytest.raises(ValueError):
+            cluster_between(c, root, [l])  # path through r reaches PIs
+
+    def test_root_in_cut_rejected(self):
+        c, *_rest, root = diamond()
+        with pytest.raises(ValueError):
+            cluster_between(c, root, [root])
+
+    def test_registered_edge_rejected(self):
+        c = SeqCircuit()
+        a = c.add_pi("a")
+        g1 = c.add_gate("g1", AND2, [(a, 0), (a, 0)])
+        g2 = c.add_gate("g2", AND2, [(g1, 1), (a, 0)])
+        c.add_po("o", g2)
+        with pytest.raises(ValueError):
+            cluster_between(c, g2, [a, g1])
+
+
+class TestConeFunction:
+    def test_diamond_function(self):
+        c, a, b, l, r, root = diamond()
+        f = cone_function(c, root, [a, b])
+        expected = (TruthTable.var(0, 2) & TruthTable.var(1, 2)) ^ (
+            TruthTable.var(0, 2) | TruthTable.var(1, 2)
+        )
+        assert f == expected
+
+    def test_cut_order_defines_variables(self):
+        c, a, b, l, r, root = diamond()
+        f_ab = cone_function(c, root, [a, b])
+        f_ba = cone_function(c, root, [b, a])
+        assert f_ab == f_ba.permute([1, 0])
+
+    def test_internal_cut(self):
+        c, a, b, l, r, root = diamond()
+        f = cone_function(c, root, [l, r])
+        assert f == TruthTable.var(0, 2) ^ TruthTable.var(1, 2)
+
+    def test_too_wide_cut_rejected(self):
+        c = SeqCircuit()
+        pis = [c.add_pi(f"x{i}") for i in range(22)]
+        g = c.add_gate("g", AND2, [(pis[0], 0), (pis[1], 0)])
+        c.add_po("o", g)
+        with pytest.raises(ValueError):
+            cone_function(c, g, pis)

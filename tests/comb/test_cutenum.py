@@ -1,0 +1,102 @@
+"""Tests for cut enumeration and area-flow mapping."""
+
+import pytest
+
+from repro.comb.areamap import area_flow_map
+from repro.comb.cone import cone_function
+from repro.comb.cutenum import (
+    area_flow_cuts,
+    enumerate_cuts,
+    min_depth_by_cuts,
+)
+from repro.comb.flowmap import compute_labels, flowmap
+from repro.netlist.graph import SeqCircuit
+from tests.helpers import AND2, OR2, and_tree, random_dag, xor_chain
+
+
+class TestEnumerateCuts:
+    def test_pi_has_trivial_cut(self):
+        c = xor_chain(3)
+        cuts = enumerate_cuts(c, 3)
+        pi = c.pis[0]
+        assert cuts[pi] == [frozenset([pi])]
+
+    def test_gate_cut_inventory(self):
+        c = SeqCircuit()
+        a, b, d = c.add_pi("a"), c.add_pi("b"), c.add_pi("d")
+        g1 = c.add_gate("g1", AND2, [(a, 0), (b, 0)])
+        g2 = c.add_gate("g2", OR2, [(g1, 0), (d, 0)])
+        c.add_po("o", g2)
+        cuts = enumerate_cuts(c, 3)
+        assert frozenset([g2]) in cuts[g2]
+        assert frozenset([g1, d]) in cuts[g2]
+        assert frozenset([a, b, d]) in cuts[g2]
+
+    def test_k_bound_respected(self):
+        c = and_tree(8)
+        for cut_list in enumerate_cuts(c, 3).values():
+            for cut in cut_list:
+                assert len(cut) <= 3
+
+    def test_dominated_cuts_pruned(self):
+        c = SeqCircuit()
+        a = c.add_pi("a")
+        g1 = c.add_gate("g1", AND2, [(a, 0), (a, 0)])
+        g2 = c.add_gate("g2", AND2, [(g1, 0), (a, 0)])
+        c.add_po("o", g2)
+        cuts = enumerate_cuts(c, 3)
+        # {g1, a} is dominated by {a}; only {g2}, {g1,a}... {a} survives
+        assert frozenset([a]) in cuts[g2]
+        assert frozenset([g1, a]) not in cuts[g2]
+
+    def test_sequential_rejected(self):
+        c = SeqCircuit()
+        a = c.add_pi("a")
+        g = c.add_gate("g", AND2, [(a, 0), (a, 1)])
+        c.add_po("o", g)
+        with pytest.raises(ValueError):
+            enumerate_cuts(c, 3)
+
+
+class TestMinDepthByCuts:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_flowmap(self, seed):
+        c = random_dag(4, 12, seed=seed)
+        for k in (2, 3, 4):
+            by_cuts = min_depth_by_cuts(c, k, cap=None)
+            fm, _ = compute_labels(c, k)
+            for g in c.gates:
+                assert by_cuts[g] == fm[g], (seed, k)
+
+    def test_cap_can_only_increase_depth(self):
+        c = random_dag(5, 20, seed=9)
+        exact = min_depth_by_cuts(c, 4, cap=None)
+        capped = min_depth_by_cuts(c, 4, cap=2)
+        for g in c.gates:
+            assert capped[g] >= exact[g]
+
+
+class TestAreaFlowMap:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_equivalence(self, seed):
+        c = random_dag(4, 15, seed=seed)
+        result = area_flow_map(c, k=4)
+        assert result.mapped.is_k_bounded(4)
+        for po in c.pos:
+            src = c.fanins(po)[0].src
+            orig = cone_function(c, src, list(c.pis))
+            mpo = result.mapped.id_of(c.name_of(po))
+            msrc = result.mapped.fanins(mpo)[0].src
+            assert cone_function(result.mapped, msrc, list(result.mapped.pis)) == orig
+
+    def test_area_not_worse_than_flowmap_on_trees(self):
+        c = and_tree(16)
+        fm = flowmap(c, k=4)
+        am = area_flow_map(c, k=4)
+        assert am.n_luts <= fm.n_luts
+
+    def test_chosen_cuts_exposed(self):
+        c = xor_chain(6)
+        result = area_flow_map(c, k=3)
+        root = c.fanins(c.pos[0])[0].src
+        assert root in result.cuts

@@ -1,0 +1,123 @@
+"""Tests for FlowMap depth-optimal combinational mapping."""
+
+import pytest
+
+from repro.boolfn.truthtable import TruthTable
+from repro.comb.cone import cone_function
+from repro.comb.flowmap import compute_labels, flowmap, generate_mapping
+from repro.netlist.graph import NodeKind, SeqCircuit
+from tests.helpers import AND2, XOR2, and_tree, brute_force_min_depth, random_dag, xor_chain
+
+
+class TestLabels:
+    def test_single_gate(self):
+        c = SeqCircuit()
+        a, b = c.add_pi("a"), c.add_pi("b")
+        g = c.add_gate("g", AND2, [(a, 0), (b, 0)])
+        c.add_po("o", g)
+        labels, cuts = compute_labels(c, k=4)
+        assert labels[g] == 1
+        assert set(cuts[g]) <= {a, b}
+
+    def test_and_tree_collapses_into_one_lut(self):
+        c = and_tree(4)
+        labels, _ = compute_labels(c, k=4)
+        root = c.fanins(c.pos[0])[0].src
+        assert labels[root] == 1  # 4 leaves fit one 4-LUT
+
+    def test_and_tree_8_leaves_k4(self):
+        c = and_tree(8)
+        labels, _ = compute_labels(c, k=4)
+        root = c.fanins(c.pos[0])[0].src
+        assert labels[root] == 2
+
+    def test_xor_chain_depth(self):
+        c = xor_chain(9)
+        labels, _ = compute_labels(c, k=3)
+        root = c.fanins(c.pos[0])[0].src
+        # FlowMap is structural: the 8-gate linear chain packs two XOR
+        # gates per 3-LUT, giving depth 4.  (FlowSYN rebalances it to the
+        # combinational limit 2 — see tests/comb/test_flowsyn.py.)
+        assert labels[root] == 4
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_labels_match_brute_force(self, seed):
+        c = random_dag(n_inputs=4, n_gates=10, seed=seed)
+        for k in (2, 3, 4):
+            labels, _ = compute_labels(c, k)
+            reference = brute_force_min_depth(c, k)
+            for g in c.gates:
+                assert labels[g] == reference[g], (seed, k, c.name_of(g))
+
+    def test_sequential_input_rejected(self):
+        c = SeqCircuit()
+        a = c.add_pi("a")
+        g = c.add_gate("g", AND2, [(a, 0), (a, 1)])
+        c.add_po("o", g)
+        with pytest.raises(ValueError):
+            compute_labels(c, 4)
+
+    def test_wide_gate_rejected(self):
+        c = SeqCircuit()
+        pis = [c.add_pi(f"x{i}") for i in range(5)]
+        t = TruthTable.const(5, True)
+        g = c.add_gate("g", t, [(p, 0) for p in pis])
+        c.add_po("o", g)
+        with pytest.raises(ValueError):
+            compute_labels(c, 4)
+
+
+class TestMapping:
+    def test_depth_matches_po_labels(self):
+        c = random_dag(4, 18, seed=3)
+        result = flowmap(c, k=4)
+        po_label = max(
+            result.labels[c.fanins(po)[0].src] for po in c.pos
+        )
+        assert result.depth == po_label
+
+    def test_lut_fanin_bound(self):
+        for seed in range(4):
+            c = random_dag(5, 15, seed=seed)
+            result = flowmap(c, k=3)
+            assert result.mapped.is_k_bounded(3)
+
+    def test_functional_equivalence(self):
+        c = random_dag(4, 12, seed=9)
+        result = flowmap(c, k=4)
+        # Compare every PO's global function over the PIs.
+        for po in c.pos:
+            src = c.fanins(po)[0].src
+            orig = cone_function(c, src, list(c.pis))
+            mapped_po = result.mapped.id_of(c.name_of(po))
+            msrc = result.mapped.fanins(mapped_po)[0].src
+            new = cone_function(result.mapped, msrc, list(result.mapped.pis))
+            assert orig == new
+
+    def test_mapping_covers_all_pos(self):
+        c = random_dag(3, 8, seed=1)
+        result = flowmap(c, k=4)
+        assert len(result.mapped.pos) == len(c.pos)
+
+    def test_fewer_luts_than_gates(self):
+        c = and_tree(16)
+        result = flowmap(c, k=4)
+        assert result.n_luts < c.n_gates
+
+    def test_pi_fed_po(self):
+        c = SeqCircuit()
+        a = c.add_pi("a")
+        c.add_po("o", a)
+        result = flowmap(c, k=4)
+        assert result.n_luts == 0
+        assert result.depth == 0
+
+    def test_constant_gate(self):
+        c = SeqCircuit()
+        c.add_pi("a")
+        one = c.add_gate("one", TruthTable.const(0, True), [])
+        c.add_po("o", one)
+        result = flowmap(c, k=4)
+        assert result.n_luts == 1
+        g = result.mapped.id_of("one")
+        assert result.mapped.func(g).bits == 1

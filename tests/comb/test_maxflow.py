@@ -1,0 +1,159 @@
+"""Tests for the bounded max-flow / min-cut engine."""
+
+import pytest
+
+from repro.comb.maxflow import INF, FlowNetwork, SplitNetwork
+
+
+class TestFlowNetwork:
+    def build_diamond(self):
+        net = FlowNetwork()
+        s, a, b, t = (net.add_node() for _ in range(4))
+        net.add_edge(s, a, 1)
+        net.add_edge(s, b, 1)
+        net.add_edge(a, t, 1)
+        net.add_edge(b, t, 1)
+        return net, s, t
+
+    def test_simple_max_flow(self):
+        net, s, t = self.build_diamond()
+        assert net.max_flow(s, t, limit=10) == 2
+
+    def test_limit_cutoff(self):
+        net = FlowNetwork()
+        s, t = net.add_node(), net.add_node()
+        mids = [net.add_node() for _ in range(5)]
+        for m in mids:
+            net.add_edge(s, m, 1)
+            net.add_edge(m, t, 1)
+        # limit=2 -> we only learn "more than 2"
+        assert net.max_flow(s, t, limit=2) == 3
+
+    def test_zero_flow(self):
+        net = FlowNetwork()
+        s, t = net.add_node(), net.add_node()
+        net.add_node()
+        assert net.max_flow(s, t, limit=5) == 0
+
+    def test_source_equals_sink_rejected(self):
+        net = FlowNetwork()
+        s = net.add_node()
+        with pytest.raises(ValueError):
+            net.max_flow(s, s, 1)
+
+    def test_bottleneck_path(self):
+        net = FlowNetwork()
+        s, a, t = net.add_node(), net.add_node(), net.add_node()
+        net.add_edge(s, a, 5)
+        net.add_edge(a, t, 2)
+        assert net.max_flow(s, t, limit=10) == 2
+
+    def test_residual_reachable_is_min_cut_side(self):
+        net, s, t = self.build_diamond()
+        net.max_flow(s, t, limit=10)
+        reach = net.residual_reachable(s)
+        assert s in reach and t not in reach
+
+    def test_rerouting_needed(self):
+        # Classic case where a greedy path must be undone via residuals.
+        net = FlowNetwork()
+        s, a, b, t = (net.add_node() for _ in range(4))
+        net.add_edge(s, a, 1)
+        net.add_edge(s, b, 1)
+        net.add_edge(a, b, 1)
+        net.add_edge(a, t, 1)
+        net.add_edge(b, t, 1)
+        assert net.max_flow(s, t, limit=5) == 2
+
+    def test_negative_capacity_rejected(self):
+        net = FlowNetwork()
+        u, v = net.add_node(), net.add_node()
+        with pytest.raises(ValueError):
+            net.add_edge(u, v, -1)
+
+
+class TestSplitNetwork:
+    def chain(self, n):
+        """A simple path x0 -> x1 -> ... -> x{n-1}."""
+        net = SplitNetwork()
+        for i in range(n):
+            net.add_dag_node(i)
+        for i in range(n - 1):
+            net.add_dag_edge(i, i + 1)
+        net.attach_source(0)
+        net.attach_sink(n - 1)
+        return net
+
+    def test_path_has_unit_cut(self):
+        net = self.chain(4)
+        assert net.max_flow(3) == 1
+        cut = net.cut_nodes()
+        assert len(cut) == 1
+        # Node 3 is collapsed into the sink but keeps a unit split edge;
+        # any of 0..2 or 3 could carry the cut, but 3's is behind the sink
+        # attachment, so the cut node must be one of 0, 1, 2, 3.
+        assert cut[0] in (0, 1, 2, 3)
+
+    def test_parallel_branches(self):
+        # s-side node 0 feeds t through 3 disjoint branches.
+        net = SplitNetwork()
+        for x in ["a1", "a2", "a3", "root"]:
+            net.add_dag_node(x)
+        for x in ["a1", "a2", "a3"]:
+            net.add_dag_edge(x, "root")
+            net.attach_source(x)
+        net.attach_sink("root")
+        assert net.max_flow(5) == 3
+        assert sorted(net.cut_nodes()) == ["a1", "a2", "a3"]
+
+    def test_flow_exceeds_limit(self):
+        net = SplitNetwork()
+        for x in range(6):
+            net.add_dag_node(x)
+        for x in range(5):
+            net.add_dag_edge(x, 5)
+            net.attach_source(x)
+        net.attach_sink(5)
+        assert net.max_flow(2) == 3  # "more than 2"
+
+    def test_non_cuttable_node_forces_wider_cut(self):
+        # a -> m -> root and b -> m; m non-cuttable, so cut = {a, b}.
+        net = SplitNetwork()
+        net.add_dag_node("a")
+        net.add_dag_node("b")
+        net.add_dag_node("m", cuttable=False)
+        net.add_dag_node("root")
+        net.add_dag_edge("a", "m")
+        net.add_dag_edge("b", "m")
+        net.add_dag_edge("m", "root")
+        net.attach_source("a")
+        net.attach_source("b")
+        net.attach_sink("root")
+        assert net.max_flow(5) == 2
+        assert sorted(net.cut_nodes()) == ["a", "b"]
+
+    def test_reconvergence_single_cut(self):
+        # Diamond: x feeds l and r, both feed root: min cut = {x}.
+        net = SplitNetwork()
+        for node in ["x", "l", "r", "root"]:
+            net.add_dag_node(node)
+        net.add_dag_edge("x", "l")
+        net.add_dag_edge("x", "r")
+        net.add_dag_edge("l", "root")
+        net.add_dag_edge("r", "root")
+        net.attach_source("x")
+        net.attach_sink("root")
+        assert net.max_flow(5) == 1
+        assert net.cut_nodes() == ["x"]
+
+    def test_duplicate_dag_node_rejected(self):
+        net = SplitNetwork()
+        net.add_dag_node("x")
+        with pytest.raises(ValueError):
+            net.add_dag_node("x")
+
+    def test_source_side(self):
+        net = self.chain(3)
+        net.max_flow(3)
+        side = net.source_side()
+        assert 0 in side or side == set()  # cut may sit right at the source

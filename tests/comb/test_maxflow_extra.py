@@ -1,0 +1,52 @@
+"""Additional coverage for the flow engine's inspection APIs."""
+
+import pytest
+
+from repro.comb.maxflow import INF, FlowNetwork, SplitNetwork
+
+
+class TestEdgeFlow:
+    def test_flow_recorded_per_edge(self):
+        net = FlowNetwork()
+        s, t = net.add_node(), net.add_node()
+        e1 = net.add_edge(s, t, 3)
+        assert net.edge_flow(e1) == 0
+        assert net.max_flow(s, t, limit=10) == 3
+        assert net.edge_flow(e1) == 3
+
+    def test_parallel_edges_split_flow(self):
+        net = FlowNetwork()
+        s, t = net.add_node(), net.add_node()
+        e1 = net.add_edge(s, t, 1)
+        e2 = net.add_edge(s, t, 1)
+        assert net.max_flow(s, t, limit=10) == 2
+        assert net.edge_flow(e1) + net.edge_flow(e2) == 2
+
+    def test_add_nodes_bulk(self):
+        net = FlowNetwork()
+        ids = net.add_nodes(5)
+        assert list(ids) == [0, 1, 2, 3, 4]
+        assert net.num_nodes == 5
+
+    def test_bad_endpoint(self):
+        net = FlowNetwork()
+        net.add_node()
+        with pytest.raises(ValueError):
+            net.add_edge(0, 3, 1)
+
+
+class TestSplitNetworkInspection:
+    def test_source_side_grows_with_flow(self):
+        net = SplitNetwork()
+        for x in ["a", "b", "root"]:
+            net.add_dag_node(x)
+        net.add_dag_edge("a", "b")
+        net.add_dag_edge("b", "root")
+        net.attach_source("a")
+        net.attach_sink("root")
+        net.max_flow(5)
+        # after saturation, the min cut sits at one of the unit nodes
+        cut = net.cut_nodes()
+        assert len(cut) == 1
+        side = net.source_side()
+        assert "root" not in side

@@ -1,0 +1,116 @@
+"""Tests for LUT packing (duplicate sharing + predecessor absorption)."""
+
+import pytest
+
+from repro.boolfn.truthtable import TruthTable
+from repro.comb.cone import cone_function
+from repro.comb.flowmap import flowmap
+from repro.comb.pack import pack_luts
+from repro.netlist.graph import SeqCircuit
+from tests.helpers import AND2, OR2, XOR2, random_dag
+
+
+class TestShareDuplicates:
+    def test_identical_gates_merge(self):
+        c = SeqCircuit()
+        a, b = c.add_pi("a"), c.add_pi("b")
+        g1 = c.add_gate("g1", AND2, [(a, 0), (b, 0)])
+        g2 = c.add_gate("g2", AND2, [(a, 0), (b, 0)])
+        o1 = c.add_gate("o1", OR2, [(g1, 0), (g2, 0)])
+        c.add_po("o", o1)
+        out = pack_luts(c, k=4)
+        # g1 == g2 merge; then OR(g,g) absorbs into one LUT of a, b.
+        assert out.n_gates <= 2
+
+    def test_different_weights_not_merged(self):
+        c = SeqCircuit()
+        a, b = c.add_pi("a"), c.add_pi("b")
+        g1 = c.add_gate("g1", AND2, [(a, 0), (b, 0)])
+        g2 = c.add_gate("g2", AND2, [(a, 1), (b, 0)])
+        c.add_po("p1", g1)
+        c.add_po("p2", g2)
+        out = pack_luts(c, k=2)
+        assert out.n_gates == 2
+
+
+class TestAbsorb:
+    def test_chain_absorbed(self):
+        c = SeqCircuit()
+        a, b, d = c.add_pi("a"), c.add_pi("b"), c.add_pi("d")
+        g1 = c.add_gate("g1", AND2, [(a, 0), (b, 0)])
+        g2 = c.add_gate("g2", OR2, [(g1, 0), (d, 0)])
+        c.add_po("o", g2)
+        out = pack_luts(c, k=3)
+        assert out.n_gates == 1
+        root = out.fanins(out.pos[0])[0].src
+        f = cone_function(out, root, list(out.pis))
+        expected = (TruthTable.var(0, 3) & TruthTable.var(1, 3)) | TruthTable.var(2, 3)
+        assert f == expected
+
+    def test_absorption_respects_k(self):
+        c = SeqCircuit()
+        pis = [c.add_pi(f"x{i}") for i in range(4)]
+        g1 = c.add_gate("g1", AND2, [(pis[0], 0), (pis[1], 0)])
+        g2 = c.add_gate("g2", AND2, [(pis[2], 0), (pis[3], 0)])
+        g3 = c.add_gate("g3", OR2, [(g1, 0), (g2, 0)])
+        c.add_po("o", g3)
+        out = pack_luts(c, k=3)
+        # merging either child needs 3 inputs; merging both needs 4 > k.
+        assert out.n_gates == 2
+
+    def test_multi_fanout_not_absorbed(self):
+        c = SeqCircuit()
+        a, b = c.add_pi("a"), c.add_pi("b")
+        g1 = c.add_gate("g1", AND2, [(a, 0), (b, 0)])
+        g2 = c.add_gate("g2", OR2, [(g1, 0), (a, 0)])
+        c.add_po("p1", g2)
+        c.add_po("p2", g1)  # second reader: g1 must stay
+        out = pack_luts(c, k=4)
+        assert out.n_gates == 2
+
+    def test_registered_edge_not_absorbed(self):
+        c = SeqCircuit()
+        a, b = c.add_pi("a"), c.add_pi("b")
+        g1 = c.add_gate("g1", AND2, [(a, 0), (b, 0)])
+        g2 = c.add_gate("g2", OR2, [(g1, 1), (a, 0)])
+        c.add_po("o", g2)
+        out = pack_luts(c, k=4)
+        assert out.n_gates == 2
+        assert out.n_ffs == 1
+
+    def test_duplicate_pin_reads(self):
+        c = SeqCircuit()
+        a = c.add_pi("a")
+        g1 = c.add_gate("g1", XOR2, [(a, 0), (a, 0)])  # constant 0
+        g2 = c.add_gate("g2", OR2, [(g1, 0), (a, 0)])
+        c.add_po("o", g2)
+        out = pack_luts(c, k=2)
+        root = out.fanins(out.pos[0])[0].src
+        f = cone_function(out, root, list(out.pis))
+        assert f == TruthTable.var(0, 1)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_packing_preserves_functions(self, seed):
+        c = random_dag(4, 20, seed=seed)
+        mapped = flowmap(c, k=4).mapped
+        packed = pack_luts(mapped, k=4)
+        assert packed.n_gates <= mapped.n_gates
+        assert packed.is_k_bounded(4)
+        for po in mapped.pos:
+            name = mapped.name_of(po)
+            src1 = mapped.fanins(po)[0].src
+            f1 = cone_function(mapped, src1, list(mapped.pis))
+            po2 = packed.id_of(name)
+            src2 = packed.fanins(po2)[0].src
+            f2 = cone_function(packed, src2, list(packed.pis))
+            assert f1 == f2
+
+    def test_packing_reduces_area_on_trees(self):
+        from tests.helpers import and_tree
+
+        c = and_tree(16)
+        mapped = flowmap(c, k=2).mapped  # one LUT per AND gate
+        packed = pack_luts(mapped, k=4)
+        assert packed.n_gates < mapped.n_gates

@@ -1,0 +1,79 @@
+"""Tests for the area stage (label relaxation + packing)."""
+
+import pytest
+
+from repro.core.area import map_with_area_recovery, relaxed_realizations
+from repro.core.turbosyn import turbosyn
+from repro.netlist.graph import SeqCircuit
+from repro.retime.mdr import min_feasible_period
+from repro.verify.equiv import simulation_equivalent
+from tests.helpers import AND2, XOR2, random_seq_circuit
+
+
+def and_ring_with_tail(num_gates):
+    """AND ring (critical) plus a non-critical XOR tail reading the ring."""
+    c = SeqCircuit("ringtail")
+    xs = [c.add_pi(f"x{i}") for i in range(num_gates)]
+    g = [c.add_gate_placeholder(f"g{i}", AND2) for i in range(num_gates)]
+    for i in range(num_gates):
+        w = 1 if i == 0 else 0
+        c.set_fanins(g[i], [(g[(i - 1) % num_gates], w), (xs[i], 0)])
+    tail = g[-1]
+    for i in range(4):
+        tail = c.add_gate(f"t{i}", XOR2, [(tail, 0), (xs[i], 0)])
+    c.add_po("o", tail)
+    c.add_po("oring", g[-1])
+    c.check()
+    return c
+
+
+class TestRelaxedRealizations:
+    def test_phi_preserved(self):
+        c = and_ring_with_tail(8)
+        ts = turbosyn(c, k=5)
+        mapped = map_with_area_recovery(c, ts.phi, ts.labels, k=5, pack=False)
+        assert min_feasible_period(mapped) <= ts.phi
+
+    def test_realizations_cover_all_needs(self):
+        c = and_ring_with_tail(6)
+        ts = turbosyn(c, k=5)
+        chosen, eff = relaxed_realizations(c, ts.phi, ts.labels, k=5)
+        for real in chosen.values():
+            for (u, _w) in real.cut:
+                if c.kind(u).value == "gate":
+                    assert u in chosen
+
+    def test_effective_labels_not_below_original(self):
+        c = and_ring_with_tail(6)
+        ts = turbosyn(c, k=5)
+        _chosen, eff = relaxed_realizations(c, ts.phi, ts.labels, k=5)
+        for v, value in eff.items():
+            assert value >= ts.labels[v]
+
+
+class TestAreaRecovery:
+    def test_never_increases_luts(self):
+        for seed in range(3):
+            c = random_seq_circuit(4, 18, seed=seed, feedback=3)
+            ts = turbosyn(c, k=4)
+            recovered = map_with_area_recovery(c, ts.phi, ts.labels, k=4)
+            assert recovered.n_gates <= ts.n_luts
+            assert min_feasible_period(recovered) <= ts.phi
+
+    def test_equivalence_preserved(self):
+        for seed in range(3):
+            c = random_seq_circuit(4, 16, seed=seed, feedback=3)
+            ts = turbosyn(c, k=4)
+            recovered = map_with_area_recovery(
+                c, ts.phi, ts.labels, k=4, name=ts.mapped.name
+            )
+            assert simulation_equivalent(
+                c, recovered, cycles=60, warmup=12, seed=seed
+            )
+
+    def test_pack_flag(self):
+        c = and_ring_with_tail(8)
+        ts = turbosyn(c, k=5)
+        unpacked = map_with_area_recovery(c, ts.phi, ts.labels, k=5, pack=False)
+        packed = map_with_area_recovery(c, ts.phi, ts.labels, k=5, pack=True)
+        assert packed.n_gates <= unpacked.n_gates

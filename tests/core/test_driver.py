@@ -1,0 +1,79 @@
+"""Tests for the binary-search driver shared by TurboMap and TurboSYN."""
+
+import pytest
+
+from repro.core.driver import SeqMapResult, run_mapper, search_min_phi
+from repro.netlist.graph import SeqCircuit
+from repro.netlist.validate import ValidationError
+from repro.retime.mdr import min_feasible_period
+from tests.helpers import AND2, random_seq_circuit, xor_chain
+
+
+def and_ring(num_gates, num_ffs=1):
+    c = SeqCircuit("andring")
+    xs = [c.add_pi(f"x{i}") for i in range(num_gates)]
+    g = [c.add_gate_placeholder(f"g{i}", AND2) for i in range(num_gates)]
+    for i in range(num_gates):
+        w = num_ffs if i == 0 else 0
+        c.set_fanins(g[i], [(g[(i - 1) % num_gates], w), (xs[i], 0)])
+    c.add_po("o", g[-1])
+    c.check()
+    return c
+
+
+class TestSearchMinPhi:
+    def test_probes_recorded(self):
+        c = and_ring(8)
+        phi, outcomes = search_min_phi(c, 5, min_feasible_period(c), False)
+        assert phi == 2
+        assert phi in outcomes
+        assert outcomes[phi].feasible
+        # the binary search must have probed at least one infeasible value
+        assert any(not o.feasible for o in outcomes.values())
+
+    def test_upper_bound_too_low_recovers(self):
+        c = and_ring(8)
+        phi, _ = search_min_phi(c, 5, upper_bound=1, resynthesize=False)
+        assert phi == 2  # doubled its way up, then narrowed down
+
+    def test_resynthesize_flag(self):
+        c = and_ring(8)
+        plain, _ = search_min_phi(c, 5, 8, resynthesize=False)
+        resyn, _ = search_min_phi(c, 5, 8, resynthesize=True)
+        assert resyn < plain
+
+    def test_unbounded_k_validation(self):
+        c = and_ring(4)
+        with pytest.raises(ValidationError):
+            search_min_phi(c, 1, 4, False)
+
+
+class TestRunMapper:
+    def test_result_shape(self):
+        c = and_ring(6)
+        result = run_mapper(c, 5, algorithm="turbomap", resynthesize=False)
+        assert isinstance(result, SeqMapResult)
+        assert result.algorithm == "turbomap"
+        assert result.mapped.n_gates == result.n_luts
+        assert len(result.labels) == len(c)
+
+    def test_total_stats_aggregates(self):
+        c = and_ring(6)
+        result = run_mapper(c, 5, algorithm="turbomap", resynthesize=False)
+        total = result.total_stats
+        assert total.flow_queries >= sum(
+            o.stats.flow_queries for o in result.outcomes.values()
+        ) - 1  # identical by construction
+
+    def test_upper_bound_default_is_identity_mdr(self):
+        c = xor_chain(6)
+        result = run_mapper(c, 3, algorithm="turbomap", resynthesize=False)
+        assert result.phi == 1
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_deterministic(self, seed):
+        c = random_seq_circuit(3, 14, seed=seed, feedback=3)
+        a = run_mapper(c, 3, algorithm="turbomap", resynthesize=False)
+        b = run_mapper(c, 3, algorithm="turbomap", resynthesize=False)
+        assert a.phi == b.phi
+        assert a.mapped.stats() == b.mapped.stats()

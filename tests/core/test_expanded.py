@@ -1,0 +1,125 @@
+"""Tests for expanded circuits (paper Figure 2 machinery)."""
+
+import pytest
+
+from repro.boolfn.truthtable import TruthTable
+from repro.core.expanded import expand_partial, sequential_cone_function
+from repro.netlist.graph import SeqCircuit
+from tests.helpers import AND2, BUF, XOR2
+
+
+def two_stage():
+    """x -> g1 =1FF=> g2, PO on g2."""
+    c = SeqCircuit()
+    x = c.add_pi("x")
+    g1 = c.add_gate("g1", BUF, [(x, 0)])
+    g2 = c.add_gate("g2", BUF, [(g1, 1)])
+    c.add_po("o", g2)
+    return c, x, g1, g2
+
+
+def self_loop():
+    """g reads itself through 1 FF and a PI."""
+    c = SeqCircuit()
+    x = c.add_pi("x")
+    g = c.add_gate_placeholder("g", AND2)
+    c.set_fanins(g, [(x, 0), (g, 1)])
+    c.add_po("o", g)
+    return c, x, g
+
+
+class TestExpandPartial:
+    def test_weights_accumulate(self):
+        c, x, g1, g2 = two_stage()
+        labels = {x: 0, g1: 1, g2: 1}
+        height = lambda u, w: labels[u] - 1 * w + 1
+        # threshold below g1^1's height (1-1+1=1): expand through it.
+        exp = expand_partial(c, g2, 1, height, threshold=0)
+        copies = set(exp.interior) | set(exp.leaves) | set(exp.candidates)
+        assert (g1, 1) in copies
+        assert (x, 1) in copies  # x behind g1's register
+
+    def test_every_path_crosses_w_registers(self):
+        # Structural property of E_v: copy (u, w) connects to parents with
+        # weight decreasing by the original edge weight.
+        c, x, g = self_loop()
+        labels = {x: 0, g: 1}
+        height = lambda u, w: labels[u] - 1 * w + 1
+        exp = expand_partial(c, g, 1, height, threshold=-3)
+        for (child, parent) in exp.edges:
+            (cu, cw), (pu, pw) = child, parent
+            pin = next(p for p in c.fanins(pu) if p.src == cu)
+            assert cw == pw + pin.weight
+
+    def test_self_loop_unrolls_until_threshold(self):
+        c, x, g = self_loop()
+        labels = {x: 0, g: 5}
+        phi = 2
+        height = lambda u, w: labels[u] - phi * w + 1
+        # threshold 3: g^0 (h=6) and g^1 (h=4) interior; g^2 (h=2) frontier.
+        exp = expand_partial(c, g, phi, height, threshold=3)
+        assert (g, 1) in exp.interior
+        assert (g, 2) in exp.leaves
+        assert not exp.blocked
+
+    def test_pi_blocks_when_above_threshold(self):
+        c, x, g1, g2 = two_stage()
+        labels = {x: 0, g1: 1, g2: 1}
+        height = lambda u, w: labels[u] - 1 * w + 1
+        # threshold -5 forces even x^1 (height 0) to be interior: blocked.
+        exp = expand_partial(c, g2, 1, height, threshold=-5)
+        assert exp.blocked
+
+    def test_candidate_tier(self):
+        c, x, g = self_loop()
+        labels = {x: 0, g: 5}
+        phi = 2
+        height = lambda u, w: labels[u] - phi * w + 1
+        exp = expand_partial(c, g, phi, height, threshold=3, extra_depth=1)
+        # g^2 (height 2 > floor 1) is now an expandable candidate.
+        assert (g, 2) in exp.candidates
+        assert (g, 3) in exp.leaves or (g, 3) in exp.candidates
+
+    def test_root_must_be_gate(self):
+        c, x, g1, g2 = two_stage()
+        with pytest.raises(ValueError):
+            expand_partial(c, x, 1, lambda u, w: 0, 0)
+
+
+class TestSequentialConeFunction:
+    def test_single_copy_cut(self):
+        c, x, g1, g2 = two_stage()
+        f = sequential_cone_function(c, g2, [(g1, 1)])
+        assert f == TruthTable.var(0, 1)
+
+    def test_cut_through_registers(self):
+        c, x, g1, g2 = two_stage()
+        f = sequential_cone_function(c, g2, [(x, 1)])
+        assert f == TruthTable.var(0, 1)
+
+    def test_self_loop_unrolled_function(self):
+        c, x, g = self_loop()
+        # cut = {x^0, x^1, g^2}: g = x0 AND (x@1 AND g@2)
+        f = sequential_cone_function(c, g, [(x, 0), (x, 1), (g, 2)])
+        expected = (
+            TruthTable.var(0, 3) & TruthTable.var(1, 3) & TruthTable.var(2, 3)
+        )
+        assert f == expected
+
+    def test_distinct_copies_are_distinct_vars(self):
+        c = SeqCircuit()
+        x = c.add_pi("x")
+        g = c.add_gate("g", XOR2, [(x, 0), (x, 1)])
+        c.add_po("o", g)
+        f = sequential_cone_function(c, g, [(x, 0), (x, 1)])
+        assert f == TruthTable.var(0, 2) ^ TruthTable.var(1, 2)
+
+    def test_uncovered_cut_rejected(self):
+        c, x, g1, g2 = two_stage()
+        with pytest.raises(ValueError):
+            sequential_cone_function(c, g2, [])  # reaches PI x uncovered
+
+    def test_too_wide_rejected(self):
+        c, x, g = self_loop()
+        with pytest.raises(ValueError):
+            sequential_cone_function(c, g, [(x, w) for w in range(22)])

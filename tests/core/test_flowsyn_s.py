@@ -1,0 +1,88 @@
+"""Tests for the FlowSYN-s baseline."""
+
+import pytest
+
+from repro.core.flowsyn_s import flowsyn_s, merge_registers, split_at_registers
+from repro.core.turbosyn import turbosyn
+from repro.netlist.graph import NodeKind, SeqCircuit
+from repro.retime.mdr import min_feasible_period
+from repro.verify.equiv import simulation_equivalent, unrolled_equivalent
+from tests.helpers import AND2, BUF, random_seq_circuit
+
+
+def and_ring(num_gates, num_ffs=1):
+    c = SeqCircuit("andring")
+    xs = [c.add_pi(f"x{i}") for i in range(num_gates)]
+    g = [c.add_gate_placeholder(f"g{i}", AND2) for i in range(num_gates)]
+    for i in range(num_gates):
+        w = num_ffs if i == 0 else 0
+        c.set_fanins(g[i], [(g[(i - 1) % num_gates], w), (xs[i], 0)])
+    c.add_po("o", g[-1])
+    c.check()
+    return c
+
+
+class TestSplitAtRegisters:
+    def test_pseudo_pis_created(self):
+        c = and_ring(4)
+        comb = split_at_registers(c)
+        pi_names = {comb.name_of(p) for p in comb.pis}
+        assert "g3@@w1" in pi_names
+        # no registered edges survive
+        assert all(w == 0 for *_e, w in comb.edges())
+
+    def test_register_drivers_become_pos(self):
+        c = and_ring(4)
+        comb = split_at_registers(c)
+        po_names = {comb.name_of(p) for p in comb.pos}
+        assert "g3@@root" in po_names
+
+    def test_pi_fed_register(self):
+        c = SeqCircuit("pireg")
+        x = c.add_pi("x")
+        g = c.add_gate("g", BUF, [(x, 2)])
+        c.add_po("o", g)
+        comb = split_at_registers(c)
+        assert "x@@w2" in {comb.name_of(p) for p in comb.pis}
+
+
+class TestMergeRegisters:
+    def test_roundtrip_without_mapping(self):
+        # split + merge with the identity "mapping" restores the FF count.
+        c = and_ring(5)
+        comb = split_at_registers(c)
+        merged = merge_registers(c, comb, "merged")
+        assert merged.n_ffs == c.n_ffs
+        assert unrolled_equivalent(c, merged, cycles=3)
+
+
+class TestFlowsynS:
+    def test_equivalence(self):
+        c = and_ring(6)
+        fs = flowsyn_s(c, k=4)
+        assert unrolled_equivalent(c, fs.mapped, cycles=3)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_circuits(self, seed):
+        c = random_seq_circuit(4, 18, seed=seed, feedback=3)
+        fs = flowsyn_s(c, k=4)
+        assert fs.mapped.is_k_bounded(4)
+        assert min_feasible_period(fs.mapped) == fs.phi
+        assert simulation_equivalent(c, fs.mapped, cycles=60, warmup=12, seed=seed)
+
+    def test_turbosyn_never_worse(self):
+        """The paper's Table 1 ordering."""
+        for seed in range(4):
+            c = random_seq_circuit(4, 16, seed=seed, feedback=3)
+            fs = flowsyn_s(c, k=4)
+            ts = turbosyn(c, k=4)
+            assert ts.phi <= fs.phi, seed
+
+    def test_loop_limits_flowsyn_s(self):
+        # FF positions frozen: the AND ring maps one LUT per FF gap; the
+        # loop keeps ceil-gates-per-lut LUTs between consecutive FFs.
+        c = and_ring(8)
+        fs = flowsyn_s(c, k=5)
+        ts = turbosyn(c, k=5)
+        assert fs.phi == 2
+        assert ts.phi == 1

@@ -1,0 +1,79 @@
+"""Tests for the retiming-only (I/O-constrained) mapping mode.
+
+The paper's Section 2 argues that with pipelining "the clock period of a
+circuit is bounded only by the MDR ratio", whereas retiming alone must
+also fit the I/O paths.  These tests pin down that difference.
+"""
+
+import pytest
+
+from repro.core.labels import LabelSolver
+from repro.core.turbomap import turbomap
+from repro.netlist.graph import SeqCircuit
+from repro.retime.leiserson import min_period_retiming
+from tests.helpers import AND2, BUF, random_seq_circuit, xor_chain
+
+
+def deep_feedforward(n):
+    """A register-free chain: pipelining trivial, retiming-only hard."""
+    c = SeqCircuit("deepff")
+    pis = [c.add_pi(f"x{i}") for i in range(n)]
+    acc = pis[0]
+    for i in range(1, n):
+        acc = c.add_gate(f"g{i}", AND2, [(acc, 0), (pis[i], 0)])
+    c.add_po("out", acc)
+    return c
+
+
+class TestLabelSolverIoMode:
+    def test_chain_feasibility_gap(self):
+        c = deep_feedforward(17)
+        # 16 AND gates, K=5 LUTs pack 4 levels each: depth 4.
+        assert LabelSolver(c, k=5, phi=1).run().feasible  # pipelined
+        io1 = LabelSolver(c, k=5, phi=1, io_constrained=True).run()
+        assert not io1.feasible
+        io4 = LabelSolver(c, k=5, phi=4, io_constrained=True).run()
+        assert io4.feasible
+
+    def test_failed_po_reported(self):
+        c = deep_feedforward(17)
+        outcome = LabelSolver(c, k=5, phi=1, io_constrained=True).run()
+        assert outcome.failed_scc == [c.pos[0]]
+
+    def test_registered_po_relaxes_constraint(self):
+        c = SeqCircuit("regpo")
+        x = c.add_pi("x")
+        g1 = c.add_gate("g1", BUF, [(x, 0)])
+        g2 = c.add_gate("g2", BUF, [(g1, 0)])
+        c.add_po("o", g2, 1)  # one register before the PO
+        # phi=1: labels l(g1)=1, l(g2)=2; PO sees 2 - 1 = 1 <= 1: feasible.
+        assert LabelSolver(c, k=2, phi=1, io_constrained=True).run().feasible
+
+
+class TestTurbomapPipeliningFlag:
+    def test_pipelining_never_worse(self):
+        for seed in range(4):
+            c = random_seq_circuit(3, 14, seed=seed, feedback=3)
+            piped = turbomap(c, k=3, pipelining=True)
+            strict = turbomap(c, k=3, pipelining=False)
+            assert piped.phi <= strict.phi
+
+    def test_feedforward_gap(self):
+        c = deep_feedforward(17)
+        assert turbomap(c, k=5, pipelining=True).phi == 1
+        assert turbomap(c, k=5, pipelining=False).phi == 4
+
+    def test_strict_result_strictly_retimable(self):
+        # The retiming-only optimum must be realizable WITHOUT pipelining.
+        c = random_seq_circuit(3, 12, seed=2, feedback=2)
+        strict = turbomap(c, k=3, pipelining=False)
+        if len(strict.mapped) <= 200:
+            result = min_period_retiming(strict.mapped, allow_pipelining=False)
+            assert result.period <= strict.phi
+
+    def test_acyclic_strict_equals_lut_depth(self):
+        c = xor_chain(9)
+        strict = turbomap(c, k=3, pipelining=False)
+        from repro.comb.flowmap import flowmap
+
+        assert strict.phi == flowmap(c, k=3).depth

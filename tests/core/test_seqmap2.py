@@ -1,0 +1,67 @@
+"""Tests for the SeqMapII-style baseline schedule."""
+
+import pytest
+
+from repro.core.seqmap2 import SeqMap2Solver, seqmap2_min_phi
+from repro.core.turbomap import turbomap
+from repro.core.labels import LabelSolver
+from repro.netlist.graph import SeqCircuit
+from tests.helpers import AND2, random_seq_circuit, xor_chain
+
+
+def and_ring(num_gates, num_ffs=1):
+    c = SeqCircuit("andring")
+    xs = [c.add_pi(f"x{i}") for i in range(num_gates)]
+    g = [c.add_gate_placeholder(f"g{i}", AND2) for i in range(num_gates)]
+    for i in range(num_gates):
+        w = num_ffs if i == 0 else 0
+        c.set_fanins(g[i], [(g[(i - 1) % num_gates], w), (xs[i], 0)])
+    c.add_po("o", g[-1])
+    c.check()
+    return c
+
+
+class TestDecisionEquivalence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_same_verdicts_as_turbomap_labels(self, seed):
+        c = random_seq_circuit(3, 12, seed=seed, feedback=3)
+        for phi in (1, 2, 3):
+            fast = LabelSolver(c, k=3, phi=phi).run().feasible
+            slow = SeqMap2Solver(c, k=3, phi=phi).run().feasible
+            assert fast == slow, (seed, phi)
+
+    def test_same_optimum_as_turbomap(self):
+        for seed in range(3):
+            c = random_seq_circuit(3, 12, seed=seed, feedback=2)
+            tm = turbomap(c, k=3)
+            sm = seqmap2_min_phi(c, k=3)
+            assert sm.phi == tm.phi
+
+    def test_same_labels_at_optimum(self):
+        c = and_ring(6)
+        tm = turbomap(c, k=4)
+        sm = seqmap2_min_phi(c, k=4)
+        assert sm.phi == tm.phi
+        for g in c.gates:
+            assert sm.labels[g] == tm.labels[g]
+
+
+class TestCost:
+    def test_infeasible_probe_is_quadratic(self):
+        c = and_ring(10)
+        slow = SeqMap2Solver(c, k=3, phi=1).run()
+        assert not slow.feasible
+        assert slow.stats.rounds >= 10 * 10
+        fast = LabelSolver(c, k=3, phi=1, pld=True).run()
+        assert not fast.feasible
+        assert fast.stats.rounds < slow.stats.rounds
+
+    def test_no_memoization(self):
+        c = xor_chain(6)
+        outcome = SeqMap2Solver(c, k=3, phi=1).run()
+        assert outcome.feasible
+        assert outcome.stats.cache_hits == 0
+
+    def test_phi_validation(self):
+        with pytest.raises(ValueError):
+            SeqMap2Solver(xor_chain(3), k=3, phi=0)

@@ -1,0 +1,73 @@
+"""Tests for criticality / slack analysis."""
+
+import pytest
+
+from repro.core.slack import analyze, critical_sccs, node_slacks, report
+from repro.core.labels import LabelSolver
+from repro.netlist.graph import SeqCircuit
+from tests.helpers import AND2, BUF, random_seq_circuit, xor_chain
+
+
+def and_ring(num_gates, num_ffs=1):
+    c = SeqCircuit("andring")
+    xs = [c.add_pi(f"x{i}") for i in range(num_gates)]
+    g = [c.add_gate_placeholder(f"g{i}", AND2) for i in range(num_gates)]
+    for i in range(num_gates):
+        w = num_ffs if i == 0 else 0
+        c.set_fanins(g[i], [(g[(i - 1) % num_gates], w), (xs[i], 0)])
+    c.add_po("o", g[-1])
+    c.check()
+    return c
+
+
+class TestCriticalSccs:
+    def test_binding_ring_found(self):
+        c = and_ring(8)
+        # TurboMap optimum is 2; at phi=1 the ring's positive loop fires.
+        comps = critical_sccs(c, k=5, phi=2)
+        assert comps
+        assert len(comps[0]) == 8
+
+    def test_feed_forward_has_none(self):
+        c = xor_chain(6)
+        assert critical_sccs(c, k=3, phi=1) == []
+
+
+class TestNodeSlacks:
+    def test_slack_nonnegative(self):
+        c = random_seq_circuit(3, 14, seed=1, feedback=3)
+        from repro.retime.mdr import min_feasible_period
+
+        phi = min_feasible_period(c)
+        outcome = LabelSolver(c, k=3, phi=phi).run()
+        assert outcome.feasible
+        slacks = node_slacks(c, 3, phi, outcome.labels)
+        assert all(s >= 0 for s in slacks.values())
+        assert set(slacks) == set(c.gates)
+
+    def test_unconsumed_gate_gets_sentinel(self):
+        c = SeqCircuit()
+        a = c.add_pi("a")
+        g = c.add_gate("g", BUF, [(a, 0)])
+        c.add_po("o", g)
+        slacks = node_slacks(c, 2, 3, [0, 1, 1])
+        assert slacks[g] == 3
+
+
+class TestAnalyzeAndReport:
+    def test_analyze_fields(self):
+        c = and_ring(6)
+        result = analyze(c, k=4)
+        assert result.phi >= 1
+        assert result.labels is not None
+        assert result.slacks
+
+    def test_report_text(self):
+        c = and_ring(6)
+        text = report(c, k=4)
+        assert "MDR ratio" in text
+        assert "binding loop" in text
+
+    def test_report_feed_forward(self):
+        text = report(xor_chain(5), k=3)
+        assert "no binding loop" in text

@@ -1,0 +1,116 @@
+"""End-to-end tests for TurboMap."""
+
+import pytest
+
+from repro.core.turbomap import turbomap
+from repro.netlist.graph import SeqCircuit
+from repro.retime.mdr import min_feasible_period
+from repro.retime.pipeline import pipeline_and_retime
+from repro.verify.equiv import simulation_equivalent, unrolled_equivalent
+from tests.helpers import AND2, BUF, random_seq_circuit, xor_chain
+
+
+def and_ring(num_gates, num_ffs=1):
+    c = SeqCircuit("andring")
+    xs = [c.add_pi(f"x{i}") for i in range(num_gates)]
+    g = [c.add_gate_placeholder(f"g{i}", AND2) for i in range(num_gates)]
+    for i in range(num_gates):
+        w = num_ffs if i == 0 else 0
+        c.set_fanins(g[i], [(g[(i - 1) % num_gates], w), (xs[i], 0)])
+    c.add_po("o", g[-1])
+    c.check()
+    return c
+
+
+class TestPhi:
+    def test_acyclic_is_one(self):
+        res = turbomap(xor_chain(10), k=3)
+        assert res.phi == 1
+
+    def test_and_ring_structural_optimum(self):
+        # 8 AND gates / 1 FF, K=5: ceil(8/4) = 2 LUTs on the loop.
+        res = turbomap(and_ring(8), k=5)
+        assert res.phi == 2
+
+    def test_improves_over_identity(self):
+        c = and_ring(8)
+        assert min_feasible_period(c) == 8
+        assert turbomap(c, k=5).phi == 2
+
+    def test_mapped_network_respects_phi(self):
+        for seed in range(5):
+            c = random_seq_circuit(4, 20, seed=seed)
+            res = turbomap(c, k=4)
+            assert min_feasible_period(res.mapped) <= res.phi
+
+    def test_k_sensitivity(self):
+        c = and_ring(12)
+        phis = [turbomap(c, k=k).phi for k in (2, 3, 5)]
+        assert phis == sorted(phis, reverse=True)  # larger K never worse
+
+
+class TestMappedNetwork:
+    def test_k_bounded(self):
+        for seed in range(3):
+            c = random_seq_circuit(3, 15, seed=seed)
+            res = turbomap(c, k=3)
+            assert res.mapped.is_k_bounded(3)
+
+    def test_equivalence_exact(self):
+        for seed in range(3):
+            c = random_seq_circuit(2, 10, seed=seed, feedback=2)
+            res = turbomap(c, k=3)
+            assert unrolled_equivalent(c, res.mapped, cycles=3)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_equivalence_simulation(self, seed):
+        c = random_seq_circuit(4, 22, seed=seed, feedback=4)
+        res = turbomap(c, k=4)
+        assert simulation_equivalent(c, res.mapped, cycles=60, warmup=12, seed=seed)
+
+    def test_po_weights_preserved(self):
+        c = SeqCircuit("pow")
+        x = c.add_pi("x")
+        g = c.add_gate("g", BUF, [(x, 0)])
+        c.add_po("o", g, 2)
+        res = turbomap(c, k=2)
+        po = res.mapped.pos[0]
+        assert res.mapped.fanins(po)[0].weight == 2
+
+
+class TestRetimingPostprocess:
+    def test_pipeline_achieves_phi(self):
+        c = and_ring(8)
+        res = turbomap(c, k=5)
+        pipe = pipeline_and_retime(res.mapped)
+        assert pipe.phi <= res.phi
+        assert pipe.circuit.clock_period() <= res.phi
+
+    def test_full_flow_equivalence_with_lags(self):
+        c = and_ring(6)
+        res = turbomap(c, k=4)
+        pipe = pipeline_and_retime(res.mapped)
+        # After retiming, compare with per-PO lags and a warmup window
+        # (retiming does not preserve initial states in general).
+        assert simulation_equivalent(
+            c,
+            pipe.circuit,
+            cycles=60,
+            warmup=16,
+            po_lags=pipe.po_lags,
+        )
+
+
+class TestOptions:
+    def test_upper_bound_hint(self):
+        c = and_ring(8)
+        res = turbomap(c, k=5, upper_bound=4)
+        assert res.phi == 2
+
+    def test_pld_flag_same_result(self):
+        c = and_ring(10)
+        assert turbomap(c, k=4, pld=True).phi == turbomap(c, k=4, pld=False).phi
+
+    def test_name_override(self):
+        res = turbomap(xor_chain(4), k=3, name="custom")
+        assert res.mapped.name == "custom"

@@ -1,0 +1,177 @@
+"""Tests for the BLIF reader/writer."""
+
+import pytest
+
+from repro.netlist.blif import BlifError, read_blif, write_blif
+from repro.netlist.graph import NodeKind
+
+SIMPLE = """
+.model simple
+.inputs a b
+.outputs f
+.names a b f
+11 1
+.end
+"""
+
+SEQUENTIAL = """
+.model seq
+.inputs x
+.outputs y
+.latch n q re clk 0
+.names x q n
+11 1
+.names n y
+1 1
+.end
+"""
+
+LATCH_CHAIN = """
+.model chain
+.inputs x
+.outputs y
+.latch x q1 re clk 0
+.latch q1 q2 re clk 0
+.names q2 y
+1 1
+.end
+"""
+
+OFFSET_COVER = """
+.model offs
+.inputs a b
+.outputs f
+.names a b f
+00 0
+.end
+"""
+
+
+class TestReader:
+    def test_simple_and(self):
+        c, _info = read_blif(SIMPLE)
+        assert c.stats() == {"pis": 2, "pos": 1, "gates": 1, "ffs": 0}
+        g = c.id_of("f")
+        assert c.func(g).eval([1, 1]) == 1
+        assert c.func(g).eval([0, 1]) == 0
+
+    def test_latch_becomes_edge_weight(self):
+        c, info = read_blif(SEQUENTIAL)
+        n = c.id_of("n")
+        # gate n reads q = latch(n): self-loop with weight 1
+        weights = {(s, d): w for s, d, w in c.edges()}
+        assert weights[(n, n)] == 1
+        assert info.initial_values["q"] == "0"
+
+    def test_latch_chain_accumulates(self):
+        c, _ = read_blif(LATCH_CHAIN)
+        y_gate = c.id_of("y")
+        pin = c.fanins(y_gate)[0]
+        assert c.kind(pin.src) is NodeKind.PI
+        assert pin.weight == 2
+
+    def test_offset_cover(self):
+        c, _ = read_blif(OFFSET_COVER)
+        f = c.func(c.id_of("f"))
+        # f = NOT(a'b') = a | b
+        assert [f.eval([a, b]) for a, b in [(0, 0), (1, 0), (0, 1), (1, 1)]] == [
+            0,
+            1,
+            1,
+            1,
+        ]
+
+    def test_po_name_collision_resolved(self):
+        c, _ = read_blif(SIMPLE)
+        po = c.pos[0]
+        assert c.name_of(po) in ("f@po", "f")
+        assert c.kind(po) is NodeKind.PO
+
+    def test_undriven_signal(self):
+        with pytest.raises(BlifError):
+            read_blif(".model m\n.inputs a\n.outputs f\n.end\n")
+
+    def test_double_driver(self):
+        bad = """
+.model m
+.inputs a
+.outputs f
+.names a f
+1 1
+.names a f
+0 1
+.end
+"""
+        with pytest.raises(BlifError):
+            read_blif(bad)
+
+    def test_mixed_cover_rejected(self):
+        bad = """
+.model m
+.inputs a
+.outputs f
+.names a f
+1 1
+0 0
+.end
+"""
+        with pytest.raises(BlifError):
+            read_blif(bad)
+
+    def test_combinational_cycle_rejected(self):
+        bad = """
+.model m
+.inputs a
+.outputs f
+.names g f
+1 1
+.names f g
+1 1
+.end
+"""
+        with pytest.raises(BlifError):
+            read_blif(bad)
+
+    def test_constant_node(self):
+        text = """
+.model m
+.inputs a
+.outputs f
+.names one
+1
+.names a one f
+11 1
+.end
+"""
+        c, _ = read_blif(text)
+        one = c.id_of("one")
+        assert c.func(one).n == 0
+        assert c.func(one).bits == 1
+
+    def test_continuation_lines(self):
+        text = ".model m\n.inputs a \\\nb\n.outputs f\n.names a b f\n11 1\n.end\n"
+        c, _ = read_blif(text)
+        assert len(c.pis) == 2
+
+
+class TestWriter:
+    @pytest.mark.parametrize("source", [SIMPLE, SEQUENTIAL, LATCH_CHAIN, OFFSET_COVER])
+    def test_roundtrip_structure(self, source):
+        c1, _ = read_blif(source)
+        text = write_blif(c1)
+        c2, _ = read_blif(text)
+        assert c1.stats()["pis"] == c2.stats()["pis"]
+        assert c1.stats()["pos"] == c2.stats()["pos"]
+        assert c1.n_ffs == c2.n_ffs
+
+    def test_roundtrip_function(self):
+        c1, _ = read_blif(SIMPLE)
+        c2, _ = read_blif(write_blif(c1))
+        f1 = c1.func(c1.id_of("f"))
+        f2 = c2.func(c2.id_of("f"))
+        assert f1 == f2
+
+    def test_emits_latches_for_weights(self):
+        c, _ = read_blif(LATCH_CHAIN)
+        text = write_blif(c)
+        assert text.count(".latch") == 2

@@ -1,0 +1,60 @@
+"""Robustness tests: malformed BLIF inputs must fail with clear errors."""
+
+import pytest
+
+from repro.netlist.blif import BlifError, read_blif
+
+
+BAD_CASES = {
+    "cube_outside_names": ".model m\n.inputs a\n.outputs f\n11 1\n.end\n",
+    "latch_missing_output": ".model m\n.inputs a\n.outputs f\n.latch a\n.names a f\n1 1\n.end\n",
+    "cube_width_mismatch": ".model m\n.inputs a b\n.outputs f\n.names a b f\n1 1\n.end\n",
+    "bad_output_bit": ".model m\n.inputs a\n.outputs f\n.names a f\n1 2\n.end\n",
+    "names_without_output": ".model m\n.inputs a\n.outputs f\n.names\n.end\n",
+    "latch_driven_twice": (
+        ".model m\n.inputs a\n.outputs f\n.latch a q\n.latch a q\n"
+        ".names q f\n1 1\n.end\n"
+    ),
+    "undriven_output": ".model m\n.inputs a\n.outputs f g\n.names a f\n1 1\n.end\n",
+    "latch_cycle": (
+        ".model m\n.inputs a\n.outputs f\n.latch q1 q2\n.latch q2 q1\n"
+        ".names q1 f\n1 1\n.end\n"
+    ),
+    "constant_line_too_wide": ".model m\n.inputs a\n.outputs f\n.names f\n1 1\n.end\n",
+}
+
+
+@pytest.mark.parametrize("label", sorted(BAD_CASES))
+def test_malformed_rejected(label):
+    with pytest.raises(BlifError):
+        read_blif(BAD_CASES[label])
+
+
+def test_unknown_directives_skipped():
+    text = (
+        ".model m\n.inputs a\n.outputs f\n.clock clk\n"
+        ".names a f\n1 1\n.end\n"
+    )
+    circuit, _ = read_blif(text)
+    assert circuit.n_gates == 1
+
+
+def test_latch_with_type_and_init():
+    text = (
+        ".model m\n.inputs a\n.outputs f\n.latch a q re clk 1\n"
+        ".names q f\n1 1\n.end\n"
+    )
+    circuit, info = read_blif(text)
+    assert info.initial_values["q"] == "1"
+
+
+def test_multiple_names_blocks_share_signals():
+    text = (
+        ".model m\n.inputs a b\n.outputs f g\n"
+        ".names a b t\n11 1\n"
+        ".names t f\n1 1\n"
+        ".names t b g\n01 1\n.end\n"
+    )
+    circuit, _ = read_blif(text)
+    assert circuit.n_gates == 3
+    assert len(circuit.fanouts(circuit.id_of("t"))) == 2

@@ -1,0 +1,51 @@
+"""Tests for Graphviz DOT export."""
+
+from repro.netlist.dot import to_dot, write_dot_file
+from repro.netlist.graph import SeqCircuit
+from tests.helpers import AND2, BUF
+
+
+def small():
+    c = SeqCircuit("dotty")
+    a = c.add_pi("a")
+    g = c.add_gate("g", AND2, [(a, 0), (a, 2)])
+    c.add_po("o", g)
+    return c, a, g
+
+
+class TestToDot:
+    def test_structure(self):
+        c, a, g = small()
+        text = to_dot(c)
+        assert text.startswith('digraph "dotty"')
+        assert "shape=box" in text  # the gate
+        assert "shape=ellipse" in text  # the PI
+        assert text.count("->") == 3
+
+    def test_register_edges_labelled(self):
+        c, *_ = small()
+        text = to_dot(c)
+        assert 'label="2"' in text
+        assert "style=bold" in text
+
+    def test_annotations(self):
+        c, a, g = small()
+        text = to_dot(c, annotate=lambda v: f"l={v}")
+        assert "l=" in text
+
+    def test_highlight(self):
+        c, a, g = small()
+        text = to_dot(c, highlight=[g])
+        assert "fillcolor=lightsalmon" in text
+
+    def test_name_escaping(self):
+        c = SeqCircuit('we"ird')
+        c.add_pi("x")
+        text = to_dot(c)
+        assert '\\"' in text
+
+    def test_write_file(self, tmp_path):
+        c, *_ = small()
+        path = tmp_path / "c.dot"
+        write_dot_file(c, str(path))
+        assert path.read_text().startswith("digraph")

@@ -1,0 +1,85 @@
+"""Tests for the KISS2 FSM format."""
+
+import pytest
+
+from repro.netlist.kiss import FSM, Transition, read_kiss, write_kiss
+
+EXAMPLE = """
+.i 1
+.o 1
+.p 4
+.s 2
+.r s0
+0 s0 s0 0
+1 s0 s1 0
+0 s1 s0 1
+1 s1 s1 1
+.e
+"""
+
+
+class TestModel:
+    def test_states_in_order(self):
+        fsm = read_kiss(EXAMPLE)
+        assert fsm.states == ["s0", "s1"]
+        assert fsm.num_states == 2
+
+    def test_step(self):
+        fsm = read_kiss(EXAMPLE)
+        assert fsm.step("s0", 1) == ("s1", "0")
+        assert fsm.step("s1", 0) == ("s0", "1")
+
+    def test_step_missing_transition(self):
+        fsm = FSM("m", 1, 2)
+        fsm.add("1", "a", "b", "11")
+        assert fsm.step("a", 0) == ("a", "00")
+
+    def test_dont_care_inputs(self):
+        fsm = FSM("m", 2, 1)
+        fsm.add("-1", "a", "b", "1")
+        assert fsm.step("a", 0b10) == ("b", "1")
+        assert fsm.step("a", 0b01) == ("a", "0")
+
+    def test_dont_care_outputs_become_zero(self):
+        fsm = FSM("m", 1, 2)
+        fsm.add("1", "a", "a", "-1")
+        assert fsm.step("a", 1) == ("a", "01")
+
+    def test_add_validates_width(self):
+        fsm = FSM("m", 2, 1)
+        with pytest.raises(ValueError):
+            fsm.add("1", "a", "b", "1")
+        with pytest.raises(ValueError):
+            fsm.add("1x", "a", "b", "1")
+
+
+class TestIO:
+    def test_read_headers(self):
+        fsm = read_kiss(EXAMPLE)
+        assert fsm.num_inputs == 1
+        assert fsm.num_outputs == 1
+        assert fsm.reset_state == "s0"
+        assert len(fsm.transitions) == 4
+
+    def test_default_reset_state(self):
+        fsm = read_kiss(".i 1\n.o 1\n1 a b 1\n.e\n")
+        assert fsm.reset_state == "a"
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ValueError):
+            read_kiss("1 a b 1\n.e\n")
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(ValueError):
+            read_kiss(".i 1\n.o 1\n1 a b\n.e\n")
+
+    def test_roundtrip(self):
+        fsm = read_kiss(EXAMPLE)
+        again = read_kiss(write_kiss(fsm))
+        assert again.transitions == fsm.transitions
+        assert again.reset_state == fsm.reset_state
+        assert again.num_inputs == fsm.num_inputs
+
+    def test_comments_ignored(self):
+        fsm = read_kiss("# header\n.i 1\n.o 1\n1 a b 1 # tail\n.e\n")
+        assert len(fsm.transitions) == 1

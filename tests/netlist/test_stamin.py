@@ -1,0 +1,85 @@
+"""Tests for FSM state minimization."""
+
+import pytest
+
+from repro.bench.fsm import random_fsm
+from repro.netlist.kiss import FSM
+from repro.netlist.stamin import (
+    equivalent_state_classes,
+    machines_equivalent,
+    minimize_states,
+)
+
+
+def redundant_machine():
+    """Two copies of the same 2-state toggler glued together (4 states)."""
+    fsm = FSM("redundant", 1, 1, reset_state="a0")
+    # copy 0
+    fsm.add("0", "a0", "a0", "0")
+    fsm.add("1", "a0", "b0", "0")
+    fsm.add("0", "b0", "b0", "1")
+    fsm.add("1", "b0", "a0", "1")
+    # copy 1 (behaviourally identical states)
+    fsm.add("0", "a1", "a1", "0")
+    fsm.add("1", "a1", "b1", "0")
+    fsm.add("0", "b1", "b1", "1")
+    fsm.add("1", "b1", "a1", "1")
+    # bridge: a0's unreachable twin keeps both copies in the state list
+    return fsm
+
+
+class TestEquivalenceClasses:
+    def test_redundant_copies_merge(self):
+        fsm = redundant_machine()
+        classes = {frozenset(c) for c in equivalent_state_classes(fsm)}
+        assert frozenset(["a0", "a1"]) in classes
+        assert frozenset(["b0", "b1"]) in classes
+
+    def test_distinct_outputs_stay_separate(self):
+        fsm = FSM("m", 1, 1, reset_state="p")
+        fsm.add("-", "p", "q", "0")
+        fsm.add("-", "q", "p", "1")
+        classes = equivalent_state_classes(fsm)
+        assert len(classes) == 2
+
+    def test_input_cap(self):
+        fsm = FSM("wide", 13, 1, reset_state="a")
+        fsm.add("-" * 13, "a", "a", "0")
+        fsm.add("-" * 13, "b", "b", "0")
+        with pytest.raises(ValueError):
+            equivalent_state_classes(fsm)
+
+
+class TestMinimizeStates:
+    def test_reduces_and_preserves_behaviour(self):
+        fsm = redundant_machine()
+        reduced = minimize_states(fsm)
+        assert reduced.num_states == 2
+        assert machines_equivalent(fsm, reduced, steps=300, seed=1)
+
+    def test_already_minimal_unchanged_count(self):
+        fsm = FSM("m", 1, 1, reset_state="p")
+        fsm.add("-", "p", "q", "0")
+        fsm.add("-", "q", "p", "1")
+        assert minimize_states(fsm).num_states == 2
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_machines_behaviour_preserved(self, seed):
+        fsm = random_fsm("m", 9, 3, 2, seed=seed)
+        reduced = minimize_states(fsm)
+        assert reduced.num_states <= fsm.num_states
+        assert machines_equivalent(fsm, reduced, steps=400, seed=seed + 1)
+
+
+class TestMachinesEquivalent:
+    def test_detects_difference(self):
+        a = FSM("a", 1, 1, reset_state="s")
+        a.add("-", "s", "s", "0")
+        b = FSM("b", 1, 1, reset_state="s")
+        b.add("-", "s", "s", "1")
+        assert not machines_equivalent(a, b)
+
+    def test_shape_mismatch(self):
+        a = FSM("a", 1, 1)
+        b = FSM("b", 2, 1)
+        assert not machines_equivalent(a, b)

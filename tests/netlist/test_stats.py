@@ -1,0 +1,69 @@
+"""Tests for circuit profiling."""
+
+import pytest
+
+from repro.netlist.graph import SeqCircuit
+from repro.netlist.stats import lut_profile, profile, render_profile
+from tests.helpers import AND2, BUF, and_tree, random_seq_circuit, xor_chain
+
+
+class TestProfile:
+    def test_counts(self):
+        c = xor_chain(5)
+        p = profile(c)
+        assert p.pis == 5
+        assert p.gates == 4
+        assert p.ffs == 0
+        assert p.clock_period == 4
+
+    def test_fanin_histogram(self):
+        c = and_tree(8)
+        p = profile(c)
+        assert p.fanin_histogram == {2: 7}
+
+    def test_level_histogram_chain(self):
+        c = xor_chain(4)
+        p = profile(c)
+        assert p.level_histogram == {1: 1, 2: 1, 3: 1}
+
+    def test_weight_histogram_and_loops(self):
+        c = SeqCircuit("loopy")
+        x = c.add_pi("x")
+        g = c.add_gate_placeholder("g", AND2)
+        c.set_fanins(g, [(x, 0), (g, 2)])
+        c.add_po("o", g)
+        p = profile(c)
+        assert p.weight_histogram == {0: 2, 2: 1}
+        assert p.scc_sizes == [1]  # self-loop
+        assert p.loop_gates == 1
+
+    def test_scc_sizes(self):
+        c = random_seq_circuit(3, 15, seed=2, feedback=4)
+        p = profile(c)
+        assert all(s >= 1 for s in p.scc_sizes)
+
+    def test_render(self):
+        text = render_profile(profile(xor_chain(4)))
+        assert "feed-forward" in text
+        assert "fanins" in text
+
+
+class TestLutProfile:
+    def test_fill_and_classes(self):
+        from repro.core.turbomap import turbomap
+
+        c = random_seq_circuit(3, 14, seed=1, feedback=2)
+        tm = turbomap(c, k=4)
+        info = lut_profile(tm.mapped)
+        assert info["luts"] == tm.n_luts
+        assert 0 < info["average_inputs"] <= 4
+        assert info["npn_classes"] >= 1
+        assert sum(info["fill_histogram"].values()) == tm.n_luts
+
+    def test_empty_network(self):
+        c = SeqCircuit("empty")
+        a = c.add_pi("a")
+        c.add_po("o", a)
+        info = lut_profile(c)
+        assert info["luts"] == 0
+        assert info["average_inputs"] == 0.0

@@ -1,0 +1,71 @@
+"""Tests for structural validation helpers."""
+
+import pytest
+
+from repro.boolfn.truthtable import TruthTable
+from repro.netlist.graph import SeqCircuit
+from repro.netlist.validate import (
+    ValidationError,
+    dangling_nodes,
+    ensure_k_bounded,
+    ensure_mappable,
+    ensure_valid,
+)
+from tests.helpers import AND2, BUF
+
+
+def wide_gate_circuit():
+    c = SeqCircuit("wide")
+    pis = [c.add_pi(f"x{i}") for i in range(4)]
+    func = TruthTable.from_function(4, lambda *xs: all(xs))
+    g = c.add_gate("g", func, [(p, 0) for p in pis])
+    c.add_po("o", g)
+    return c
+
+
+class TestEnsureValid:
+    def test_valid_circuit_passes(self):
+        ensure_valid(wide_gate_circuit())
+
+    def test_combinational_cycle_rejected(self):
+        c = SeqCircuit()
+        g1 = c.add_gate_placeholder("g1", BUF)
+        g2 = c.add_gate_placeholder("g2", BUF)
+        c.set_fanins(g1, [(g2, 0)])
+        c.set_fanins(g2, [(g1, 0)])
+        c.add_po("o", g2)
+        with pytest.raises(ValidationError):
+            ensure_valid(c)
+
+
+class TestEnsureKBounded:
+    def test_within_bound(self):
+        ensure_k_bounded(wide_gate_circuit(), 4)
+
+    def test_exceeds_bound(self):
+        with pytest.raises(ValidationError) as err:
+            ensure_k_bounded(wide_gate_circuit(), 3)
+        assert "gate decomposition" in str(err.value)
+
+    def test_mappable_combines_both(self):
+        ensure_mappable(wide_gate_circuit(), 5)
+        with pytest.raises(ValidationError):
+            ensure_mappable(wide_gate_circuit(), 2)
+
+
+class TestDanglingNodes:
+    def test_no_dangling(self):
+        assert dangling_nodes(wide_gate_circuit()) == []
+
+    def test_dead_gate_found(self):
+        c = wide_gate_circuit()
+        dead = c.add_gate("dead", AND2, [(c.pis[0], 0), (c.pis[1], 0)])
+        assert dangling_nodes(c) == [dead]
+
+    def test_unused_pi_found(self):
+        c = SeqCircuit()
+        a = c.add_pi("a")
+        b = c.add_pi("b")
+        g = c.add_gate("g", BUF, [(a, 0)])
+        c.add_po("o", g)
+        assert dangling_nodes(c) == [b]

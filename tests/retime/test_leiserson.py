@@ -1,0 +1,206 @@
+"""Tests for retiming (strict OPT1 and pipelined FEAS modes)."""
+
+import pytest
+
+from repro.netlist.graph import SeqCircuit
+from repro.retime.leiserson import (
+    STRICT_NODE_LIMIT,
+    RetimingInfeasible,
+    feas,
+    min_period_retiming,
+    retime_for_period,
+)
+from repro.retime.mdr import min_feasible_period
+from repro.retime.pipeline import pipeline_and_retime
+from tests.helpers import AND2, BUF
+
+
+def broadcast_ring():
+    """Ring of 6 gates, 3 FFs on one edge, PI broadcast to every gate.
+
+    Strictly *unretimable*: the PI pins every gate's lag from below and
+    the PO pins the last gate to zero, so no register can move — the
+    strict optimum stays at the full ring length 6.  With pipelining the
+    loop bound (6 gates / 3 FFs = 2) is achievable.
+    """
+    c = SeqCircuit("broadcast_ring")
+    x = c.add_pi("x")
+    g = [c.add_gate_placeholder(f"g{i}", AND2) for i in range(6)]
+    for i in range(6):
+        prev = g[(i - 1) % 6]
+        weight = 3 if i == 0 else 0
+        c.set_fanins(g[i], [(prev, weight), (x, 0)])
+    c.add_po("y", g[5])
+    c.check()
+    return c
+
+
+def backward_chain():
+    """x -> g0 =2FF=> g1 -> g2 -> PO: strict period 1 needs a *negative*
+    lag on g1 (moving a register backward off the weighted edge)."""
+    c = SeqCircuit("backchain")
+    x = c.add_pi("x")
+    g0 = c.add_gate("g0", BUF, [(x, 0)])
+    g1 = c.add_gate("g1", BUF, [(g0, 2)])
+    g2 = c.add_gate("g2", BUF, [(g1, 0)])
+    c.add_po("y", g2)
+    return c
+
+
+def balanced_ring():
+    """Ring of 6 buffers with 3 FFs, I/O attached through registers so
+    strict retiming can balance it to period 2."""
+    c = SeqCircuit("balanced_ring")
+    x = c.add_pi("x")
+    g = [c.add_gate_placeholder(f"g{i}", BUF) for i in range(6)]
+    c.set_fanins(g[0], [(g[5], 3)])
+    for i in range(1, 6):
+        c.set_fanins(g[i], [(g[i - 1], 0)])
+    # Feed the ring through a registered injection point and observe
+    # through a registered tap: I/O lags stay free of the balancing.
+    inj = c.add_gate("inj", AND2, [(x, 0), (g[2], 1)])
+    c.add_po("y", inj, 1)
+    c.check()
+    return c
+
+
+def pipeline_chain(n):
+    """Pure feed-forward chain of n gates with no registers."""
+    c = SeqCircuit("chain")
+    x = c.add_pi("x")
+    prev = x
+    for i in range(n):
+        prev = c.add_gate(f"g{i}", BUF, [(prev, 0)])
+    c.add_po("y", prev)
+    return c
+
+
+class TestStrictMode:
+    def test_backward_move(self):
+        c = backward_chain()
+        assert c.clock_period() == 2
+        r = feas(c, 1, allow_pipelining=False)
+        assert r is not None
+        retimed = c.apply_retiming(r)
+        assert retimed.clock_period() <= 1
+        # I/O lags untouched.
+        assert r[c.pis[0]] == r[c.pos[0]]
+
+    def test_broadcast_ring_is_stuck(self):
+        c = broadcast_ring()
+        for phi in (2, 3, 5):
+            assert feas(c, phi, allow_pipelining=False) is None
+        assert feas(c, 6, allow_pipelining=False) is not None
+
+    def test_balanced_ring_reaches_loop_bound(self):
+        c = balanced_ring()
+        res = min_period_retiming(c, allow_pipelining=False)
+        assert res.period == 2
+        assert res.po_lags == {"y": 0}
+
+    def test_size_guard(self):
+        c = pipeline_chain(STRICT_NODE_LIMIT + 10)
+        with pytest.raises(ValueError):
+            feas(c, 3, allow_pipelining=False)
+
+    def test_chain_cannot_pipeline(self):
+        c = pipeline_chain(5)
+        assert feas(c, 2, allow_pipelining=False) is None
+        assert feas(c, 5, allow_pipelining=False) is not None
+
+
+class TestPipelinedMode:
+    def test_broadcast_ring_reaches_mdr(self):
+        c = broadcast_ring()
+        r = feas(c, 2, allow_pipelining=True)
+        assert r is not None
+        assert c.apply_retiming(r).clock_period() <= 2
+
+    def test_below_mdr_infeasible(self):
+        c = broadcast_ring()
+        assert feas(c, 1, allow_pipelining=True) is None
+
+    def test_chain_reaches_one(self):
+        c = pipeline_chain(5)
+        r = feas(c, 1, allow_pipelining=True)
+        assert r is not None
+        assert c.apply_retiming(r).clock_period() <= 1
+
+    def test_zero_period_rejected(self):
+        assert feas(pipeline_chain(2), 0) is None
+
+
+class TestRetimeForPeriod:
+    def test_result_fields(self):
+        c = backward_chain()
+        res = retime_for_period(c, 1, allow_pipelining=False)
+        assert res.period <= 1
+        assert res.po_lags == {"y": 0}
+        assert len(res.r) == len(c)
+
+    def test_po_lags_reported(self):
+        c = pipeline_chain(4)
+        res = retime_for_period(c, 1, allow_pipelining=True)
+        assert res.po_lags["y"] >= 1
+        assert res.period <= 1
+
+    def test_infeasible_raises(self):
+        with pytest.raises(RetimingInfeasible):
+            retime_for_period(broadcast_ring(), 1)
+
+
+class TestMinPeriodRetiming:
+    def test_strict_optimal(self):
+        res = min_period_retiming(backward_chain(), allow_pipelining=False)
+        assert res.period == 1
+
+    def test_pipelined_reaches_mdr_bound(self):
+        c = broadcast_ring()
+        res = min_period_retiming(c, allow_pipelining=True)
+        assert res.period == min_feasible_period(c) == 2
+
+    def test_chain_strict_stays_full_depth(self):
+        c = pipeline_chain(4)
+        res = min_period_retiming(c, allow_pipelining=False)
+        assert res.period == 4
+
+    def test_chain_pipelined_reaches_one(self):
+        c = pipeline_chain(4)
+        res = min_period_retiming(c, allow_pipelining=True)
+        assert res.period == 1
+
+
+class TestPipelineAndRetime:
+    def test_quickpath(self):
+        c = broadcast_ring()
+        res = pipeline_and_retime(c)
+        assert res.phi == 2
+        assert res.circuit.clock_period() <= 2
+
+    def test_explicit_phi(self):
+        c = broadcast_ring()
+        res = pipeline_and_retime(c, phi=3)
+        assert res.circuit.clock_period() <= 3
+
+    def test_phi_below_bound_rejected(self):
+        with pytest.raises(ValueError):
+            pipeline_and_retime(broadcast_ring(), phi=1)
+
+    def test_mixed_loop_and_io(self):
+        # A loop of ratio 2 plus a long feed-forward tail: pipelining
+        # fixes the tail, the loop sets the period.
+        c = SeqCircuit("mixed")
+        x = c.add_pi("x")
+        g1 = c.add_gate_placeholder("g1", AND2)
+        g2 = c.add_gate_placeholder("g2", BUF)
+        c.set_fanins(g1, [(x, 0), (g2, 1)])
+        c.set_fanins(g2, [(g1, 0)])
+        tail = g2
+        for i in range(5):
+            tail = c.add_gate(f"t{i}", BUF, [(tail, 0)])
+        c.add_po("y", tail)
+        c.check()
+        res = pipeline_and_retime(c)
+        assert res.phi == 2
+        assert res.circuit.clock_period() <= 2
+        assert res.po_lags["y"] >= 1

@@ -1,0 +1,56 @@
+"""Focused tests for the pipeline wrapper module."""
+
+import pytest
+
+from repro.netlist.graph import SeqCircuit
+from repro.retime.pipeline import PipelineResult, pipeline_and_retime
+from tests.helpers import AND2, BUF
+
+
+def loop_with_tail():
+    c = SeqCircuit("lt")
+    x = c.add_pi("x")
+    g1 = c.add_gate_placeholder("g1", AND2)
+    g2 = c.add_gate("g2", BUF, [(g1, 0)])
+    g3 = c.add_gate("g3", BUF, [(g2, 0)])
+    c.set_fanins(g1, [(x, 0), (g3, 1)])
+    tail = g3
+    for i in range(4):
+        tail = c.add_gate(f"t{i}", BUF, [(tail, 0)])
+    c.add_po("y", tail)
+    c.check()
+    return c
+
+
+class TestPipelineResult:
+    def test_fields_consistent(self):
+        c = loop_with_tail()
+        res = pipeline_and_retime(c)
+        assert isinstance(res, PipelineResult)
+        assert res.circuit.clock_period() <= res.phi
+        assert res.retiming.period <= res.phi
+        assert set(res.po_lags) == {"y"}
+
+    def test_minimize_ffs_not_worse(self):
+        c = loop_with_tail()
+        plain = pipeline_and_retime(c)
+        lean = pipeline_and_retime(c, minimize_ffs=True)
+        assert lean.circuit.n_ffs <= plain.circuit.n_ffs
+        assert lean.circuit.clock_period() <= plain.phi
+
+    def test_explicit_phi_above_bound(self):
+        c = loop_with_tail()
+        res = pipeline_and_retime(c, phi=5)
+        assert res.phi == 5
+        assert res.circuit.clock_period() <= 5
+
+    def test_phi_below_bound_raises(self):
+        c = loop_with_tail()
+        with pytest.raises(ValueError):
+            pipeline_and_retime(c, phi=1)
+
+    def test_lags_bound_added_latency(self):
+        c = loop_with_tail()
+        res = pipeline_and_retime(c)
+        # the 4-gate tail at phi=3 needs at least one pipeline stage
+        assert res.po_lags["y"] >= 1

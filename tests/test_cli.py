@@ -1,0 +1,110 @@
+"""Tests for the command line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.netlist.blif import read_blif_file, write_blif_file
+from repro.netlist.graph import SeqCircuit
+from tests.helpers import AND2, XOR2
+
+
+@pytest.fixture
+def small_blif(tmp_path):
+    c = SeqCircuit("small")
+    xs = [c.add_pi(f"x{i}") for i in range(4)]
+    g = [c.add_gate_placeholder(f"g{i}", AND2 if i % 2 else XOR2) for i in range(4)]
+    for i in range(4):
+        c.set_fanins(g[i], [(g[(i - 1) % 4], 1 if i == 0 else 0), (xs[i], 0)])
+    c.add_po("y", g[-1])
+    c.check()
+    path = tmp_path / "small.blif"
+    write_blif_file(c, str(path))
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_map_defaults(self):
+        args = build_parser().parse_args(["map", "x.blif"])
+        args.algo == "turbosyn"
+        assert args.k == 5
+
+    def test_bad_algo_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["map", "x.blif", "--algo", "magic"])
+
+
+class TestCommands:
+    def test_stats(self, small_blif, capsys):
+        assert main(["stats", small_blif]) == 0
+        out = capsys.readouterr().out
+        assert "MDR bound" in out
+
+    @pytest.mark.parametrize("algo", ["turbomap", "turbosyn", "flowsyn-s"])
+    def test_map(self, small_blif, capsys, algo):
+        assert main(["map", small_blif, "--algo", algo, "-k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "phi=" in out
+
+    def test_map_with_output_and_retime(self, small_blif, tmp_path, capsys):
+        out_path = str(tmp_path / "mapped.blif")
+        code = main(
+            ["map", small_blif, "--algo", "turbosyn", "--out", out_path, "--retime"]
+        )
+        assert code == 0
+        assert os.path.exists(out_path)
+        mapped, _ = read_blif_file(out_path)
+        mapped.check()
+
+    def test_gen(self, tmp_path, capsys):
+        out_path = str(tmp_path / "bbara.blif")
+        assert main(["gen", "bbara", out_path]) == 0
+        circuit, _ = read_blif_file(out_path)
+        assert circuit.n_gates > 100
+
+    def test_gen_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["gen", "unknown_bench", "/tmp/x.blif"])
+
+    def test_verify_equivalent(self, small_blif, tmp_path, capsys):
+        mapped = str(tmp_path / "m.blif")
+        main(["map", small_blif, "--algo", "turbomap", "--out", mapped])
+        capsys.readouterr()
+        assert main(["verify", small_blif, mapped, "--cycles", "48"]) == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+
+    def test_verify_detects_difference(self, small_blif, tmp_path, capsys):
+        # Invert one gate: the circuits must differ.
+        circuit, _ = read_blif_file(small_blif)
+        gate = circuit.gates[0]
+        node = circuit.node(gate)
+        node.func = ~node.func
+        other = str(tmp_path / "other.blif")
+        write_blif_file(circuit, other)
+        code = main(["verify", small_blif, other, "--cycles", "48"])
+        assert code == 1
+
+    def test_critical(self, small_blif, capsys):
+        assert main(["critical", small_blif, "-k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "MDR ratio" in out
+
+    def test_dot_export(self, small_blif, tmp_path):
+        out = str(tmp_path / "c.dot")
+        assert main(["dot", small_blif, out, "--highlight-critical"]) == 0
+        assert open(out).read().startswith("digraph")
+
+    def test_verilog_export(self, small_blif, tmp_path, capsys):
+        out = str(tmp_path / "mapped.v")
+        code = main(
+            ["map", small_blif, "--algo", "turbomap", "--verilog", out, "--retime"]
+        )
+        assert code == 0
+        text = open(out).read()
+        assert text.startswith("module")
+        assert "endmodule" in text

@@ -1,0 +1,61 @@
+"""Smoke tests: the example scripts run and report success.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Each example's ``main()`` is imported and run with captured
+stdout; success markers and the absence of FAIL lines are asserted.
+The slow design-space sweep is exercised only through its imports.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def load_example(name):
+    path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "TurboSYN" in out
+        assert "PASS" in out
+        assert "FAIL" not in out
+
+    def test_paper_figure1(self, capsys):
+        load_example("paper_figure1").main()
+        out = capsys.readouterr().out
+        assert "positive loop detected" in out
+        assert "TurboSYN : phi = 1" in out
+
+    def test_fsm_flow(self, capsys):
+        load_example("fsm_flow").main()
+        out = capsys.readouterr().out
+        assert out.count("PASS") >= 2
+        assert "FAIL" not in out
+
+    def test_datapath_retiming(self, capsys):
+        load_example("datapath_retiming").main()
+        out = capsys.readouterr().out
+        assert "critical cycle" in out
+        assert "PASS" in out
+        assert "FAIL" not in out
+
+    def test_verification(self, capsys):
+        load_example("verification").main()
+        out = capsys.readouterr().out
+        assert out.count("PASS") >= 3
+        assert "FAIL" not in out
+
+    def test_design_space_importable(self):
+        module = load_example("design_space")
+        assert callable(module.main)

@@ -1,0 +1,171 @@
+"""End-to-end integration tests: the complete flow, file formats included.
+
+These mirror what a user actually does: generate or read a circuit, map
+it with each algorithm, post-process with pipelining + retiming (+
+register minimization), write and reread BLIF at each stage, and verify
+behaviour all the way through.
+"""
+
+import pytest
+
+import repro
+from repro.bench.fsm import fsm_to_circuit, random_fsm, simulate_fsm_circuit
+from repro.bench.suite import build
+from repro.netlist.stamin import machines_equivalent, minimize_states
+from repro.retime.mdr import min_feasible_period
+
+
+class TestPublicApi:
+    def test_lazy_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_dir_lists_exports(self):
+        assert "turbosyn" in dir(repro)
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.not_a_thing
+
+
+class TestFullFlow:
+    @pytest.fixture(scope="class")
+    def subject(self):
+        fsm = random_fsm("itg", 8, 4, 3, seed=33, split_depth=3)
+        return fsm, fsm_to_circuit(fsm)
+
+    def test_state_minimization_front_end(self, subject):
+        fsm, _ = subject
+        reduced = minimize_states(fsm)
+        assert machines_equivalent(fsm, reduced, steps=300, seed=1)
+        circuit = fsm_to_circuit(reduced)
+        assert simulate_fsm_circuit(reduced, circuit, steps=100, seed=2)
+
+    def test_three_mappers_ordering(self, subject):
+        _, circuit = subject
+        fs = repro.flowsyn_s(circuit, k=5)
+        tm = repro.turbomap(circuit, k=5)
+        ts = repro.turbosyn(circuit, k=5, upper_bound=tm.phi)
+        assert ts.phi <= tm.phi
+        assert ts.phi <= fs.phi
+        for result in (fs, tm, ts):
+            assert min_feasible_period(result.mapped) <= result.phi
+            assert repro.simulation_equivalent(
+                circuit, result.mapped, cycles=60, warmup=12
+            )
+
+    def test_retime_and_regmin(self, subject):
+        from repro.verify.equiv import retiming_consistent
+
+        _, circuit = subject
+        ts = repro.turbosyn(circuit, k=5)
+        plain = repro.pipeline_and_retime(ts.mapped)
+        lean = repro.pipeline_and_retime(ts.mapped, minimize_ffs=True)
+        assert lean.circuit.clock_period() <= plain.phi
+        assert lean.circuit.n_ffs <= plain.circuit.n_ffs
+        # State machines do not resynchronize from mismatched resets, so
+        # retiming is validated by its structural certificate (see
+        # verify.equiv.retiming_consistent) instead of simulation.
+        assert retiming_consistent(ts.mapped, lean.circuit, lean.retiming.r)
+
+    def test_blif_through_the_flow(self, subject, tmp_path):
+        _, circuit = subject
+        src = tmp_path / "subject.blif"
+        repro.write_blif_file(circuit, str(src))
+        reread, _info = repro.read_blif_file(str(src))
+        ts = repro.turbosyn(reread, k=5)
+        out = tmp_path / "mapped.blif"
+        repro.write_blif_file(ts.mapped, str(out))
+        final, _ = repro.read_blif_file(str(out))
+        assert final.is_k_bounded(5)
+        assert min_feasible_period(final) <= ts.phi
+
+
+class TestResetSynchronizedFlow:
+    """End-to-end behavioural verification through every transformation.
+
+    Sequential cuts and retiming both perturb initial states; an explicit
+    reset input provides a synchronizing sequence that makes the whole
+    flow checkable by simulation (the strongest end-to-end evidence this
+    project produces).
+    """
+
+    ONES = (1 << 64) - 1
+
+    @pytest.fixture(scope="class")
+    def subject(self):
+        fsm = random_fsm("rsty", 8, 4, 3, seed=41, split_depth=3)
+        return fsm_to_circuit(fsm, with_reset=True)
+
+    def test_mapped_equivalent_after_reset(self, subject):
+        ts = repro.turbosyn(subject, k=5)
+        assert repro.simulation_equivalent(
+            subject,
+            ts.mapped,
+            cycles=80,
+            warmup=24,
+            sync_inputs={"rst": self.ONES},
+            sync_cycles=12,
+        )
+
+    def test_retimed_equivalent_after_reset(self, subject):
+        ts = repro.turbosyn(subject, k=5)
+        pipe = repro.pipeline_and_retime(ts.mapped)
+        assert repro.simulation_equivalent(
+            subject,
+            pipe.circuit,
+            cycles=90,
+            warmup=32,
+            po_lags=pipe.po_lags,
+            sync_inputs={"rst": self.ONES},
+            sync_cycles=16,
+        )
+
+    def test_flowsyn_s_equivalent_after_reset(self, subject):
+        fs = repro.flowsyn_s(subject, k=5)
+        assert repro.simulation_equivalent(
+            subject,
+            fs.mapped,
+            cycles=80,
+            warmup=24,
+            sync_inputs={"rst": self.ONES},
+            sync_cycles=12,
+        )
+
+
+class TestSuiteSmoke:
+    @pytest.mark.parametrize("name", ["bbara", "s838"])
+    def test_suite_circuit_full_flow(self, name):
+        from repro.core.expanded import sequential_cone_function
+        from repro.verify.equiv import retiming_consistent
+
+        circuit = build(name)
+        ts = repro.turbosyn(circuit, k=5)
+        # The suite circuits carry no reset input, so behavioural
+        # simulation from power-up is not meaningful across sequential
+        # cuts (initial-state caveat — the reset-synchronized flow above
+        # covers simulation).  Check the per-LUT cone functions exactly
+        # instead: every non-decomposition LUT must equal the sequential
+        # cone function of its cut.
+        checked = 0
+        for g in ts.mapped.gates:
+            lut_name = ts.mapped.name_of(g)
+            if "~s" in lut_name or lut_name not in circuit:
+                continue
+            fanin_names = [ts.mapped.name_of(p.src) for p in ts.mapped.fanins(g)]
+            if any("~s" in n or n not in circuit for n in fanin_names):
+                continue  # reads a decomposition-tree LUT: no subject twin
+            subject = circuit.id_of(lut_name)
+            cut = [
+                (circuit.id_of(n), p.weight)
+                for n, p in zip(fanin_names, ts.mapped.fanins(g))
+            ]
+            assert sequential_cone_function(circuit, subject, cut) == ts.mapped.func(g)
+            checked += 1
+            if checked >= 40:
+                break
+        assert checked > 10
+        # Retiming is certified structurally.
+        pipe = repro.pipeline_and_retime(ts.mapped)
+        assert pipe.circuit.clock_period() <= ts.phi
+        assert retiming_consistent(ts.mapped, pipe.circuit, pipe.retiming.r)

@@ -1,0 +1,171 @@
+"""Property-based invariants across the whole pipeline (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.boolfn.decompose import disjoint_decompose, synthesize_lut_tree
+from repro.boolfn.truthtable import TruthTable
+from repro.comb.pack import pack_luts
+from repro.core.turbomap import turbomap
+from repro.core.turbosyn import turbosyn
+from repro.netlist.blif import read_blif, write_blif
+from repro.retime.leiserson import feas
+from repro.retime.mdr import min_feasible_period
+from repro.verify.equiv import simulation_equivalent
+from tests.helpers import random_seq_circuit
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+SLOW = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestEndToEndInvariants:
+    @given(seeds)
+    @SLOW
+    def test_turbosyn_dominates_turbomap(self, seed):
+        c = random_seq_circuit(3, 14, seed=seed, feedback=3)
+        tm = turbomap(c, k=3)
+        ts = turbosyn(c, k=3, upper_bound=tm.phi)
+        assert ts.phi <= tm.phi
+        assert min_feasible_period(ts.mapped) <= ts.phi
+        assert min_feasible_period(tm.mapped) <= tm.phi
+
+    @given(seeds)
+    @SLOW
+    def test_mapped_circuits_equivalent(self, seed):
+        c = random_seq_circuit(3, 12, seed=seed, feedback=2)
+        ts = turbosyn(c, k=3)
+        # Sequential cuts perturb power-up state; most of these random
+        # circuits flush the transient quickly, but weighted cuts can
+        # stretch it, and a rare instance may not self-synchronize at
+        # all.  Accept steady-state agreement at a generous warmup, or
+        # fall back to the sound per-LUT exact cone check.
+        if simulation_equivalent(
+            c, ts.mapped, cycles=96, warmup=48, seed=seed, lanes=32
+        ):
+            return
+        from repro.core.expanded import sequential_cone_function
+
+        for g in ts.mapped.gates:
+            name = ts.mapped.name_of(g)
+            fanin_names = [ts.mapped.name_of(p.src) for p in ts.mapped.fanins(g)]
+            if "~s" in name or any("~s" in n or n not in c for n in fanin_names):
+                continue
+            cut = [
+                (c.id_of(n), p.weight)
+                for n, p in zip(fanin_names, ts.mapped.fanins(g))
+            ]
+            assert (
+                sequential_cone_function(c, c.id_of(name), cut)
+                == ts.mapped.func(g)
+            ), (seed, name)
+
+    @given(seeds)
+    @SLOW
+    def test_phi_monotone_in_k(self, seed):
+        c = random_seq_circuit(3, 12, seed=seed, feedback=2)
+        phis = [turbomap(c, k=k).phi for k in (2, 3, 5)]
+        assert phis == sorted(phis, reverse=True)
+
+    @given(seeds)
+    @SLOW
+    def test_identity_bound_respected(self, seed):
+        c = random_seq_circuit(3, 12, seed=seed, feedback=3)
+        bound = min_feasible_period(c)
+        assert turbomap(c, k=3).phi <= bound
+
+
+class TestRetimingInvariants:
+    @given(seeds, st.integers(min_value=1, max_value=6))
+    @SLOW
+    def test_feas_results_are_legal_and_meet_phi(self, seed, phi):
+        c = random_seq_circuit(3, 14, seed=seed, feedback=3)
+        r = feas(c, phi, allow_pipelining=True)
+        if r is None:
+            assert phi < min_feasible_period(c)
+        else:
+            retimed = c.apply_retiming(r)  # raises if illegal
+            assert retimed.clock_period() <= phi
+
+    @given(seeds)
+    @SLOW
+    def test_retiming_preserves_cycle_weights(self, seed):
+        c = random_seq_circuit(3, 12, seed=seed, feedback=3)
+        phi = min_feasible_period(c)
+        r = feas(c, phi, allow_pipelining=True)
+        assert r is not None
+        retimed = c.apply_retiming(r)
+        # Register sums around any cycle are retiming-invariant; compare
+        # the exact MDR ratios as a strong proxy over all cycles.
+        from repro.retime.mdr import mdr_ratio
+
+        assert mdr_ratio(retimed) == mdr_ratio(c)
+
+
+class TestPackingInvariants:
+    @given(seeds)
+    @SLOW
+    def test_pack_never_increases_area_and_preserves_behaviour(self, seed):
+        c = random_seq_circuit(3, 12, seed=seed, feedback=2)
+        mapped = turbomap(c, k=3).mapped
+        packed = pack_luts(mapped, k=4)
+        assert packed.n_gates <= mapped.n_gates
+        assert simulation_equivalent(
+            mapped, packed, cycles=40, warmup=10, seed=seed, lanes=32
+        )
+
+
+class TestBlifRoundtrip:
+    @given(seeds)
+    @SLOW
+    def test_roundtrip_preserves_behaviour(self, seed):
+        c = random_seq_circuit(3, 10, seed=seed, feedback=2)
+        again, _info = read_blif(write_blif(c))
+        # PO node names survive modulo the "@po" disambiguation marker;
+        # rename for the comparison.
+        mapping = {}
+        for po in again.pos:
+            name = again.name_of(po)
+            base = name[: -len("@po")] if name.endswith("@po") else name
+            mapping[name] = base
+        for po in again.pos:
+            again.node(po).name = mapping[again.name_of(po)]
+        again._index = {n.name: i for i, n in enumerate(again._nodes)}
+        assert simulation_equivalent(
+            c, again, cycles=40, warmup=10, seed=seed, lanes=32
+        )
+
+
+class TestDecompositionInvariants:
+    @given(
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_decompose_then_recompose(self, bits, bound_size):
+        f = TruthTable(5, bits & ((1 << 32) - 1))
+        bound = list(range(bound_size))
+        step = disjoint_decompose(f, bound)
+        if step is not None:
+            assert step.recompose(5) == f
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=2, max_value=5),
+        st.lists(st.integers(min_value=-3, max_value=3), min_size=5, max_size=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_lut_trees_meet_deadlines(self, bits, k, arrival):
+        f = TruthTable(5, bits)
+        deadline = max(arrival) + 4
+        tree = synthesize_lut_tree(f, arrival, k, deadline)
+        if tree is not None:
+            assert tree.max_fanin() <= k
+            assert tree.root_ready(arrival) <= deadline
+            assert tree.to_truthtable() == f

@@ -1,0 +1,85 @@
+"""Tests for BDD-based combinational equivalence."""
+
+import pytest
+
+from repro.boolfn.bdd import BDD
+from repro.comb.flowmap import flowmap
+from repro.comb.flowsyn import flowsyn
+from repro.verify.bdd_equiv import (
+    BddBlowup,
+    build_po_bdds,
+    combinational_equivalent,
+)
+from repro.netlist.graph import SeqCircuit
+from tests.helpers import AND2, NOT1, OR2, XOR2, random_dag, xor_chain
+
+
+class TestBuildPoBdds:
+    def test_simple_function(self):
+        c = SeqCircuit("f")
+        a, b = c.add_pi("a"), c.add_pi("b")
+        g = c.add_gate("g", XOR2, [(a, 0), (b, 0)])
+        c.add_po("o", g)
+        manager = BDD(2)
+        out = build_po_bdds(c, manager, {"a": 0, "b": 1})
+        f = out["o"]
+        assert manager.eval(f, [0, 1]) == 1
+        assert manager.eval(f, [1, 1]) == 0
+
+    def test_sequential_rejected(self):
+        c = SeqCircuit("s")
+        a = c.add_pi("a")
+        g = c.add_gate("g", AND2, [(a, 0), (a, 1)])
+        c.add_po("o", g)
+        with pytest.raises(ValueError):
+            build_po_bdds(c, BDD(1), {"a": 0})
+
+    def test_budget_enforced(self):
+        # A wide XOR chain has a small BDD, so force a tiny budget.
+        c = xor_chain(8)
+        manager = BDD(8)
+        pi_var = {c.name_of(p): i for i, p in enumerate(c.pis)}
+        with pytest.raises(BddBlowup):
+            build_po_bdds(c, manager, pi_var, node_budget=3)
+
+
+class TestCombinationalEquivalent:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_flowmap_mapping_equivalent(self, seed):
+        c = random_dag(5, 18, seed=seed)
+        mapped = flowmap(c, k=4).mapped
+        assert combinational_equivalent(c, mapped)
+
+    def test_flowsyn_mapping_equivalent(self):
+        c = xor_chain(12)
+        mapped = flowsyn(c, k=3).mapped
+        assert combinational_equivalent(c, mapped)
+
+    def test_wide_circuit_beyond_truth_tables(self):
+        # 30 PIs: dense tables are impossible; BDDs are trivial.
+        c = xor_chain(30)
+        mapped = flowmap(c, k=5).mapped
+        assert combinational_equivalent(c, mapped)
+
+    def test_detects_difference(self):
+        c1 = SeqCircuit("c1")
+        a, b = c1.add_pi("a"), c1.add_pi("b")
+        g = c1.add_gate("g", AND2, [(a, 0), (b, 0)])
+        c1.add_po("o", g)
+        c2 = SeqCircuit("c2")
+        a2, b2 = c2.add_pi("a"), c2.add_pi("b")
+        g2 = c2.add_gate("g", OR2, [(a2, 0), (b2, 0)])
+        c2.add_po("o", g2)
+        assert not combinational_equivalent(c1, c2)
+
+    def test_pi_mismatch_rejected(self):
+        c1 = SeqCircuit("c1")
+        c1.add_pi("a")
+        g1 = c1.add_gate("g", NOT1, [(0, 0)])
+        c1.add_po("o", g1)
+        c2 = SeqCircuit("c2")
+        c2.add_pi("b")
+        g2 = c2.add_gate("g", NOT1, [(0, 0)])
+        c2.add_po("o", g2)
+        with pytest.raises(ValueError):
+            combinational_equivalent(c1, c2)

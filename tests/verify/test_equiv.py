@@ -1,0 +1,138 @@
+"""Tests for unrolled and simulation-based equivalence checking."""
+
+import pytest
+
+from repro.netlist.graph import SeqCircuit
+from repro.verify.equiv import simulation_equivalent, unroll, unrolled_equivalent
+from tests.helpers import AND2, BUF, XOR2
+
+
+def toggler(name="toggle"):
+    c = SeqCircuit(name)
+    en = c.add_pi("en")
+    q = c.add_gate_placeholder("q", XOR2)
+    c.set_fanins(q, [(q, 1), (en, 0)])
+    c.add_po("o", q)
+    return c
+
+
+def toggler_with_buffer():
+    """Same behaviour as toggler, realized with an extra buffer."""
+    c = SeqCircuit("toggle_buf")
+    en = c.add_pi("en")
+    q = c.add_gate_placeholder("q", XOR2)
+    b = c.add_gate_placeholder("buf", BUF)
+    c.set_fanins(b, [(q, 1)])
+    c.set_fanins(q, [(b, 0), (en, 0)])
+    c.add_po("o", q)
+    return c
+
+
+def inverter_toggler():
+    """Behaviourally different: q' = NOT(q XOR en)."""
+    from repro.boolfn.truthtable import TruthTable
+
+    NXOR = TruthTable.from_function(2, lambda a, b: a == b)
+    c = SeqCircuit("toggle_inv")
+    en = c.add_pi("en")
+    q = c.add_gate_placeholder("q", NXOR)
+    c.set_fanins(q, [(q, 1), (en, 0)])
+    c.add_po("o", q)
+    return c
+
+
+class TestUnroll:
+    def test_shapes(self):
+        c = toggler()
+        u = unroll(c, 3)
+        assert len(u.pis) == 3
+        assert len(u.pos) == 3
+        assert all(w == 0 for *_e, w in u.edges())
+
+    def test_init_zero(self):
+        c = toggler()
+        u = unroll(c, 1)
+        # o@0 = 0 XOR en@0 = en@0
+        from repro.comb.cone import cone_function
+        from repro.boolfn.truthtable import TruthTable
+
+        src = u.fanins(u.id_of("o@0"))[0].src
+        f = cone_function(u, src, list(u.pis))
+        assert f == TruthTable.var(0, 1)
+
+    def test_bad_cycles(self):
+        with pytest.raises(ValueError):
+            unroll(toggler(), 0)
+
+
+class TestUnrolledEquivalent:
+    def test_equivalent_variants(self):
+        assert unrolled_equivalent(toggler(), toggler_with_buffer(), cycles=4)
+
+    def test_inequivalent_detected(self):
+        assert not unrolled_equivalent(toggler(), inverter_toggler(), cycles=3)
+
+    def test_lag_alignment(self):
+        a = SeqCircuit("direct")
+        x = a.add_pi("x")
+        g = a.add_gate("g", BUF, [(x, 0)])
+        a.add_po("o", g)
+        b = SeqCircuit("delayed")
+        x2 = b.add_pi("x")
+        g2 = b.add_gate("g", BUF, [(x2, 1)])
+        b.add_po("o", g2)
+        assert not unrolled_equivalent(a, b, cycles=3)
+        assert unrolled_equivalent(a, b, cycles=3, po_lags={"o": 1})
+
+    def test_width_guard(self):
+        c = SeqCircuit("wide")
+        pis = [c.add_pi(f"x{i}") for i in range(10)]
+        g = c.add_gate("g", AND2, [(pis[0], 0), (pis[1], 0)])
+        c.add_po("o", g)
+        with pytest.raises(ValueError):
+            unrolled_equivalent(c, c.copy("w2"), cycles=3)
+
+    def test_mismatched_pis_rejected(self):
+        a = toggler()
+        b = SeqCircuit("other")
+        b.add_pi("enable")
+        g = b.add_gate("g", BUF, [(0, 0)])
+        b.add_po("o", g)
+        with pytest.raises(ValueError):
+            unrolled_equivalent(a, b, cycles=2)
+
+
+class TestSimulationEquivalent:
+    def test_equivalent_variants(self):
+        assert simulation_equivalent(
+            toggler(), toggler_with_buffer(), cycles=40, warmup=4
+        )
+
+    def test_inequivalent_detected(self):
+        assert not simulation_equivalent(
+            toggler(), inverter_toggler(), cycles=40, warmup=4
+        )
+
+    def test_po_name_mismatch_rejected(self):
+        a = toggler()
+        b = toggler()
+        # rename b's PO by rebuilding
+        c = SeqCircuit("renamed")
+        en = c.add_pi("en")
+        q = c.add_gate_placeholder("q", XOR2)
+        c.set_fanins(q, [(q, 1), (en, 0)])
+        c.add_po("different", q)
+        with pytest.raises(ValueError):
+            simulation_equivalent(a, c, cycles=10)
+
+    def test_lag_alignment(self):
+        a = SeqCircuit("direct")
+        x = a.add_pi("x")
+        g = a.add_gate("g", BUF, [(x, 0)])
+        a.add_po("o", g)
+        b = SeqCircuit("delayed")
+        x2 = b.add_pi("x")
+        g2 = b.add_gate("g", BUF, [(x2, 2)])
+        b.add_po("o", g2)
+        assert simulation_equivalent(a, b, cycles=30, warmup=4, po_lags={"o": 2})
+        assert not simulation_equivalent(a, b, cycles=30, warmup=4)

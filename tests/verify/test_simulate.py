@@ -1,0 +1,106 @@
+"""Tests for the bit-parallel sequential simulator."""
+
+import pytest
+
+from repro.netlist.graph import SeqCircuit
+from repro.verify.simulate import Simulator, random_stimulus
+from tests.helpers import AND2, BUF, XOR2
+
+
+def delay_chain():
+    c = SeqCircuit("delay")
+    x = c.add_pi("x")
+    g = c.add_gate("g", BUF, [(x, 2)])
+    c.add_po("o", g)
+    return c, x
+
+
+def toggler():
+    """q' = q XOR en: classic toggle flip-flop."""
+    c = SeqCircuit("toggle")
+    en = c.add_pi("en")
+    q = c.add_gate_placeholder("q", XOR2)
+    c.set_fanins(q, [(q, 1), (en, 0)])
+    c.add_po("o", q)
+    return c, en
+
+
+class TestSimulator:
+    def test_pure_delay(self):
+        c, x = delay_chain()
+        sim = Simulator(c, lanes=1)
+        seq = [1, 0, 1, 1, 0, 0, 1]
+        out = [sim.step({x: v})[c.pos[0]] for v in seq]
+        assert out == [0, 0] + seq[:-2]
+
+    def test_toggle_counts_parity(self):
+        c, en = toggler()
+        sim = Simulator(c, lanes=1)
+        seq = [1, 1, 0, 1, 0, 0, 1, 1]
+        out = [sim.step({en: v})[c.pos[0]] for v in seq]
+        expected = []
+        q = 0
+        for v in seq:
+            q = q ^ v
+            expected.append(q)
+        assert out == expected
+
+    def test_lanes_independent(self):
+        c, en = toggler()
+        sim = Simulator(c, lanes=2)
+        # lane 0 toggles every cycle, lane 1 never.
+        outs = [sim.step({en: 0b01})[c.pos[0]] for _ in range(4)]
+        assert [o & 1 for o in outs] == [1, 0, 1, 0]
+        assert [(o >> 1) & 1 for o in outs] == [0, 0, 0, 0]
+
+    def test_combinational_gate(self):
+        c = SeqCircuit()
+        a, b = c.add_pi("a"), c.add_pi("b")
+        g = c.add_gate("g", AND2, [(a, 0), (b, 0)])
+        c.add_po("o", g)
+        sim = Simulator(c, lanes=4)
+        out = sim.step({a: 0b1100, b: 0b1010})
+        assert out[c.pos[0]] == 0b1000
+
+    def test_reset(self):
+        c, en = toggler()
+        sim = Simulator(c, lanes=1)
+        sim.step({en: 1})
+        sim.reset()
+        assert sim.step({en: 0})[c.pos[0]] == 0
+
+    def test_registered_po(self):
+        c = SeqCircuit()
+        x = c.add_pi("x")
+        g = c.add_gate("g", BUF, [(x, 0)])
+        c.add_po("o", g, 1)
+        sim = Simulator(c, lanes=1)
+        assert sim.step({x: 1})[c.pos[0]] == 0
+        assert sim.step({x: 0})[c.pos[0]] == 1
+
+    def test_run_convenience(self):
+        c, x = delay_chain()
+        sim = Simulator(c, lanes=1)
+        frames = [{x: 1}, {x: 0}, {x: 1}]
+        outs = sim.run(frames)
+        assert [o[c.pos[0]] for o in outs] == [0, 0, 1]
+
+    def test_bad_lanes(self):
+        c, _ = delay_chain()
+        with pytest.raises(ValueError):
+            Simulator(c, lanes=0)
+
+
+class TestRandomStimulus:
+    def test_deterministic(self):
+        c, _ = toggler()
+        a = random_stimulus(c, 5, seed=1, lanes=8)
+        b = random_stimulus(c, 5, seed=1, lanes=8)
+        assert a == b
+
+    def test_values_within_lanes(self):
+        c, _ = toggler()
+        frames = random_stimulus(c, 10, seed=2, lanes=5)
+        for frame in frames:
+            for value in frame.values():
+                assert 0 <= value < (1 << 5)

@@ -1,0 +1,80 @@
+"""Tests for the VCD trace writer."""
+
+import pytest
+
+from repro.netlist.graph import SeqCircuit
+from repro.verify.simulate import Simulator
+from repro.verify.vcd import VcdTracer, _short_id, trace_random_run
+from tests.helpers import BUF, XOR2
+
+
+def toggler():
+    c = SeqCircuit("toggle")
+    en = c.add_pi("en")
+    q = c.add_gate_placeholder("q", XOR2)
+    c.set_fanins(q, [(q, 1), (en, 0)])
+    c.add_po("o", q)
+    return c, en
+
+
+class TestShortId:
+    def test_unique_prefix(self):
+        ids = [_short_id(i) for i in range(200)]
+        assert len(set(ids)) == 200
+        assert all(" " not in i for i in ids)
+
+
+class TestTracer:
+    def test_header_and_samples(self):
+        c, en = toggler()
+        sim = Simulator(c, lanes=1)
+        tracer = VcdTracer(c, signals=["en", "o"])
+        for v in [1, 0, 1]:
+            outs = sim.step({en: v})
+            tracer.sample({en: v}, sim, outs)
+        text = tracer.render()
+        assert "$enddefinitions $end" in text
+        assert "$var wire 1" in text
+        assert text.count("#") >= 6  # rising + falling clock per cycle
+
+    def test_value_changes_only_on_change(self):
+        c, en = toggler()
+        sim = Simulator(c, lanes=1)
+        tracer = VcdTracer(c, signals=["en"])
+        for v in [1, 1, 1]:
+            outs = sim.step({en: v})
+            tracer.sample({en: v}, sim, outs)
+        text = tracer.render()
+        # 'en' changes once (0->1 at t=0), not three times
+        var_id = text.split("$var wire 1 ")[1].split(" ")[0]
+        assert text.count(f"1{var_id}\n") == 1
+
+    def test_default_signals_are_ios(self):
+        c, _ = toggler()
+        tracer = VcdTracer(c)
+        assert tracer.names == ["en", "o"]
+
+    def test_unknown_signal_rejected(self):
+        c, _ = toggler()
+        with pytest.raises(ValueError):
+            VcdTracer(c, signals=["nope"])
+
+    def test_internal_gate_traceable(self):
+        c, en = toggler()
+        sim = Simulator(c, lanes=1)
+        tracer = VcdTracer(c, signals=["q"])
+        outs = sim.step({en: 1})
+        tracer.sample({en: 1}, sim, outs)
+        assert tracer._samples[0]["q"] == 1
+
+    def test_write_file(self, tmp_path):
+        c, _ = toggler()
+        tracer = trace_random_run(c, cycles=10, seed=1)
+        path = tmp_path / "run.vcd"
+        tracer.write(str(path))
+        assert path.read_text().startswith("$date")
+
+    def test_trace_random_run_lengths(self):
+        c, _ = toggler()
+        tracer = trace_random_run(c, cycles=7, seed=2)
+        assert len(tracer._samples) == 7

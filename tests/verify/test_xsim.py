@@ -1,0 +1,100 @@
+"""Tests for ternary simulation and synchronizing-sequence certification."""
+
+import pytest
+
+from repro.bench.fsm import fsm_to_circuit, random_fsm
+from repro.boolfn.truthtable import TruthTable
+from repro.netlist.graph import SeqCircuit
+from repro.verify.xsim import ONE, X, ZERO, XSimulator, _gate_eval, synchronizes
+from tests.helpers import AND2, BUF, OR2, XOR2
+
+
+class TestGateEval:
+    def test_known_inputs(self):
+        assert _gate_eval(AND2, [ONE, ONE]) == ONE
+        assert _gate_eval(AND2, [ONE, ZERO]) == ZERO
+
+    def test_controlling_value_dominates_x(self):
+        assert _gate_eval(AND2, [ZERO, X]) == ZERO
+        assert _gate_eval(OR2, [ONE, X]) == ONE
+
+    def test_non_controlling_propagates_x(self):
+        assert _gate_eval(AND2, [ONE, X]) == X
+        assert _gate_eval(XOR2, [ONE, X]) == X
+
+    def test_redundant_input_resolves(self):
+        # f(a, b) = a (ignores b): X on b must not poison the output.
+        f = TruthTable.var(0, 2)
+        assert _gate_eval(f, [ONE, X]) == ONE
+
+    def test_xor_of_same_unknown_stays_x(self):
+        # ternary is per-input (no correlation tracking): conservative X.
+        assert _gate_eval(XOR2, [X, X]) == X
+
+
+class TestXSimulator:
+    def test_registers_start_unknown(self):
+        c = SeqCircuit()
+        a = c.add_pi("a")
+        g = c.add_gate("g", BUF, [(a, 2)])
+        c.add_po("o", g)
+        sim = XSimulator(c)
+        assert sim.unknown_state_bits() == 2
+        out = sim.step({a: ONE})
+        assert out[c.pos[0]] == X  # history still unknown
+
+    def test_registers_fill_with_knowns(self):
+        c = SeqCircuit()
+        a = c.add_pi("a")
+        g = c.add_gate("g", BUF, [(a, 2)])
+        c.add_po("o", g)
+        sim = XSimulator(c)
+        sim.step({a: ONE})
+        sim.step({a: ZERO})
+        assert sim.unknown_state_bits() == 0
+        assert sim.step({a: ZERO})[c.pos[0]] == ONE
+
+    def test_loop_without_reset_never_synchronizes(self):
+        c = SeqCircuit()
+        a = c.add_pi("a")
+        g = c.add_gate_placeholder("g", XOR2)
+        c.set_fanins(g, [(g, 1), (a, 0)])
+        c.add_po("o", g)
+        sim = XSimulator(c)
+        for _ in range(10):
+            sim.step({a: ZERO})
+        assert sim.unknown_state_bits() == 1  # toggler keeps its X
+
+
+class TestSynchronizes:
+    def test_reset_pulse_certified(self):
+        fsm = random_fsm("sync", 6, 3, 2, seed=5, split_depth=2)
+        circuit = fsm_to_circuit(fsm, with_reset=True)
+        report = synchronizes(circuit, [{"rst": 1}] * 4)
+        assert report.synchronized
+        assert report.unknown_bits == 0
+
+    def test_without_reset_fails(self):
+        fsm = random_fsm("nosync", 6, 3, 2, seed=5, split_depth=2)
+        circuit = fsm_to_circuit(fsm, with_reset=False)
+        report = synchronizes(circuit, [{} for _ in range(8)])
+        assert not report.synchronized
+        assert report.unknown_bits > 0
+
+    def test_certificate_transfers_to_mapped_network(self):
+        """The property the equivalence flow relies on: after the reset
+        pulse, the TurboSYN-mapped network's *outputs* are fully
+        determined — residual X state bits (artifacts of ternary
+        conservatism over reconvergent sequential cuts) never reach a PO.
+        """
+        from repro.core.turbosyn import turbosyn
+        from repro.verify.xsim import outputs_synchronized
+
+        fsm = random_fsm("syncmap", 6, 3, 2, seed=8, split_depth=2)
+        circuit = fsm_to_circuit(fsm, with_reset=True)
+        mapped = turbosyn(circuit, k=5).mapped
+        subject = synchronizes(circuit, [{"rst": 1}] * 6)
+        assert subject.synchronized
+        assert outputs_synchronized(
+            mapped, [{"rst": 1}] * 6, probe_cycles=10
+        )
