@@ -1,0 +1,57 @@
+"""Speculative parallel phi-probing: wall-clock vs the sequential search.
+
+The probes of the Figure-4 binary search are independent label
+computations, so :func:`repro.perf.parallel.parallel_search_min_phi`
+runs several candidates concurrently; feasibility monotonicity makes the
+losing speculative probes safe to discard.  This bench records the
+sequential/parallel wall-clock ratio on the scaling circuits — on a
+single-core host the ratio degrades to <1 (pure timesharing overhead),
+so the table is the honest record of what the hardware allowed.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.bench.suite import large_circuit
+from repro.core.driver import search_min_phi
+from repro.perf.parallel import parallel_search_min_phi
+from repro.retime.mdr import min_feasible_period
+
+K = 5
+WORKERS = 4
+TABLE = f"Parallel phi search: sequential vs {WORKERS} workers (K={K})"
+SCALES = [2, 4, 8]
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_parallel_search_speedup(benchmark, rows, scale):
+    circuit = large_circuit(scale=scale)
+    ub = min_feasible_period(circuit)
+
+    t0 = time.perf_counter()
+    seq_phi, seq_out = search_min_phi(circuit, K, ub, False)
+    t_seq = time.perf_counter() - t0
+
+    def parallel():
+        return parallel_search_min_phi(circuit, K, ub, False, workers=WORKERS)
+
+    par_phi, par_out = benchmark.pedantic(parallel, rounds=1, iterations=1)
+    t_par = benchmark.stats["mean"]
+
+    # determinism: identical optimum and labels, probes are a superset
+    assert par_phi == seq_phi
+    assert par_out[par_phi].labels == seq_out[seq_phi].labels
+
+    label = f"scale={scale}"
+    rows.add(TABLE, label, "gates", circuit.n_gates)
+    rows.add(TABLE, label, "phi", seq_phi)
+    rows.add(TABLE, label, "seq probes", len(seq_out))
+    rows.add(TABLE, label, "par probes", len(par_out))
+    rows.add(TABLE, label, "seq s", t_seq)
+    rows.add(TABLE, label, "par s", t_par)
+    rows.add(TABLE, label, "speedup", f"{t_seq / max(t_par, 1e-9):.2f}x")
+    rows.add(TABLE, label, "cores", len(os.sched_getaffinity(0)))

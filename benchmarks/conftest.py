@@ -8,10 +8,16 @@ paper-style table at the end of the run, as well as written under
 ``benchmarks/results/``.
 
 Circuits are built once per session and shared across benchmarks.
+
+Besides the human-readable tables, every table is also written as a
+machine-readable ``BENCH_<table>.json`` (schema in
+:mod:`repro.perf.report`) so the perf trajectory of the repo is diffable
+across PRs and consumable by ``repro.perf.check``-style tooling.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from collections import OrderedDict
 from typing import Dict, List
@@ -19,6 +25,7 @@ from typing import Dict, List
 import pytest
 
 from repro.bench import suite as bench_suite
+from repro.perf.report import SCHEMA_VERSION
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -53,6 +60,16 @@ class RowCollector:
             lines.append(f"{row:<{width}s} | {rendered}")
         return "\n".join(lines)
 
+    def as_json(self, table: str) -> dict:
+        """Machine-readable twin of :meth:`render` (BENCH_*.json schema)."""
+        rows = self.tables.get(table, {})
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": "bench-table",
+            "table": table,
+            "rows": {row: dict(cells) for row, cells in rows.items()},
+        }
+
     def flush(self) -> None:
         os.makedirs(RESULTS_DIR, exist_ok=True)
         for table in self.tables:
@@ -61,6 +78,10 @@ class RowCollector:
             safe = table.lower().replace(" ", "_").replace("/", "-")
             with open(os.path.join(RESULTS_DIR, f"{safe}.txt"), "w") as fh:
                 fh.write(text + "\n")
+            json_path = os.path.join(RESULTS_DIR, f"BENCH_{safe}.json")
+            with open(json_path, "w") as fh:
+                json.dump(self.as_json(table), fh, indent=2, default=str)
+                fh.write("\n")
 
 
 def _fmt(value) -> str:

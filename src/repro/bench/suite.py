@@ -89,6 +89,51 @@ def quick_subset() -> List[str]:
     return ["bbara", "bbsse", "dk16", "keyb", "s838"]
 
 
+#: Algorithms the JSON suite report knows how to run.  ``flowsyn-s`` has
+#: no phi search, so it ignores the worker count.
+REPORT_ALGORITHMS = ("flowsyn-s", "turbomap", "turbosyn")
+
+
+def run_suite_report(
+    names: Optional[Iterable[str]] = None,
+    k: int = 5,
+    algorithms: Iterable[str] = REPORT_ALGORITHMS,
+    workers: int = 1,
+) -> dict:
+    """Run mappers over suite circuits and return a JSON-able perf report.
+
+    This is the machine-readable twin of the CLI ``suite`` table (and the
+    producer of ``benchmarks/baseline.json``): one
+    :func:`repro.perf.report.mapper_run` entry per (circuit, algorithm),
+    wrapped in a schema-versioned envelope.  Used by the CI smoke job,
+    which gates the result with :mod:`repro.perf.check`.
+    """
+    import time
+
+    from repro.core.flowsyn_s import flowsyn_s
+    from repro.core.turbomap import turbomap
+    from repro.core.turbosyn import turbosyn
+    from repro.perf import report as perf_report
+
+    runners = {
+        "flowsyn-s": lambda c: flowsyn_s(c, k),
+        "turbomap": lambda c: turbomap(c, k, workers=workers),
+        "turbosyn": lambda c: turbosyn(c, k, workers=workers),
+    }
+    selected_algos = list(algorithms)
+    unknown = [a for a in selected_algos if a not in runners]
+    if unknown:
+        raise ValueError(f"unknown report algorithm(s): {unknown}")
+    runs = []
+    for name, circuit in build_suite(names).items():
+        for algo in selected_algos:
+            t0 = time.perf_counter()
+            result = runners[algo](circuit)
+            seconds = time.perf_counter() - t0
+            runs.append(perf_report.mapper_run(result, circuit, seconds=seconds))
+    return perf_report.suite_report(runs, k=k, workers=workers)
+
+
 def large_circuit(scale: int = 4, seed: int = 999) -> SeqCircuit:
     """A scaling-study circuit: several suite-sized blocks glued together.
 

@@ -40,21 +40,35 @@ from repro.retime.mdr import mdr_ratio, min_feasible_period
 from repro.retime.pipeline import pipeline_and_retime
 
 _ALGOS = {
-    "turbosyn": lambda c, k: turbosyn(c, k),
-    "turbomap": lambda c, k: turbomap(c, k),
-    "flowsyn-s": lambda c, k: flowsyn_s(c, k),
+    "turbosyn": lambda c, k, w: turbosyn(c, k, workers=w),
+    "turbomap": lambda c, k, w: turbomap(c, k, workers=w),
+    "flowsyn-s": lambda c, k, w: flowsyn_s(c, k),
 }
+
+
+def _write_run_report(path: str, runs: list, k: int, workers: int, kind: str) -> None:
+    from repro.perf import report as perf_report
+
+    perf_report.write_report(
+        perf_report.suite_report(runs, k=k, workers=workers, kind=kind), path
+    )
+    print(f"wrote report {path}")
 
 
 def _cmd_map(args: argparse.Namespace) -> int:
     circuit, _info = read_blif_file(args.circuit)
     t0 = time.perf_counter()
-    result = _ALGOS[args.algo](circuit, args.k)
+    result = _ALGOS[args.algo](circuit, args.k, args.workers)
     elapsed = time.perf_counter() - t0
     print(
         f"{circuit.name}: algo={args.algo} K={args.k} "
         f"phi={result.phi} luts={result.n_luts} cpu={elapsed:.2f}s"
     )
+    if args.report:
+        from repro.perf import report as perf_report
+
+        run = perf_report.mapper_run(result, circuit, seconds=elapsed)
+        _write_run_report(args.report, [run], args.k, args.workers, kind="map")
     final = result.mapped
     if args.retime:
         pipe = pipeline_and_retime(final)
@@ -103,21 +117,31 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     names = bench_suite.quick_subset() if args.quick else [
         e.name for e in bench_suite.SUITE
     ]
+    algos = args.algo or list(_ALGOS)
+    runs: List[dict] = []
     header = f"{'circuit':10s} {'GATE':>6s} {'FF':>5s} | "
-    header += " | ".join(f"{a:>18s}" for a in _ALGOS)
+    header += " | ".join(f"{a:>18s}" for a in algos)
     print(header)
     for name in names:
         circuit = bench_suite.build(name)
         cells: List[str] = []
-        for algo, run in _ALGOS.items():
+        for algo in algos:
             t0 = time.perf_counter()
-            result = run(circuit, args.k)
+            result = _ALGOS[algo](circuit, args.k, args.workers)
             elapsed = time.perf_counter() - t0
             cells.append(f"phi={result.phi:2d} {elapsed:7.1f}s")
+            if args.report:
+                from repro.perf import report as perf_report
+
+                runs.append(
+                    perf_report.mapper_run(result, circuit, seconds=elapsed)
+                )
         print(
             f"{name:10s} {circuit.n_gates:6d} {circuit.n_ffs:5d} | "
             + " | ".join(f"{cell:>18s}" for cell in cells)
         )
+    if args.report:
+        _write_run_report(args.report, runs, args.k, args.workers, kind="suite")
     return 0
 
 
@@ -191,6 +215,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="pipeline + retime the mapped network before writing",
     )
+    p_map.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="probe candidate periods with this many parallel processes",
+    )
+    p_map.add_argument(
+        "--report", metavar="OUT.json", help="write a JSON run report"
+    )
     p_map.set_defaults(func=_cmd_map)
 
     p_stats = sub.add_parser("stats", help="show retiming-graph statistics")
@@ -213,6 +246,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_suite.add_argument("-k", type=int, default=5)
     p_suite.add_argument(
         "--quick", action="store_true", help="only the small circuits"
+    )
+    p_suite.add_argument(
+        "--algo",
+        action="append",
+        choices=sorted(_ALGOS),
+        help="restrict to an algorithm (repeatable; default: all three)",
+    )
+    p_suite.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="probe candidate periods with this many parallel processes",
+    )
+    p_suite.add_argument(
+        "--report", metavar="OUT.json", help="write a JSON run report"
     )
     p_suite.set_defaults(func=_cmd_suite)
 

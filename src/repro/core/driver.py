@@ -10,12 +10,18 @@ search.
 ``turbomap`` uses the MDR ratio of the *unmapped* network (the identity
 mapping) as its upper bound; ``turbosyn`` starts from TurboMap's optimum,
 exactly as the paper prescribes.
+
+Each candidate ``phi`` is answered by :func:`probe_phi`, a module-level
+function so worker processes can run probes too: the speculative
+parallel search in :mod:`repro.perf.parallel` probes several candidates
+concurrently and :func:`run_mapper` dispatches to it when ``workers > 1``.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.core.labels import LabelOutcome, LabelSolver, LabelStats, ResynHook
 from repro.core.mapping import generate_mapping
@@ -32,27 +38,97 @@ class SeqMapResult:
     algorithm: str
     phi: int  # minimum feasible MDR ratio / clock period found
     mapped: SeqCircuit
-    labels: List[int]
+    labels: "list[int]"
     #: label outcome per phi probed during the binary search
     outcomes: Dict[int, LabelOutcome] = field(default_factory=dict)
+    #: wall-clock seconds spent searching phi / regenerating the mapping
+    t_search: float = 0.0
+    t_mapping: float = 0.0
+    #: probe processes used by the phi search (1 = sequential)
+    workers: int = 1
 
     @property
     def n_luts(self) -> int:
         return self.mapped.n_gates
 
     @property
+    def t_total(self) -> float:
+        return self.t_search + self.t_mapping
+
+    @property
     def total_stats(self) -> LabelStats:
         total = LabelStats()
         for outcome in self.outcomes.values():
-            s = outcome.stats
-            total.rounds += s.rounds
-            total.updates += s.updates
-            total.flow_queries += s.flow_queries
-            total.cache_hits += s.cache_hits
-            total.pld_checks += s.pld_checks
-            total.resyn_calls += s.resyn_calls
-            total.resyn_wins += s.resyn_wins
+            total.merge(outcome.stats)
         return total
+
+
+def make_resyn_hook(cmax: int = DEFAULT_CMAX) -> ResynHook:
+    """A TurboSYN resynthesis hook bound to a ``Cmax`` input budget."""
+
+    def hook(solver: LabelSolver, v: int, big_l: int) -> bool:
+        entry = find_seq_resynthesis(
+            solver.circuit,
+            v,
+            solver.phi,
+            solver.labels,
+            big_l,
+            solver.k,
+            cmax,
+            solver.extra_depth,
+        )
+        return entry is not None
+
+    return hook
+
+
+def probe_phi(
+    circuit: SeqCircuit,
+    k: int,
+    phi: int,
+    resynthesize: bool,
+    cmax: int = DEFAULT_CMAX,
+    pld: bool = True,
+    extra_depth: int = 0,
+    io_constrained: bool = False,
+) -> LabelOutcome:
+    """One feasibility query: run the label computation at ``phi``.
+
+    Self-contained (no closures) so it can execute in a worker process.
+    """
+    hook: Optional[ResynHook] = make_resyn_hook(cmax) if resynthesize else None
+    solver = LabelSolver(
+        circuit,
+        k,
+        phi,
+        resyn_hook=hook,
+        pld=pld,
+        extra_depth=extra_depth,
+        io_constrained=io_constrained,
+    )
+    return solver.run()
+
+
+def search_bounds(
+    circuit: SeqCircuit, upper_bound: int, io_constrained: bool
+) -> "tuple[int, int]":
+    """Initial ``(hi, ceiling)`` of the phi search (shared with parallel)."""
+    hi = max(1, upper_bound)
+    ceiling = max(1, circuit.n_gates)
+    if io_constrained:
+        # I/O paths count: the unretimed identity mapping's clock period
+        # is always attainable, so it bounds the search (and the optimum
+        # can exceed the loop-only MDR bound).
+        hi = max(hi, circuit.clock_period())
+        ceiling = max(ceiling, hi)
+    return hi, ceiling
+
+
+def infeasible_error(circuit: SeqCircuit, phi: int) -> RuntimeError:
+    return RuntimeError(
+        f"{circuit.name}: labels infeasible even at phi={phi}; "
+        "the input may contain a combinational cycle"
+    )
 
 
 def search_min_phi(
@@ -75,49 +151,26 @@ def search_min_phi(
     outcomes: Dict[int, LabelOutcome] = {}
 
     def probe(phi: int) -> bool:
-        hook: Optional[ResynHook] = None
-        if resynthesize:
+        # Consult the cache: the doubling phase may already have answered
+        # a value the binary search lands on again (e.g. the original
+        # upper bound after it proved infeasible).
+        if phi not in outcomes:
+            outcomes[phi] = probe_phi(
+                circuit,
+                k,
+                phi,
+                resynthesize,
+                cmax=cmax,
+                pld=pld,
+                extra_depth=extra_depth,
+                io_constrained=io_constrained,
+            )
+        return outcomes[phi].feasible
 
-            def hook(solver: LabelSolver, v: int, big_l: int) -> bool:
-                entry = find_seq_resynthesis(
-                    solver.circuit,
-                    v,
-                    solver.phi,
-                    solver.labels,
-                    big_l,
-                    solver.k,
-                    cmax,
-                    solver.extra_depth,
-                )
-                return entry is not None
-
-        solver = LabelSolver(
-            circuit,
-            k,
-            phi,
-            resyn_hook=hook,
-            pld=pld,
-            extra_depth=extra_depth,
-            io_constrained=io_constrained,
-        )
-        outcome = solver.run()
-        outcomes[phi] = outcome
-        return outcome.feasible
-
-    hi = max(1, upper_bound)
-    ceiling = max(1, circuit.n_gates)
-    if io_constrained:
-        # I/O paths count: the unretimed identity mapping's clock period
-        # is always attainable, so it bounds the search (and the optimum
-        # can exceed the loop-only MDR bound).
-        hi = max(hi, circuit.clock_period())
-        ceiling = max(ceiling, hi)
+    hi, ceiling = search_bounds(circuit, upper_bound, io_constrained)
     while not probe(hi):
         if hi >= ceiling:
-            raise RuntimeError(
-                f"{circuit.name}: labels infeasible even at phi={hi}; "
-                "the input may contain a combinational cycle"
-            )
+            raise infeasible_error(circuit, hi)
         hi = min(2 * hi, ceiling)
     lo = 1
     while lo < hi:
@@ -140,20 +193,45 @@ def run_mapper(
     extra_depth: int = 0,
     io_constrained: bool = False,
     name: Optional[str] = None,
+    workers: int = 1,
 ) -> SeqMapResult:
-    """Full mapper pipeline: search ``phi``, regenerate the mapping."""
+    """Full mapper pipeline: search ``phi``, regenerate the mapping.
+
+    ``workers > 1`` probes candidate periods speculatively in parallel
+    (:func:`repro.perf.parallel.parallel_search_min_phi`); the result is
+    identical to the sequential search, only the wall clock differs.
+    """
     ub = upper_bound if upper_bound is not None else min_feasible_period(circuit)
-    phi, outcomes = search_min_phi(
-        circuit,
-        k,
-        ub,
-        resynthesize,
-        cmax=cmax,
-        pld=pld,
-        extra_depth=extra_depth,
-        io_constrained=io_constrained,
-    )
+    t0 = time.perf_counter()
+    if workers > 1:
+        # Imported lazily: repro.perf.parallel imports probe_phi from here.
+        from repro.perf.parallel import parallel_search_min_phi
+
+        phi, outcomes = parallel_search_min_phi(
+            circuit,
+            k,
+            ub,
+            resynthesize,
+            workers=workers,
+            cmax=cmax,
+            pld=pld,
+            extra_depth=extra_depth,
+            io_constrained=io_constrained,
+        )
+    else:
+        phi, outcomes = search_min_phi(
+            circuit,
+            k,
+            ub,
+            resynthesize,
+            cmax=cmax,
+            pld=pld,
+            extra_depth=extra_depth,
+            io_constrained=io_constrained,
+        )
+    t_search = time.perf_counter() - t0
     labels = outcomes[phi].labels
+    t0 = time.perf_counter()
     mapped = generate_mapping(
         circuit,
         phi,
@@ -164,10 +242,14 @@ def run_mapper(
         extra_depth=extra_depth,
         name=name,
     )
+    t_mapping = time.perf_counter() - t0
     return SeqMapResult(
         algorithm=algorithm,
         phi=phi,
         mapped=mapped,
         labels=labels,
         outcomes=outcomes,
+        t_search=t_search,
+        t_mapping=t_mapping,
+        workers=max(1, workers),
     )

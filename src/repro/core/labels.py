@@ -35,6 +35,7 @@ in Python.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Set
 
@@ -46,7 +47,14 @@ from repro.netlist.graph import NodeKind, SeqCircuit
 
 @dataclass
 class LabelStats:
-    """Counters describing one feasibility run (used by the PLD bench)."""
+    """Counters describing one feasibility run (used by the PLD bench).
+
+    The ``t_*`` fields are wall-clock seconds spent in each stage of the
+    label computation (the run telemetry serialized by
+    :mod:`repro.perf.report`): total run time, expanded-circuit
+    construction, max-flow cut queries, and positive-loop-detection
+    checks.
+    """
 
     rounds: int = 0
     updates: int = 0
@@ -55,6 +63,24 @@ class LabelStats:
     pld_checks: int = 0
     resyn_calls: int = 0
     resyn_wins: int = 0
+    t_total: float = 0.0
+    t_expand: float = 0.0
+    t_flow: float = 0.0
+    t_pld: float = 0.0
+
+    def merge(self, other: "LabelStats") -> None:
+        """Accumulate another run's counters and timers into this one."""
+        self.rounds += other.rounds
+        self.updates += other.updates
+        self.flow_queries += other.flow_queries
+        self.cache_hits += other.cache_hits
+        self.pld_checks += other.pld_checks
+        self.resyn_calls += other.resyn_calls
+        self.resyn_wins += other.resyn_wins
+        self.t_total += other.t_total
+        self.t_expand += other.t_expand
+        self.t_flow += other.t_flow
+        self.t_pld += other.t_pld
 
 
 @dataclass
@@ -139,6 +165,7 @@ class LabelSolver:
         ):
             self.stats.cache_hits += 1
             return bool(self._check_result[v])
+        t0 = time.perf_counter()
         expansion = expand_partial(
             self.circuit,
             v,
@@ -147,8 +174,11 @@ class LabelSolver:
             threshold,
             extra_depth=self.extra_depth,
         )
+        t1 = time.perf_counter()
+        self.stats.t_expand += t1 - t0
         self.stats.flow_queries += 1
         cut = cut_on_expansion(expansion, self.k)
+        self.stats.t_flow += time.perf_counter() - t1
         cone_nodes = {v}
         for u, _w in expansion.interior:
             cone_nodes.add(u)
@@ -196,12 +226,23 @@ class LabelSolver:
         See :mod:`repro.core.pld` for the predecessor-graph construction.
         """
         self.stats.pld_checks += 1
-        return bool(
+        t0 = time.perf_counter()
+        result = bool(
             grounded_members(self.circuit, self.labels, self.phi, members, member_set)
         )
+        self.stats.t_pld += time.perf_counter() - t0
+        return result
 
     # ------------------------------------------------------------------
     def run(self) -> LabelOutcome:
+        """Compute all labels or detect infeasibility (timed)."""
+        t0 = time.perf_counter()
+        try:
+            return self._run()
+        finally:
+            self.stats.t_total += time.perf_counter() - t0
+
+    def _run(self) -> LabelOutcome:
         """Compute all labels or detect infeasibility."""
         order_pos = {nid: i for i, nid in enumerate(self.circuit.comb_topo_order())}
         for component in self.circuit.sccs():

@@ -27,6 +27,7 @@ def turbomap(
     upper_bound: Optional[int] = None,
     pipelining: bool = True,
     name: Optional[str] = None,
+    workers: int = 1,
 ) -> SeqMapResult:
     """Map ``circuit`` onto K-LUTs minimizing the MDR ratio (no resynthesis).
 
@@ -52,6 +53,10 @@ def turbomap(
         ICCD'96 TurboMap objective (retiming only): primary outputs must
         meet the period too, so the optimum can be larger — the paper's
         Section 2 argues exactly this difference.
+    workers:
+        Probe processes for the phi search; ``>1`` probes candidate
+        periods speculatively in parallel (same result, lower wall
+        clock — see :mod:`repro.perf.parallel`).
     """
     return run_mapper(
         circuit,
@@ -63,4 +68,5 @@ def turbomap(
         extra_depth=extra_depth,
         io_constrained=not pipelining,
         name=name or f"{circuit.name}_turbomap",
+        workers=workers,
     )

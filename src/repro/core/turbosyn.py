@@ -37,16 +37,19 @@ def turbosyn(
     extra_depth: int = 0,
     upper_bound: Optional[int] = None,
     name: Optional[str] = None,
+    workers: int = 1,
 ) -> SeqMapResult:
     """Map ``circuit`` onto K-LUTs minimizing the MDR ratio with
     sequential functional decomposition.
 
     ``upper_bound`` defaults to a fresh TurboMap run's optimum, exactly as
     the paper's Figure 4 prescribes; pass a known value to skip that run.
+    ``workers > 1`` probes candidate periods in parallel (both for the
+    TurboMap bound and the TurboSYN search).
     """
     if upper_bound is None:
         upper_bound = turbomap(
-            circuit, k, pld=pld, extra_depth=extra_depth
+            circuit, k, pld=pld, extra_depth=extra_depth, workers=workers
         ).phi
     return run_mapper(
         circuit,
@@ -58,4 +61,5 @@ def turbosyn(
         pld=pld,
         extra_depth=extra_depth,
         name=name or f"{circuit.name}_turbosyn",
+        workers=workers,
     )

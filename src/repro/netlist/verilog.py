@@ -23,7 +23,7 @@ import re
 from typing import Dict, List, Optional, Tuple
 
 from repro.boolfn.sop import minimize_cover
-from repro.netlist.graph import NodeKind, SeqCircuit
+from repro.netlist.graph import SeqCircuit
 
 _IDENT = re.compile(r"[^A-Za-z0-9_]")
 _KEYWORDS = {

@@ -1,0 +1,166 @@
+"""Regression gate: compare a perf report against a committed baseline.
+
+Usage::
+
+    python -m repro.perf.check benchmarks/baseline.json current.json \
+        --tolerance 0.25
+
+Compares every ``(circuit, algorithm)`` run present in *both* reports:
+
+* **phi** — any increase is a quality regression (hard fail; the whole
+  point of the paper is clock period, and phi is a small integer);
+* **luts** — an increase beyond ``--tolerance`` (default 25%) fails;
+* **seconds** — noisy across machines, so by default a slowdown beyond
+  the tolerance is only *warned* about; pass ``--time-tolerance`` to turn
+  the time comparison into a hard gate (e.g. on a dedicated perf host).
+
+Exit status: 0 clean, 1 on regressions (or on an unusable comparison —
+e.g. no overlapping runs, which would otherwise pass vacuously).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.perf.report import load_report
+
+RunKey = Tuple[str, str]  # (circuit, algorithm)
+
+
+@dataclass
+class Comparison:
+    """Outcome of one baseline/current comparison."""
+
+    regressions: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+    improvements: List[str] = field(default_factory=list)
+    compared: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.compared > 0 and not self.regressions
+
+
+def _index(report: dict) -> Dict[RunKey, dict]:
+    runs = {}
+    for run in report.get("runs", []):
+        runs[(str(run.get("circuit")), str(run.get("algorithm")))] = run
+    return runs
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    tolerance: float = 0.25,
+    time_tolerance: Optional[float] = None,
+) -> Comparison:
+    """Compare two perf reports; see the module docstring for the policy."""
+    base_runs = _index(baseline)
+    cur_runs = _index(current)
+    result = Comparison()
+    for key in sorted(base_runs):
+        if key not in cur_runs:
+            continue
+        circuit, algo = key
+        tag = f"{circuit}/{algo}"
+        base, cur = base_runs[key], cur_runs[key]
+        result.compared += 1
+
+        b_phi, c_phi = base.get("phi"), cur.get("phi")
+        if b_phi is not None and c_phi is not None:
+            if c_phi > b_phi:
+                result.regressions.append(
+                    f"{tag}: phi regressed {b_phi} -> {c_phi}"
+                )
+            elif c_phi < b_phi:
+                result.improvements.append(
+                    f"{tag}: phi improved {b_phi} -> {c_phi}"
+                )
+
+        b_luts, c_luts = base.get("luts"), cur.get("luts")
+        if b_luts and c_luts is not None:
+            if c_luts > b_luts * (1.0 + tolerance):
+                result.regressions.append(
+                    f"{tag}: luts regressed {b_luts} -> {c_luts} "
+                    f"(> {tolerance:.0%} tolerance)"
+                )
+            elif c_luts < b_luts:
+                result.improvements.append(
+                    f"{tag}: luts improved {b_luts} -> {c_luts}"
+                )
+
+        b_sec, c_sec = base.get("seconds"), cur.get("seconds")
+        if b_sec and c_sec is not None:
+            gate = time_tolerance if time_tolerance is not None else tolerance
+            if c_sec > b_sec * (1.0 + gate):
+                message = (
+                    f"{tag}: time {b_sec:.2f}s -> {c_sec:.2f}s "
+                    f"(> {gate:.0%} tolerance)"
+                )
+                if time_tolerance is not None:
+                    result.regressions.append(message)
+                else:
+                    result.warnings.append(message)
+    return result
+
+
+def render(comparison: Comparison) -> str:
+    lines = [f"compared {comparison.compared} run(s)"]
+    for text in comparison.improvements:
+        lines.append(f"  improved: {text}")
+    for text in comparison.warnings:
+        lines.append(f"  WARNING:  {text}")
+    for text in comparison.regressions:
+        lines.append(f"  REGRESSION: {text}")
+    lines.append("status: " + ("OK" if comparison.ok else "FAIL"))
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.check",
+        description="compare a perf report against a committed baseline",
+    )
+    parser.add_argument("baseline", help="baseline report JSON")
+    parser.add_argument("current", help="current report JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="relative slack for LUT count (default 0.25)",
+    )
+    parser.add_argument(
+        "--time-tolerance",
+        type=float,
+        default=None,
+        help="gate on run time too, with this relative slack "
+        "(default: time slowdowns only warn)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        baseline = load_report(args.baseline)
+        current = load_report(args.current)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    comparison = compare(
+        baseline,
+        current,
+        tolerance=args.tolerance,
+        time_tolerance=args.time_tolerance,
+    )
+    print(render(comparison))
+    if comparison.compared == 0:
+        print(
+            "error: no overlapping (circuit, algorithm) runs to compare",
+            file=sys.stderr,
+        )
+        return 1
+    return 0 if comparison.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,172 @@
+"""Speculative parallel probing of candidate clock periods.
+
+The Figure-4 driver answers "is integer period ``phi`` feasible?" with
+one full label computation per candidate — probes are completely
+independent, and feasibility is *monotone* in ``phi`` (any mapping for
+``phi`` works for ``phi + 1``).  Monotonicity makes speculation safe:
+probe several candidates at once, and every answer — including the
+"losing" speculative ones — still tightens the search interval and lands
+in the shared outcome cache.
+
+:func:`parallel_search_min_phi` is a drop-in replacement for
+:func:`repro.core.driver.search_min_phi`: with ``workers`` processes it
+replaces the binary search's log2 halving with a ``(workers+1)``-way
+interval split per round, so the round count drops to
+``log_{workers+1}(UB)`` while each round costs one slowest-probe wall
+clock.  The returned ``phi`` and labels are identical to the sequential
+search — only the set of *extra* probed values (and the wall clock)
+differs.
+
+Implementation notes: probes run in a ``ProcessPoolExecutor`` whose
+initializer ships the circuit to each worker exactly once; the fork
+start method is preferred when available so the circuit is inherited
+by copy-on-write instead of pickled.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.driver import (
+    infeasible_error,
+    probe_phi,
+    search_bounds,
+    search_min_phi,
+)
+from repro.core.labels import LabelOutcome
+from repro.core.seqdecomp import DEFAULT_CMAX
+from repro.netlist.graph import SeqCircuit
+from repro.netlist.validate import ensure_mappable
+
+#: Per-process probe context installed by the pool initializer:
+#: ``(circuit, k, resynthesize, cmax, pld, extra_depth, io_constrained)``.
+_WORKER_ARGS: Optional[tuple] = None
+
+
+def _init_worker(
+    circuit: SeqCircuit,
+    k: int,
+    resynthesize: bool,
+    cmax: int,
+    pld: bool,
+    extra_depth: int,
+    io_constrained: bool,
+) -> None:
+    global _WORKER_ARGS
+    _WORKER_ARGS = (circuit, k, resynthesize, cmax, pld, extra_depth, io_constrained)
+
+
+def _probe_worker(phi: int) -> Tuple[int, LabelOutcome]:
+    assert _WORKER_ARGS is not None, "worker used before initialization"
+    circuit, k, resynthesize, cmax, pld, extra_depth, io_constrained = _WORKER_ARGS
+    outcome = probe_phi(
+        circuit,
+        k,
+        phi,
+        resynthesize,
+        cmax=cmax,
+        pld=pld,
+        extra_depth=extra_depth,
+        io_constrained=io_constrained,
+    )
+    return phi, outcome
+
+
+def _spread(lo: int, hi: int, count: int) -> List[int]:
+    """Up to ``count`` distinct split points of ``[lo, hi]``, ``hi`` included.
+
+    Evenly spaced so each round's answers cut the interval to roughly
+    ``1/(count+1)`` of its size regardless of where the optimum sits.
+    """
+    span = hi - lo
+    count = max(1, min(count, span + 1))
+    return sorted({lo + (span * (i + 1)) // count for i in range(count)})
+
+
+def _pool_context():
+    """Prefer fork (cheap circuit shipping); fall back to the default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform without fork
+        return None
+
+
+def parallel_search_min_phi(
+    circuit: SeqCircuit,
+    k: int,
+    upper_bound: int,
+    resynthesize: bool,
+    workers: Optional[int] = None,
+    cmax: int = DEFAULT_CMAX,
+    pld: bool = True,
+    extra_depth: int = 0,
+    io_constrained: bool = False,
+) -> Tuple[int, Dict[int, LabelOutcome]]:
+    """Find the minimum feasible ``phi`` with speculative parallel probes.
+
+    Returns the same ``(phi_min, outcomes)`` contract as
+    :func:`repro.core.driver.search_min_phi`; ``outcomes`` additionally
+    contains every speculative probe that ran.  ``workers=None`` uses the
+    CPU count; ``workers<=1`` delegates to the sequential search.
+    """
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers <= 1:
+        return search_min_phi(
+            circuit,
+            k,
+            upper_bound,
+            resynthesize,
+            cmax=cmax,
+            pld=pld,
+            extra_depth=extra_depth,
+            io_constrained=io_constrained,
+        )
+    ensure_mappable(circuit, k)
+    outcomes: Dict[int, LabelOutcome] = {}
+    top, ceiling = search_bounds(circuit, upper_bound, io_constrained)
+
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=_pool_context(),
+        initializer=_init_worker,
+        initargs=(circuit, k, resynthesize, cmax, pld, extra_depth, io_constrained),
+    ) as pool:
+
+        def probe_all(phis: List[int]) -> Dict[int, bool]:
+            missing = [p for p in phis if p not in outcomes]
+            for p, outcome in pool.map(_probe_worker, missing):
+                outcomes[p] = outcome
+            return {p: outcomes[p].feasible for p in phis}
+
+        lo = 1
+        best: Optional[int] = None  # smallest phi known feasible
+        # Establish a feasible upper end.  The first round already splits
+        # [lo, top] instead of probing only `top`, so when the given bound
+        # is feasible (the common case: it comes from a valid mapping) the
+        # narrowing starts immediately; when it is not, answers below
+        # `top` were infeasible too and the doubling continues upward.
+        while best is None:
+            results = probe_all(_spread(lo, top, workers))
+            feasible = [p for p, ok in results.items() if ok]
+            infeasible = [p for p, ok in results.items() if not ok]
+            if feasible:
+                best = min(feasible)
+            if infeasible:
+                lo = max(lo, max(infeasible) + 1)
+            if best is None:
+                if top >= ceiling:
+                    raise infeasible_error(circuit, top)
+                top = min(2 * top, ceiling)
+        # Multi-way narrowing of [lo, best).
+        while lo < best:
+            results = probe_all(_spread(lo, best - 1, workers))
+            for p, ok in results.items():
+                if ok:
+                    best = min(best, p)
+                else:
+                    lo = max(lo, p + 1)
+    return best, outcomes

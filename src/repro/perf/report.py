@@ -1,0 +1,128 @@
+"""JSON run reports: the machine-readable perf/quality telemetry schema.
+
+Schema (version 1) — one *suite report* wraps any number of *mapper
+runs*::
+
+    {
+      "schema": 1,
+      "kind": "suite",                 # or "map" for a single-run report
+      "python": "3.11.7", "platform": "Linux-...",
+      "k": 5, "workers": 1,
+      "runs": [
+        {
+          "circuit": "bbara", "algorithm": "turbomap",
+          "k": 5, "workers": 1,
+          "gates": 462, "ffs": 10,     # input circuit size
+          "phi": 5, "luts": 522,       # quality (lower is better)
+          "seconds": 0.61,             # end-to-end wall clock
+          "search": {
+            "t_search": 0.55, "t_mapping": 0.06,
+            "probes": [3, 4, 5, 10, 20], "n_probes": 5
+          },
+          "stats": {                   # aggregated LabelStats telemetry
+            "rounds": ..., "updates": ..., "flow_queries": ...,
+            "cache_hits": ..., "pld_checks": ...,
+            "resyn_calls": ..., "resyn_wins": ...,
+            "t_total": ..., "t_expand": ..., "t_flow": ..., "t_pld": ...
+          }
+        }, ...
+      ]
+    }
+
+``benchmarks/baseline.json`` is a committed suite report; CI regenerates
+a fresh one and gates on :mod:`repro.perf.check`.  The pytest-benchmark
+harness writes per-table ``BENCH_*.json`` siblings of the rendered text
+tables (see ``benchmarks/conftest.py``) so the perf trajectory is
+diffable across PRs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+from typing import IO, Dict, List, Optional, Union
+
+SCHEMA_VERSION = 1
+
+
+def _environment() -> Dict[str, str]:
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
+def mapper_run(
+    result,
+    circuit=None,
+    seconds: Optional[float] = None,
+) -> dict:
+    """Serialize one :class:`~repro.core.driver.SeqMapResult` to a dict.
+
+    ``circuit`` (the *input* circuit) adds size context; ``seconds``
+    records the caller's end-to-end wall clock (defaults to the result's
+    own search + mapping time).
+    """
+    run: dict = {
+        "circuit": circuit.name if circuit is not None else result.mapped.name,
+        "algorithm": result.algorithm,
+        "workers": getattr(result, "workers", 1),
+        "phi": result.phi,
+        "luts": result.n_luts,
+        "seconds": round(
+            seconds if seconds is not None else result.t_total, 6
+        ),
+        "search": {
+            "t_search": round(result.t_search, 6),
+            "t_mapping": round(result.t_mapping, 6),
+            "probes": sorted(result.outcomes),
+            "n_probes": len(result.outcomes),
+        },
+        "stats": {
+            key: (round(value, 6) if isinstance(value, float) else value)
+            for key, value in dataclasses.asdict(result.total_stats).items()
+        },
+    }
+    if circuit is not None:
+        run["gates"] = circuit.n_gates
+        run["ffs"] = circuit.n_ffs
+    return run
+
+
+def suite_report(
+    runs: List[dict],
+    k: Optional[int] = None,
+    workers: int = 1,
+    kind: str = "suite",
+) -> dict:
+    """Wrap mapper runs in a schema-versioned report envelope."""
+    report = {"schema": SCHEMA_VERSION, "kind": kind}
+    report.update(_environment())
+    if k is not None:
+        report["k"] = k
+    report["workers"] = workers
+    report["runs"] = runs
+    return report
+
+
+def write_report(report: dict, path_or_file: Union[str, IO[str]]) -> None:
+    """Write a report as pretty-printed JSON (trailing newline included)."""
+    if hasattr(path_or_file, "write"):
+        json.dump(report, path_or_file, indent=2, sort_keys=False)
+        path_or_file.write("\n")
+        return
+    with open(path_or_file, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def load_report(path: str) -> dict:
+    """Read a report, tolerating both envelopes and bare run lists."""
+    with open(path) as fh:
+        data = json.load(fh)
+    if isinstance(data, list):  # bare run list
+        data = {"schema": SCHEMA_VERSION, "kind": "suite", "runs": data}
+    if "runs" not in data or not isinstance(data["runs"], list):
+        raise ValueError(f"{path}: not a perf report (missing 'runs' list)")
+    return data

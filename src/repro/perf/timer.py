@@ -1,0 +1,46 @@
+"""Wall-clock helpers for the run telemetry.
+
+The hot paths (:class:`repro.core.labels.LabelSolver`) accumulate raw
+``time.perf_counter`` deltas directly to keep per-query overhead at two
+calls; everything coarser uses :class:`Stopwatch`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Stopwatch:
+    """A context-manager stopwatch that accumulates across uses.
+
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     pass
+    >>> sw.elapsed >= 0.0
+    True
+
+    Re-entering accumulates, so one instance can time every occurrence of
+    a stage inside a loop and report the stage total.
+    """
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._t0: Optional[float] = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._t0 is not None:
+            self.elapsed += time.perf_counter() - self._t0
+            self._t0 = None
+
+    @property
+    def running(self) -> bool:
+        return self._t0 is not None
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._t0 = None

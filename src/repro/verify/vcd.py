@@ -16,7 +16,7 @@ Usage::
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.netlist.graph import NodeKind, SeqCircuit
 from repro.verify.simulate import Simulator

@@ -20,7 +20,7 @@ that are in fact determined (ternary simulation is not complete), so
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.netlist.graph import NodeKind, SeqCircuit
 

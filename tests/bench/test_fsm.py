@@ -10,7 +10,7 @@ from repro.bench.fsm import (
     random_fsm,
     simulate_fsm_circuit,
 )
-from repro.netlist.kiss import FSM, write_kiss, read_kiss
+from repro.netlist.kiss import write_kiss, read_kiss
 
 import numpy as np
 

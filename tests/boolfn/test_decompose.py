@@ -5,12 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.boolfn.decompose import (
-    Decomposition,
-    LutTree,
-    disjoint_decompose,
-    synthesize_lut_tree,
-)
+from repro.boolfn.decompose import disjoint_decompose, synthesize_lut_tree
 from repro.boolfn.truthtable import TruthTable
 
 tables = st.integers(min_value=2, max_value=6).flatmap(

@@ -5,9 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.boolfn.decompose import disjoint_decompose
 from repro.boolfn.modecomp import (
-    SharedDecomposition,
     best_shared_bound,
     encoder_savings,
     joint_multiplicity,

@@ -1,6 +1,5 @@
 """Algebraic-law property tests for truth tables (hypothesis)."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -6,7 +6,7 @@ from repro.comb.balance import balance_circuit
 from repro.comb.cone import cone_function
 from repro.netlist.graph import SeqCircuit
 from repro.verify.equiv import simulation_equivalent
-from tests.helpers import AND2, OR2, XOR2, random_seq_circuit, xor_chain
+from tests.helpers import AND2, OR2, random_seq_circuit, xor_chain
 
 
 def and_chain(n, name="andchain"):

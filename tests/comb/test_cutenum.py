@@ -4,11 +4,7 @@ import pytest
 
 from repro.comb.areamap import area_flow_map
 from repro.comb.cone import cone_function
-from repro.comb.cutenum import (
-    area_flow_cuts,
-    enumerate_cuts,
-    min_depth_by_cuts,
-)
+from repro.comb.cutenum import enumerate_cuts, min_depth_by_cuts
 from repro.comb.flowmap import compute_labels, flowmap
 from repro.netlist.graph import SeqCircuit
 from tests.helpers import AND2, OR2, and_tree, random_dag, xor_chain

@@ -4,9 +4,15 @@ import pytest
 
 from repro.boolfn.truthtable import TruthTable
 from repro.comb.cone import cone_function
-from repro.comb.flowmap import compute_labels, flowmap, generate_mapping
-from repro.netlist.graph import NodeKind, SeqCircuit
-from tests.helpers import AND2, XOR2, and_tree, brute_force_min_depth, random_dag, xor_chain
+from repro.comb.flowmap import compute_labels, flowmap
+from repro.netlist.graph import SeqCircuit
+from tests.helpers import (
+    AND2,
+    and_tree,
+    brute_force_min_depth,
+    random_dag,
+    xor_chain,
+)
 
 
 class TestLabels:

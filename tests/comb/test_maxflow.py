@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.comb.maxflow import INF, FlowNetwork, SplitNetwork
+from repro.comb.maxflow import FlowNetwork, SplitNetwork
 
 
 class TestFlowNetwork:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.comb.maxflow import INF, FlowNetwork, SplitNetwork
+from repro.comb.maxflow import FlowNetwork, SplitNetwork
 
 
 class TestEdgeFlow:
@@ -33,6 +33,100 @@ class TestEdgeFlow:
         net.add_node()
         with pytest.raises(ValueError):
             net.add_edge(0, 3, 1)
+
+
+class TestMaxFlowLimitSemantics:
+    def _fan(self, n_paths):
+        """``n_paths`` disjoint unit-capacity source->leaf->sink paths."""
+        net = FlowNetwork()
+        s, t = net.add_node(), net.add_node()
+        for _ in range(n_paths):
+            mid = net.add_node()
+            net.add_edge(s, mid, 1)
+            net.add_edge(mid, t, 1)
+        return net, s, t
+
+    def test_exact_when_at_or_below_limit(self):
+        net, s, t = self._fan(4)
+        assert net.max_flow(s, t, limit=4) == 4
+        net, s, t = self._fan(4)
+        assert net.max_flow(s, t, limit=10) == 4
+
+    def test_limit_plus_one_means_more_than_limit(self):
+        # true max flow is 7, but the query only needs "more than 5"
+        net, s, t = self._fan(7)
+        assert net.max_flow(s, t, limit=5) == 6
+
+    def test_limit_zero_detects_any_flow(self):
+        net, s, t = self._fan(3)
+        assert net.max_flow(s, t, limit=0) == 1
+        net = FlowNetwork()
+        s, t = net.add_node(), net.add_node()
+        assert net.max_flow(s, t, limit=0) == 0  # no path at all
+
+    def test_early_cutoff_still_k_decidable(self):
+        # the K-cut use case: flow <= K iff a K-feasible cut exists
+        k = 3
+        net, s, t = self._fan(k)
+        assert net.max_flow(s, t, limit=k) <= k
+        net, s, t = self._fan(k + 2)
+        assert net.max_flow(s, t, limit=k) == k + 1
+
+
+class TestCutNodesReconvergent:
+    def test_reconvergent_dag_cuts_at_bottleneck(self):
+        """Diamond reconvergence: both branches pass through one node.
+
+        a, b (leaves) -> x -> {y, z} -> root: the two source-to-sink
+        paths reconverge at the root, but every one saturates x's unit
+        split edge, so the minimum cut is exactly {x}.
+        """
+        net = SplitNetwork()
+        for node in ["a", "b", "x", "y", "z", "root"]:
+            net.add_dag_node(node)
+        net.add_dag_edge("a", "x")
+        net.add_dag_edge("b", "x")
+        net.add_dag_edge("x", "y")
+        net.add_dag_edge("x", "z")
+        net.add_dag_edge("y", "root")
+        net.add_dag_edge("z", "root")
+        net.attach_source("a")
+        net.attach_source("b")
+        net.attach_sink("root")
+        assert net.max_flow(limit=5) == 1
+        assert net.cut_nodes() == ["x"]
+        # the source side stops before the reconvergent fan-out
+        assert net.source_side() == {"a", "b"}
+
+    def test_reconvergent_dag_parallel_branches(self):
+        """No single bottleneck: the cut must take one node per branch."""
+        net = SplitNetwork()
+        for node in ["a", "y", "z", "root"]:
+            net.add_dag_node(node)
+        net.add_dag_edge("a", "y")
+        net.add_dag_edge("a", "z")
+        net.add_dag_edge("y", "root")
+        net.add_dag_edge("z", "root")
+        net.attach_source("a")
+        net.attach_sink("root")
+        # paths a->y->root and a->z->root share only a's split edge
+        assert net.max_flow(limit=5) == 1
+        assert net.cut_nodes() == ["a"]
+
+    def test_non_cuttable_node_pushes_cut_outward(self):
+        net = SplitNetwork()
+        net.add_dag_node("a")
+        net.add_dag_node("b")
+        net.add_dag_node("x", cuttable=False)
+        net.add_dag_node("root")
+        net.add_dag_edge("a", "x")
+        net.add_dag_edge("b", "x")
+        net.add_dag_edge("x", "root")
+        net.attach_source("a")
+        net.attach_source("b")
+        net.attach_sink("root")
+        assert net.max_flow(limit=5) == 2
+        assert sorted(net.cut_nodes()) == ["a", "b"]
 
 
 class TestSplitNetworkInspection:

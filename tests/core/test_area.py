@@ -1,6 +1,5 @@
 """Tests for the area stage (label relaxation + packing)."""
 
-import pytest
 
 from repro.core.area import map_with_area_recovery, relaxed_realizations
 from repro.core.turbosyn import turbosyn

@@ -47,6 +47,26 @@ class TestSearchMinPhi:
         with pytest.raises(ValidationError):
             search_min_phi(c, 1, 4, False)
 
+    def test_no_duplicate_probes(self, monkeypatch):
+        """The binary search must reuse answers from the doubling phase."""
+        import repro.core.driver as driver
+
+        calls = []
+        real = driver.probe_phi
+
+        def counting(circuit, k, phi, *args, **kwargs):
+            calls.append(phi)
+            return real(circuit, k, phi, *args, **kwargs)
+
+        monkeypatch.setattr(driver, "probe_phi", counting)
+        c = and_ring(8)
+        # upper_bound=1 is infeasible: the doubling phase answers 1 and 2,
+        # then the binary search lands on 1 again — must hit the cache.
+        phi, outcomes = driver.search_min_phi(c, 5, upper_bound=1, resynthesize=False)
+        assert phi == 2
+        assert sorted(calls) == sorted(set(calls))
+        assert set(calls) == set(outcomes)
+
 
 class TestRunMapper:
     def test_result_shape(self):

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.flowsyn_s import flowsyn_s, merge_registers, split_at_registers
 from repro.core.turbosyn import turbosyn
-from repro.netlist.graph import NodeKind, SeqCircuit
+from repro.netlist.graph import SeqCircuit
 from repro.retime.mdr import min_feasible_period
 from repro.verify.equiv import simulation_equivalent, unrolled_equivalent
 from tests.helpers import AND2, BUF, random_seq_circuit

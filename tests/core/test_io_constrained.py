@@ -5,7 +5,6 @@ circuit is bounded only by the MDR ratio", whereas retiming alone must
 also fit the I/O paths.  These tests pin down that difference.
 """
 
-import pytest
 
 from repro.core.labels import LabelSolver
 from repro.core.turbomap import turbomap

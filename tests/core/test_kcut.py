@@ -1,6 +1,5 @@
 """Tests for flow-based height-constrained K-cuts on expanded circuits."""
 
-import pytest
 
 from repro.core.kcut import cut_on_expansion, find_height_cut
 from repro.core.expanded import expand_partial

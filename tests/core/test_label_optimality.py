@@ -9,14 +9,13 @@ also certifies the final labels are genuinely optimal, not just a
 fixpoint of the update rule.
 """
 
-from itertools import combinations
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 import pytest
 
 from repro.core.labels import LabelSolver
 from repro.netlist.graph import NodeKind, SeqCircuit
-from tests.helpers import AND2, BUF, XOR2, random_seq_circuit
+from tests.helpers import AND2, random_seq_circuit
 
 Copy = Tuple[int, int]
 

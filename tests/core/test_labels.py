@@ -4,8 +4,7 @@ import pytest
 
 from repro.core.labels import LabelSolver
 from repro.netlist.graph import SeqCircuit
-from repro.retime.mdr import min_feasible_period
-from tests.helpers import AND2, BUF, XOR2, random_seq_circuit, xor_chain
+from tests.helpers import AND2, BUF, random_seq_circuit, xor_chain
 
 
 def buffer_ring(num_gates, num_ffs):

@@ -5,9 +5,9 @@ import pytest
 from repro.core.driver import search_min_phi
 from repro.core.mapping import MappingError, Realization, generate_mapping, realize_node
 from repro.core.expanded import sequential_cone_function
-from repro.netlist.graph import NodeKind, SeqCircuit
+from repro.netlist.graph import SeqCircuit
 from repro.retime.mdr import min_feasible_period
-from tests.helpers import AND2, BUF, XOR2, random_seq_circuit
+from tests.helpers import AND2, BUF, random_seq_circuit
 
 
 def solved(circuit, k, resyn=False):

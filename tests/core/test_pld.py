@@ -5,7 +5,7 @@ import pytest
 from repro.core.labels import LabelSolver
 from repro.core.pld import grounded_members, justified_predecessors
 from repro.netlist.graph import SeqCircuit
-from tests.helpers import AND2, BUF, random_seq_circuit
+from tests.helpers import AND2, random_seq_circuit
 
 
 def and_ring(num_gates, num_ffs=1):

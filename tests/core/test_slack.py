@@ -1,6 +1,5 @@
 """Tests for criticality / slack analysis."""
 
-import pytest
 
 from repro.core.slack import analyze, critical_sccs, node_slacks, report
 from repro.core.labels import LabelSolver

@@ -3,8 +3,7 @@
 import pytest
 
 from repro.bench.fsm import fsm_to_circuit, random_fsm
-from repro.core.slack import analyze, node_slacks, report
-from repro.core.labels import LabelSolver
+from repro.core.slack import analyze, report
 
 
 class TestOnControllers:

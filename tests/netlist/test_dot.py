@@ -2,7 +2,7 @@
 
 from repro.netlist.dot import to_dot, write_dot_file
 from repro.netlist.graph import SeqCircuit
-from tests.helpers import AND2, BUF
+from tests.helpers import AND2
 
 
 def small():

@@ -1,10 +1,9 @@
 """Property tests for retiming-graph transformations (hypothesis)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.netlist.graph import NodeKind, SeqCircuit
+from repro.netlist.graph import NodeKind
 from repro.retime.mdr import mdr_ratio
 from tests.helpers import random_seq_circuit
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.netlist.kiss import FSM, Transition, read_kiss, write_kiss
+from repro.netlist.kiss import FSM, read_kiss, write_kiss
 
 EXAMPLE = """
 .i 1

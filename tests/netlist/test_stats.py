@@ -1,10 +1,9 @@
 """Tests for circuit profiling."""
 
-import pytest
 
 from repro.netlist.graph import SeqCircuit
 from repro.netlist.stats import lut_profile, profile, render_profile
-from tests.helpers import AND2, BUF, and_tree, random_seq_circuit, xor_chain
+from tests.helpers import AND2, and_tree, random_seq_circuit, xor_chain
 
 
 class TestProfile:

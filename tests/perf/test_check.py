@@ -1,0 +1,106 @@
+"""The regression gate: baseline comparison policy and CLI exit codes."""
+
+import json
+
+from repro.perf import check as perf_check
+
+
+def _report(runs):
+    return {"schema": 1, "kind": "suite", "runs": runs}
+
+
+def _run(circuit="bbara", algo="turbomap", phi=3, luts=100, seconds=1.0):
+    return {
+        "circuit": circuit,
+        "algorithm": algo,
+        "phi": phi,
+        "luts": luts,
+        "seconds": seconds,
+    }
+
+
+class TestCompare:
+    def test_clean_pass(self):
+        comparison = perf_check.compare(
+            _report([_run()]), _report([_run()]), tolerance=0.25
+        )
+        assert comparison.ok and comparison.compared == 1
+        assert not comparison.regressions
+
+    def test_phi_increase_is_regression(self):
+        comparison = perf_check.compare(
+            _report([_run(phi=3)]), _report([_run(phi=4)])
+        )
+        assert not comparison.ok
+        assert any("phi regressed" in r for r in comparison.regressions)
+
+    def test_phi_decrease_is_improvement(self):
+        comparison = perf_check.compare(
+            _report([_run(phi=3)]), _report([_run(phi=2)])
+        )
+        assert comparison.ok
+        assert any("phi improved" in s for s in comparison.improvements)
+
+    def test_lut_growth_within_tolerance_passes(self):
+        comparison = perf_check.compare(
+            _report([_run(luts=100)]), _report([_run(luts=120)]), tolerance=0.25
+        )
+        assert comparison.ok
+
+    def test_lut_growth_beyond_tolerance_fails(self):
+        comparison = perf_check.compare(
+            _report([_run(luts=100)]), _report([_run(luts=130)]), tolerance=0.25
+        )
+        assert not comparison.ok
+        assert any("luts regressed" in r for r in comparison.regressions)
+
+    def test_time_slowdown_warns_by_default(self):
+        comparison = perf_check.compare(
+            _report([_run(seconds=1.0)]), _report([_run(seconds=3.0)])
+        )
+        assert comparison.ok
+        assert comparison.warnings
+
+    def test_time_gate_opt_in(self):
+        comparison = perf_check.compare(
+            _report([_run(seconds=1.0)]),
+            _report([_run(seconds=3.0)]),
+            time_tolerance=0.5,
+        )
+        assert not comparison.ok
+
+    def test_disjoint_runs_not_ok(self):
+        comparison = perf_check.compare(
+            _report([_run(circuit="a")]), _report([_run(circuit="b")])
+        )
+        assert comparison.compared == 0
+        assert not comparison.ok
+
+
+class TestMain:
+    def _write(self, path, runs):
+        path.write_text(json.dumps(_report(runs)))
+        return str(path)
+
+    def test_exit_zero_on_match(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json", [_run()])
+        cur = self._write(tmp_path / "cur.json", [_run()])
+        assert perf_check.main([base, cur, "--tolerance", "0.25"]) == 0
+        assert "status: OK" in capsys.readouterr().out
+
+    def test_exit_nonzero_on_degraded_quality(self, tmp_path, capsys):
+        """The CI gate catches an artificially degraded result."""
+        base = self._write(tmp_path / "base.json", [_run(phi=2, luts=100)])
+        cur = self._write(tmp_path / "cur.json", [_run(phi=4, luts=200)])
+        assert perf_check.main([base, cur, "--tolerance", "0.25"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "status: FAIL" in out
+
+    def test_exit_nonzero_when_nothing_overlaps(self, tmp_path):
+        base = self._write(tmp_path / "base.json", [_run(circuit="a")])
+        cur = self._write(tmp_path / "cur.json", [_run(circuit="b")])
+        assert perf_check.main([base, cur]) == 1
+
+    def test_exit_nonzero_on_missing_file(self, tmp_path):
+        base = self._write(tmp_path / "base.json", [_run()])
+        assert perf_check.main([base, str(tmp_path / "nope.json")]) == 1

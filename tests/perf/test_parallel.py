@@ -1,0 +1,92 @@
+"""Parallel phi search: equivalence with the sequential Figure-4 search.
+
+Feasibility is monotone in phi and each probe is deterministic, so the
+speculative parallel search must return the *identical* optimum and
+labels — only the set of extra (discarded) probes may differ.  Wall-clock
+speedups are measured by ``benchmarks/bench_parallel.py``, not here.
+"""
+
+import pytest
+
+from repro.bench import suite as bench_suite
+from repro.core.driver import run_mapper, search_min_phi
+from repro.perf.parallel import _spread, parallel_search_min_phi
+from repro.retime.mdr import min_feasible_period
+from tests.helpers import random_seq_circuit
+
+
+class TestSpread:
+    def test_includes_hi(self):
+        assert _spread(1, 20, 4)[-1] == 20
+
+    def test_distinct_and_bounded(self):
+        points = _spread(3, 11, 5)
+        assert points == sorted(set(points))
+        assert all(3 <= p <= 11 for p in points)
+
+    def test_degenerate_interval(self):
+        assert _spread(7, 7, 4) == [7]
+
+    def test_count_capped_by_span(self):
+        assert _spread(1, 3, 16) == [1, 2, 3]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("name", ["bbara", "dk16"])
+    def test_fsm_bench_identical_phi_and_labels(self, name):
+        """Determinism on the FSM bench circuits (issue acceptance)."""
+        circuit = bench_suite.build(name)
+        ub = min_feasible_period(circuit)
+        seq_phi, seq_out = search_min_phi(circuit, 5, ub, False)
+        par_phi, par_out = parallel_search_min_phi(
+            circuit, 5, ub, False, workers=4
+        )
+        assert par_phi == seq_phi
+        assert par_out[par_phi].labels == seq_out[seq_phi].labels
+        # every sequential probe's verdict is reproduced when re-probed
+        for phi in set(seq_out) & set(par_out):
+            assert par_out[phi].feasible == seq_out[phi].feasible
+
+    def test_random_circuits_identical(self):
+        for seed in range(3):
+            circuit = random_seq_circuit(3, 14, seed=seed, feedback=3)
+            ub = min_feasible_period(circuit)
+            seq_phi, seq_out = search_min_phi(circuit, 3, ub, False)
+            par_phi, par_out = parallel_search_min_phi(
+                circuit, 3, ub, False, workers=2
+            )
+            assert par_phi == seq_phi
+            assert par_out[par_phi].labels == seq_out[seq_phi].labels
+
+    def test_workers_one_delegates_to_sequential(self):
+        circuit = random_seq_circuit(3, 10, seed=7, feedback=2)
+        ub = min_feasible_period(circuit)
+        par_phi, par_out = parallel_search_min_phi(circuit, 3, ub, False, workers=1)
+        seq_phi, seq_out = search_min_phi(circuit, 3, ub, False)
+        assert par_phi == seq_phi
+        # exactly the sequential probe schedule (wall-clock stats aside)
+        assert sorted(par_out) == sorted(seq_out)
+        for phi in seq_out:
+            assert par_out[phi].feasible == seq_out[phi].feasible
+            assert par_out[phi].labels == seq_out[phi].labels
+
+    def test_low_upper_bound_recovers(self):
+        """Speculative doubling when the given bound is infeasible."""
+        circuit = bench_suite.build("dk16")
+        seq_phi, _ = search_min_phi(circuit, 5, 1, False)
+        par_phi, par_out = parallel_search_min_phi(
+            circuit, 5, 1, False, workers=3
+        )
+        assert par_phi == seq_phi
+        assert not par_out[1].feasible
+
+    def test_run_mapper_workers_same_mapping_stats(self):
+        circuit = bench_suite.build("dk16")
+        seq = run_mapper(circuit, 5, algorithm="turbomap", resynthesize=False)
+        par = run_mapper(
+            circuit, 5, algorithm="turbomap", resynthesize=False, workers=2
+        )
+        assert par.phi == seq.phi
+        assert par.labels == seq.labels
+        assert par.mapped.stats() == seq.mapped.stats()
+        assert par.workers == 2 and seq.workers == 1

@@ -1,0 +1,74 @@
+"""Run-report serialization: schema shape, JSON round trip, telemetry."""
+
+import json
+
+from repro.core.driver import run_mapper
+from repro.perf import report as perf_report
+from tests.helpers import random_seq_circuit
+
+
+def _result(workers=1):
+    circuit = random_seq_circuit(3, 12, seed=1, feedback=2)
+    return circuit, run_mapper(
+        circuit, 3, algorithm="turbomap", resynthesize=False, workers=workers
+    )
+
+
+class TestMapperRun:
+    def test_shape(self):
+        circuit, result = _result()
+        run = perf_report.mapper_run(result, circuit, seconds=1.5)
+        assert run["circuit"] == circuit.name
+        assert run["algorithm"] == "turbomap"
+        assert run["phi"] == result.phi
+        assert run["luts"] == result.n_luts
+        assert run["seconds"] == 1.5
+        assert run["gates"] == circuit.n_gates
+        assert run["ffs"] == circuit.n_ffs
+        assert run["search"]["probes"] == sorted(result.outcomes)
+        assert run["search"]["n_probes"] == len(result.outcomes)
+
+    def test_telemetry_fields_populated(self):
+        circuit, result = _result()
+        assert result.t_search > 0.0
+        assert result.t_mapping > 0.0
+        stats = perf_report.mapper_run(result, circuit)["stats"]
+        for key in ("t_total", "t_expand", "t_flow", "t_pld"):
+            assert key in stats
+        assert stats["t_total"] > 0.0
+        assert stats["flow_queries"] > 0
+
+    def test_seconds_defaults_to_result_total(self):
+        circuit, result = _result()
+        run = perf_report.mapper_run(result, circuit)
+        assert run["seconds"] == round(result.t_search + result.t_mapping, 6)
+
+
+class TestSuiteReport:
+    def test_envelope_and_round_trip(self, tmp_path):
+        circuit, result = _result()
+        report = perf_report.suite_report(
+            [perf_report.mapper_run(result, circuit)], k=3, workers=1
+        )
+        assert report["schema"] == perf_report.SCHEMA_VERSION
+        assert report["kind"] == "suite"
+        assert report["k"] == 3
+        path = tmp_path / "report.json"
+        perf_report.write_report(report, str(path))
+        loaded = perf_report.load_report(str(path))
+        assert loaded == json.loads(json.dumps(report))
+
+    def test_load_tolerates_bare_run_list(self, tmp_path):
+        path = tmp_path / "bare.json"
+        path.write_text('[{"circuit": "x", "algorithm": "a", "phi": 1}]')
+        loaded = perf_report.load_report(str(path))
+        assert loaded["runs"][0]["circuit"] == "x"
+
+    def test_load_rejects_non_report(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"hello": 1}')
+        try:
+            perf_report.load_report(str(path))
+        except ValueError:
+            return
+        raise AssertionError("expected ValueError")

@@ -1,7 +1,6 @@
 """Tests for MDR-ratio / cycle-ratio computation."""
 
 from fractions import Fraction
-from itertools import permutations
 
 import pytest
 

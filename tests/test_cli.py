@@ -61,6 +61,34 @@ class TestCommands:
         mapped, _ = read_blif_file(out_path)
         mapped.check()
 
+    def test_map_report_and_workers(self, small_blif, tmp_path, capsys):
+        import json
+
+        report_path = str(tmp_path / "run.json")
+        code = main(
+            [
+                "map",
+                small_blif,
+                "--algo",
+                "turbomap",
+                "-k",
+                "4",
+                "--workers",
+                "2",
+                "--report",
+                report_path,
+            ]
+        )
+        assert code == 0
+        assert "wrote report" in capsys.readouterr().out
+        report = json.load(open(report_path))
+        assert report["kind"] == "map"
+        assert report["workers"] == 2
+        (run,) = report["runs"]
+        assert run["algorithm"] == "turbomap"
+        assert run["phi"] >= 1
+        assert "t_search" in run["search"]
+
     def test_gen(self, tmp_path, capsys):
         out_path = str(tmp_path / "bbara.blif")
         assert main(["gen", "bbara", out_path]) == 0

@@ -5,8 +5,8 @@ from fractions import Fraction
 import networkx as nx
 import pytest
 
-from repro.netlist.graph import NodeKind, SeqCircuit
-from repro.retime.mdr import has_positive_cycle, mdr_ratio, min_feasible_period
+from repro.netlist.graph import SeqCircuit
+from repro.retime.mdr import has_positive_cycle, mdr_ratio
 from tests.helpers import random_seq_circuit
 
 

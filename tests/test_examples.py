@@ -8,9 +8,7 @@ The slow design-space sweep is exercised only through its imports.
 
 import importlib.util
 import os
-import sys
 
-import pytest
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
 

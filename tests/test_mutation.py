@@ -13,7 +13,7 @@ import pytest
 from repro.boolfn.truthtable import TruthTable
 from repro.bench.fsm import fsm_to_circuit, random_fsm
 from repro.core.turbomap import turbomap
-from repro.netlist.graph import NodeKind, Pin, SeqCircuit
+from repro.netlist.graph import Pin, SeqCircuit
 from repro.verify.bdd_equiv import combinational_equivalent
 from repro.verify.equiv import (
     retiming_consistent,

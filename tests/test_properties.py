@@ -1,7 +1,5 @@
 """Property-based invariants across the whole pipeline (hypothesis)."""
 
-import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -5,7 +5,7 @@ import pytest
 from repro.netlist.graph import SeqCircuit
 from repro.verify.simulate import Simulator
 from repro.verify.vcd import VcdTracer, _short_id, trace_random_run
-from tests.helpers import BUF, XOR2
+from tests.helpers import XOR2
 
 
 def toggler():

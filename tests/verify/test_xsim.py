@@ -1,6 +1,5 @@
 """Tests for ternary simulation and synchronizing-sequence certification."""
 
-import pytest
 
 from repro.bench.fsm import fsm_to_circuit, random_fsm
 from repro.boolfn.truthtable import TruthTable
