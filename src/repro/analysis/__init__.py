@@ -1,0 +1,70 @@
+"""Static analysis: circuit linter and mapping-invariant verifier.
+
+Public surface
+--------------
+* :mod:`repro.analysis.engine` — rule registry, :class:`Diagnostic`,
+  severities, text/JSON rendering.
+* :mod:`repro.analysis.structural` — lint rules over a raw
+  :class:`~repro.netlist.graph.SeqCircuit` (CIRC0xx).
+* :mod:`repro.analysis.invariants` — post-hoc verification of mapping
+  and retiming results (MAP0xx), the ``certificate`` summary attached to
+  ``SeqMapResult``, and :class:`VerificationError`.
+* :mod:`repro.analysis.sarif` — SARIF 2.1.0 reports.
+* :mod:`repro.analysis.baseline` — baseline suppression for CI.
+* :mod:`repro.analysis.cli` — ``repro lint`` / ``python -m
+  repro.analysis``.
+
+Importing this package registers both rule packs.
+"""
+
+from repro.analysis.engine import (
+    CircuitContext,
+    Diagnostic,
+    Location,
+    Rule,
+    Severity,
+    all_rules,
+    count_by_severity,
+    diagnostics_json,
+    get_rule,
+    has_errors,
+    max_severity,
+    render_text,
+    run_rules,
+    sort_diagnostics,
+)
+from repro.analysis.invariants import (
+    MappingContext,
+    RetimingContext,
+    VerificationError,
+    certificate,
+    lint_retiming,
+    raise_on_errors,
+    verify_mapping,
+)
+from repro.analysis.structural import lint_circuit
+
+__all__ = [
+    "CircuitContext",
+    "Diagnostic",
+    "Location",
+    "MappingContext",
+    "RetimingContext",
+    "Rule",
+    "Severity",
+    "VerificationError",
+    "all_rules",
+    "certificate",
+    "count_by_severity",
+    "diagnostics_json",
+    "get_rule",
+    "has_errors",
+    "lint_circuit",
+    "lint_retiming",
+    "max_severity",
+    "raise_on_errors",
+    "render_text",
+    "run_rules",
+    "sort_diagnostics",
+    "verify_mapping",
+]

@@ -1,0 +1,60 @@
+"""Baseline files: suppress previously recorded diagnostics.
+
+A baseline is a JSON record of known findings, keyed by the stable
+:attr:`~repro.analysis.engine.Diagnostic.fingerprint` (rule id + circuit
++ node; message wording excluded on purpose).  ``repro lint --baseline
+known.json`` subtracts the recorded findings so CI fails only on *new*
+ones; ``--write-baseline known.json`` records the current state.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.analysis.engine import Diagnostic, sort_diagnostics
+
+BASELINE_SCHEMA = 1
+
+
+def baseline_payload(diags: Iterable[Diagnostic]) -> "dict[str, object]":
+    """The JSON document recording the given findings."""
+    findings = [
+        {
+            "fingerprint": d.fingerprint,
+            "rule": d.rule_id,
+            "location": d.location.qualified,
+            "message": d.message,
+        }
+        for d in sort_diagnostics(diags)
+    ]
+    return {"schema": BASELINE_SCHEMA, "findings": findings}
+
+
+def write_baseline(diags: Iterable[Diagnostic], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(baseline_payload(diags), fh, indent=2)
+        fh.write("\n")
+
+
+def load_baseline(path: str) -> Set[str]:
+    """The fingerprints recorded in a baseline file."""
+    with open(path) as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError(f"{path}: not a lint baseline (missing 'findings')")
+    out: Set[str] = set()
+    for entry in data["findings"]:
+        fp = entry.get("fingerprint") if isinstance(entry, dict) else None
+        if not isinstance(fp, str):
+            raise ValueError(f"{path}: malformed baseline entry {entry!r}")
+        out.add(fp)
+    return out
+
+
+def suppress(
+    diags: Sequence[Diagnostic], fingerprints: Set[str]
+) -> Tuple[List[Diagnostic], int]:
+    """Split ``diags`` into (kept, suppressed-count) under a baseline."""
+    kept = [d for d in diags if d.fingerprint not in fingerprints]
+    return kept, len(diags) - len(kept)

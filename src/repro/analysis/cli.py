@@ -1,0 +1,154 @@
+"""The circuit linter CLI: ``repro lint`` / ``python -m repro.analysis``.
+
+Lints one or more BLIF circuits with the structural rule pack and
+reports diagnostics as text, JSON or SARIF 2.1.0.
+
+Exit codes
+----------
+0   no finding at or above the ``--fail-on`` severity (default: error)
+1   at least one such finding survived baseline suppression
+2   usage or input error (unreadable file, malformed BLIF, bad baseline)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Set
+
+from repro.analysis import baseline as baseline_mod
+from repro.analysis.engine import (
+    CircuitContext,
+    Diagnostic,
+    Severity,
+    all_rules,
+    count_by_severity,
+    render_text,
+    run_rules,
+)
+from repro.analysis.sarif import render_sarif
+
+FORMATS = ("text", "json", "sarif")
+FAIL_ON = ("error", "warning", "info", "never")
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the linter's arguments (shared with the turbosyn CLI)."""
+    parser.add_argument("circuits", nargs="+", help="BLIF files to lint")
+    parser.add_argument("-k", type=int, default=5, help="LUT input count")
+    parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--out", metavar="FILE", help="write the report here instead of stdout"
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all circuit rules)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings recorded in this baseline JSON",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record the current findings (pre-suppression) as a baseline",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=FAIL_ON,
+        default="error",
+        help="lowest severity that makes the exit code 1 (default: error)",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a lint run described by parsed arguments."""
+    from repro.netlist.blif import BlifError, read_blif_file
+
+    select = (
+        [s.strip() for s in args.select.split(",") if s.strip()]
+        if args.select
+        else None
+    )
+    known: Set[str] = set()
+    if args.baseline:
+        try:
+            known = baseline_mod.load_baseline(args.baseline)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+
+    diags: List[Diagnostic] = []
+    load_failed = False
+    for path in args.circuits:
+        try:
+            circuit, _info = read_blif_file(path)
+        except (OSError, BlifError, ValueError) as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            load_failed = True
+            continue
+        diags.extend(
+            run_rules(
+                "circuit", CircuitContext(circuit, args.k, file=path), select
+            )
+        )
+    if load_failed:
+        return 2
+
+    if args.write_baseline:
+        baseline_mod.write_baseline(diags, args.write_baseline)
+
+    kept, n_suppressed = baseline_mod.suppress(diags, known)
+    rules_run = all_rules("circuit", select)
+
+    if args.format == "sarif":
+        report = render_sarif(kept, rules_run)
+    elif args.format == "json":
+        from repro.analysis.engine import diagnostics_json
+
+        report = diagnostics_json(kept)
+    else:
+        counts = count_by_severity(kept)
+        lines = [render_text(kept)] if kept else []
+        lines.append(
+            f"{len(args.circuits)} circuit(s) linted: "
+            f"{counts['error']} error(s), {counts['warning']} warning(s), "
+            f"{counts['info']} info(s)"
+            + (f", {n_suppressed} suppressed by baseline" if n_suppressed else "")
+        )
+        report = "\n".join(lines) + "\n"
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report)
+    else:
+        sys.stdout.write(report)
+
+    if args.fail_on == "never":
+        return 0
+    threshold = Severity(args.fail_on).rank
+    if any(d.severity.rank <= threshold for d in kept):
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Circuit linter: structural rules over BLIF netlists "
+        "with text / JSON / SARIF 2.1.0 reports",
+    )
+    add_lint_arguments(parser)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return run_lint(args)

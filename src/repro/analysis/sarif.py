@@ -1,0 +1,103 @@
+"""SARIF 2.1.0 output for the circuit linter.
+
+Emits the subset of the OASIS Static Analysis Results Interchange Format
+that GitHub code scanning (and every SARIF viewer) consumes: one run,
+one tool driver carrying the full rule metadata, one result per
+diagnostic with both a logical location (``circuit::node``) and — when
+the diagnostic came from a file — a physical location, plus a stable
+partial fingerprint for result matching across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Sequence
+
+from repro.analysis.engine import Diagnostic, Rule, Severity, sort_diagnostics
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-lint"
+TOOL_URI = "https://github.com/cong-wu-reproduction/turbosyn"
+FINGERPRINT_KEY = "reproLint/v1"
+
+#: SARIF ``level`` per severity (SARIF has no "info" level; it uses "note").
+_LEVEL: Dict[Severity, str] = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _rule_descriptor(rule: Rule) -> Dict[str, object]:
+    return {
+        "id": rule.id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.name.replace("-", " ")},
+        "fullDescription": {"text": rule.description},
+        "defaultConfiguration": {"level": _LEVEL[rule.severity]},
+        "properties": {"scope": rule.scope},
+    }
+
+
+def _location(diag: Diagnostic) -> Dict[str, object]:
+    logical: Dict[str, object] = {
+        "name": diag.location.node or diag.location.circuit,
+        "fullyQualifiedName": diag.location.qualified,
+        "kind": "element" if diag.location.node else "module",
+    }
+    out: Dict[str, object] = {"logicalLocations": [logical]}
+    if diag.location.file is not None:
+        out["physicalLocation"] = {
+            "artifactLocation": {"uri": diag.location.file},
+            "region": {"startLine": 1, "startColumn": 1},
+        }
+    return out
+
+
+def sarif_report(
+    diags: Iterable[Diagnostic], rules: Sequence[Rule]
+) -> Dict[str, object]:
+    """Build the SARIF 2.1.0 document for one lint run.
+
+    ``rules`` should list every rule that *ran* (clean rules included),
+    so a consumer can distinguish "checked and clean" from "not checked".
+    """
+    ordered = sort_diagnostics(diags)
+    rule_index = {rule.id: i for i, rule in enumerate(rules)}
+    results: List[Dict[str, object]] = []
+    for diag in ordered:
+        result: Dict[str, object] = {
+            "ruleId": diag.rule_id,
+            "level": _LEVEL[diag.severity],
+            "message": {"text": diag.message},
+            "locations": [_location(diag)],
+            "partialFingerprints": {FINGERPRINT_KEY: diag.fingerprint},
+        }
+        if diag.rule_id in rule_index:
+            result["ruleIndex"] = rule_index[diag.rule_id]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "rules": [_rule_descriptor(r) for r in rules],
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(diags: Iterable[Diagnostic], rules: Sequence[Rule]) -> str:
+    return json.dumps(sarif_report(diags, rules), indent=2) + "\n"

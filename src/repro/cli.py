@@ -22,6 +22,10 @@ Commands
 ``dot``
     Export a circuit as Graphviz DOT (optionally highlighting the
     critical cycle).
+``lint``
+    Static analysis: run the structural rule pack over BLIF circuits and
+    report diagnostics as text, JSON or SARIF 2.1.0
+    (:mod:`repro.analysis`).
 """
 
 from __future__ import annotations
@@ -36,13 +40,14 @@ from repro.core.flowsyn_s import flowsyn_s
 from repro.core.turbomap import turbomap
 from repro.core.turbosyn import turbosyn
 from repro.netlist.blif import read_blif_file, write_blif_file
+from repro.netlist.validate import ValidationError, ensure_mappable
 from repro.retime.mdr import mdr_ratio, min_feasible_period
 from repro.retime.pipeline import pipeline_and_retime
 
 _ALGOS = {
-    "turbosyn": lambda c, k, w: turbosyn(c, k, workers=w),
-    "turbomap": lambda c, k, w: turbomap(c, k, workers=w),
-    "flowsyn-s": lambda c, k, w: flowsyn_s(c, k),
+    "turbosyn": lambda c, k, w, chk: turbosyn(c, k, workers=w, check=chk),
+    "turbomap": lambda c, k, w, chk: turbomap(c, k, workers=w, check=chk),
+    "flowsyn-s": lambda c, k, w, chk: flowsyn_s(c, k, check=chk),
 }
 
 
@@ -56,13 +61,23 @@ def _write_run_report(path: str, runs: list, k: int, workers: int, kind: str) ->
 
 
 def _cmd_map(args: argparse.Namespace) -> int:
-    circuit, _info = read_blif_file(args.circuit)
+    from repro.netlist.blif import BlifError
+
+    try:
+        circuit, _info = read_blif_file(args.circuit)
+        ensure_mappable(circuit, args.k)
+    except (OSError, BlifError, ValidationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     t0 = time.perf_counter()
-    result = _ALGOS[args.algo](circuit, args.k, args.workers)
+    result = _ALGOS[args.algo](circuit, args.k, args.workers, not args.no_check)
     elapsed = time.perf_counter() - t0
+    verified = (
+        " verified" if result.certificate and result.certificate["verified"] else ""
+    )
     print(
         f"{circuit.name}: algo={args.algo} K={args.k} "
-        f"phi={result.phi} luts={result.n_luts} cpu={elapsed:.2f}s"
+        f"phi={result.phi} luts={result.n_luts} cpu={elapsed:.2f}s{verified}"
     )
     if args.report:
         from repro.perf import report as perf_report
@@ -124,10 +139,15 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     print(header)
     for name in names:
         circuit = bench_suite.build(name)
+        try:
+            ensure_mappable(circuit, args.k)
+        except ValidationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         cells: List[str] = []
         for algo in algos:
             t0 = time.perf_counter()
-            result = _ALGOS[algo](circuit, args.k, args.workers)
+            result = _ALGOS[algo](circuit, args.k, args.workers, not args.no_check)
             elapsed = time.perf_counter() - t0
             cells.append(f"phi={result.phi:2d} {elapsed:7.1f}s")
             if args.report:
@@ -224,6 +244,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.add_argument(
         "--report", metavar="OUT.json", help="write a JSON run report"
     )
+    p_map.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip post-mapping invariant verification (repro.analysis)",
+    )
     p_map.set_defaults(func=_cmd_map)
 
     p_stats = sub.add_parser("stats", help="show retiming-graph statistics")
@@ -262,6 +287,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_suite.add_argument(
         "--report", metavar="OUT.json", help="write a JSON run report"
     )
+    p_suite.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip post-mapping invariant verification (repro.analysis)",
+    )
     p_suite.set_defaults(func=_cmd_suite)
 
     p_verify = sub.add_parser("verify", help="equivalence-check two BLIFs")
@@ -291,6 +321,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="fill the nodes of one MDR-critical cycle",
     )
     p_dot.set_defaults(func=_cmd_dot)
+
+    from repro.analysis.cli import add_lint_arguments, run_lint
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="lint BLIF circuits (text / JSON / SARIF 2.1.0 diagnostics)",
+    )
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=run_lint)
     return parser
 
 

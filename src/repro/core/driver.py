@@ -21,10 +21,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Set
 
 from repro.core.labels import LabelOutcome, LabelSolver, LabelStats, ResynHook
-from repro.core.mapping import generate_mapping
+from repro.core.mapping import Realization, generate_mapping
 from repro.core.seqdecomp import DEFAULT_CMAX, find_seq_resynthesis
 from repro.netlist.graph import SeqCircuit
 from repro.netlist.validate import ensure_mappable
@@ -41,11 +41,17 @@ class SeqMapResult:
     labels: "list[int]"
     #: label outcome per phi probed during the binary search
     outcomes: Dict[int, LabelOutcome] = field(default_factory=dict)
-    #: wall-clock seconds spent searching phi / regenerating the mapping
+    #: wall-clock seconds spent searching phi / regenerating the mapping /
+    #: verifying the invariants of the produced mapping
     t_search: float = 0.0
     t_mapping: float = 0.0
+    t_verify: float = 0.0
     #: probe processes used by the phi search (1 = sequential)
     workers: int = 1
+    #: machine-readable verification summary
+    #: (:func:`repro.analysis.certificate`); ``None`` when verification
+    #: was opted out of.
+    certificate: Optional[dict] = None
 
     @property
     def n_luts(self) -> int:
@@ -53,7 +59,7 @@ class SeqMapResult:
 
     @property
     def t_total(self) -> float:
-        return self.t_search + self.t_mapping
+        return self.t_search + self.t_mapping + self.t_verify
 
     @property
     def total_stats(self) -> LabelStats:
@@ -182,6 +188,43 @@ def search_min_phi(
     return lo, outcomes
 
 
+def verify_result(
+    circuit: SeqCircuit,
+    result: SeqMapResult,
+    k: int,
+    resyn_roots: Optional[Set[str]] = None,
+) -> SeqMapResult:
+    """Certify a mapping result in place: verify, attach the certificate.
+
+    Runs the invariant rule pack of :mod:`repro.analysis.invariants`
+    (retiming legality surrogates, per-LUT K-feasibility, label/cut-height
+    consistency, the phi >= MDR-ratio bound, cone-function equality) plus
+    a structural pass over the mapped network.  ``resyn_roots`` carries
+    the exact set of subject gates realized by resynthesis trees (their
+    cone invariants do not apply).  Raises
+    :class:`repro.analysis.VerificationError` on any ERROR finding —
+    a malformed mapping must never reach a report as a success.
+    """
+    from repro.analysis import certificate, raise_on_errors, verify_mapping
+
+    t0 = time.perf_counter()
+    diags = verify_mapping(
+        circuit,
+        result.mapped,
+        result.phi,
+        result.labels,
+        k,
+        result.algorithm,
+        resyn_roots=resyn_roots,
+    )
+    result.t_verify = time.perf_counter() - t0
+    result.certificate = certificate(
+        diags, result.phi, result.algorithm, t_verify=result.t_verify
+    )
+    raise_on_errors(diags, circuit.name, result.algorithm)
+    return result
+
+
 def run_mapper(
     circuit: SeqCircuit,
     k: int,
@@ -194,12 +237,18 @@ def run_mapper(
     io_constrained: bool = False,
     name: Optional[str] = None,
     workers: int = 1,
+    check: bool = True,
 ) -> SeqMapResult:
     """Full mapper pipeline: search ``phi``, regenerate the mapping.
 
     ``workers > 1`` probes candidate periods speculatively in parallel
     (:func:`repro.perf.parallel.parallel_search_min_phi`); the result is
     identical to the sequential search, only the wall clock differs.
+
+    ``check=True`` (the default) verifies the produced mapping against
+    the paper's invariants with :func:`verify_result` and attaches the
+    certificate; pass ``check=False`` to opt out (e.g. in tight inner
+    benchmark loops).
     """
     ub = upper_bound if upper_bound is not None else min_feasible_period(circuit)
     t0 = time.perf_counter()
@@ -232,6 +281,7 @@ def run_mapper(
     t_search = time.perf_counter() - t0
     labels = outcomes[phi].labels
     t0 = time.perf_counter()
+    chosen: Dict[int, Realization] = {}
     mapped = generate_mapping(
         circuit,
         phi,
@@ -241,9 +291,10 @@ def run_mapper(
         allow_resyn=resynthesize,
         extra_depth=extra_depth,
         name=name,
+        realizations_out=chosen,
     )
     t_mapping = time.perf_counter() - t0
-    return SeqMapResult(
+    result = SeqMapResult(
         algorithm=algorithm,
         phi=phi,
         mapped=mapped,
@@ -253,3 +304,11 @@ def run_mapper(
         t_mapping=t_mapping,
         workers=max(1, workers),
     )
+    if check:
+        resyn_roots = {
+            circuit.name_of(v)
+            for v, real in chosen.items()
+            if real.resyn is not None
+        }
+        verify_result(circuit, result, k, resyn_roots=resyn_roots)
+    return result

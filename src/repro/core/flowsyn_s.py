@@ -125,6 +125,7 @@ def flowsyn_s(
     k: int = 5,
     cmax: int = 15,
     name: Optional[str] = None,
+    check: bool = True,
 ) -> SeqMapResult:
     """FlowSYN-s mapping; ``result.phi`` is the merged network's MDR bound.
 
@@ -140,10 +141,15 @@ def flowsyn_s(
         circuit, mapped_view, name or f"{circuit.name}_flowsyn_s"
     )
     phi = min_feasible_period(merged) if merged.n_gates else 1
-    return SeqMapResult(
+    result = SeqMapResult(
         algorithm="flowsyn-s",
         phi=phi,
         mapped=merged,
         labels=[],
         outcomes={},
     )
+    if check:
+        from repro.core.driver import verify_result
+
+        verify_result(circuit, result, k)
+    return result

@@ -83,12 +83,16 @@ def generate_mapping(
     extra_depth: int = 0,
     name: Optional[str] = None,
     realizations: Optional[Dict[int, Realization]] = None,
+    realizations_out: Optional[Dict[int, Realization]] = None,
 ) -> SeqCircuit:
     """Materialize the LUT network selected by the converged labels.
 
     ``realizations`` may pre-seed choices (the area stage uses this to
     replace resynthesized realizations with relaxed plain cuts); remaining
-    nodes are realized on demand.
+    nodes are realized on demand.  ``realizations_out`` (when given)
+    receives the realization actually chosen for every needed gate — the
+    invariant verifier uses it to tell resynthesized LUT trees from plain
+    cuts.
     """
     chosen: Dict[int, Realization] = dict(realizations or {})
     needed: List[int] = []
@@ -158,4 +162,6 @@ def generate_mapping(
         pin = circuit.fanins(po)[0]
         mapped.add_po(circuit.name_of(po), new_id[pin.src], pin.weight)
     mapped.check()
+    if realizations_out is not None:
+        realizations_out.update(chosen)
     return mapped

@@ -28,6 +28,7 @@ def turbomap(
     pipelining: bool = True,
     name: Optional[str] = None,
     workers: int = 1,
+    check: bool = True,
 ) -> SeqMapResult:
     """Map ``circuit`` onto K-LUTs minimizing the MDR ratio (no resynthesis).
 
@@ -57,6 +58,9 @@ def turbomap(
         Probe processes for the phi search; ``>1`` probes candidate
         periods speculatively in parallel (same result, lower wall
         clock — see :mod:`repro.perf.parallel`).
+    check:
+        Verify the produced mapping against the paper's invariants and
+        attach a certificate (:mod:`repro.analysis`); ``False`` opts out.
     """
     return run_mapper(
         circuit,
@@ -69,4 +73,5 @@ def turbomap(
         io_constrained=not pipelining,
         name=name or f"{circuit.name}_turbomap",
         workers=workers,
+        check=check,
     )

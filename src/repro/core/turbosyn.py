@@ -38,6 +38,7 @@ def turbosyn(
     upper_bound: Optional[int] = None,
     name: Optional[str] = None,
     workers: int = 1,
+    check: bool = True,
 ) -> SeqMapResult:
     """Map ``circuit`` onto K-LUTs minimizing the MDR ratio with
     sequential functional decomposition.
@@ -45,11 +46,14 @@ def turbosyn(
     ``upper_bound`` defaults to a fresh TurboMap run's optimum, exactly as
     the paper's Figure 4 prescribes; pass a known value to skip that run.
     ``workers > 1`` probes candidate periods in parallel (both for the
-    TurboMap bound and the TurboSYN search).
+    TurboMap bound and the TurboSYN search).  ``check`` verifies the
+    final mapping against the paper's invariants (:mod:`repro.analysis`);
+    the intermediate TurboMap bound run is never re-verified.
     """
     if upper_bound is None:
         upper_bound = turbomap(
-            circuit, k, pld=pld, extra_depth=extra_depth, workers=workers
+            circuit, k, pld=pld, extra_depth=extra_depth, workers=workers,
+            check=False,
         ).phi
     return run_mapper(
         circuit,
@@ -62,4 +66,5 @@ def turbosyn(
         extra_depth=extra_depth,
         name=name or f"{circuit.name}_turbosyn",
         workers=workers,
+        check=check,
     )

@@ -232,16 +232,19 @@ def write_blif(circuit: SeqCircuit) -> str:
     names_lines: List[str] = []
     for gid in circuit.gates:
         node = circuit.node(gid)
+        func = node.func
+        if func is None:
+            raise BlifError(f"gate {node.name!r} has no function")
         fan_signals = [signal(p.src, p.weight) for p in node.fanins]
-        cover = minimize_cover(node.func)
+        cover = minimize_cover(func)
         names_lines.append(".names " + " ".join(fan_signals + [node.name]))
-        if node.func.bits == 0:
+        if func.bits == 0:
             pass  # constant zero: empty cover
         elif not cover.cubes:
             pass
         else:
             for cube in cover.cubes:
-                text = cube.to_string(node.func.n)
+                text = cube.to_string(func.n)
                 names_lines.append((text + " 1") if text else "1")
 
     po_lines: List[str] = []

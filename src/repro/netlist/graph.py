@@ -134,7 +134,11 @@ class SeqCircuit:
         node = self.node(nid)
         if node.kind is NodeKind.PI:
             raise ValueError("PIs have no fanins")
-        if node.kind is NodeKind.GATE and node.func.n != len(fanins):
+        if (
+            node.kind is NodeKind.GATE
+            and node.func is not None
+            and node.func.n != len(fanins)
+        ):
             raise ValueError(
                 f"gate {node.name!r}: function arity {node.func.n} != "
                 f"{len(fanins)} fanins"

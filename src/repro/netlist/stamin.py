@@ -38,10 +38,10 @@ def equivalent_state_classes(fsm: FSM) -> List[List[str]]:
             step[(s, m)] = fsm.step(s, m)
 
     block_of: Dict[str, int] = {}
-    signature: Dict[str, Tuple] = {
+    signature: Dict[str, Tuple[str, ...]] = {
         s: tuple(step[(s, m)][1] for m in minterms) for s in states
     }
-    blocks: Dict[Tuple, List[str]] = {}
+    blocks: Dict[Tuple[str, ...], List[str]] = {}
     for s in states:
         blocks.setdefault(signature[s], []).append(s)
     for idx, members in enumerate(blocks.values()):
@@ -49,7 +49,7 @@ def equivalent_state_classes(fsm: FSM) -> List[List[str]]:
             block_of[s] = idx
 
     while True:
-        new_blocks: Dict[Tuple, List[str]] = {}
+        new_blocks: Dict[Tuple[int, Tuple[int, ...]], List[str]] = {}
         for s in states:
             key = (
                 block_of[s],

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Set, Tuple
 
 from repro.netlist.graph import NodeKind, SeqCircuit
 
@@ -48,9 +48,9 @@ class CircuitProfile:
 
 def profile(circuit: SeqCircuit) -> CircuitProfile:
     """Compute the full structural profile."""
-    fanin_hist: Counter = Counter()
-    fanout_hist: Counter = Counter()
-    weight_hist: Counter = Counter()
+    fanin_hist: Counter[int] = Counter()
+    fanout_hist: Counter[int] = Counter()
+    weight_hist: Counter[int] = Counter()
     for g in circuit.gates:
         fanin_hist[len(circuit.fanins(g))] += 1
     for v in circuit.node_ids():
@@ -61,7 +61,7 @@ def profile(circuit: SeqCircuit) -> CircuitProfile:
 
     # Combinational level per gate (registered inputs restart at 0).
     level: Dict[int, int] = {}
-    level_hist: Counter = Counter()
+    level_hist: Counter[int] = Counter()
     for v in circuit.comb_topo_order():
         node = circuit.node(v)
         worst = 0
@@ -106,10 +106,12 @@ def lut_profile(circuit: SeqCircuit, max_npn_arity: int = 6) -> Dict[str, object
     """
     from repro.boolfn.npn import npn_canonical
 
-    fills: Counter = Counter()
-    classes = set()
+    fills: Counter[int] = Counter()
+    classes: Set[Tuple[int, int]] = set()
     for g in circuit.gates:
         func = circuit.func(g)
+        if func is None:
+            continue
         fills[func.n] += 1
         if func.n <= max_npn_arity:
             classes.add((func.n, npn_canonical(func).bits))

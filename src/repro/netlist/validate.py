@@ -5,11 +5,16 @@ circuit (paper Section 2): every gate has at most K fanins, every cycle
 carries at least one register, and the PI/PO discipline of
 :meth:`repro.netlist.graph.SeqCircuit.check` holds.  These helpers give
 precise diagnostics and are used as preconditions throughout the core.
+
+Every :class:`ValidationError` message is uniform: it is prefixed with
+the circuit name and the offender count, and names up to
+:data:`MAX_SHOWN` offending nodes — enough to act on without drowning a
+log in a large netlist's full offender list.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 from repro.netlist.graph import NodeKind, SeqCircuit
 
@@ -18,12 +23,161 @@ class ValidationError(ValueError):
     """A structural precondition does not hold."""
 
 
+#: How many offending node names a message spells out.
+MAX_SHOWN = 5
+
+
+def _fail(circuit: SeqCircuit, what: str, names: Sequence[str], hint: str = "") -> None:
+    """Raise the uniform ``<circuit>: <count> <what> (e.g. ...)`` error."""
+    shown = ", ".join(names[:MAX_SHOWN])
+    suffix = f"; {hint}" if hint else ""
+    raise ValidationError(
+        f"{circuit.name}: {len(names)} {what} (e.g. {shown}){suffix}"
+    )
+
+
+def io_discipline_offenders(circuit: SeqCircuit) -> "dict[str, List[int]]":
+    """PI/PO discipline violations, keyed by violation kind.
+
+    Keys: ``"pi_with_fanins"``, ``"po_bad_fanin_count"``,
+    ``"po_with_fanouts"``, ``"reads_po"``.
+    """
+    out: "dict[str, List[int]]" = {
+        "pi_with_fanins": [],
+        "po_bad_fanin_count": [],
+        "po_with_fanouts": [],
+        "reads_po": [],
+    }
+    for nid in circuit.node_ids():
+        kind = circuit.kind(nid)
+        pins = circuit.fanins(nid)
+        if kind is NodeKind.PI and pins:
+            out["pi_with_fanins"].append(nid)
+        if kind is NodeKind.PO:
+            if len(pins) != 1:
+                out["po_bad_fanin_count"].append(nid)
+            if circuit.fanouts(nid):
+                out["po_with_fanouts"].append(nid)
+        if any(circuit.kind(p.src) is NodeKind.PO for p in pins):
+            out["reads_po"].append(nid)
+    return out
+
+
+def arity_offenders(circuit: SeqCircuit) -> List[int]:
+    """Gates whose function arity disagrees with their fanin count."""
+    out: List[int] = []
+    for g in circuit.gates:
+        func = circuit.func(g)
+        if func is None or func.n != len(circuit.fanins(g)):
+            out.append(g)
+    return out
+
+
+def zero_weight_cycles(circuit: SeqCircuit) -> List[List[int]]:
+    """Cycles of the zero-weight (combinational) subgraph.
+
+    Returns the cyclic strongly connected components — size > 1, or a
+    single node with a zero-weight self-loop — of the subgraph formed by
+    register-free edges.  A non-empty result means the circuit has a
+    combinational loop, which no retiming can legalize.
+    """
+    n = len(circuit)
+    fanout_ids: List[List[int]] = [[] for _ in range(n)]
+    for src, dst, weight in circuit.edges():
+        if weight == 0:
+            fanout_ids[src].append(dst)
+    index = [0] * n
+    lowlink = [0] * n
+    on_stack = [False] * n
+    visited = [False] * n
+    stack: List[int] = []
+    cyclic: List[List[int]] = []
+    counter = 1
+    for root in range(n):
+        if visited[root]:
+            continue
+        work: List["tuple[int, int]"] = [(root, 0)]
+        while work:
+            v, pi = work[-1]
+            if pi == 0:
+                visited[v] = True
+                index[v] = lowlink[v] = counter
+                counter += 1
+                stack.append(v)
+                on_stack[v] = True
+            advanced = False
+            for j in range(pi, len(fanout_ids[v])):
+                w = fanout_ids[v][j]
+                if not visited[w]:
+                    work[-1] = (v, j + 1)
+                    work.append((w, 0))
+                    advanced = True
+                    break
+                if on_stack[w]:
+                    lowlink[v] = min(lowlink[v], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[v] == index[v]:
+                comp: List[int] = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    comp.append(w)
+                    if w == v:
+                        break
+                comp.reverse()
+                if len(comp) > 1 or v in fanout_ids[v]:
+                    cyclic.append(comp)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[v])
+    return cyclic
+
+
 def ensure_valid(circuit: SeqCircuit) -> None:
     """Run all structural checks; raise :class:`ValidationError` on failure."""
-    try:
-        circuit.check()
-    except ValueError as exc:
-        raise ValidationError(str(exc)) from exc
+    io = io_discipline_offenders(circuit)
+    if io["pi_with_fanins"]:
+        _fail(
+            circuit,
+            "PI(s) with fanins",
+            [circuit.name_of(v) for v in io["pi_with_fanins"]],
+        )
+    if io["po_bad_fanin_count"]:
+        _fail(
+            circuit,
+            "PO(s) without exactly one fanin",
+            [circuit.name_of(v) for v in io["po_bad_fanin_count"]],
+        )
+    if io["po_with_fanouts"]:
+        _fail(
+            circuit,
+            "PO(s) with fanouts",
+            [circuit.name_of(v) for v in io["po_with_fanouts"]],
+        )
+    if io["reads_po"]:
+        _fail(
+            circuit,
+            "node(s) reading from a PO",
+            [circuit.name_of(v) for v in io["reads_po"]],
+        )
+    bad_arity = arity_offenders(circuit)
+    if bad_arity:
+        _fail(
+            circuit,
+            "gate(s) whose function arity != fanin count",
+            [circuit.name_of(v) for v in bad_arity],
+            hint="wire every placeholder before mapping",
+        )
+    cycles = zero_weight_cycles(circuit)
+    if cycles:
+        _fail(
+            circuit,
+            "combinational cycle(s) with zero register weight",
+            [" -> ".join(circuit.name_of(v) for v in c[:MAX_SHOWN]) for c in cycles],
+            hint="every cycle must carry at least one register",
+        )
 
 
 def ensure_k_bounded(circuit: SeqCircuit, k: int) -> None:
@@ -34,10 +188,11 @@ def ensure_k_bounded(circuit: SeqCircuit, k: int) -> None:
         if len(circuit.fanins(g)) > k
     ]
     if offenders:
-        shown = ", ".join(offenders[:5])
-        raise ValidationError(
-            f"{circuit.name}: {len(offenders)} gate(s) exceed {k} fanins "
-            f"(e.g. {shown}); run gate decomposition first"
+        _fail(
+            circuit,
+            f"gate(s) exceed {k} fanins",
+            offenders,
+            hint="run gate decomposition first",
         )
 
 
@@ -47,7 +202,7 @@ def ensure_mappable(circuit: SeqCircuit, k: int) -> None:
     ensure_k_bounded(circuit, k)
 
 
-def dangling_nodes(circuit: SeqCircuit) -> List[int]:
+def unobservable_nodes(circuit: SeqCircuit) -> List[int]:
     """Gates and PIs from which no PO is reachable (dead logic)."""
     n = len(circuit)
     useful = [False] * n
@@ -65,3 +220,39 @@ def dangling_nodes(circuit: SeqCircuit) -> List[int]:
         for i in circuit.node_ids()
         if not useful[i] and circuit.kind(i) is not NodeKind.PO
     ]
+
+
+def unreachable_nodes(circuit: SeqCircuit) -> List[int]:
+    """Nodes that no primary input (or constant generator) reaches.
+
+    Sources are the PIs plus fanin-free gates (constant generators); a
+    node outside their forward closure can only be part of an undriven
+    island — e.g. a feedback loop no input ever influences.
+    """
+    n = len(circuit)
+    reached = [False] * n
+    stack = [
+        v
+        for v in circuit.node_ids()
+        if circuit.kind(v) is NodeKind.PI
+        or (circuit.kind(v) is NodeKind.GATE and not circuit.fanins(v))
+    ]
+    for v in stack:
+        reached[v] = True
+    while stack:
+        v = stack.pop()
+        for dst, _w in circuit.fanouts(v):
+            if not reached[dst]:
+                reached[dst] = True
+                stack.append(dst)
+    return [i for i in circuit.node_ids() if not reached[i]]
+
+
+def dangling_nodes(circuit: SeqCircuit) -> List[int]:
+    """Dead or undriven nodes: unobservable *or* unreachable.
+
+    The union of :func:`unobservable_nodes` (no PO reachable — the
+    classical dead-logic sweep) and :func:`unreachable_nodes` (no PI
+    reaches the node), sorted by node id.
+    """
+    return sorted(set(unobservable_nodes(circuit)) | set(unreachable_nodes(circuit)))

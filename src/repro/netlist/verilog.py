@@ -56,6 +56,8 @@ class _Namer:
 def _expression(circuit: SeqCircuit, gate: int, operand: List[str]) -> str:
     """Sum-of-products expression of the gate over operand wire names."""
     func = circuit.func(gate)
+    if func is None:
+        raise ValueError(f"gate {circuit.name_of(gate)!r} has no function")
     if func.n == 0:
         return "1'b1" if func.bits & 1 else "1'b0"
     if func.bits == 0:

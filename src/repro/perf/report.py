@@ -76,6 +76,7 @@ def mapper_run(
         "search": {
             "t_search": round(result.t_search, 6),
             "t_mapping": round(result.t_mapping, 6),
+            "t_verify": round(getattr(result, "t_verify", 0.0), 6),
             "probes": sorted(result.outcomes),
             "n_probes": len(result.outcomes),
         },
@@ -87,6 +88,15 @@ def mapper_run(
     if circuit is not None:
         run["gates"] = circuit.n_gates
         run["ffs"] = circuit.n_ffs
+    cert = getattr(result, "certificate", None)
+    if cert is not None:
+        # Record that the run was verified, without the full finding list
+        # (reports stay small; `repro lint` re-derives details on demand).
+        run["certificate"] = {
+            key: cert[key]
+            for key in ("verified", "rules", "errors", "warnings", "t_verify")
+            if key in cert
+        }
     return run
 
 

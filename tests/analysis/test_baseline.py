@@ -1,0 +1,70 @@
+"""Baseline files: record, load, suppress."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    baseline_payload,
+    load_baseline,
+    suppress,
+    write_baseline,
+)
+from repro.analysis.engine import Diagnostic, Location, Severity
+
+
+def diag(node, rule_id="CIRC002"):
+    return Diagnostic(
+        rule_id, Severity.WARNING, f"dangling {node}", Location("c", node)
+    )
+
+
+class TestPayload:
+    def test_records_fingerprint_rule_location(self):
+        payload = baseline_payload([diag("g1"), diag("g2")])
+        assert payload["schema"] == 1
+        entries = payload["findings"]
+        assert len(entries) == 2
+        assert entries[0]["rule"] == "CIRC002"
+        assert entries[0]["location"] == "c::g1"
+        assert entries[0]["fingerprint"] == diag("g1").fingerprint
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = str(tmp_path / "base.json")
+        write_baseline([diag("g1"), diag("g2")], path)
+        fingerprints = load_baseline(path)
+        assert fingerprints == {diag("g1").fingerprint, diag("g2").fingerprint}
+
+    def test_load_rejects_non_baseline(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(ValueError):
+            load_baseline(str(path))
+
+    def test_load_rejects_malformed_entry(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 1, "findings": [{"rule": "X"}]}))
+        with pytest.raises(ValueError):
+            load_baseline(str(path))
+
+
+class TestSuppress:
+    def test_only_recorded_findings_suppressed(self):
+        known = {diag("g1").fingerprint}
+        kept, n = suppress([diag("g1"), diag("g2")], known)
+        assert n == 1
+        assert [d.location.node for d in kept] == ["g2"]
+
+    def test_message_changes_do_not_escape_suppression(self):
+        old = diag("g1")
+        new = Diagnostic(
+            "CIRC002", Severity.WARNING, "reworded entirely", Location("c", "g1")
+        )
+        kept, n = suppress([new], {old.fingerprint})
+        assert kept == [] and n == 1
+
+    def test_empty_baseline_keeps_everything(self):
+        kept, n = suppress([diag("g1")], set())
+        assert n == 0 and len(kept) == 1

@@ -1,0 +1,183 @@
+"""The lint CLI (both entry points) and the map/suite validation gate."""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main as lint_main
+from repro.cli import main as turbosyn_main
+from repro.netlist.blif import write_blif_file
+from repro.netlist.graph import SeqCircuit
+from tests.helpers import AND2, BUF, MAJ3, XOR2
+
+
+def write(tmp_path, circuit, stem):
+    path = tmp_path / f"{stem}.blif"
+    write_blif_file(circuit, str(path))
+    return str(path)
+
+
+@pytest.fixture
+def clean_blif(tmp_path):
+    c = SeqCircuit("clean")
+    a = c.add_pi("a")
+    b = c.add_pi("b")
+    g = c.add_gate("g", AND2, [(a, 0), (b, 1)])
+    c.add_po("o", g)
+    return write(tmp_path, c, "clean")
+
+
+@pytest.fixture
+def warn_blif(tmp_path):
+    c = SeqCircuit("warny")
+    a = c.add_pi("a")
+    b = c.add_pi("b")
+    g = c.add_gate("g", AND2, [(a, 0), (b, 0)])
+    c.add_gate("dead", BUF, [(a, 0)])  # CIRC002 warning
+    c.add_po("o", g)
+    return write(tmp_path, c, "warny")
+
+
+@pytest.fixture
+def wide_blif(tmp_path):
+    c = SeqCircuit("wide3")
+    pis = [c.add_pi(f"x{i}") for i in range(3)]
+    g = c.add_gate("fat_gate", MAJ3, [(p, 0) for p in pis])
+    h = c.add_gate("fat_too", MAJ3, [(p, 0) for p in pis])
+    x = c.add_gate("pair", XOR2, [(g, 0), (h, 0)])
+    c.add_po("o", x)
+    # At K=2 this yields two CIRC003 errors plus one CIRC006 info
+    # (fat_too duplicates fat_gate).
+    return write(tmp_path, c, "wide3")
+
+
+class TestExitCodes:
+    def test_clean_circuit_exits_zero(self, clean_blif, capsys):
+        assert lint_main([clean_blif]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s), 0 info(s)" in out
+
+    def test_error_finding_exits_one(self, wide_blif, capsys):
+        assert lint_main([wide_blif, "-k", "2"]) == 1
+        out = capsys.readouterr().out
+        assert "CIRC003" in out and "fat_gate" in out
+
+    def test_warnings_pass_under_default_fail_on(self, warn_blif):
+        assert lint_main([warn_blif]) == 0
+
+    def test_fail_on_warning_tightens(self, warn_blif):
+        assert lint_main([warn_blif, "--fail-on", "warning"]) == 1
+
+    def test_fail_on_never_always_passes(self, wide_blif):
+        assert lint_main([wide_blif, "-k", "2", "--fail-on", "never"]) == 0
+
+    def test_unreadable_file_exits_two(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.blif")
+        assert lint_main([missing]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestFormats:
+    def test_text_names_file_and_node(self, wide_blif, capsys):
+        lint_main([wide_blif, "-k", "2"])
+        out = capsys.readouterr().out
+        assert f"{wide_blif}: wide3::fat_gate: error: CIRC003" in out
+
+    def test_json_format(self, wide_blif, capsys):
+        lint_main([wide_blif, "-k", "2", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"error": 2, "warning": 0, "info": 1}
+        rules = {d["rule"] for d in payload["diagnostics"]}
+        assert rules == {"CIRC003", "CIRC006"}
+
+    def test_sarif_format_to_file(self, wide_blif, tmp_path, capsys):
+        out_path = str(tmp_path / "report.sarif")
+        assert lint_main([wide_blif, "-k", "2", "--format", "sarif", "--out", out_path]) == 1
+        assert capsys.readouterr().out == ""
+        with open(out_path) as fh:
+            report = json.load(fh)
+        assert report["version"] == "2.1.0"
+        results = report["runs"][0]["results"]
+        assert {r["ruleId"] for r in results} == {"CIRC003", "CIRC006"}
+        physical = results[0]["locations"][0]["physicalLocation"]
+        assert physical["artifactLocation"]["uri"] == wide_blif
+
+    def test_select_restricts_rules(self, wide_blif, capsys):
+        assert lint_main([wide_blif, "-k", "2", "--select", "CIRC002"]) == 0
+        out = capsys.readouterr().out
+        assert "CIRC003" not in out
+
+    def test_multiple_circuits_aggregate(self, clean_blif, warn_blif, capsys):
+        lint_main([clean_blif, warn_blif])
+        out = capsys.readouterr().out
+        assert "2 circuit(s) linted" in out
+        assert "1 warning(s)" in out
+
+
+class TestBaselineFlow:
+    def test_write_then_suppress(self, wide_blif, tmp_path, capsys):
+        base = str(tmp_path / "base.json")
+        assert lint_main([wide_blif, "-k", "2", "--write-baseline", base]) == 1
+        capsys.readouterr()
+        # Second run under the baseline: findings suppressed, exit 0.
+        assert lint_main([wide_blif, "-k", "2", "--baseline", base]) == 0
+        out = capsys.readouterr().out
+        assert "3 suppressed by baseline" in out
+
+    def test_new_findings_escape_baseline(self, wide_blif, warn_blif, tmp_path):
+        base = str(tmp_path / "base.json")
+        lint_main([warn_blif, "--write-baseline", base, "--fail-on", "never"])
+        assert (
+            lint_main([wide_blif, "-k", "2", "--baseline", base]) == 1
+        )  # wide3's errors are not in warny's baseline
+
+    def test_malformed_baseline_exits_two(self, clean_blif, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert lint_main([clean_blif, "--baseline", str(bad)]) == 2
+        assert "cannot load baseline" in capsys.readouterr().err
+
+
+class TestTurbosynSubcommand:
+    def test_lint_wired_into_main_cli(self, wide_blif, capsys):
+        assert turbosyn_main(["lint", wide_blif, "-k", "2"]) == 1
+        assert "CIRC003" in capsys.readouterr().out
+
+
+class TestMapValidationGate:
+    """Satellite: malformed inputs fail fast at the map/suite entrypoints."""
+
+    def test_map_rejects_overwide_netlist_naming_gates(self, wide_blif, capsys):
+        assert turbosyn_main(["map", wide_blif, "-k", "2"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: wide3: 2 gate(s) exceed 2 fanins")
+        assert "fat_gate" in err and "fat_too" in err
+        assert "gate decomposition" in err
+
+    def test_map_accepts_same_netlist_at_larger_k(self, wide_blif, capsys):
+        assert turbosyn_main(["map", wide_blif, "-k", "3", "--algo", "turbomap"]) == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_map_rejects_comb_cycle_blif(self, tmp_path, capsys):
+        # The BLIF reader already refuses combinational cycles; the map
+        # command must turn that into exit code 2, not a traceback.
+        c = SeqCircuit("loopy")
+        a = c.add_pi("a")
+        g1 = c.add_gate_placeholder("g1", AND2)
+        g2 = c.add_gate_placeholder("g2", BUF)
+        c.set_fanins(g1, [(g2, 0), (a, 0)])
+        c.set_fanins(g2, [(g1, 0)])
+        c.add_po("o", g2)
+        path = write(tmp_path, c, "loopy")
+        assert turbosyn_main(["map", path]) == 2
+        err = capsys.readouterr().err
+        assert "combinational cycle" in err
+
+    def test_map_missing_file_exits_two(self, tmp_path, capsys):
+        assert turbosyn_main(["map", str(tmp_path / "ghost.blif")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_no_check_skips_verification(self, clean_blif, capsys):
+        assert turbosyn_main(["map", clean_blif, "--no-check"]) == 0
+        out = capsys.readouterr().out
+        assert "verified" not in out

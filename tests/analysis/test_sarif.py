@@ -1,0 +1,124 @@
+"""SARIF 2.1.0 output: structural conformance to the spec subset we emit.
+
+``jsonschema`` (and the official schema file) is not a dependency, so
+these tests enforce the SARIF 2.1.0 structural requirements GitHub code
+scanning checks by hand: schema URI, version, run/tool/driver shape, rule
+descriptors, result shape, level vocabulary, fingerprints and locations.
+"""
+
+import json
+
+from repro.analysis.engine import (
+    CircuitContext,
+    Severity,
+    all_rules,
+)
+from repro.analysis.sarif import (
+    FINGERPRINT_KEY,
+    SARIF_SCHEMA_URI,
+    render_sarif,
+    sarif_report,
+)
+from repro.analysis.structural import lint_circuit
+from repro.netlist.graph import SeqCircuit
+from tests.helpers import AND2, BUF
+
+
+def messy_circuit():
+    c = SeqCircuit("messy")
+    a = c.add_pi("a")
+    b = c.add_pi("b")
+    g = c.add_gate("g", AND2, [(a, 0), (b, 0)])
+    c.add_gate("dead", BUF, [(a, 0)])  # CIRC002 warning
+    dup = c.add_gate("g_dup", AND2, [(a, 0), (b, 0)])  # CIRC006 info
+    c.add_po("o", g)
+    c.add_po("o2", dup)
+    return c
+
+
+def report_for(circuit, file=None, k=5):
+    diags = lint_circuit(CircuitContext(circuit, k, file=file))
+    return sarif_report(diags, all_rules("circuit")), diags
+
+
+class TestDocumentShape:
+    def test_envelope(self):
+        report, _ = report_for(messy_circuit())
+        assert report["$schema"] == SARIF_SCHEMA_URI
+        assert "sarif-schema-2.1.0.json" in report["$schema"]
+        assert report["version"] == "2.1.0"
+        assert isinstance(report["runs"], list) and len(report["runs"]) == 1
+
+    def test_tool_driver(self):
+        report, _ = report_for(messy_circuit())
+        driver = report["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        assert driver["informationUri"].startswith("https://")
+        ids = [r["id"] for r in driver["rules"]]
+        assert ids == sorted(ids)
+        for descriptor in driver["rules"]:
+            assert descriptor["shortDescription"]["text"]
+            assert descriptor["fullDescription"]["text"]
+            assert descriptor["defaultConfiguration"]["level"] in (
+                "error",
+                "warning",
+                "note",
+            )
+
+    def test_render_is_valid_json(self):
+        diags = lint_circuit(CircuitContext(messy_circuit(), 5))
+        parsed = json.loads(render_sarif(diags, all_rules("circuit")))
+        assert parsed["version"] == "2.1.0"
+
+
+class TestResults:
+    def test_result_shape_and_rule_index(self):
+        report, diags = report_for(messy_circuit())
+        run = report["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        results = run["results"]
+        assert len(results) == len(diags) > 0
+        for result in results:
+            assert result["level"] in ("error", "warning", "note")
+            assert result["message"]["text"]
+            index = result["ruleIndex"]
+            assert rules[index]["id"] == result["ruleId"]
+            fp = result["partialFingerprints"][FINGERPRINT_KEY]
+            assert len(fp) == 16
+
+    def test_info_maps_to_note(self):
+        report, diags = report_for(messy_circuit())
+        info_fps = {
+            d.fingerprint for d in diags if d.severity is Severity.INFO
+        }
+        assert info_fps
+        for result in report["runs"][0]["results"]:
+            if result["partialFingerprints"][FINGERPRINT_KEY] in info_fps:
+                assert result["level"] == "note"
+
+    def test_logical_locations_always_present(self):
+        report, _ = report_for(messy_circuit())
+        for result in report["runs"][0]["results"]:
+            logical = result["locations"][0]["logicalLocations"][0]
+            assert logical["fullyQualifiedName"].startswith("messy")
+            assert logical["kind"] in ("element", "module")
+
+    def test_physical_location_only_with_file(self):
+        with_file, _ = report_for(messy_circuit(), file="messy.blif")
+        for result in with_file["runs"][0]["results"]:
+            physical = result["locations"][0]["physicalLocation"]
+            assert physical["artifactLocation"]["uri"] == "messy.blif"
+            assert physical["region"] == {"startLine": 1, "startColumn": 1}
+        without, _ = report_for(messy_circuit())
+        for result in without["runs"][0]["results"]:
+            assert "physicalLocation" not in result["locations"][0]
+
+    def test_clean_circuit_gives_empty_results(self):
+        c = SeqCircuit("ok")
+        a = c.add_pi("a")
+        c.add_po("o", c.add_gate("g", BUF, [(a, 0)]))
+        report, _ = report_for(c)
+        assert report["runs"][0]["results"] == []
+        # Rules that ran are still declared, so "clean" is distinguishable
+        # from "not checked".
+        assert report["runs"][0]["tool"]["driver"]["rules"]

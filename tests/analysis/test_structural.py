@@ -1,0 +1,159 @@
+"""Structural rule pack: one test class per CIRC rule."""
+
+from repro.analysis.engine import CircuitContext, Severity
+from repro.analysis.structural import lint_circuit
+from repro.boolfn.truthtable import TruthTable
+from repro.netlist.graph import Pin, SeqCircuit
+from tests.helpers import AND2, BUF, XOR2
+
+
+def findings(circuit, rule_id, k=5):
+    return [
+        d for d in lint_circuit(CircuitContext(circuit, k)) if d.rule_id == rule_id
+    ]
+
+
+def corrupt_pin(src, weight):
+    """A Pin carrying a weight its own validation would reject."""
+    pin = Pin(src, 0)
+    object.__setattr__(pin, "weight", weight)
+    return pin
+
+
+def clean_circuit():
+    c = SeqCircuit("clean")
+    a = c.add_pi("a")
+    b = c.add_pi("b")
+    g = c.add_gate("g", AND2, [(a, 0), (b, 0)])
+    h = c.add_gate("h", XOR2, [(g, 0), (g, 1)])
+    c.add_po("o", h)
+    return c
+
+
+class TestCleanCircuit:
+    def test_no_findings_at_all(self):
+        assert lint_circuit(CircuitContext(clean_circuit(), 5)) == []
+
+
+class TestCirc001CombCycle:
+    def test_zero_weight_loop_flagged(self):
+        c = SeqCircuit("loopy")
+        g1 = c.add_gate_placeholder("g1", BUF)
+        g2 = c.add_gate_placeholder("g2", BUF)
+        c.set_fanins(g1, [(g2, 0)])
+        c.set_fanins(g2, [(g1, 0)])
+        c.add_po("o", g2)
+        diags = findings(c, "CIRC001")
+        assert len(diags) == 1
+        assert diags[0].severity is Severity.ERROR
+        assert "g1" in diags[0].message and "g2" in diags[0].message
+
+    def test_registered_loop_is_fine(self):
+        c = SeqCircuit("regloop")
+        g1 = c.add_gate_placeholder("g1", BUF)
+        c.set_fanins(g1, [(g1, 1)])
+        c.add_po("o", g1)
+        assert findings(c, "CIRC001") == []
+
+
+class TestCirc002Dangling:
+    def test_dead_gate_warned_with_reason(self):
+        c = clean_circuit()
+        c.add_gate("dead", BUF, [(c.pis[0], 0)])
+        diags = findings(c, "CIRC002")
+        assert [d.location.node for d in diags] == ["dead"]
+        assert diags[0].severity is Severity.WARNING
+        assert "reaches no primary output" in diags[0].message
+
+    def test_undriven_island_warned(self):
+        c = clean_circuit()
+        loop = c.add_gate_placeholder("island", BUF)
+        c.set_fanins(loop, [(loop, 1)])
+        c.add_po("q", loop)
+        diags = findings(c, "CIRC002")
+        assert {d.location.node for d in diags} == {"island", "q"}
+        assert all("unreachable from the primary inputs" in d.message for d in diags)
+
+
+class TestCirc003FaninWidth:
+    def test_wide_gate_flagged_against_k(self):
+        c = SeqCircuit("wide")
+        pis = [c.add_pi(f"x{i}") for i in range(4)]
+        func = TruthTable.from_function(4, lambda *xs: all(xs))
+        g = c.add_gate("g", func, [(p, 0) for p in pis])
+        c.add_po("o", g)
+        assert findings(c, "CIRC003", k=4) == []
+        diags = findings(c, "CIRC003", k=3)
+        assert len(diags) == 1
+        assert diags[0].data == {"fanins": 4, "k": 3}
+
+
+class TestCirc004EdgeWeight:
+    def test_negative_weight_flagged(self):
+        c = clean_circuit()
+        g = c.id_of("h")
+        # Corrupt the graph behind the accessors' back.
+        c.node(g).fanins[1] = corrupt_pin(c.id_of("g"), -1)
+        diags = findings(c, "CIRC004")
+        assert len(diags) == 1
+        assert "negative weight -1" in diags[0].message
+
+    def test_non_integer_weight_flagged(self):
+        c = clean_circuit()
+        g = c.id_of("h")
+        c.node(g).fanins[1] = corrupt_pin(c.id_of("g"), 0.5)
+        diags = findings(c, "CIRC004")
+        assert len(diags) == 1
+        assert "non-integer" in diags[0].message
+
+
+class TestCirc005IoDiscipline:
+    def test_gate_reading_po_flagged(self):
+        c = clean_circuit()
+        po = c.pos[0]
+        bad = c.add_gate("bad", BUF, [(po, 0)])
+        c.add_po("o2", bad)
+        diags = findings(c, "CIRC005")
+        kinds = {d.data["violation"] for d in diags}
+        assert "reads_po" in kinds and "po_with_fanouts" in kinds
+
+
+class TestCirc006DuplicateGate:
+    def test_same_function_same_pins_noted(self):
+        c = clean_circuit()
+        dup = c.add_gate("g_dup", AND2, [(c.pis[0], 0), (c.pis[1], 0)])
+        c.add_po("o2", dup)
+        diags = findings(c, "CIRC006")
+        assert len(diags) == 1
+        assert diags[0].severity is Severity.INFO
+        assert diags[0].location.node == "g_dup"
+        assert diags[0].data == {"duplicate_of": "g"}
+
+    def test_different_weights_not_duplicates(self):
+        c = clean_circuit()
+        other = c.add_gate("g2", AND2, [(c.pis[0], 0), (c.pis[1], 1)])
+        c.add_po("o2", other)
+        assert findings(c, "CIRC006") == []
+
+
+class TestCirc007GateArity:
+    def test_unwired_placeholder_flagged(self):
+        c = clean_circuit()
+        ph = c.add_gate_placeholder("ph", AND2)  # 2-ary func, 0 fanins
+        c.add_po("o2", ph)
+        diags = findings(c, "CIRC007")
+        assert [d.location.node for d in diags] == ["ph"]
+        assert diags[0].data == {"arity": 2, "fanins": 0}
+
+
+class TestRobustness:
+    def test_malformed_circuit_never_raises(self):
+        c = SeqCircuit("mess")
+        a = c.add_pi("a")
+        g = c.add_gate_placeholder("g", AND2)
+        c.set_fanins(g, [(g, 0), (a, 0)])  # self comb loop + arity ok
+        po = c.add_po("o", g)
+        c.node(po).fanins.append(corrupt_pin(a, -2))  # 2-fanin PO, negative
+        diags = lint_circuit(CircuitContext(c, 1))
+        ids = {d.rule_id for d in diags}
+        assert {"CIRC001", "CIRC003", "CIRC004", "CIRC005"} <= ids

@@ -5,11 +5,14 @@ import pytest
 from repro.boolfn.truthtable import TruthTable
 from repro.netlist.graph import SeqCircuit
 from repro.netlist.validate import (
+    MAX_SHOWN,
     ValidationError,
     dangling_nodes,
     ensure_k_bounded,
     ensure_mappable,
     ensure_valid,
+    unobservable_nodes,
+    unreachable_nodes,
 )
 from tests.helpers import AND2, BUF
 
@@ -69,3 +72,64 @@ class TestDanglingNodes:
         g = c.add_gate("g", BUF, [(a, 0)])
         c.add_po("o", g)
         assert dangling_nodes(c) == [b]
+
+    def test_undriven_island_found(self):
+        # A registered feedback loop feeding a PO: every PO is reachable
+        # *from* it, but no PI ever reaches the loop — only the
+        # unreachable-from-PI sweep sees it.
+        c = SeqCircuit("island")
+        a = c.add_pi("a")
+        g = c.add_gate("g", BUF, [(a, 0)])
+        c.add_po("o", g)
+        loop = c.add_gate_placeholder("loop", BUF)
+        c.set_fanins(loop, [(loop, 1)])
+        q = c.add_po("q", loop)
+        assert unobservable_nodes(c) == []
+        # Both the loop and the PO it pretends to drive are undriven.
+        assert unreachable_nodes(c) == [loop, q]
+        assert dangling_nodes(c) == [loop, q]
+
+    def test_constant_generator_counts_as_source(self):
+        c = SeqCircuit("const")
+        one = c.add_gate("one", TruthTable.from_function(0, lambda: True), [])
+        buf = c.add_gate("buf", BUF, [(one, 0)])
+        c.add_po("o", buf)
+        assert unreachable_nodes(c) == []
+
+
+class TestUniformMessages:
+    def test_prefix_names_circuit_and_count(self):
+        with pytest.raises(ValidationError) as err:
+            ensure_k_bounded(wide_gate_circuit(), 3)
+        message = str(err.value)
+        assert message.startswith("wide: 1 gate(s) exceed 3 fanins")
+        assert "(e.g. g)" in message
+
+    def test_offender_list_is_truncated(self):
+        c = SeqCircuit("many")
+        pis = [c.add_pi(f"x{i}") for i in range(3)]
+        func = TruthTable.from_function(3, lambda *xs: all(xs))
+        for j in range(MAX_SHOWN + 3):
+            g = c.add_gate(f"g{j}", func, [(p, 0) for p in pis])
+            c.add_po(f"o{j}", g)
+        with pytest.raises(ValidationError) as err:
+            ensure_k_bounded(c, 2)
+        message = str(err.value)
+        assert message.startswith(f"many: {MAX_SHOWN + 3} gate(s)")
+        # Only MAX_SHOWN names are spelled out.
+        assert f"g{MAX_SHOWN - 1}" in message
+        assert f"g{MAX_SHOWN}" not in message
+
+    def test_cycle_message_names_the_loop(self):
+        c = SeqCircuit("loopy")
+        g1 = c.add_gate_placeholder("g1", BUF)
+        g2 = c.add_gate_placeholder("g2", BUF)
+        c.set_fanins(g1, [(g2, 0)])
+        c.set_fanins(g2, [(g1, 0)])
+        c.add_po("o", g2)
+        with pytest.raises(ValidationError) as err:
+            ensure_valid(c)
+        message = str(err.value)
+        assert message.startswith("loopy: 1 combinational cycle(s)")
+        assert "g1 -> g2" in message
+        assert "at least one register" in message

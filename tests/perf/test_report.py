@@ -41,7 +41,19 @@ class TestMapperRun:
     def test_seconds_defaults_to_result_total(self):
         circuit, result = _result()
         run = perf_report.mapper_run(result, circuit)
-        assert run["seconds"] == round(result.t_search + result.t_mapping, 6)
+        assert run["seconds"] == round(
+            result.t_search + result.t_mapping + result.t_verify, 6
+        )
+        assert run["search"]["t_verify"] == round(result.t_verify, 6)
+
+    def test_certificate_summary_included(self):
+        circuit, result = _result()
+        run = perf_report.mapper_run(result, circuit)
+        cert = run["certificate"]
+        assert cert["verified"] is True
+        assert cert["errors"] == 0
+        assert "MAP002" in cert["rules"] and "CIRC001" in cert["rules"]
+        assert "findings" not in cert  # reports stay small
 
 
 class TestSuiteReport:
