@@ -13,6 +13,7 @@ import json
 from typing import Iterable, List, Sequence, Set, Tuple
 
 from repro.analysis.engine import Diagnostic, sort_diagnostics
+from repro.resilience.atomic import atomic_write_json
 
 BASELINE_SCHEMA = 1
 
@@ -32,9 +33,8 @@ def baseline_payload(diags: Iterable[Diagnostic]) -> "dict[str, object]":
 
 
 def write_baseline(diags: Iterable[Diagnostic], path: str) -> None:
-    with open(path, "w") as fh:
-        json.dump(baseline_payload(diags), fh, indent=2)
-        fh.write("\n")
+    """Record the current findings (atomically: temp + ``os.replace``)."""
+    atomic_write_json(path, baseline_payload(diags), indent=2)
 
 
 def load_baseline(path: str) -> Set[str]:

@@ -13,7 +13,7 @@ every run of the benchmark harness sees the same circuits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.bench.datapath import datapath_circuit
 from repro.bench.fsm import fsm_to_circuit, random_fsm
@@ -70,12 +70,19 @@ _BY_NAME: Dict[str, SuiteEntry] = {e.name: e for e in SUITE}
 
 
 def entry(name: str) -> SuiteEntry:
-    return _BY_NAME[name]
+    """Look up one suite entry; unknown names list the valid ones."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        valid = ", ".join(e.name for e in SUITE)
+        raise ValueError(
+            f"unknown benchmark name {name!r}; valid suite names: {valid}"
+        ) from None
 
 
 def build(name: str) -> SeqCircuit:
     """Build one suite circuit by benchmark name."""
-    return _BY_NAME[name].build()
+    return entry(name).build()
 
 
 def build_suite(names: Optional[Iterable[str]] = None) -> Dict[str, SeqCircuit]:
@@ -94,11 +101,36 @@ def quick_subset() -> List[str]:
 REPORT_ALGORITHMS = ("flowsyn-s", "turbomap", "turbosyn")
 
 
+#: Signature of the per-cell progress callback of
+#: :func:`run_suite_report`:
+#: ``on_cell(circuit, algorithm, run, error, elapsed, cached)`` — exactly
+#: one of ``run`` (the serialized mapper run) and ``error`` (the
+#: structured error entry) is non-``None``; ``cached`` marks cells
+#: skipped because a resumed report already contained them.
+CellCallback = Callable[
+    [str, str, Optional[dict], Optional[dict], float, bool], None
+]
+
+
+def _completed_cells(report: Optional[dict]) -> "tuple[list, set]":
+    """The runs of a prior (possibly partial) report, and their keys."""
+    if not report:
+        return [], set()
+    runs = [dict(run) for run in report.get("runs", [])]
+    return runs, {(r.get("circuit"), r.get("algorithm")) for r in runs}
+
+
 def run_suite_report(
     names: Optional[Iterable[str]] = None,
     k: int = 5,
     algorithms: Iterable[str] = REPORT_ALGORITHMS,
     workers: int = 1,
+    check: bool = True,
+    timeout: Optional[float] = None,
+    probe_timeout: Optional[float] = None,
+    checkpoint: Optional[str] = None,
+    resume: Optional[dict] = None,
+    on_cell: Optional[CellCallback] = None,
 ) -> dict:
     """Run mappers over suite circuits and return a JSON-able perf report.
 
@@ -107,6 +139,18 @@ def run_suite_report(
     :func:`repro.perf.report.mapper_run` entry per (circuit, algorithm),
     wrapped in a schema-versioned envelope.  Used by the CI smoke job,
     which gates the result with :mod:`repro.perf.check`.
+
+    Resilience: every (circuit, algorithm) cell runs inside a fault
+    boundary — an exception is recorded as a structured entry in the
+    report's ``errors`` list instead of aborting the sweep.  ``timeout``
+    and ``probe_timeout`` build a fresh per-cell
+    :class:`~repro.resilience.budget.Budget` (expired cells degrade to
+    their best-known answer).  ``checkpoint`` atomically rewrites the
+    report-so-far after every cell, so an interrupted sweep (including
+    Ctrl-C, which re-raises after the flush) loses at most the cell in
+    flight.  ``resume`` takes a previously written report (as returned
+    by :func:`repro.perf.report.load_report`): its successful runs are
+    kept verbatim and skipped; errored or missing cells are re-run.
     """
     import time
 
@@ -114,24 +158,88 @@ def run_suite_report(
     from repro.core.turbomap import turbomap
     from repro.core.turbosyn import turbosyn
     from repro.perf import report as perf_report
+    from repro.resilience.budget import Budget
+    from repro.resilience.faultinject import fault_point
 
     runners = {
-        "flowsyn-s": lambda c: flowsyn_s(c, k),
-        "turbomap": lambda c: turbomap(c, k, workers=workers),
-        "turbosyn": lambda c: turbosyn(c, k, workers=workers),
+        "flowsyn-s": lambda c, b: flowsyn_s(c, k, check=check),
+        "turbomap": lambda c, b: turbomap(
+            c, k, workers=workers, check=check, budget=b
+        ),
+        "turbosyn": lambda c, b: turbosyn(
+            c, k, workers=workers, check=check, budget=b
+        ),
     }
     selected_algos = list(algorithms)
     unknown = [a for a in selected_algos if a not in runners]
     if unknown:
         raise ValueError(f"unknown report algorithm(s): {unknown}")
-    runs = []
-    for name, circuit in build_suite(names).items():
+    selected_names = (
+        list(names) if names is not None else [e.name for e in SUITE]
+    )
+    runs, done = _completed_cells(resume)
+    errors: List[dict] = []
+
+    def flush(path: Optional[str]) -> None:
+        if path is not None:
+            perf_report.write_report(
+                perf_report.suite_report(
+                    runs, k=k, workers=workers, errors=errors
+                ),
+                path,
+            )
+
+    for name in selected_names:
+        entry(name)  # unknown names fail fast, before hours of mapping
+    for name in selected_names:
+        try:
+            circuit = build(name)
+        except Exception as exc:  # pragma: no cover - defensive boundary
+            for algo in selected_algos:
+                if (name, algo) in done:
+                    continue
+                err = perf_report.error_entry(name, algo, exc, stage="build")
+                errors.append(err)
+                if on_cell is not None:
+                    on_cell(name, algo, None, err, 0.0, False)
+            flush(checkpoint)
+            continue
         for algo in selected_algos:
+            if (name, algo) in done:
+                if on_cell is not None:
+                    cached = next(
+                        r for r in runs
+                        if (r.get("circuit"), r.get("algorithm")) == (name, algo)
+                    )
+                    on_cell(name, algo, cached, None, 0.0, True)
+                continue
+            budget = None
+            if timeout is not None or probe_timeout is not None:
+                budget = Budget(deadline=timeout, probe_timeout=probe_timeout)
             t0 = time.perf_counter()
-            result = runners[algo](circuit)
-            seconds = time.perf_counter() - t0
-            runs.append(perf_report.mapper_run(result, circuit, seconds=seconds))
-    return perf_report.suite_report(runs, k=k, workers=workers)
+            try:
+                fault_point("suite-cell", tag=f"{name}:{algo}")
+                result = runners[algo](circuit, budget)
+                seconds = time.perf_counter() - t0
+                run = perf_report.mapper_run(result, circuit, seconds=seconds)
+                runs.append(run)
+                if on_cell is not None:
+                    on_cell(name, algo, run, None, seconds, False)
+            except KeyboardInterrupt:
+                flush(checkpoint)  # keep completed cells; then bubble up
+                raise
+            except Exception as exc:
+                seconds = time.perf_counter() - t0
+                err = perf_report.error_entry(
+                    name, algo, exc, stage="map", elapsed=seconds
+                )
+                errors.append(err)
+                if on_cell is not None:
+                    on_cell(name, algo, None, err, seconds, False)
+            flush(checkpoint)
+    report = perf_report.suite_report(runs, k=k, workers=workers, errors=errors)
+    flush(checkpoint)
+    return report
 
 
 def large_circuit(scale: int = 4, seed: int = 999) -> SeqCircuit:

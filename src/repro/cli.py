@@ -41,14 +41,43 @@ from repro.core.turbomap import turbomap
 from repro.core.turbosyn import turbosyn
 from repro.netlist.blif import read_blif_file, write_blif_file
 from repro.netlist.validate import ValidationError, ensure_mappable
+from repro.resilience.budget import Budget, BudgetExhausted
 from repro.retime.mdr import mdr_ratio, min_feasible_period
 from repro.retime.pipeline import pipeline_and_retime
 
 _ALGOS = {
-    "turbosyn": lambda c, k, w, chk: turbosyn(c, k, workers=w, check=chk),
-    "turbomap": lambda c, k, w, chk: turbomap(c, k, workers=w, check=chk),
-    "flowsyn-s": lambda c, k, w, chk: flowsyn_s(c, k, check=chk),
+    "turbosyn": lambda c, k, w, chk, b: turbosyn(
+        c, k, workers=w, check=chk, budget=b
+    ),
+    "turbomap": lambda c, k, w, chk, b: turbomap(
+        c, k, workers=w, check=chk, budget=b
+    ),
+    "flowsyn-s": lambda c, k, w, chk, b: flowsyn_s(c, k, check=chk),
 }
+
+
+def _budget_from(args: argparse.Namespace) -> Optional[Budget]:
+    """A fresh per-run Budget from ``--timeout`` / ``--probe-timeout``."""
+    if args.timeout is None and args.probe_timeout is None:
+        return None
+    return Budget(deadline=args.timeout, probe_timeout=args.probe_timeout)
+
+
+def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget per mapper run; on expiry the best-known "
+        "feasible phi is reported, marked degraded",
+    )
+    parser.add_argument(
+        "--probe-timeout",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget per feasibility probe (one label "
+        "computation)",
+    )
 
 
 def _write_run_report(path: str, runs: list, k: int, workers: int, kind: str) -> None:
@@ -70,14 +99,24 @@ def _cmd_map(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     t0 = time.perf_counter()
-    result = _ALGOS[args.algo](circuit, args.k, args.workers, not args.no_check)
+    try:
+        result = _ALGOS[args.algo](
+            circuit, args.k, args.workers, not args.no_check, _budget_from(args)
+        )
+    except BudgetExhausted as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     elapsed = time.perf_counter() - t0
     verified = (
         " verified" if result.certificate and result.certificate["verified"] else ""
     )
+    degraded = (
+        f" DEGRADED({result.degraded_reason})" if result.degraded else ""
+    )
     print(
         f"{circuit.name}: algo={args.algo} K={args.k} "
-        f"phi={result.phi} luts={result.n_luts} cpu={elapsed:.2f}s{verified}"
+        f"phi={result.phi} luts={result.n_luts} cpu={elapsed:.2f}s"
+        f"{verified}{degraded}"
     )
     if args.report:
         from repro.perf import report as perf_report
@@ -129,39 +168,102 @@ def _cmd_gen(args: argparse.Namespace) -> int:
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
-    names = bench_suite.quick_subset() if args.quick else [
-        e.name for e in bench_suite.SUITE
-    ]
+    """Run the Table-1 sweep under the suite fault boundary.
+
+    Every (circuit, algorithm) cell is isolated: a failing cell becomes
+    a structured error entry in the report (exit status 1) instead of
+    aborting the sweep, ``--report`` doubles as an incremental
+    checkpoint rewritten atomically after every cell, and ``--resume``
+    skips cells a previous (partial or errored) report already
+    completed.
+    """
+    from repro.perf.report import load_report
+
+    if args.circuit:
+        names = list(args.circuit)
+    elif args.quick:
+        names = bench_suite.quick_subset()
+    else:
+        names = [e.name for e in bench_suite.SUITE]
     algos = args.algo or list(_ALGOS)
-    runs: List[dict] = []
+    resume = None
+    if args.resume:
+        try:
+            resume = load_report(args.resume)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     header = f"{'circuit':10s} {'GATE':>6s} {'FF':>5s} | "
     header += " | ".join(f"{a:>18s}" for a in algos)
     print(header)
-    for name in names:
-        circuit = bench_suite.build(name)
-        try:
-            ensure_mappable(circuit, args.k)
-        except ValidationError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        cells: List[str] = []
-        for algo in algos:
-            t0 = time.perf_counter()
-            result = _ALGOS[algo](circuit, args.k, args.workers, not args.no_check)
-            elapsed = time.perf_counter() - t0
-            cells.append(f"phi={result.phi:2d} {elapsed:7.1f}s")
-            if args.report:
-                from repro.perf import report as perf_report
 
-                runs.append(
-                    perf_report.mapper_run(result, circuit, seconds=elapsed)
-                )
+    row: dict = {"name": None, "cells": [], "gates": None, "ffs": None}
+
+    def flush_row() -> None:
+        if row["name"] is None:
+            return
+        gates = f"{row['gates']:6d}" if row["gates"] is not None else f"{'?':>6s}"
+        ffs = f"{row['ffs']:5d}" if row["ffs"] is not None else f"{'?':>5s}"
         print(
-            f"{name:10s} {circuit.n_gates:6d} {circuit.n_ffs:5d} | "
-            + " | ".join(f"{cell:>18s}" for cell in cells)
+            f"{row['name']:10s} {gates} {ffs} | "
+            + " | ".join(f"{cell:>18s}" for cell in row["cells"])
         )
+        row.update(name=None, cells=[], gates=None, ffs=None)
+
+    def on_cell(
+        name: str,
+        algo: str,
+        run: Optional[dict],
+        error: Optional[dict],
+        elapsed: float,
+        cached: bool,
+    ) -> None:
+        if name != row["name"]:
+            flush_row()
+            row["name"] = name
+        if run is not None:
+            row["gates"] = run.get("gates", row["gates"])
+            row["ffs"] = run.get("ffs", row["ffs"])
+            mark = "*" if run.get("degraded") else ""
+            shown = "  cached" if cached else f"{elapsed:7.1f}s"
+            row["cells"].append(f"phi={run['phi']:2d}{mark} {shown}")
+        else:
+            assert error is not None
+            row["cells"].append(f"ERR:{error['error']}")
+
+    try:
+        report = bench_suite.run_suite_report(
+            names=names,
+            k=args.k,
+            algorithms=algos,
+            workers=args.workers,
+            check=not args.no_check,
+            timeout=args.timeout,
+            probe_timeout=args.probe_timeout,
+            checkpoint=args.report,
+            resume=resume,
+            on_cell=on_cell,
+        )
+    except ValueError as exc:  # unknown benchmark or algorithm name
+        flush_row()
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    flush_row()
     if args.report:
-        _write_run_report(args.report, runs, args.k, args.workers, kind="suite")
+        print(f"wrote report {args.report}")
+    if report["errors"]:
+        for err in report["errors"]:
+            print(
+                f"error: {err['circuit']}/{err['algorithm']} failed at "
+                f"stage {err['stage']}: {err['error']}: {err['message']}",
+                file=sys.stderr,
+            )
+        print(
+            f"{len(report['errors'])} cell(s) failed; the report is "
+            "complete for the rest (re-run with --resume to retry)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -249,6 +351,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip post-mapping invariant verification (repro.analysis)",
     )
+    _add_budget_arguments(p_map)
     p_map.set_defaults(func=_cmd_map)
 
     p_stats = sub.add_parser("stats", help="show retiming-graph statistics")
@@ -273,6 +376,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="only the small circuits"
     )
     p_suite.add_argument(
+        "--circuit",
+        action="append",
+        metavar="NAME",
+        help="restrict to one benchmark (repeatable; overrides --quick)",
+    )
+    p_suite.add_argument(
+        "--resume",
+        metavar="REPORT.json",
+        help="skip cells already completed in this previous report "
+        "(e.g. a checkpoint left by an interrupted --report run)",
+    )
+    p_suite.add_argument(
         "--algo",
         action="append",
         choices=sorted(_ALGOS),
@@ -292,6 +407,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip post-mapping invariant verification (repro.analysis)",
     )
+    _add_budget_arguments(p_suite)
     p_suite.set_defaults(func=_cmd_suite)
 
     p_verify = sub.add_parser("verify", help="equivalence-check two BLIFs")
@@ -335,7 +451,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return int(args.func(args))
+    except KeyboardInterrupt:
+        # Long-running commands (notably ``suite``) flush their
+        # checkpoint before the interrupt reaches this handler, so a
+        # Ctrl-C loses at most the cell in flight.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -28,6 +28,13 @@ from repro.core.mapping import Realization, generate_mapping
 from repro.core.seqdecomp import DEFAULT_CMAX, find_seq_resynthesis
 from repro.netlist.graph import SeqCircuit
 from repro.netlist.validate import ensure_mappable
+from repro.resilience.budget import (
+    Budget,
+    BudgetExhausted,
+    DeadlineExpired,
+    ProbeTimeout,
+)
+from repro.resilience.faultinject import fault_point
 from repro.retime.mdr import min_feasible_period
 
 
@@ -48,6 +55,16 @@ class SeqMapResult:
     t_verify: float = 0.0
     #: probe processes used by the phi search (1 = sequential)
     workers: int = 1
+    #: the search budget expired: ``phi`` is the best *known* feasible
+    #: period, an upper bound on (not necessarily equal to) the optimum
+    degraded: bool = False
+    #: why the run degraded (``"deadline"`` / ``"probe_timeout"``)
+    degraded_reason: Optional[str] = None
+    #: executions of the search backend: 1 + worker-pool restarts
+    #: (+1 when the search fell back to sequential probing)
+    attempts: int = 1
+    #: structured trace of recovery events (:class:`Budget` ``events``)
+    resilience_events: "list[dict]" = field(default_factory=list)
     #: machine-readable verification summary
     #: (:func:`repro.analysis.certificate`); ``None`` when verification
     #: was opted out of.
@@ -97,11 +114,17 @@ def probe_phi(
     pld: bool = True,
     extra_depth: int = 0,
     io_constrained: bool = False,
+    timeout: Optional[float] = None,
 ) -> LabelOutcome:
     """One feasibility query: run the label computation at ``phi``.
 
     Self-contained (no closures) so it can execute in a worker process.
+    ``timeout`` (seconds, measured from the start of this call) bounds
+    the label computation cooperatively; on expiry
+    :class:`ProbeTimeout` is raised in whichever process runs the probe.
     """
+    fault_point("probe", tag=f"{circuit.name}:phi={phi}")
+    deadline = time.monotonic() + timeout if timeout is not None else None
     hook: Optional[ResynHook] = make_resyn_hook(cmax) if resynthesize else None
     solver = LabelSolver(
         circuit,
@@ -111,6 +134,7 @@ def probe_phi(
         pld=pld,
         extra_depth=extra_depth,
         io_constrained=io_constrained,
+        deadline=deadline,
     )
     return solver.run()
 
@@ -146,21 +170,37 @@ def search_min_phi(
     pld: bool = True,
     extra_depth: int = 0,
     io_constrained: bool = False,
+    budget: Optional[Budget] = None,
+    outcomes: Optional[Dict[int, LabelOutcome]] = None,
 ) -> "tuple[int, Dict[int, LabelOutcome]]":
     """Binary search the minimum feasible integer ``phi``.
 
     Returns ``(phi_min, outcomes)``; raises ``RuntimeError`` if even the
     gate count (a trivially sufficient period) is infeasible, which would
     indicate a solver bug rather than a hard instance.
+
+    ``budget`` bounds the search in wall-clock time: it is consulted
+    before every uncached probe and hands each probe its deadline.  On
+    expiry the search returns the best *known* feasible ``phi`` (an
+    upper bound on the optimum) with ``budget.exhausted`` set, or raises
+    :class:`BudgetExhausted` when no feasible period was found yet.
+
+    ``outcomes`` seeds the probe cache (used by the parallel search's
+    sequential fallback so completed probes are never re-run); it is
+    mutated in place and returned.
     """
     ensure_mappable(circuit, k)
-    outcomes: Dict[int, LabelOutcome] = {}
+    if budget is not None:
+        budget.start()
+    if outcomes is None:
+        outcomes = {}
 
     def probe(phi: int) -> bool:
         # Consult the cache: the doubling phase may already have answered
         # a value the binary search lands on again (e.g. the original
         # upper bound after it proved infeasible).
         if phi not in outcomes:
+            allowance = budget.begin_probe() if budget is not None else None
             outcomes[phi] = probe_phi(
                 circuit,
                 k,
@@ -170,22 +210,33 @@ def search_min_phi(
                 pld=pld,
                 extra_depth=extra_depth,
                 io_constrained=io_constrained,
+                timeout=allowance,
             )
         return outcomes[phi].feasible
 
     hi, ceiling = search_bounds(circuit, upper_bound, io_constrained)
-    while not probe(hi):
-        if hi >= ceiling:
-            raise infeasible_error(circuit, hi)
-        hi = min(2 * hi, ceiling)
-    lo = 1
-    while lo < hi:
-        mid = (lo + hi) // 2
-        if probe(mid):
-            hi = mid
-        else:
-            lo = mid + 1
-    return lo, outcomes
+    best: Optional[int] = None  # smallest phi known feasible
+    try:
+        while not probe(hi):
+            if hi >= ceiling:
+                raise infeasible_error(circuit, hi)
+            hi = min(2 * hi, ceiling)
+        best = hi
+        lo = 1
+        while lo < best:
+            mid = (lo + best) // 2
+            if probe(mid):
+                best = mid
+            else:
+                lo = mid + 1
+    except (DeadlineExpired, ProbeTimeout) as exc:
+        if budget is None or best is None:
+            raise BudgetExhausted(
+                f"{circuit.name}: budget exhausted before any feasible "
+                f"phi was found ({exc})"
+            ) from exc
+        budget.exhaust(exc)
+    return best, outcomes
 
 
 def verify_result(
@@ -238,6 +289,7 @@ def run_mapper(
     name: Optional[str] = None,
     workers: int = 1,
     check: bool = True,
+    budget: Optional[Budget] = None,
 ) -> SeqMapResult:
     """Full mapper pipeline: search ``phi``, regenerate the mapping.
 
@@ -245,12 +297,22 @@ def run_mapper(
     (:func:`repro.perf.parallel.parallel_search_min_phi`); the result is
     identical to the sequential search, only the wall clock differs.
 
+    ``budget`` bounds the phi search in wall-clock time; on expiry the
+    result carries the best-known feasible period with
+    ``degraded=True`` / ``degraded_reason`` set instead of raising (the
+    mapping regeneration itself is not interrupted).  The budget also
+    records worker-pool recovery: ``attempts`` counts search-backend
+    executions.
+
     ``check=True`` (the default) verifies the produced mapping against
     the paper's invariants with :func:`verify_result` and attaches the
     certificate; pass ``check=False`` to opt out (e.g. in tight inner
     benchmark loops).
     """
     ub = upper_bound if upper_bound is not None else min_feasible_period(circuit)
+    if budget is None:
+        budget = Budget()
+    budget.start()
     t0 = time.perf_counter()
     if workers > 1:
         # Imported lazily: repro.perf.parallel imports probe_phi from here.
@@ -266,6 +328,7 @@ def run_mapper(
             pld=pld,
             extra_depth=extra_depth,
             io_constrained=io_constrained,
+            budget=budget,
         )
     else:
         phi, outcomes = search_min_phi(
@@ -277,6 +340,7 @@ def run_mapper(
             pld=pld,
             extra_depth=extra_depth,
             io_constrained=io_constrained,
+            budget=budget,
         )
     t_search = time.perf_counter() - t0
     labels = outcomes[phi].labels
@@ -303,6 +367,10 @@ def run_mapper(
         t_search=t_search,
         t_mapping=t_mapping,
         workers=max(1, workers),
+        degraded=budget.exhausted,
+        degraded_reason=budget.reason,
+        attempts=budget.attempts,
+        resilience_events=list(budget.events),
     )
     if check:
         resyn_roots = {

@@ -43,6 +43,7 @@ from repro.core.expanded import expand_partial
 from repro.core.kcut import cut_on_expansion
 from repro.core.pld import grounded_members
 from repro.netlist.graph import NodeKind, SeqCircuit
+from repro.resilience.budget import ProbeTimeout
 
 
 @dataclass
@@ -120,6 +121,7 @@ class LabelSolver:
         pld: bool = True,
         extra_depth: int = 0,
         io_constrained: bool = False,
+        deadline: Optional[float] = None,
     ) -> None:
         if phi < 1:
             raise ValueError("target clock period must be at least 1")
@@ -129,6 +131,10 @@ class LabelSolver:
         self.resyn_hook = resyn_hook
         self.pld = pld
         self.extra_depth = extra_depth
+        #: Absolute ``time.monotonic()`` value by which the run must
+        #: finish; checked cooperatively once per label round, raising
+        #: :class:`repro.resilience.budget.ProbeTimeout` on expiry.
+        self.deadline = deadline
         #: When True, primary outputs must also meet the period (the
         #: retiming-only objective of TurboMap/SeqMapII [11, 19]); the
         #: paper's setting is False — pipelining absorbs I/O paths and
@@ -234,6 +240,14 @@ class LabelSolver:
         return result
 
     # ------------------------------------------------------------------
+    def _check_deadline(self) -> None:
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise ProbeTimeout(
+                f"{self.circuit.name}: label computation at phi={self.phi} "
+                "exceeded its probe budget"
+            )
+
+    # ------------------------------------------------------------------
     def run(self) -> LabelOutcome:
         """Compute all labels or detect infeasibility (timed)."""
         t0 = time.perf_counter()
@@ -246,6 +260,7 @@ class LabelSolver:
         """Compute all labels or detect infeasibility."""
         order_pos = {nid: i for i, nid in enumerate(self.circuit.comb_topo_order())}
         for component in self.circuit.sccs():
+            self._check_deadline()
             members = [
                 v for v in component if self.circuit.kind(v) is NodeKind.GATE
             ]
@@ -267,6 +282,7 @@ class LabelSolver:
             converged = False
             isolated_streak = 0
             for _round in range(max_rounds):
+                self._check_deadline()
                 self.stats.rounds += 1
                 changed = False
                 for v in members:

@@ -17,6 +17,7 @@ from typing import Optional
 
 from repro.core.driver import SeqMapResult, run_mapper
 from repro.netlist.graph import SeqCircuit
+from repro.resilience.budget import Budget
 
 
 def turbomap(
@@ -29,6 +30,7 @@ def turbomap(
     name: Optional[str] = None,
     workers: int = 1,
     check: bool = True,
+    budget: Optional[Budget] = None,
 ) -> SeqMapResult:
     """Map ``circuit`` onto K-LUTs minimizing the MDR ratio (no resynthesis).
 
@@ -61,6 +63,10 @@ def turbomap(
     check:
         Verify the produced mapping against the paper's invariants and
         attach a certificate (:mod:`repro.analysis`); ``False`` opts out.
+    budget:
+        Wall-clock :class:`~repro.resilience.budget.Budget` for the phi
+        search; on expiry the result is the best-known feasible period,
+        marked ``degraded``.
     """
     return run_mapper(
         circuit,
@@ -74,4 +80,5 @@ def turbomap(
         name=name or f"{circuit.name}_turbomap",
         workers=workers,
         check=check,
+        budget=budget,
     )

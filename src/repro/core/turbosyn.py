@@ -27,6 +27,7 @@ from repro.core.driver import SeqMapResult, run_mapper
 from repro.core.seqdecomp import DEFAULT_CMAX
 from repro.core.turbomap import turbomap
 from repro.netlist.graph import SeqCircuit
+from repro.resilience.budget import Budget
 
 
 def turbosyn(
@@ -39,6 +40,7 @@ def turbosyn(
     name: Optional[str] = None,
     workers: int = 1,
     check: bool = True,
+    budget: Optional[Budget] = None,
 ) -> SeqMapResult:
     """Map ``circuit`` onto K-LUTs minimizing the MDR ratio with
     sequential functional decomposition.
@@ -49,11 +51,16 @@ def turbosyn(
     TurboMap bound and the TurboSYN search).  ``check`` verifies the
     final mapping against the paper's invariants (:mod:`repro.analysis`);
     the intermediate TurboMap bound run is never re-verified.
+    ``budget`` is shared across the bound computation and the main
+    search: its deadline covers both, and its resilience state (degraded
+    marker, attempt count) accumulates over the whole pipeline.
     """
+    if budget is not None:
+        budget.start()  # the deadline clock covers the TurboMap bound too
     if upper_bound is None:
         upper_bound = turbomap(
             circuit, k, pld=pld, extra_depth=extra_depth, workers=workers,
-            check=False,
+            check=False, budget=budget,
         ).phi
     return run_mapper(
         circuit,
@@ -67,4 +74,5 @@ def turbosyn(
         name=name or f"{circuit.name}_turbosyn",
         workers=workers,
         check=check,
+        budget=budget,
     )

@@ -14,6 +14,15 @@ Compares every ``(circuit, algorithm)`` run present in *both* reports:
   the tolerance is only *warned* about; pass ``--time-tolerance`` to turn
   the time comparison into a hard gate (e.g. on a dedicated perf host).
 
+Resilience-aware (schema 2): a *degraded* current run (its budget
+expired, so its phi/luts are best-known values rather than proven
+optima) is flagged but its quality deltas only *warn* by default —
+a budget expiry is an environmental condition, not a quality
+regression.  Structured ``errors`` entries in the current report are
+likewise flagged as warnings.  Pass ``--strict-resilience`` to turn
+both into hard failures (e.g. on a dedicated perf host where nothing
+should ever degrade).
+
 Exit status: 0 clean, 1 on regressions (or on an unusable comparison —
 e.g. no overlapping runs, which would otherwise pass vacuously).
 """
@@ -56,11 +65,22 @@ def compare(
     current: dict,
     tolerance: float = 0.25,
     time_tolerance: Optional[float] = None,
+    strict_resilience: bool = False,
 ) -> Comparison:
     """Compare two perf reports; see the module docstring for the policy."""
     base_runs = _index(baseline)
     cur_runs = _index(current)
     result = Comparison()
+    for err in current.get("errors", []):
+        message = (
+            f"{err.get('circuit')}/{err.get('algorithm')}: cell failed "
+            f"({err.get('error')}: {err.get('message')}, "
+            f"stage {err.get('stage')})"
+        )
+        if strict_resilience:
+            result.regressions.append(message)
+        else:
+            result.warnings.append(message)
     for key in sorted(base_runs):
         if key not in cur_runs:
             continue
@@ -69,11 +89,25 @@ def compare(
         base, cur = base_runs[key], cur_runs[key]
         result.compared += 1
 
+        # A degraded run's phi/luts are best-known values under an
+        # exhausted budget, not the search's proven optimum: quality
+        # deltas only warn (unless the gate is strict about resilience).
+        degraded = bool(cur.get("degraded"))
+        quality_sink = (
+            result.regressions
+            if strict_resilience or not degraded
+            else result.warnings
+        )
+        if degraded:
+            reason = cur.get("degraded_reason") or "budget"
+            result.warnings.append(f"{tag}: degraded run ({reason})")
+
         b_phi, c_phi = base.get("phi"), cur.get("phi")
         if b_phi is not None and c_phi is not None:
             if c_phi > b_phi:
-                result.regressions.append(
+                quality_sink.append(
                     f"{tag}: phi regressed {b_phi} -> {c_phi}"
+                    + (" (degraded run)" if degraded else "")
                 )
             elif c_phi < b_phi:
                 result.improvements.append(
@@ -83,9 +117,10 @@ def compare(
         b_luts, c_luts = base.get("luts"), cur.get("luts")
         if b_luts and c_luts is not None:
             if c_luts > b_luts * (1.0 + tolerance):
-                result.regressions.append(
+                quality_sink.append(
                     f"{tag}: luts regressed {b_luts} -> {c_luts} "
                     f"(> {tolerance:.0%} tolerance)"
+                    + (" (degraded run)" if degraded else "")
                 )
             elif c_luts < b_luts:
                 result.improvements.append(
@@ -139,6 +174,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="gate on run time too, with this relative slack "
         "(default: time slowdowns only warn)",
     )
+    parser.add_argument(
+        "--strict-resilience",
+        action="store_true",
+        help="hard-fail on degraded runs and structured error entries "
+        "(default: flag them as warnings)",
+    )
     args = parser.parse_args(argv)
     try:
         baseline = load_report(args.baseline)
@@ -151,6 +192,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         current,
         tolerance=args.tolerance,
         time_tolerance=args.time_tolerance,
+        strict_resilience=args.strict_resilience,
     )
     print(render(comparison))
     if comparison.compared == 0:

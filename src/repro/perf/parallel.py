@@ -17,6 +17,18 @@ clock.  The returned ``phi`` and labels are identical to the sequential
 search — only the set of *extra* probed values (and the wall clock)
 differs.
 
+Fault tolerance: a worker death (OOM kill, crash, injected fault) breaks
+a ``ProcessPoolExecutor`` permanently — every pending future raises
+``BrokenProcessPool``.  :class:`_ProbePool` absorbs that: answers
+harvested before the break stay in the outcome cache, the pool is
+rebuilt and only the lost probes are retried, with seeded capped
+exponential backoff between restarts (:class:`RetryPolicy`).  After
+``max_restarts`` failed pools the search degrades to the sequential
+:func:`search_min_phi`, seeded with the outcome cache so no completed
+probe is ever re-run.  A :class:`Budget` bounds everything in wall-clock
+time; on expiry the best-known feasible ``phi`` is returned with the
+budget marked exhausted.
+
 Implementation notes: probes run in a ``ProcessPoolExecutor`` whose
 initializer ships the circuit to each worker exactly once; the fork
 start method is preferred when available so the circuit is inherited
@@ -27,7 +39,9 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.driver import (
@@ -40,10 +54,22 @@ from repro.core.labels import LabelOutcome
 from repro.core.seqdecomp import DEFAULT_CMAX
 from repro.netlist.graph import SeqCircuit
 from repro.netlist.validate import ensure_mappable
+from repro.resilience.budget import (
+    Budget,
+    BudgetExhausted,
+    DeadlineExpired,
+    ProbeTimeout,
+)
+from repro.resilience.retry import RetryPolicy
 
 #: Per-process probe context installed by the pool initializer:
-#: ``(circuit, k, resynthesize, cmax, pld, extra_depth, io_constrained)``.
+#: ``(circuit, k, resynthesize, cmax, pld, extra_depth, io_constrained,
+#: probe_timeout)``.
 _WORKER_ARGS: Optional[tuple] = None
+
+
+class _PoolGivenUp(Exception):
+    """Internal: too many pool failures; degrade to sequential probing."""
 
 
 def _init_worker(
@@ -54,14 +80,21 @@ def _init_worker(
     pld: bool,
     extra_depth: int,
     io_constrained: bool,
+    probe_timeout: Optional[float],
 ) -> None:
     global _WORKER_ARGS
-    _WORKER_ARGS = (circuit, k, resynthesize, cmax, pld, extra_depth, io_constrained)
+    _WORKER_ARGS = (
+        circuit, k, resynthesize, cmax, pld, extra_depth, io_constrained,
+        probe_timeout,
+    )
 
 
 def _probe_worker(phi: int) -> Tuple[int, LabelOutcome]:
     assert _WORKER_ARGS is not None, "worker used before initialization"
-    circuit, k, resynthesize, cmax, pld, extra_depth, io_constrained = _WORKER_ARGS
+    (circuit, k, resynthesize, cmax, pld, extra_depth, io_constrained,
+     probe_timeout) = _WORKER_ARGS
+    # The timeout is anchored inside probe_phi: it covers label-
+    # computation time, not time spent queued in the pool.
     outcome = probe_phi(
         circuit,
         k,
@@ -71,6 +104,7 @@ def _probe_worker(phi: int) -> Tuple[int, LabelOutcome]:
         pld=pld,
         extra_depth=extra_depth,
         io_constrained=io_constrained,
+        timeout=probe_timeout,
     )
     return phi, outcome
 
@@ -94,6 +128,101 @@ def _pool_context():
         return None
 
 
+class _ProbePool:
+    """A restartable probe pool: survives worker death, retries lost probes.
+
+    ``probe_all`` harvests answers into the shared ``outcomes`` cache as
+    they complete, so a pool break loses only the probes still in
+    flight.  Each ``BrokenProcessPool`` recycles the pool (counted on
+    ``budget.attempts``) after a deterministic backoff delay; once
+    ``policy.max_restarts`` restarts have been burned, ``_PoolGivenUp``
+    tells the caller to degrade to the sequential search.
+    """
+
+    def __init__(
+        self,
+        initargs: tuple,
+        workers: int,
+        budget: Optional[Budget],
+        policy: RetryPolicy,
+    ) -> None:
+        self._initargs = initargs
+        self._workers = workers
+        self._budget = budget
+        self._policy = policy
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self.failures = 0
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._workers,
+                mp_context=_pool_context(),
+                initializer=_init_worker,
+                initargs=self._initargs,
+            )
+        return self._pool
+
+    def _recycle(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def shutdown(self) -> None:
+        self._recycle()
+
+    def _on_broken_pool(self) -> None:
+        self._recycle()
+        self.failures += 1
+        if self._budget is not None:
+            self._budget.attempts += 1
+            self._budget.note("pool_restart", failures=self.failures)
+        if self.failures > self._policy.max_restarts:
+            raise _PoolGivenUp()
+        time.sleep(self._policy.delay(self.failures))
+
+    def probe_all(
+        self, phis: List[int], outcomes: Dict[int, LabelOutcome]
+    ) -> Dict[int, bool]:
+        """Answer every ``phi`` in ``phis``, retrying through pool failures."""
+        missing = [p for p in phis if p not in outcomes]
+        while missing:
+            if self._budget is not None:
+                self._budget.check()
+            pool = self._ensure()
+            try:
+                pending = {pool.submit(_probe_worker, p) for p in missing}
+                while pending:
+                    timeout = None
+                    if self._budget is not None:
+                        timeout = self._budget.remaining()
+                        if timeout is not None and timeout <= 0:
+                            raise DeadlineExpired(
+                                "wall-clock budget exhausted while waiting "
+                                "for probe results"
+                            )
+                    done, pending = wait(
+                        pending, timeout=timeout, return_when=FIRST_COMPLETED
+                    )
+                    if not done:  # the deadline passed with probes in flight
+                        raise DeadlineExpired(
+                            "wall-clock budget exhausted while waiting for "
+                            "probe results"
+                        )
+                    for future in done:
+                        phi, outcome = future.result()
+                        outcomes[phi] = outcome
+                missing = []
+            except BrokenProcessPool:
+                # Answers already harvested stay cached; retry the rest.
+                missing = [p for p in missing if p not in outcomes]
+                self._on_broken_pool()
+            except (DeadlineExpired, ProbeTimeout):
+                self._recycle()
+                raise
+        return {p: outcomes[p].feasible for p in phis}
+
+
 def parallel_search_min_phi(
     circuit: SeqCircuit,
     k: int,
@@ -104,6 +233,8 @@ def parallel_search_min_phi(
     pld: bool = True,
     extra_depth: int = 0,
     io_constrained: bool = False,
+    budget: Optional[Budget] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> Tuple[int, Dict[int, LabelOutcome]]:
     """Find the minimum feasible ``phi`` with speculative parallel probes.
 
@@ -111,6 +242,13 @@ def parallel_search_min_phi(
     :func:`repro.core.driver.search_min_phi`; ``outcomes`` additionally
     contains every speculative probe that ran.  ``workers=None`` uses the
     CPU count; ``workers<=1`` delegates to the sequential search.
+
+    ``budget`` bounds the search in wall-clock time (degrading to the
+    best-known feasible answer on expiry, raising
+    :class:`BudgetExhausted` when there is none); ``retry`` governs
+    worker-pool restarts after ``BrokenProcessPool`` failures, after
+    which the search falls back to sequential probing seeded with the
+    outcome cache.
     """
     if workers is None:
         workers = os.cpu_count() or 1
@@ -124,33 +262,32 @@ def parallel_search_min_phi(
             pld=pld,
             extra_depth=extra_depth,
             io_constrained=io_constrained,
+            budget=budget,
         )
     ensure_mappable(circuit, k)
+    if budget is not None:
+        budget.start()
+    policy = retry if retry is not None else RetryPolicy()
     outcomes: Dict[int, LabelOutcome] = {}
+    probe_timeout = budget.probe_timeout if budget is not None else None
+    runner = _ProbePool(
+        (circuit, k, resynthesize, cmax, pld, extra_depth, io_constrained,
+         probe_timeout),
+        workers,
+        budget,
+        policy,
+    )
     top, ceiling = search_bounds(circuit, upper_bound, io_constrained)
-
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        mp_context=_pool_context(),
-        initializer=_init_worker,
-        initargs=(circuit, k, resynthesize, cmax, pld, extra_depth, io_constrained),
-    ) as pool:
-
-        def probe_all(phis: List[int]) -> Dict[int, bool]:
-            missing = [p for p in phis if p not in outcomes]
-            for p, outcome in pool.map(_probe_worker, missing):
-                outcomes[p] = outcome
-            return {p: outcomes[p].feasible for p in phis}
-
-        lo = 1
-        best: Optional[int] = None  # smallest phi known feasible
+    lo = 1
+    best: Optional[int] = None  # smallest phi known feasible
+    try:
         # Establish a feasible upper end.  The first round already splits
         # [lo, top] instead of probing only `top`, so when the given bound
         # is feasible (the common case: it comes from a valid mapping) the
         # narrowing starts immediately; when it is not, answers below
         # `top` were infeasible too and the doubling continues upward.
         while best is None:
-            results = probe_all(_spread(lo, top, workers))
+            results = runner.probe_all(_spread(lo, top, workers), outcomes)
             feasible = [p for p, ok in results.items() if ok]
             infeasible = [p for p, ok in results.items() if not ok]
             if feasible:
@@ -163,10 +300,38 @@ def parallel_search_min_phi(
                 top = min(2 * top, ceiling)
         # Multi-way narrowing of [lo, best).
         while lo < best:
-            results = probe_all(_spread(lo, best - 1, workers))
+            results = runner.probe_all(_spread(lo, best - 1, workers), outcomes)
             for p, ok in results.items():
                 if ok:
                     best = min(best, p)
                 else:
                     lo = max(lo, p + 1)
-    return best, outcomes
+        return best, outcomes
+    except _PoolGivenUp:
+        # Too many pool failures: degrade to the sequential search, which
+        # re-uses every completed probe through the seeded outcome cache.
+        if budget is not None:
+            budget.attempts += 1
+            budget.note("sequential_fallback", failures=runner.failures)
+        return search_min_phi(
+            circuit,
+            k,
+            upper_bound,
+            resynthesize,
+            cmax=cmax,
+            pld=pld,
+            extra_depth=extra_depth,
+            io_constrained=io_constrained,
+            budget=budget,
+            outcomes=outcomes,
+        )
+    except (DeadlineExpired, ProbeTimeout) as exc:
+        if budget is None or best is None:
+            raise BudgetExhausted(
+                f"{circuit.name}: budget exhausted before any feasible "
+                f"phi was found ({exc})"
+            ) from exc
+        budget.exhaust(exc)
+        return best, outcomes
+    finally:
+        runner.shutdown()

@@ -1,10 +1,10 @@
 """JSON run reports: the machine-readable perf/quality telemetry schema.
 
-Schema (version 1) — one *suite report* wraps any number of *mapper
-runs*::
+Schema (version 2) — one *suite report* wraps any number of *mapper
+runs* plus the structured *errors* of cells that failed::
 
     {
-      "schema": 1,
+      "schema": 2,
       "kind": "suite",                 # or "map" for a single-run report
       "python": "3.11.7", "platform": "Linux-...",
       "k": 5, "workers": 1,
@@ -15,6 +15,10 @@ runs*::
           "gates": 462, "ffs": 10,     # input circuit size
           "phi": 5, "luts": 522,       # quality (lower is better)
           "seconds": 0.61,             # end-to-end wall clock
+          "attempts": 1,               # search-backend executions
+          "degraded": false,           # true: phi is best-known, not
+                                       # proven optimal (budget expired);
+                                       # adds "degraded_reason"
           "search": {
             "t_search": 0.55, "t_mapping": 0.06,
             "probes": [3, 4, 5, 10, 20], "n_probes": 5
@@ -26,14 +30,27 @@ runs*::
             "t_total": ..., "t_expand": ..., "t_flow": ..., "t_pld": ...
           }
         }, ...
+      ],
+      "errors": [                      # cells the fault boundary caught
+        {
+          "circuit": "dk16", "algorithm": "turbomap",
+          "error": "InjectedFault",    # exception type name
+          "message": "...", "stage": "map", "elapsed": 0.31
+        }, ...
       ]
     }
+
+Version 1 reports (no ``errors``, ``attempts`` or ``degraded``) load
+fine: :func:`load_report` fills the new envelope fields in, and the
+regression gate treats absent run fields as non-degraded.
 
 ``benchmarks/baseline.json`` is a committed suite report; CI regenerates
 a fresh one and gates on :mod:`repro.perf.check`.  The pytest-benchmark
 harness writes per-table ``BENCH_*.json`` siblings of the rendered text
 tables (see ``benchmarks/conftest.py``) so the perf trajectory is
-diffable across PRs.
+diffable across PRs.  All path writes go through
+:func:`repro.resilience.atomic.atomic_write_json`, so an interrupted
+writer never corrupts a previously good report.
 """
 
 from __future__ import annotations
@@ -43,7 +60,9 @@ import json
 import platform
 from typing import IO, Dict, List, Optional, Union
 
-SCHEMA_VERSION = 1
+from repro.resilience.atomic import atomic_write_json
+
+SCHEMA_VERSION = 2
 
 
 def _environment() -> Dict[str, str]:
@@ -85,6 +104,13 @@ def mapper_run(
             for key, value in dataclasses.asdict(result.total_stats).items()
         },
     }
+    run["attempts"] = getattr(result, "attempts", 1)
+    run["degraded"] = bool(getattr(result, "degraded", False))
+    if run["degraded"]:
+        run["degraded_reason"] = getattr(result, "degraded_reason", None)
+    events = getattr(result, "resilience_events", None)
+    if events:
+        run["resilience_events"] = events
     if circuit is not None:
         run["gates"] = circuit.n_gates
         run["ffs"] = circuit.n_ffs
@@ -100,11 +126,30 @@ def mapper_run(
     return run
 
 
+def error_entry(
+    circuit: str,
+    algorithm: str,
+    exc: BaseException,
+    stage: str = "map",
+    elapsed: float = 0.0,
+) -> dict:
+    """A structured error record for a failed (circuit, algorithm) cell."""
+    return {
+        "circuit": circuit,
+        "algorithm": algorithm,
+        "error": type(exc).__name__,
+        "message": str(exc),
+        "stage": stage,
+        "elapsed": round(elapsed, 6),
+    }
+
+
 def suite_report(
     runs: List[dict],
     k: Optional[int] = None,
     workers: int = 1,
     kind: str = "suite",
+    errors: Optional[List[dict]] = None,
 ) -> dict:
     """Wrap mapper runs in a schema-versioned report envelope."""
     report = {"schema": SCHEMA_VERSION, "kind": kind}
@@ -113,26 +158,30 @@ def suite_report(
         report["k"] = k
     report["workers"] = workers
     report["runs"] = runs
+    report["errors"] = list(errors) if errors else []
     return report
 
 
 def write_report(report: dict, path_or_file: Union[str, IO[str]]) -> None:
-    """Write a report as pretty-printed JSON (trailing newline included)."""
+    """Write a report as pretty-printed JSON (trailing newline included).
+
+    Path targets are written atomically (temp sibling + ``os.replace``),
+    so an interrupted write leaves any previous report intact.
+    """
     if hasattr(path_or_file, "write"):
         json.dump(report, path_or_file, indent=2, sort_keys=False)
         path_or_file.write("\n")
         return
-    with open(path_or_file, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=False)
-        fh.write("\n")
+    atomic_write_json(path_or_file, report, indent=2, sort_keys=False)
 
 
 def load_report(path: str) -> dict:
-    """Read a report, tolerating both envelopes and bare run lists."""
+    """Read a report, tolerating envelopes, bare run lists, and schema 1."""
     with open(path) as fh:
         data = json.load(fh)
     if isinstance(data, list):  # bare run list
         data = {"schema": SCHEMA_VERSION, "kind": "suite", "runs": data}
     if "runs" not in data or not isinstance(data["runs"], list):
         raise ValueError(f"{path}: not a perf report (missing 'runs' list)")
+    data.setdefault("errors", [])  # absent in schema-1 reports
     return data

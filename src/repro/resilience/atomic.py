@@ -1,0 +1,48 @@
+"""Atomic artifact writes: a crashed writer never corrupts the old file.
+
+Every JSON artifact this project writes (suite reports, checkpoints,
+``benchmarks/baseline.json``, lint baselines) goes through
+:func:`atomic_write_text`: the content lands in a same-directory temp
+sibling which is then :func:`os.replace`-d over the destination — an
+atomic rename on POSIX.  An interruption at any point (crash, SIGKILL,
+injected fault) leaves either the old complete file or the new complete
+file, never a truncated hybrid.
+
+The ``artifact-write`` fault-injection site sits between the temp write
+and the rename, which is exactly where a naive writer would have already
+destroyed the previous contents.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+from repro.resilience.faultinject import fault_point
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` via a temp sibling + atomic rename."""
+    path = os.fspath(path)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w") as fh:
+            fh.write(text)
+            fault_point("artifact-write", tag=path)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        try:
+            os.unlink(tmp)
+        except FileNotFoundError:
+            pass
+
+
+def atomic_write_json(
+    path: str, payload: Any, indent: int = 2, sort_keys: bool = False
+) -> None:
+    """Serialize ``payload`` and write it atomically (trailing newline)."""
+    text = json.dumps(payload, indent=indent, sort_keys=sort_keys) + "\n"
+    atomic_write_text(path, text)

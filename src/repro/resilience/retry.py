@@ -1,0 +1,55 @@
+"""Deterministic capped exponential backoff for recovery retries.
+
+Worker-pool recovery (:mod:`repro.perf.parallel`) waits between pool
+restarts so a transiently overloaded host (the usual cause of an
+OOM-killed worker) gets room to recover.  The delays are *seeded and
+deterministic* — a splitmix64-style hash supplies the jitter, so no
+``random`` state is touched on hot paths and two runs with the same
+policy back off identically (which keeps the fault-injection tests
+exact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_MASK = (1 << 64) - 1
+
+
+def _mix64(*parts: int) -> int:
+    """splitmix64-style avalanche of the given integers (deterministic)."""
+    x = 0x9E3779B97F4A7C15
+    for part in parts:
+        x = (x ^ (part & _MASK)) * 0xBF58476D1CE4E5B9 & _MASK
+        x ^= x >> 27
+        x = x * 0x94D049BB133111EB & _MASK
+        x ^= x >> 31
+    return x
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to restart a broken pool, and how long to wait.
+
+    ``delay(attempt)`` for attempt 1, 2, 3, ... doubles from
+    ``base_delay`` up to ``max_delay``, scaled by a deterministic jitter
+    in ``[1 - jitter, 1 + jitter)`` derived from ``(seed, attempt)``.
+    After ``max_restarts`` failed restarts the caller degrades to the
+    sequential search instead of retrying forever.
+    """
+
+    max_restarts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        raw = min(self.max_delay, self.base_delay * (2.0 ** (attempt - 1)))
+        if raw <= 0.0 or self.jitter <= 0.0:
+            return max(0.0, raw)
+        fraction = _mix64(self.seed, attempt) / float(1 << 64)  # [0, 1)
+        return raw * (1.0 - self.jitter + 2.0 * self.jitter * fraction)

@@ -5,8 +5,11 @@ import json
 from repro.perf import check as perf_check
 
 
-def _report(runs):
-    return {"schema": 1, "kind": "suite", "runs": runs}
+def _report(runs, errors=None):
+    report = {"schema": 2, "kind": "suite", "runs": runs}
+    if errors is not None:
+        report["errors"] = errors
+    return report
 
 
 def _run(circuit="bbara", algo="turbomap", phi=3, luts=100, seconds=1.0):
@@ -75,6 +78,74 @@ class TestCompare:
         )
         assert comparison.compared == 0
         assert not comparison.ok
+
+
+class TestResiliencePolicy:
+    """Schema-2 degraded runs and error entries under the gate."""
+
+    def _degraded(self, phi):
+        run = _run(phi=phi)
+        run["degraded"] = True
+        run["degraded_reason"] = "deadline"
+        return run
+
+    def _error(self):
+        return {
+            "circuit": "bbara",
+            "algorithm": "turbomap",
+            "error": "InjectedFault",
+            "message": "injected fault",
+            "stage": "map",
+            "elapsed": 0.1,
+        }
+
+    def test_degraded_run_flagged_as_warning(self):
+        comparison = perf_check.compare(
+            _report([_run(phi=3)]), _report([self._degraded(phi=3)])
+        )
+        assert comparison.ok
+        assert any("degraded run (deadline)" in w for w in comparison.warnings)
+
+    def test_degraded_phi_regression_warns_not_fails(self):
+        comparison = perf_check.compare(
+            _report([_run(phi=3)]), _report([self._degraded(phi=5)])
+        )
+        assert comparison.ok
+        assert any("phi regressed" in w for w in comparison.warnings)
+
+    def test_strict_resilience_fails_degraded_regression(self):
+        comparison = perf_check.compare(
+            _report([_run(phi=3)]),
+            _report([self._degraded(phi=5)]),
+            strict_resilience=True,
+        )
+        assert not comparison.ok
+        assert any("phi regressed" in r for r in comparison.regressions)
+
+    def test_error_entries_warn_by_default(self):
+        comparison = perf_check.compare(
+            _report([_run()]), _report([_run()], errors=[self._error()])
+        )
+        assert comparison.ok
+        assert any("cell failed" in w for w in comparison.warnings)
+
+    def test_strict_resilience_fails_on_error_entries(self):
+        comparison = perf_check.compare(
+            _report([_run()]),
+            _report([_run()], errors=[self._error()]),
+            strict_resilience=True,
+        )
+        assert not comparison.ok
+
+    def test_strict_flag_wired_through_main(self, tmp_path):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        base.write_text(json.dumps(_report([_run()])))
+        cur.write_text(json.dumps(_report([_run()], errors=[self._error()])))
+        assert perf_check.main([str(base), str(cur)]) == 0
+        assert (
+            perf_check.main([str(base), str(cur), "--strict-resilience"]) == 1
+        )
 
 
 class TestMain:

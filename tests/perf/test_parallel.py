@@ -11,8 +11,19 @@ import pytest
 from repro.bench import suite as bench_suite
 from repro.core.driver import run_mapper, search_min_phi
 from repro.perf.parallel import _spread, parallel_search_min_phi
+from repro.resilience import faultinject
+from repro.resilience.budget import Budget
+from repro.resilience.faultinject import Fault, FaultPlan
+from repro.resilience.retry import RetryPolicy
 from repro.retime.mdr import min_feasible_period
 from tests.helpers import random_seq_circuit
+
+
+@pytest.fixture
+def _clean_faults():
+    faultinject.reset()
+    yield
+    faultinject.clear()
 
 
 class TestSpread:
@@ -29,6 +40,16 @@ class TestSpread:
 
     def test_count_capped_by_span(self):
         assert _spread(1, 3, 16) == [1, 2, 3]
+
+    def test_single_point_is_hi(self):
+        # count=1 degenerates to the sequential probe (hi first)
+        assert _spread(1, 8, 1) == [8]
+
+    def test_adjacent_interval(self):
+        assert _spread(4, 5, 8) == [4, 5]
+
+    def test_zero_or_negative_count_clamped(self):
+        assert _spread(1, 10, 0) == [10]
 
 
 class TestEquivalence:
@@ -90,3 +111,74 @@ class TestEquivalence:
         assert par.labels == seq.labels
         assert par.mapped.stats() == seq.mapped.stats()
         assert par.workers == 2 and seq.workers == 1
+
+
+class TestWorkerFailureRecovery:
+    """Pool breaks are absorbed; the answer never changes (acceptance)."""
+
+    RETRY = RetryPolicy(base_delay=0.0, jitter=0.0)  # no real sleeps
+
+    def _circuit(self):
+        return random_seq_circuit(3, 14, seed=1, feedback=3)
+
+    def test_injected_worker_kill_same_phi_and_labels(
+        self, tmp_path, _clean_faults
+    ):
+        circuit = self._circuit()
+        ub = min_feasible_period(circuit)
+        seq_phi, seq_out = search_min_phi(circuit, 3, ub, False)
+        # Kill whichever worker probes first; the state_dir marker makes
+        # it one-shot so the restarted pool is not re-killed forever.
+        faultinject.install(
+            FaultPlan(
+                [Fault("probe", "kill")], state_dir=str(tmp_path / "chaos")
+            )
+        )
+        budget = Budget()
+        par_phi, par_out = parallel_search_min_phi(
+            circuit, 3, ub, False, workers=2, budget=budget, retry=self.RETRY
+        )
+        assert par_phi == seq_phi
+        assert par_out[par_phi].labels == seq_out[seq_phi].labels
+        assert budget.attempts == 2  # original run + one pool restart
+        assert [e["kind"] for e in budget.events] == ["pool_restart"]
+
+    def test_sequential_fallback_after_pool_given_up(
+        self, tmp_path, _clean_faults
+    ):
+        circuit = self._circuit()
+        ub = min_feasible_period(circuit)
+        seq_phi, _ = search_min_phi(circuit, 3, ub, False)
+        # max_restarts=0: the first break exhausts the retry allowance and
+        # the search must degrade to sequential probing.
+        faultinject.install(
+            FaultPlan(
+                [Fault("probe", "kill")], state_dir=str(tmp_path / "chaos")
+            )
+        )
+        budget = Budget()
+        policy = RetryPolicy(max_restarts=0, base_delay=0.0, jitter=0.0)
+        par_phi, par_out = parallel_search_min_phi(
+            circuit, 3, ub, False, workers=2, budget=budget, retry=policy
+        )
+        assert par_phi == seq_phi
+        assert not budget.exhausted  # degraded execution, full-quality answer
+        kinds = [e["kind"] for e in budget.events]
+        assert kinds == ["pool_restart", "sequential_fallback"]
+        assert budget.attempts == 3  # pool run + failed restart + sequential
+
+    def test_repeated_kills_still_converge(self, tmp_path, _clean_faults):
+        """Two separate kills, two restarts — still the sequential answer."""
+        circuit = self._circuit()
+        ub = min_feasible_period(circuit)
+        seq_phi, _ = search_min_phi(circuit, 3, ub, False)
+        faultinject.install(
+            FaultPlan(
+                [Fault("probe", "kill", fires=2)],
+                state_dir=str(tmp_path / "chaos"),
+            )
+        )
+        par_phi, _ = parallel_search_min_phi(
+            circuit, 3, ub, False, workers=2, retry=self.RETRY
+        )
+        assert par_phi == seq_phi

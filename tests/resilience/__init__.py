@@ -1,0 +1,1 @@
+"""Tests for repro.resilience: budgets, retries, atomic writes, faults."""

@@ -1,0 +1,12 @@
+import pytest
+
+from repro.resilience import faultinject
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state(monkeypatch):
+    """Isolate the process-global fault plan (and its env hook) per test."""
+    monkeypatch.delenv(faultinject.ENV_PLAN, raising=False)
+    faultinject.reset()
+    yield
+    faultinject.clear()

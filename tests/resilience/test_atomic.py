@@ -1,0 +1,59 @@
+"""Atomic artifact writes: a crash mid-write never corrupts the old file."""
+
+import json
+import os
+
+import pytest
+
+from repro.resilience import faultinject
+from repro.resilience.atomic import atomic_write_json, atomic_write_text
+from repro.resilience.faultinject import Fault, FaultPlan, InjectedFault
+
+
+class TestAtomicWrite:
+    def test_writes_text(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        atomic_write_text(path, "hello\n")
+        assert open(path).read() == "hello\n"
+
+    def test_overwrites_existing(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        atomic_write_text(path, "old")
+        atomic_write_text(path, "new")
+        assert open(path).read() == "new"
+
+    def test_json_round_trip(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        payload = {"schema": 2, "runs": [{"phi": 3}]}
+        atomic_write_json(path, payload)
+        assert json.load(open(path)) == payload
+
+    def test_no_temp_sibling_left_behind(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        atomic_write_json(path, {"ok": True})
+        assert os.listdir(tmp_path) == ["out.json"]
+
+
+class TestCrashMidWrite:
+    def test_injected_crash_leaves_old_file_intact(self, tmp_path):
+        """The issue's acceptance check: interrupt between temp write and
+        rename — the previous artifact survives byte-for-byte and no temp
+        file leaks."""
+        path = str(tmp_path / "report.json")
+        atomic_write_json(path, {"generation": 1})
+        faultinject.install(
+            FaultPlan([Fault("artifact-write", "raise", match=path)])
+        )
+        with pytest.raises(InjectedFault):
+            atomic_write_json(path, {"generation": 2})
+        assert json.load(open(path)) == {"generation": 1}
+        assert os.listdir(tmp_path) == ["report.json"]
+
+    def test_injected_crash_on_first_write_leaves_nothing(self, tmp_path):
+        path = str(tmp_path / "fresh.json")
+        faultinject.install(
+            FaultPlan([Fault("artifact-write", "raise", match=path)])
+        )
+        with pytest.raises(InjectedFault):
+            atomic_write_json(path, {"generation": 1})
+        assert os.listdir(tmp_path) == []

@@ -1,0 +1,167 @@
+"""Fault-plan parsing, matching, firing discipline, and the env hook."""
+
+import json
+
+import pytest
+
+from repro.resilience import faultinject
+from repro.resilience.faultinject import (
+    Fault,
+    FaultPlan,
+    FaultPlanError,
+    InjectedFault,
+    fault_point,
+)
+
+
+class TestParsing:
+    def test_from_json_object(self):
+        plan = FaultPlan.from_json(
+            '{"faults": [{"site": "probe", "action": "raise"}]}'
+        )
+        assert plan.faults == [Fault("probe", "raise")]
+        assert plan.state_dir is None
+
+    def test_from_json_bare_list(self):
+        plan = FaultPlan.from_json('[{"site": "suite-cell", "action": "delay"}]')
+        assert plan.faults[0].site == "suite-cell"
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault field"):
+            FaultPlan.from_json(
+                '{"faults": [{"site": "probe", "action": "raise", "when": 3}]}'
+            )
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault action"):
+            Fault("probe", "explode")
+
+    def test_negative_counters_rejected(self):
+        with pytest.raises(FaultPlanError):
+            Fault("probe", "raise", at=-1)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(FaultPlanError, match="not valid JSON"):
+            FaultPlan.from_json("{nope")
+
+    def test_kill_requires_state_dir(self):
+        with pytest.raises(FaultPlanError, match="state_dir"):
+            FaultPlan([Fault("probe", "kill")])
+
+    def test_kill_with_state_dir_accepted(self, tmp_path):
+        plan = FaultPlan.from_json(
+            json.dumps(
+                {
+                    "state_dir": str(tmp_path),
+                    "faults": [{"site": "probe", "action": "kill"}],
+                }
+            )
+        )
+        assert plan.state_dir == str(tmp_path)
+
+    def test_from_env_file_reference(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text('{"faults": [{"site": "probe", "action": "raise"}]}')
+        plan = FaultPlan.from_env(f"@{path}")
+        assert plan.faults[0].site == "probe"
+
+
+class TestMatching:
+    def test_full_tag_match_not_prefix(self):
+        """``*:phi=5`` must not fire on phi=50 — fnmatch covers the whole
+        tag, so the paper-style small-integer tags never alias."""
+        plan = FaultPlan([Fault("probe", "raise", match="*:phi=5")])
+        plan.hit("probe", "bbara:phi=50")  # no fire
+        with pytest.raises(InjectedFault):
+            plan.hit("probe", "bbara:phi=5")
+
+    def test_site_must_match(self):
+        plan = FaultPlan([Fault("probe", "raise")])
+        plan.hit("suite-cell", "bbara:turbomap")  # different site: no fire
+
+    def test_at_skips_leading_hits(self):
+        plan = FaultPlan([Fault("probe", "raise", at=2)])
+        plan.hit("probe", "x")
+        plan.hit("probe", "x")
+        with pytest.raises(InjectedFault):
+            plan.hit("probe", "x")
+
+    def test_fires_caps_firings(self):
+        plan = FaultPlan([Fault("probe", "raise", fires=1)])
+        with pytest.raises(InjectedFault):
+            plan.hit("probe", "x")
+        plan.hit("probe", "x")  # used up: no second fire
+
+    def test_fires_zero_is_unlimited(self):
+        plan = FaultPlan([Fault("probe", "raise", fires=0)])
+        for _ in range(3):
+            with pytest.raises(InjectedFault):
+                plan.hit("probe", "x")
+
+
+class TestActions:
+    def test_raise_carries_message(self):
+        plan = FaultPlan([Fault("probe", "raise", message="boom at phi")])
+        with pytest.raises(InjectedFault, match="boom at phi"):
+            plan.hit("probe", "x")
+
+    def test_interrupt_simulates_ctrl_c(self):
+        plan = FaultPlan([Fault("suite-cell", "interrupt")])
+        with pytest.raises(KeyboardInterrupt):
+            plan.hit("suite-cell", "x")
+
+    def test_delay_returns(self):
+        plan = FaultPlan([Fault("probe", "delay", seconds=0.0)])
+        plan.hit("probe", "x")  # completes without raising
+
+
+class TestStateDir:
+    def test_one_shot_survives_plan_reload(self, tmp_path):
+        """Two plan instances sharing a state_dir model a killed worker
+        and its replacement after a pool restart: the marker claimed by
+        the first firing must suppress the second."""
+        spec = {"state_dir": str(tmp_path),
+                "faults": [{"site": "probe", "action": "raise"}]}
+        first = FaultPlan.from_json(json.dumps(spec))
+        with pytest.raises(InjectedFault):
+            first.hit("probe", "x")
+        reloaded = FaultPlan.from_json(json.dumps(spec))
+        reloaded.hit("probe", "x")  # marker on disk: no second fire
+
+    def test_fires_n_claims_n_markers(self, tmp_path):
+        plan = FaultPlan(
+            [Fault("probe", "raise", fires=2)], state_dir=str(tmp_path)
+        )
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                plan.hit("probe", "x")
+        plan.hit("probe", "x")  # both slots claimed
+
+
+class TestGlobalHook:
+    def test_fault_point_noop_without_plan(self):
+        fault_point("probe", tag="anything")  # must not raise
+
+    def test_install_and_clear(self):
+        faultinject.install(FaultPlan([Fault("probe", "raise")]))
+        with pytest.raises(InjectedFault):
+            fault_point("probe", tag="x")
+        faultinject.clear()
+        fault_point("probe", tag="x")
+
+    def test_env_hook_loads_lazily(self, monkeypatch):
+        monkeypatch.setenv(
+            faultinject.ENV_PLAN,
+            '{"faults": [{"site": "probe", "action": "raise"}]}',
+        )
+        faultinject.reset()
+        with pytest.raises(InjectedFault):
+            fault_point("probe", tag="x")
+
+    def test_clear_suppresses_env_hook(self, monkeypatch):
+        monkeypatch.setenv(
+            faultinject.ENV_PLAN,
+            '{"faults": [{"site": "probe", "action": "raise"}]}',
+        )
+        faultinject.clear()
+        fault_point("probe", tag="x")  # env ignored after clear()

@@ -1,0 +1,49 @@
+"""Deterministic backoff: same policy, same delays — always."""
+
+import pytest
+
+from repro.resilience.retry import RetryPolicy, _mix64
+
+
+class TestDelay:
+    def test_deterministic_across_instances(self):
+        a = RetryPolicy(seed=7)
+        b = RetryPolicy(seed=7)
+        assert [a.delay(i) for i in range(1, 6)] == [
+            b.delay(i) for i in range(1, 6)
+        ]
+
+    def test_jitter_stays_in_band(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=10.0, jitter=0.25)
+        for attempt in range(1, 8):
+            raw = min(10.0, 0.1 * 2.0 ** (attempt - 1))
+            delay = policy.delay(attempt)
+            assert raw * 0.75 <= delay < raw * 1.25
+
+    def test_no_jitter_is_exact_doubling(self):
+        policy = RetryPolicy(base_delay=0.05, max_delay=1.0, jitter=0.0)
+        assert policy.delay(1) == pytest.approx(0.05)
+        assert policy.delay(2) == pytest.approx(0.10)
+        assert policy.delay(3) == pytest.approx(0.20)
+
+    def test_capped_at_max_delay(self):
+        policy = RetryPolicy(base_delay=0.5, max_delay=2.0, jitter=0.0)
+        assert policy.delay(10) == pytest.approx(2.0)
+
+    def test_seed_changes_jitter(self):
+        a = RetryPolicy(seed=0)
+        b = RetryPolicy(seed=1)
+        assert a.delay(1) != b.delay(1)
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0)
+
+
+class TestMix64:
+    def test_stable_and_64_bit(self):
+        assert _mix64(0, 1) == _mix64(0, 1)
+        assert 0 <= _mix64(123, 456) < (1 << 64)
+
+    def test_order_sensitive(self):
+        assert _mix64(1, 2) != _mix64(2, 1)

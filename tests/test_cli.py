@@ -38,6 +38,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["map", "x.blif", "--algo", "magic"])
 
+    def test_budget_flags(self):
+        args = build_parser().parse_args(
+            ["map", "x.blif", "--timeout", "5", "--probe-timeout", "0.5"]
+        )
+        assert args.timeout == 5.0
+        assert args.probe_timeout == 0.5
+        args = build_parser().parse_args(["suite", "--timeout", "30"])
+        assert args.timeout == 30.0 and args.probe_timeout is None
+
+    def test_suite_circuit_and_resume_flags(self):
+        args = build_parser().parse_args(
+            ["suite", "--circuit", "bbara", "--circuit", "dk16",
+             "--resume", "ck.json"]
+        )
+        assert args.circuit == ["bbara", "dk16"]
+        assert args.resume == "ck.json"
+
 
 class TestCommands:
     def test_stats(self, small_blif, capsys):
@@ -136,3 +153,91 @@ class TestCommands:
         text = open(out).read()
         assert text.startswith("module")
         assert "endmodule" in text
+
+
+@pytest.fixture
+def _clean_faults():
+    from repro.resilience import faultinject
+
+    faultinject.reset()
+    yield
+    faultinject.clear()
+
+
+class TestSuiteResilienceCli:
+    """suite: fault boundary, checkpoint on Ctrl-C (exit 130), resume."""
+
+    ARGS = [
+        "suite", "--circuit", "bbara",
+        "--algo", "flowsyn-s", "--algo", "turbomap", "--no-check",
+    ]
+
+    def _install(self, site_match, action):
+        from repro.resilience import faultinject
+        from repro.resilience.faultinject import Fault, FaultPlan
+
+        faultinject.install(
+            FaultPlan([Fault("suite-cell", action, match=site_match)])
+        )
+
+    def test_cell_failure_exits_one_with_complete_report(
+        self, tmp_path, capsys, _clean_faults
+    ):
+        import json
+
+        report = str(tmp_path / "r.json")
+        self._install("bbara:turbomap", "raise")
+        assert main(self.ARGS + ["--report", report]) == 1
+        captured = capsys.readouterr()
+        assert "ERR:InjectedFault" in captured.out
+        assert "--resume" in captured.err
+        persisted = json.load(open(report))
+        assert len(persisted["runs"]) == 1
+        (err,) = persisted["errors"]
+        assert err["error"] == "InjectedFault"
+
+    def test_interrupt_exits_130_with_flushed_checkpoint(
+        self, tmp_path, capsys, _clean_faults
+    ):
+        import json
+
+        report = str(tmp_path / "r.json")
+        self._install("bbara:turbomap", "interrupt")
+        assert main(self.ARGS + ["--report", report]) == 130
+        assert "interrupted" in capsys.readouterr().err
+        persisted = json.load(open(report))
+        assert [
+            (r["circuit"], r["algorithm"]) for r in persisted["runs"]
+        ] == [("bbara", "flowsyn-s")]
+
+    def test_resume_completes_only_missing_cells(
+        self, tmp_path, capsys, _clean_faults
+    ):
+        import json
+
+        first = str(tmp_path / "first.json")
+        self._install("bbara:turbomap", "raise")
+        assert main(self.ARGS + ["--report", first]) == 1
+
+        from repro.resilience import faultinject
+
+        faultinject.clear()
+        capsys.readouterr()
+        second = str(tmp_path / "second.json")
+        code = main(self.ARGS + ["--resume", first, "--report", second])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cached" in out  # flowsyn-s cell reused, not re-run
+        persisted = json.load(open(second))
+        assert len(persisted["runs"]) == 2
+        assert persisted["errors"] == []
+
+    def test_bad_resume_file_exits_two(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert main(self.ARGS + ["--resume", missing]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_circuit_exits_two(self, capsys):
+        code = main(["suite", "--circuit", "bogus", "--algo", "flowsyn-s"])
+        assert code == 2
+        assert "valid suite names" in capsys.readouterr().err
