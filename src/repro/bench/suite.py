@@ -131,6 +131,9 @@ def run_suite_report(
     checkpoint: Optional[str] = None,
     resume: Optional[dict] = None,
     on_cell: Optional[CellCallback] = None,
+    engine: str = "worklist",
+    warm_start: bool = True,
+    max_copies: Optional[int] = None,
 ) -> dict:
     """Run mappers over suite circuits and return a JSON-able perf report.
 
@@ -151,9 +154,14 @@ def run_suite_report(
     flight.  ``resume`` takes a previously written report (as returned
     by :func:`repro.perf.report.load_report`): its successful runs are
     kept verbatim and skipped; errored or missing cells are re-run.
+    ``engine``, ``warm_start`` and ``max_copies`` configure the label
+    engine of the phi-searching mappers (TurboMap / TurboSYN); they are
+    recorded in the report envelope so the counter-based regression gate
+    (:mod:`repro.perf.check`) only compares like with like.
     """
     import time
 
+    from repro.core.expanded import DEFAULT_MAX_COPIES
     from repro.core.flowsyn_s import flowsyn_s
     from repro.core.turbomap import turbomap
     from repro.core.turbosyn import turbosyn
@@ -161,13 +169,16 @@ def run_suite_report(
     from repro.resilience.budget import Budget
     from repro.resilience.faultinject import fault_point
 
+    copies = DEFAULT_MAX_COPIES if max_copies is None else max_copies
     runners = {
         "flowsyn-s": lambda c, b: flowsyn_s(c, k, check=check),
         "turbomap": lambda c, b: turbomap(
-            c, k, workers=workers, check=check, budget=b
+            c, k, workers=workers, check=check, budget=b,
+            engine=engine, warm_start=warm_start, max_copies=copies,
         ),
         "turbosyn": lambda c, b: turbosyn(
-            c, k, workers=workers, check=check, budget=b
+            c, k, workers=workers, check=check, budget=b,
+            engine=engine, warm_start=warm_start, max_copies=copies,
         ),
     }
     selected_algos = list(algorithms)
@@ -184,7 +195,8 @@ def run_suite_report(
         if path is not None:
             perf_report.write_report(
                 perf_report.suite_report(
-                    runs, k=k, workers=workers, errors=errors
+                    runs, k=k, workers=workers, errors=errors,
+                    engine=engine, warm_start=warm_start,
                 ),
                 path,
             )
@@ -237,7 +249,10 @@ def run_suite_report(
                 if on_cell is not None:
                     on_cell(name, algo, None, err, seconds, False)
             flush(checkpoint)
-    report = perf_report.suite_report(runs, k=k, workers=workers, errors=errors)
+    report = perf_report.suite_report(
+        runs, k=k, workers=workers, errors=errors,
+        engine=engine, warm_start=warm_start,
+    )
     flush(checkpoint)
     return report
 

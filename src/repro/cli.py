@@ -36,7 +36,9 @@ import time
 from typing import List, Optional
 
 from repro.bench import suite as bench_suite
+from repro.core.expanded import DEFAULT_MAX_COPIES
 from repro.core.flowsyn_s import flowsyn_s
+from repro.core.labels import ENGINES
 from repro.core.turbomap import turbomap
 from repro.core.turbosyn import turbosyn
 from repro.netlist.blif import read_blif_file, write_blif_file
@@ -46,13 +48,13 @@ from repro.retime.mdr import mdr_ratio, min_feasible_period
 from repro.retime.pipeline import pipeline_and_retime
 
 _ALGOS = {
-    "turbosyn": lambda c, k, w, chk, b: turbosyn(
-        c, k, workers=w, check=chk, budget=b
+    "turbosyn": lambda c, k, w, chk, b, eng: turbosyn(
+        c, k, workers=w, check=chk, budget=b, **eng
     ),
-    "turbomap": lambda c, k, w, chk, b: turbomap(
-        c, k, workers=w, check=chk, budget=b
+    "turbomap": lambda c, k, w, chk, b, eng: turbomap(
+        c, k, workers=w, check=chk, budget=b, **eng
     ),
-    "flowsyn-s": lambda c, k, w, chk, b: flowsyn_s(c, k, check=chk),
+    "flowsyn-s": lambda c, k, w, chk, b, eng: flowsyn_s(c, k, check=chk),
 }
 
 
@@ -80,11 +82,57 @@ def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _write_run_report(path: str, runs: list, k: int, workers: int, kind: str) -> None:
+def _engine_kwargs(args: argparse.Namespace) -> dict:
+    """Label-engine keyword arguments from ``--engine`` and friends."""
+    return {
+        "engine": args.engine,
+        "warm_start": not args.cold_start,
+        "max_copies": args.max_copies,
+    }
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="worklist",
+        help="label engine: event-driven worklist (default) or the "
+        "classical round-robin sweep (identical results, for "
+        "benchmarking)",
+    )
+    parser.add_argument(
+        "--cold-start",
+        action="store_true",
+        help="disable cross-probe warm starts (seed every phi probe "
+        "from scratch instead of the nearest feasible cached labels)",
+    )
+    parser.add_argument(
+        "--max-copies",
+        type=int,
+        default=DEFAULT_MAX_COPIES,
+        metavar="N",
+        help="safety bound on the partial-expansion size per flow query "
+        f"(default {DEFAULT_MAX_COPIES})",
+    )
+
+
+def _write_run_report(
+    path: str,
+    runs: list,
+    k: int,
+    workers: int,
+    kind: str,
+    engine: str = "worklist",
+    warm_start: bool = True,
+) -> None:
     from repro.perf import report as perf_report
 
     perf_report.write_report(
-        perf_report.suite_report(runs, k=k, workers=workers, kind=kind), path
+        perf_report.suite_report(
+            runs, k=k, workers=workers, kind=kind,
+            engine=engine, warm_start=warm_start,
+        ),
+        path,
     )
     print(f"wrote report {path}")
 
@@ -101,7 +149,8 @@ def _cmd_map(args: argparse.Namespace) -> int:
     t0 = time.perf_counter()
     try:
         result = _ALGOS[args.algo](
-            circuit, args.k, args.workers, not args.no_check, _budget_from(args)
+            circuit, args.k, args.workers, not args.no_check,
+            _budget_from(args), _engine_kwargs(args),
         )
     except BudgetExhausted as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -122,7 +171,10 @@ def _cmd_map(args: argparse.Namespace) -> int:
         from repro.perf import report as perf_report
 
         run = perf_report.mapper_run(result, circuit, seconds=elapsed)
-        _write_run_report(args.report, [run], args.k, args.workers, kind="map")
+        _write_run_report(
+            args.report, [run], args.k, args.workers, kind="map",
+            engine=args.engine, warm_start=not args.cold_start,
+        )
     final = result.mapped
     if args.retime:
         pipe = pipeline_and_retime(final)
@@ -243,6 +295,9 @@ def _cmd_suite(args: argparse.Namespace) -> int:
             checkpoint=args.report,
             resume=resume,
             on_cell=on_cell,
+            engine=args.engine,
+            warm_start=not args.cold_start,
+            max_copies=args.max_copies,
         )
     except ValueError as exc:  # unknown benchmark or algorithm name
         flush_row()
@@ -352,6 +407,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip post-mapping invariant verification (repro.analysis)",
     )
     _add_budget_arguments(p_map)
+    _add_engine_arguments(p_map)
     p_map.set_defaults(func=_cmd_map)
 
     p_stats = sub.add_parser("stats", help="show retiming-graph statistics")
@@ -408,6 +464,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip post-mapping invariant verification (repro.analysis)",
     )
     _add_budget_arguments(p_suite)
+    _add_engine_arguments(p_suite)
     p_suite.set_defaults(func=_cmd_suite)
 
     p_verify = sub.add_parser("verify", help="equivalence-check two BLIFs")

@@ -31,15 +31,33 @@ class FlowNetwork:
         self._to: List[int] = []
         self._cap: List[int] = []
         self._adj: List[List[int]] = []
+        # Recycled per-node adjacency lists (see reset): cleared lists are
+        # cheaper to hand back out than freshly allocated ones.
+        self._adj_pool: List[List[int]] = []
+
+    def reset(self) -> None:
+        """Empty the network in place, keeping allocations for reuse.
+
+        Per-node adjacency lists are cleared and parked in a pool that
+        :meth:`add_node` draws from, so a solver running thousands of
+        flow queries recycles one arena instead of reallocating a fresh
+        network per query.
+        """
+        self._to.clear()
+        self._cap.clear()
+        while self._adj:
+            lst = self._adj.pop()
+            lst.clear()
+            self._adj_pool.append(lst)
 
     def add_node(self) -> int:
-        self._adj.append([])
+        self._adj.append(self._adj_pool.pop() if self._adj_pool else [])
         return len(self._adj) - 1
 
     def add_nodes(self, count: int) -> range:
         start = len(self._adj)
         for _ in range(count):
-            self._adj.append([])
+            self._adj.append(self._adj_pool.pop() if self._adj_pool else [])
         return range(start, start + count)
 
     @property
@@ -142,6 +160,15 @@ class SplitNetwork:
         self.inp: Dict[object, int] = {}
         self.out: Dict[object, int] = {}
         self.split_edge: Dict[object, int] = {}
+
+    def reset(self) -> None:
+        """Empty the network in place for reuse by the next cut query."""
+        self.net.reset()
+        self.source = self.net.add_node()
+        self.sink = self.net.add_node()
+        self.inp.clear()
+        self.out.clear()
+        self.split_edge.clear()
 
     def add_dag_node(self, x: object, cuttable: bool = True) -> None:
         """Register DAG node ``x``; ``cuttable`` nodes get a unit split edge."""

@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set
+from typing import Dict, List, Optional, Set
 
+from repro.core.expanded import DEFAULT_MAX_COPIES
 from repro.core.labels import LabelOutcome, LabelSolver, LabelStats, ResynHook
 from repro.core.mapping import Realization, generate_mapping
 from repro.core.seqdecomp import DEFAULT_CMAX, find_seq_resynthesis
@@ -87,9 +88,19 @@ class SeqMapResult:
 
 
 def make_resyn_hook(cmax: int = DEFAULT_CMAX) -> ResynHook:
-    """A TurboSYN resynthesis hook bound to a ``Cmax`` input budget."""
+    """A TurboSYN resynthesis hook bound to a ``Cmax`` input budget.
+
+    The hook runs right after a failed K-cut check at threshold
+    ``big_l``, so the solver's cached partial expansion for ``(v,
+    big_l)`` is still valid — it is handed to the resynthesis search,
+    whose first (``h = 0``) min-cut query would otherwise rebuild the
+    identical expansion.
+    """
 
     def hook(solver: LabelSolver, v: int, big_l: int) -> bool:
+        expansion = solver.expansion_for(v, big_l)
+        if expansion is not None:
+            solver.stats.expansions_reused += 1
         entry = find_seq_resynthesis(
             solver.circuit,
             v,
@@ -99,10 +110,31 @@ def make_resyn_hook(cmax: int = DEFAULT_CMAX) -> ResynHook:
             solver.k,
             cmax,
             solver.extra_depth,
+            first_expansion=expansion,
         )
         return entry is not None
 
     return hook
+
+
+def nearest_warm_seed(
+    outcomes: Dict[int, LabelOutcome], phi: int
+) -> Optional[List[int]]:
+    """Labels of the nearest feasible cached outcome at a period above
+    ``phi``, or ``None``.
+
+    Labels are antitone in phi (a smaller target period can only raise
+    them), so a *converged* label set at ``phi2 > phi`` is a valid lower
+    bound for the probe at ``phi`` — the descending binary search seeds
+    each probe from the tightest such outcome instead of cold-starting
+    every gate at ``l = 1``.
+    """
+    best: Optional[int] = None
+    for cached_phi, outcome in outcomes.items():
+        if cached_phi > phi and outcome.feasible:
+            if best is None or cached_phi < best:
+                best = cached_phi
+    return outcomes[best].labels if best is not None else None
 
 
 def probe_phi(
@@ -115,6 +147,9 @@ def probe_phi(
     extra_depth: int = 0,
     io_constrained: bool = False,
     timeout: Optional[float] = None,
+    engine: str = "worklist",
+    seed_labels: Optional[List[int]] = None,
+    max_copies: int = DEFAULT_MAX_COPIES,
 ) -> LabelOutcome:
     """One feasibility query: run the label computation at ``phi``.
 
@@ -122,6 +157,10 @@ def probe_phi(
     ``timeout`` (seconds, measured from the start of this call) bounds
     the label computation cooperatively; on expiry
     :class:`ProbeTimeout` is raised in whichever process runs the probe.
+    ``seed_labels`` warm-starts the solver from a converged label set of
+    a larger period (see :func:`nearest_warm_seed`); ``engine`` selects
+    the worklist or round-robin label engine and ``max_copies`` bounds
+    each partial expansion.
     """
     fault_point("probe", tag=f"{circuit.name}:phi={phi}")
     deadline = time.monotonic() + timeout if timeout is not None else None
@@ -135,6 +174,9 @@ def probe_phi(
         extra_depth=extra_depth,
         io_constrained=io_constrained,
         deadline=deadline,
+        engine=engine,
+        seed_labels=seed_labels,
+        max_copies=max_copies,
     )
     return solver.run()
 
@@ -172,6 +214,9 @@ def search_min_phi(
     io_constrained: bool = False,
     budget: Optional[Budget] = None,
     outcomes: Optional[Dict[int, LabelOutcome]] = None,
+    engine: str = "worklist",
+    warm_start: bool = True,
+    max_copies: int = DEFAULT_MAX_COPIES,
 ) -> "tuple[int, Dict[int, LabelOutcome]]":
     """Binary search the minimum feasible integer ``phi``.
 
@@ -188,6 +233,12 @@ def search_min_phi(
     ``outcomes`` seeds the probe cache (used by the parallel search's
     sequential fallback so completed probes are never re-run); it is
     mutated in place and returned.
+
+    ``warm_start`` (default on) seeds every probe from the nearest
+    feasible cached outcome at a larger period — labels are antitone in
+    phi, so those labels are valid lower bounds and the probe skips the
+    raises a cold start would recompute.  The returned ``phi_min`` and
+    its labels are identical either way; only the per-probe work drops.
     """
     ensure_mappable(circuit, k)
     if budget is not None:
@@ -201,6 +252,7 @@ def search_min_phi(
         # upper bound after it proved infeasible).
         if phi not in outcomes:
             allowance = budget.begin_probe() if budget is not None else None
+            seed = nearest_warm_seed(outcomes, phi) if warm_start else None
             outcomes[phi] = probe_phi(
                 circuit,
                 k,
@@ -211,6 +263,9 @@ def search_min_phi(
                 extra_depth=extra_depth,
                 io_constrained=io_constrained,
                 timeout=allowance,
+                engine=engine,
+                seed_labels=seed,
+                max_copies=max_copies,
             )
         return outcomes[phi].feasible
 
@@ -290,6 +345,9 @@ def run_mapper(
     workers: int = 1,
     check: bool = True,
     budget: Optional[Budget] = None,
+    engine: str = "worklist",
+    warm_start: bool = True,
+    max_copies: int = DEFAULT_MAX_COPIES,
 ) -> SeqMapResult:
     """Full mapper pipeline: search ``phi``, regenerate the mapping.
 
@@ -308,6 +366,11 @@ def run_mapper(
     the paper's invariants with :func:`verify_result` and attaches the
     certificate; pass ``check=False`` to opt out (e.g. in tight inner
     benchmark loops).
+
+    ``engine`` selects the label engine (``"worklist"`` event-driven,
+    ``"rounds"`` classical sweep), ``warm_start`` toggles cross-probe
+    label seeding and ``max_copies`` bounds each partial expansion —
+    all three leave ``phi`` and the labels bit-identical.
     """
     ub = upper_bound if upper_bound is not None else min_feasible_period(circuit)
     if budget is None:
@@ -329,6 +392,9 @@ def run_mapper(
             extra_depth=extra_depth,
             io_constrained=io_constrained,
             budget=budget,
+            engine=engine,
+            warm_start=warm_start,
+            max_copies=max_copies,
         )
     else:
         phi, outcomes = search_min_phi(
@@ -341,6 +407,9 @@ def run_mapper(
             extra_depth=extra_depth,
             io_constrained=io_constrained,
             budget=budget,
+            engine=engine,
+            warm_start=warm_start,
+            max_copies=max_copies,
         )
     t_search = time.perf_counter() - t0
     labels = outcomes[phi].labels

@@ -40,6 +40,28 @@ from repro.netlist.graph import NodeKind, SeqCircuit
 #: A copy of circuit node ``u`` delayed by ``w`` registers.
 Copy = Tuple[int, int]
 
+#: Default safety bound on the partial-expansion size; override per query
+#: (or from :class:`repro.core.labels.LabelSolver` / the CLI
+#: ``--max-copies`` flag) for unusually deep circuits.
+DEFAULT_MAX_COPIES = 200_000
+
+
+class ExpansionOverflow(RuntimeError):
+    """A partial expansion exceeded its ``max_copies`` safety bound.
+
+    Carries the offending root node's name and the limit that was hit so
+    callers (and their error reports) can point at the node instead of a
+    bare message.
+    """
+
+    def __init__(self, node_name: str, max_copies: int) -> None:
+        super().__init__(
+            f"expanded circuit for {node_name!r} exceeds {max_copies} "
+            "copies; raise max_copies if the circuit is genuinely this deep"
+        )
+        self.node_name = node_name
+        self.max_copies = max_copies
+
 
 @dataclass
 class PartialExpansion:
@@ -83,7 +105,7 @@ def expand_partial(
     height_of: Callable[[int, int], int],
     threshold: int,
     extra_depth: int = 0,
-    max_copies: int = 200_000,
+    max_copies: int = DEFAULT_MAX_COPIES,
 ) -> PartialExpansion:
     """Partial expansion of ``E_v`` for a cut-height query.
 
@@ -92,6 +114,15 @@ def expand_partial(
     interior; gate copies with height in ``(threshold - extra_depth*phi,
     threshold]`` are expandable candidates; everything at or below that
     floor (and every PI copy at or below the threshold) is a leaf.
+
+    A gate with repeated identical fanin pins (the same driver wired to
+    several inputs through the same register count) contributes one
+    expansion edge per *distinct* pin, so the edge list never carries
+    duplicate ``(child, parent)`` pairs — duplicates would become
+    redundant parallel unit edges in the downstream flow network.
+
+    Raises :class:`ExpansionOverflow` when the expansion exceeds
+    ``max_copies`` copies.
     """
     if circuit.kind(v) is not NodeKind.GATE:
         raise ValueError("expanded circuits are rooted at gates")
@@ -102,14 +133,22 @@ def expand_partial(
     seen[(v, 0)] = "interior"
     result.interior.append((v, 0))
     count = 1
+    fanin_pairs = circuit.fanin_pairs()
+    kinds = [circuit.kind(u) for u in circuit.node_ids()]
+    dedup: Dict[int, List[Tuple[int, int]]] = {}
     while stack:
         u, w = stack.pop()
-        for pin in circuit.fanins(u):
-            child: Copy = (pin.src, w + pin.weight)
-            kind = circuit.kind(pin.src)
+        pins = dedup.get(u)
+        if pins is None:
+            raw = fanin_pairs[u]
+            pins = list(dict.fromkeys(raw)) if len(raw) > 1 else raw
+            dedup[u] = pins
+        for src, pin_w in pins:
+            child: Copy = (src, w + pin_w)
             tier = seen.get(child)
             if tier is None:
-                height = height_of(*child)
+                height = height_of(src, child[1])
+                kind = kinds[src]
                 if height > threshold:
                     if kind is NodeKind.PI:
                         result.blocked = True
@@ -121,10 +160,7 @@ def expand_partial(
                     tier = "leaf"
                 count += 1
                 if count > max_copies:
-                    raise RuntimeError(
-                        f"expanded circuit for {circuit.name_of(v)!r} "
-                        f"exceeds {max_copies} copies"
-                    )
+                    raise ExpansionOverflow(circuit.name_of(v), max_copies)
                 seen[child] = tier
                 if tier == "interior":
                     result.interior.append(child)

@@ -50,14 +50,28 @@ def find_height_cut(
 
 
 def cut_on_expansion(
-    expansion: PartialExpansion, max_cut: int
+    expansion: PartialExpansion,
+    max_cut: int,
+    arena: Optional[SplitNetwork] = None,
 ) -> Optional[List[Copy]]:
-    """Run the bounded flow on a prepared partial expansion."""
+    """Run the bounded flow on a prepared partial expansion.
+
+    ``arena`` recycles a caller-owned :class:`SplitNetwork` (reset in
+    place) instead of allocating a fresh one — the label solver reuses
+    one arena across all of its flow queries.
+    """
     if expansion.blocked:
         return None
+    assert len(expansion.edges) == len(set(expansion.edges)), (
+        "partial expansion carries duplicate (child, parent) edges"
+    )
     if not expansion.leaves and not expansion.candidates:
         return []  # the cone closes on constant generators: zero inputs
-    net = SplitNetwork()
+    if arena is None:
+        net = SplitNetwork()
+    else:
+        net = arena
+        net.reset()
     for copy in expansion.interior:
         net.add_dag_node(copy, cuttable=False)
         net.attach_sink(copy)

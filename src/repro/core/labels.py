@@ -28,22 +28,58 @@ Two mechanisms bound the iteration, reproducing the paper's Section 4:
   transitively from outside the SCC (or by the trivial bound
   ``l(v) <= 1``).
 
+Two execution engines implement the per-SCC iteration:
+
+* ``engine="worklist"`` (the default) is *event-driven*: only gates made
+  dirty by an actual label rise are re-updated.  When ``l(u)`` rises,
+  the gates ``v`` with an edge ``e(u, v)`` and the gates whose last flow
+  query read ``u``'s label (tracked by a reverse cone index) are
+  enqueued; everything else provably cannot change (labels are monotone
+  and a K-cut at an unchanged threshold over unchanged heights is
+  memoized).  Queue drains are grouped into *epochs* that mirror the
+  round-robin rounds exactly — a change made at topological position
+  ``p`` cascades to later positions within the same epoch and to earlier
+  positions in the next — so the ``6n``-round PLD accounting of
+  Theorem 2 carries over with epochs counted as rounds, and the engines
+  agree label-for-label.
+* ``engine="rounds"`` is the classical full round-robin sweep, kept for
+  differential testing and the engine benchmark.
+
 A per-node memo keyed on the labels actually read by the last flow query
-skips unchanged re-checks, which is what makes whole-suite runs practical
-in Python.
+skips unchanged re-checks; the solver additionally retains the partial
+expansion behind each memo entry (so the resynthesis hook can reuse it
+at the same threshold, see :meth:`LabelSolver.expansion_for`) and
+recycles a single :class:`~repro.comb.maxflow.SplitNetwork` arena across
+all of its flow queries.
+
+Cross-probe warm starts: labels are *antitone in phi* — a converged
+label set at ``phi2`` is a valid lower bound at any ``phi1 < phi2`` — so
+a solver may be seeded from a previously converged run at a larger
+period (``seed_labels``), skipping every label raise the cold start
+would have recomputed.  ``LabelStats.warm_seeded`` / ``warm_savings``
+record the seeding.
 """
 
 from __future__ import annotations
 
+import heapq
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Set
+from typing import Callable, List, Optional, Sequence, Set, Tuple
 
-from repro.core.expanded import expand_partial
+from repro.comb.maxflow import SplitNetwork
+from repro.core.expanded import (
+    DEFAULT_MAX_COPIES,
+    PartialExpansion,
+    expand_partial,
+)
 from repro.core.kcut import cut_on_expansion
 from repro.core.pld import grounded_members
 from repro.netlist.graph import NodeKind, SeqCircuit
 from repro.resilience.budget import ProbeTimeout
+
+#: Valid values of :class:`LabelSolver`'s ``engine`` parameter.
+ENGINES = ("worklist", "rounds")
 
 
 @dataclass
@@ -54,7 +90,10 @@ class LabelStats:
     label computation (the run telemetry serialized by
     :mod:`repro.perf.report`): total run time, expanded-circuit
     construction, max-flow cut queries, and positive-loop-detection
-    checks.
+    checks.  ``warm_seeded`` counts runs seeded from a converged
+    larger-phi label set, ``warm_savings`` the total label raises such
+    seeds skipped, and ``expansions_reused`` the partial expansions the
+    resynthesis hook reused instead of rebuilding.
     """
 
     rounds: int = 0
@@ -64,6 +103,9 @@ class LabelStats:
     pld_checks: int = 0
     resyn_calls: int = 0
     resyn_wins: int = 0
+    warm_seeded: int = 0
+    warm_savings: int = 0
+    expansions_reused: int = 0
     t_total: float = 0.0
     t_expand: float = 0.0
     t_flow: float = 0.0
@@ -78,6 +120,9 @@ class LabelStats:
         self.pld_checks += other.pld_checks
         self.resyn_calls += other.resyn_calls
         self.resyn_wins += other.resyn_wins
+        self.warm_seeded += other.warm_seeded
+        self.warm_savings += other.warm_savings
+        self.expansions_reused += other.expansions_reused
         self.t_total += other.t_total
         self.t_expand += other.t_expand
         self.t_flow += other.t_flow
@@ -122,15 +167,25 @@ class LabelSolver:
         extra_depth: int = 0,
         io_constrained: bool = False,
         deadline: Optional[float] = None,
+        engine: str = "worklist",
+        seed_labels: Optional[Sequence[int]] = None,
+        max_copies: int = DEFAULT_MAX_COPIES,
     ) -> None:
         if phi < 1:
             raise ValueError("target clock period must be at least 1")
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown label engine {engine!r}; valid engines: "
+                + ", ".join(ENGINES)
+            )
         self.circuit = circuit
         self.k = k
         self.phi = phi
         self.resyn_hook = resyn_hook
         self.pld = pld
         self.extra_depth = extra_depth
+        self.engine = engine
+        self.max_copies = max_copies
         #: Absolute ``time.monotonic()`` value by which the run must
         #: finish; checked cooperatively once per label round, raising
         #: :class:`repro.resilience.budget.ProbeTimeout` on expiry.
@@ -145,32 +200,140 @@ class LabelSolver:
         self.labels: List[int] = [0] * n
         for g in circuit.gates:
             self.labels[g] = 1
+        if seed_labels is not None:
+            if len(seed_labels) != n:
+                raise ValueError(
+                    f"seed label vector has {len(seed_labels)} entries "
+                    f"for a {n}-node circuit"
+                )
+            savings = 0
+            for g in circuit.gates:
+                seed = seed_labels[g]
+                if seed > 1:
+                    self.labels[g] = seed
+                    savings += seed - 1
+            self.stats.warm_seeded = 1
+            self.stats.warm_savings = savings
         # Memoization: when a node's label last changed, and per node the
-        # set of nodes its last flow query looked at.
+        # set of nodes its last flow query looked at (plus the expansion
+        # itself, for reuse by the resynthesis hook at the same
+        # threshold).
         self._change_stamp: List[int] = [0] * n
         self._clock = 0
         self._check_stamp: List[int] = [-1] * n
         self._check_l: List[Optional[int]] = [None] * n
         self._check_result: List[Optional[bool]] = [None] * n
         self._check_cone: List[Optional[List[int]]] = [None] * n
+        self._check_expansion: List[Optional[PartialExpansion]] = [None] * n
+        # Worklist memo guards: per gate, cone member -> the largest
+        # label under which the member's frontier copies keep their tier
+        # (candidate: height <= threshold; gate leaf: height <= floor).
+        # While every member stays at or under its cap the expansion
+        # structure — and therefore the flow verdict — is provably
+        # unchanged, so the memo survives benign label rises that the
+        # classical any-change invalidation would flush.  ``{}`` marks a
+        # blocked expansion (permanently blocked at this threshold: PI
+        # heights never change).  The rounds engine keeps the classical
+        # stamp-based invalidation as the faithful baseline.
+        self._check_guard: List[Optional[dict]] = [None] * n
+        # Last witnessing K-cut per gate (worklist only).  A cut is a
+        # structural separator of the unrolled cone, so it certifies
+        # feasibility at any later threshold its member heights still
+        # satisfy -- even after the guard above has expired.
+        self._check_cut: List[Optional[list]] = [None] * n
+        # Reverse cone index: node u -> gates whose verdict could flip
+        # when l(u) crosses their guard cap.  Drives the event-driven
+        # worklist: a rise of l(u) can only affect fanout gates and
+        # these guarded dependents.
+        self._cone_index: List[Set[int]] = [set() for _ in range(n)]
+        # big_l computed by each gate's most recent update.  A fanout
+        # rise whose contribution l(u) - phi*w stays at or below this
+        # value cannot change the gate's fanin maximum, so the worklist
+        # skips the re-update unless the riser also sits in the gate's
+        # memo cone (which the cone index covers separately).
+        self._last_big_l: List[int] = [-(1 << 60)] * n
+        # Gates whose label is currently justified by a resynthesis win.
+        # The decomposition reads labels in cones *deeper* than the
+        # recorded K-cut cone (min-cuts below the threshold, cut-input
+        # arrival times), which the cone index does not cover — so the
+        # worklist conservatively re-enqueues every such gate after any
+        # in-SCC label rise (upstream SCCs are already frozen).
+        self._resyn_dep: Set[int] = set()
+        # One flow-network arena recycled across every cut query.
+        self._flow_arena = SplitNetwork()
 
     # ------------------------------------------------------------------
     def height_of(self, u: int, w: int) -> int:
         """Height contribution ``l(u) - phi*w + 1`` of copy ``u^w``."""
         return self.labels[u] - self.phi * w + 1
 
+    def _memo_valid(self, v: int, threshold: int) -> bool:
+        """True when the last flow query of ``v`` still answers
+        ``threshold``.
+
+        The worklist engine proves this structurally — same threshold
+        and every guarded cone member still at or under its tier cap
+        (see ``_check_guard``) — so benign rises keep the memo alive.
+        The rounds engine uses the classical invalidation: same
+        threshold and no cone member changed since the query.
+        """
+        if self._check_l[v] != threshold:
+            return False
+        if self.engine == "worklist":
+            guard = self._check_guard[v]
+            if guard is None:
+                return False
+            labels = self.labels
+            return all(labels[u] <= cap for u, cap in guard.items())
+        cone = self._check_cone[v]
+        if cone is None:
+            return False
+        stamp = self._check_stamp[v]
+        change = self._change_stamp
+        return all(change[u] <= stamp for u in cone)
+
     def _has_kcut(self, v: int, threshold: int) -> bool:
         """Memoized K-cut existence test at the given height threshold."""
-        if (
-            self._check_l[v] == threshold
-            and self._check_cone[v] is not None
-            and all(
-                self._change_stamp[u] <= self._check_stamp[v]
-                for u in self._check_cone[v]
-            )
-        ):
+        if self._memo_valid(v, threshold):
             self.stats.cache_hits += 1
             return bool(self._check_result[v])
+        if self.engine == "worklist":
+            # A recorded cut separates v's copy from the rest of the
+            # unrolled circuit structurally -- labels play no part in
+            # the separation, only in the height bound.  If every cut
+            # member's current height still fits under the (possibly
+            # new) threshold, the same cut witnesses feasibility and
+            # the expansion plus flow query can be skipped outright.
+            cut = self._check_cut[v]
+            if cut is not None:
+                labels = self.labels
+                phi = self.phi
+                if all(
+                    labels[u] - phi * w + 1 <= threshold for u, w in cut
+                ):
+                    # Re-anchor the memo on the witness itself: the
+                    # verdict stays True exactly while every cut member
+                    # keeps height <= threshold, and a member crossing
+                    # its cap re-enqueues v through the cone index.
+                    # The recorded expansion belongs to the old
+                    # threshold, so it must not survive the re-anchor.
+                    guard = {}
+                    for u, w in cut:
+                        cap = threshold + phi * w - 1
+                        if guard.get(u, cap + 1) > cap:
+                            guard[u] = cap
+                    old_guard = self._check_guard[v]
+                    if old_guard:
+                        for u in old_guard:
+                            self._cone_index[u].discard(v)
+                    for u in guard:
+                        self._cone_index[u].add(v)
+                    self._check_guard[v] = guard
+                    self._check_l[v] = threshold
+                    self._check_result[v] = True
+                    self._check_expansion[v] = None
+                    self.stats.cache_hits += 1
+                    return True
         t0 = time.perf_counter()
         expansion = expand_partial(
             self.circuit,
@@ -179,24 +342,71 @@ class LabelSolver:
             self.height_of,
             threshold,
             extra_depth=self.extra_depth,
+            max_copies=self.max_copies,
         )
         t1 = time.perf_counter()
         self.stats.t_expand += t1 - t0
         self.stats.flow_queries += 1
-        cut = cut_on_expansion(expansion, self.k)
+        cut = cut_on_expansion(expansion, self.k, arena=self._flow_arena)
         self.stats.t_flow += time.perf_counter() - t1
-        cone_nodes = {v}
-        for u, _w in expansion.interior:
-            cone_nodes.add(u)
-        for u, _w in expansion.candidates:
-            cone_nodes.add(u)
-        for u, _w in expansion.leaves:
-            cone_nodes.add(u)
+        if self.engine == "worklist":
+            # Tier caps: a frontier copy u^w keeps its tier while
+            # l(u) - phi*w + 1 stays at or below its bound, i.e. while
+            # l(u) <= bound + phi*w - 1.  Interior copies only sink
+            # deeper as labels rise and PI labels are fixed, so neither
+            # constrains the memo; a blocked expansion stays blocked at
+            # this threshold forever (empty guard).
+            guard: dict = {}
+            if not expansion.blocked:
+                floor = threshold - self.extra_depth * self.phi
+                for u, w in expansion.candidates:
+                    cap = threshold + self.phi * w - 1
+                    if guard.get(u, cap + 1) > cap:
+                        guard[u] = cap
+                kind = self.circuit.kind
+                for u, w in expansion.leaves:
+                    if kind(u) is NodeKind.GATE:
+                        cap = floor + self.phi * w - 1
+                        if guard.get(u, cap + 1) > cap:
+                            guard[u] = cap
+            old_guard = self._check_guard[v]
+            if old_guard:
+                for u in old_guard:
+                    self._cone_index[u].discard(v)
+            for u in guard:
+                self._cone_index[u].add(v)
+            self._check_guard[v] = guard
+            if cut is not None:
+                self._check_cut[v] = cut
+        else:
+            cone_nodes = {v}
+            for u, _w in expansion.interior:
+                cone_nodes.add(u)
+            for u, _w in expansion.candidates:
+                cone_nodes.add(u)
+            for u, _w in expansion.leaves:
+                cone_nodes.add(u)
+            self._check_cone[v] = list(cone_nodes)
+            self._check_stamp[v] = self._clock
         self._check_l[v] = threshold
-        self._check_stamp[v] = self._clock
         self._check_result[v] = cut is not None
-        self._check_cone[v] = list(cone_nodes)
+        self._check_expansion[v] = expansion
         return cut is not None
+
+    def expansion_for(self, v: int, threshold: int) -> Optional[PartialExpansion]:
+        """The cached partial expansion of ``E_v`` at ``threshold``.
+
+        Valid only while ``_memo_valid`` can prove the recorded
+        expansion still holds — structurally for the worklist engine
+        (every guarded frontier member at or under its tier cap), by
+        cone change-stamps for the rounds engine; returns ``None``
+        otherwise.  The TurboSYN resynthesis hook uses this to skip the
+        re-expansion its first (height ``L(v)``) min-cut query would
+        otherwise repeat right after a failed K-cut check.
+        """
+        if self._memo_valid(v, threshold):
+            return self._check_expansion[v]
+        return None
 
     def _update(self, v: int) -> bool:
         """One label update; returns True when ``l(v)`` increased."""
@@ -205,17 +415,23 @@ class LabelSolver:
         if not pins:
             return False  # constant generators keep label 1
         big_l = max(self.labels[p.src] - self.phi * p.weight for p in pins)
+        self._last_big_l[v] = big_l
         if big_l < self.labels[v]:
             return False  # cannot raise the label
         if self._has_kcut(v, big_l):
             new = big_l
+            self._resyn_dep.discard(v)
         elif self.resyn_hook is not None:
             self.stats.resyn_calls += 1
             if self.resyn_hook(self, v, big_l):
                 self.stats.resyn_wins += 1
                 new = big_l
+                self._resyn_dep.add(v)
             else:
+                # big_l + 1 is protected by the big_l guard above until a
+                # fanin rises, so no resynthesis dependency remains.
                 new = big_l + 1
+                self._resyn_dep.discard(v)
         else:
             new = big_l + 1
         if new > self.labels[v]:
@@ -256,6 +472,134 @@ class LabelSolver:
         finally:
             self.stats.t_total += time.perf_counter() - t0
 
+    def _run_scc_rounds(
+        self,
+        members: List[int],
+        member_set: Set[int],
+        max_rounds: int,
+    ) -> bool:
+        """Classical round-robin sweep; returns True when converged."""
+        isolated_streak = 0
+        for _round in range(max_rounds):
+            self._check_deadline()
+            self.stats.rounds += 1
+            changed = False
+            for v in members:
+                if self._update(v):
+                    changed = True
+            if not changed:
+                return True
+            if self.pld:
+                if self._grounded(members, member_set):
+                    isolated_streak = 0
+                else:
+                    isolated_streak += 1
+                    if isolated_streak >= self.PLD_PATIENCE:
+                        return False
+        return False
+
+    def _run_scc_worklist(
+        self,
+        members: List[int],
+        member_set: Set[int],
+        order_pos: "dict[int, int]",
+        max_rounds: int,
+    ) -> bool:
+        """Event-driven worklist iteration; returns True when converged.
+
+        Epochs mirror round-robin rounds: each epoch drains the gates
+        made dirty by the previous one, in topological order, and a rise
+        at position ``p`` cascades within the epoch to dependents at
+        positions ``> p`` (exactly the gates a round-robin sweep would
+        still visit this round) while dependents at positions ``<= p``
+        wait for the next epoch.  After every changed epoch the PLD
+        justification check runs, so the ``6n``-round accounting of the
+        paper's Theorem 2 applies with epochs counted as rounds.
+
+        Gates whose label currently rests on a resynthesis win are
+        additionally re-enqueued after *every* in-SCC rise: the
+        decomposition read labels beyond the recorded K-cut cone
+        (deeper min-cut expansions, cut-input arrival times), so the
+        cone index alone cannot prove them clean.
+        """
+        fanouts = self.circuit.fanouts
+        cone_index = self._cone_index
+        heap: List[Tuple[int, int]] = [(order_pos[v], v) for v in members]
+        heapq.heapify(heap)
+        in_current = set(members)
+        next_set: Set[int] = set()
+        isolated_streak = 0
+        for _epoch in range(max_rounds):
+            self._check_deadline()
+            self.stats.rounds += 1
+            changed = False
+            while heap:
+                pos_v, v = heapq.heappop(heap)
+                in_current.discard(v)
+                if not self._update(v):
+                    continue
+                changed = True
+                for dep in cone_index[v]:
+                    if dep not in member_set or dep in in_current:
+                        continue
+                    guard = self._check_guard[dep]
+                    if guard is not None:
+                        cap = guard.get(v)
+                        if cap is not None and self.labels[v] <= cap:
+                            # Still under the tier cap: the recorded
+                            # expansion (and verdict) provably stands.
+                            continue
+                    if order_pos[dep] > pos_v:
+                        in_current.add(dep)
+                        heapq.heappush(heap, (order_pos[dep], dep))
+                    else:
+                        next_set.add(dep)
+                for dst, w in fanouts(v):
+                    if dst not in member_set or dst in in_current:
+                        continue
+                    contribution = self.labels[v] - self.phi * w
+                    if (
+                        contribution <= self._last_big_l[dst]
+                        or contribution < self.labels[dst]
+                    ):
+                        # The rise cannot lift dst's fanin maximum past
+                        # its already-justified label: the triggered
+                        # update would early-return (big_l < l(dst)) or
+                        # recompute the same big_l.  Any big_l at or
+                        # above l(dst) is driven by a fanin whose own
+                        # rise enqueues dst unfiltered; a memo-cone
+                        # effect re-enqueues via the cone index above.
+                        continue
+                    if order_pos[dst] > pos_v:
+                        in_current.add(dst)
+                        heapq.heappush(heap, (order_pos[dst], dst))
+                    else:
+                        next_set.add(dst)
+                for dep in list(self._resyn_dep):
+                    if dep == v or dep not in member_set or dep in in_current:
+                        continue
+                    if order_pos[dep] > pos_v:
+                        in_current.add(dep)
+                        heapq.heappush(heap, (order_pos[dep], dep))
+                    else:
+                        next_set.add(dep)
+            if not changed:
+                return True
+            if self.pld:
+                if self._grounded(members, member_set):
+                    isolated_streak = 0
+                else:
+                    isolated_streak += 1
+                    if isolated_streak >= self.PLD_PATIENCE:
+                        return False
+            if not next_set:
+                return True  # every dependent already settled in-epoch
+            heap = [(order_pos[v], v) for v in next_set]
+            heapq.heapify(heap)
+            in_current = next_set
+            next_set = set()
+        return False
+
     def _run(self) -> LabelOutcome:
         """Compute all labels or detect infeasibility."""
         order_pos = {nid: i for i, nid in enumerate(self.circuit.comb_topo_order())}
@@ -279,30 +623,12 @@ class LabelSolver:
                 self._update(members[0])
                 continue
             max_rounds = 6 * n_scc + self.PLD_PATIENCE if self.pld else n_scc * n_scc + 2
-            converged = False
-            isolated_streak = 0
-            for _round in range(max_rounds):
-                self._check_deadline()
-                self.stats.rounds += 1
-                changed = False
-                for v in members:
-                    if self._update(v):
-                        changed = True
-                if not changed:
-                    converged = True
-                    break
-                if self.pld:
-                    if self._grounded(members, member_set):
-                        isolated_streak = 0
-                    else:
-                        isolated_streak += 1
-                        if isolated_streak >= self.PLD_PATIENCE:
-                            return LabelOutcome(
-                                feasible=False,
-                                labels=self.labels,
-                                stats=self.stats,
-                                failed_scc=members,
-                            )
+            if self.engine == "rounds":
+                converged = self._run_scc_rounds(members, member_set, max_rounds)
+            else:
+                converged = self._run_scc_worklist(
+                    members, member_set, order_pos, max_rounds
+                )
             if not converged:
                 return LabelOutcome(
                     feasible=False,

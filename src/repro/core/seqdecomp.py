@@ -21,8 +21,8 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.boolfn.decompose import LutTree, synthesize_lut_tree
-from repro.core.expanded import Copy, sequential_cone_function
-from repro.core.kcut import find_height_cut
+from repro.core.expanded import Copy, PartialExpansion, sequential_cone_function
+from repro.core.kcut import cut_on_expansion, find_height_cut
 from repro.netlist.graph import SeqCircuit
 
 #: The paper's cut-size bound for resynthesis ("set to be 15 in TurboSYN").
@@ -49,11 +49,19 @@ def find_seq_resynthesis(
     k: int,
     cmax: int = DEFAULT_CMAX,
     extra_depth: int = 0,
+    first_expansion: Optional[PartialExpansion] = None,
 ) -> Optional[SeqResyn]:
     """Try to realize label ``deadline`` for ``v`` through decomposition.
 
     Returns the cut and LUT tree on success, ``None`` when no cut of at
     most ``cmax`` inputs decomposes in time.
+
+    ``first_expansion`` is an optional pre-built partial expansion of
+    ``E_v`` at height ``deadline`` (under the *current* labels): the
+    label solver hands over the expansion its just-failed K-cut check
+    built, so the ``h = 0`` min-cut query skips the identical
+    re-expansion (the expansion depends only on ``v``, the threshold and
+    the label heights — not on the cut-size bound).
     """
 
     def height_of(u: int, w: int) -> int:
@@ -62,10 +70,13 @@ def find_seq_resynthesis(
     previous_cut: Optional[Tuple[Copy, ...]] = None
     for h in range(MAX_DESCENT):
         threshold = deadline - h
-        cut = find_height_cut(
-            circuit, v, phi, height_of, threshold, max_cut=cmax,
-            extra_depth=extra_depth,
-        )
+        if h == 0 and first_expansion is not None:
+            cut = cut_on_expansion(first_expansion, cmax)
+        else:
+            cut = find_height_cut(
+                circuit, v, phi, height_of, threshold, max_cut=cmax,
+                extra_depth=extra_depth,
+            )
         if cut is None:
             return None  # blocked or wider than Cmax: deeper only grows
         cut_t = tuple(cut)

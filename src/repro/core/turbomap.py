@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.driver import SeqMapResult, run_mapper
+from repro.core.expanded import DEFAULT_MAX_COPIES
 from repro.netlist.graph import SeqCircuit
 from repro.resilience.budget import Budget
 
@@ -31,6 +32,9 @@ def turbomap(
     workers: int = 1,
     check: bool = True,
     budget: Optional[Budget] = None,
+    engine: str = "worklist",
+    warm_start: bool = True,
+    max_copies: int = DEFAULT_MAX_COPIES,
 ) -> SeqMapResult:
     """Map ``circuit`` onto K-LUTs minimizing the MDR ratio (no resynthesis).
 
@@ -67,6 +71,15 @@ def turbomap(
         Wall-clock :class:`~repro.resilience.budget.Budget` for the phi
         search; on expiry the result is the best-known feasible period,
         marked ``degraded``.
+    engine:
+        Label engine: ``"worklist"`` (event-driven, the default) or
+        ``"rounds"`` (classical sweep); identical results either way.
+    warm_start:
+        Seed descending probes from converged larger-phi labels
+        (identical results; far fewer label updates / flow queries).
+    max_copies:
+        Per-query safety bound on the partial-expansion size
+        (:class:`repro.core.expanded.ExpansionOverflow` on excess).
     """
     return run_mapper(
         circuit,
@@ -81,4 +94,7 @@ def turbomap(
         workers=workers,
         check=check,
         budget=budget,
+        engine=engine,
+        warm_start=warm_start,
+        max_copies=max_copies,
     )

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.driver import SeqMapResult, run_mapper
+from repro.core.expanded import DEFAULT_MAX_COPIES
 from repro.core.seqdecomp import DEFAULT_CMAX
 from repro.core.turbomap import turbomap
 from repro.netlist.graph import SeqCircuit
@@ -41,6 +42,9 @@ def turbosyn(
     workers: int = 1,
     check: bool = True,
     budget: Optional[Budget] = None,
+    engine: str = "worklist",
+    warm_start: bool = True,
+    max_copies: int = DEFAULT_MAX_COPIES,
 ) -> SeqMapResult:
     """Map ``circuit`` onto K-LUTs minimizing the MDR ratio with
     sequential functional decomposition.
@@ -54,6 +58,10 @@ def turbosyn(
     ``budget`` is shared across the bound computation and the main
     search: its deadline covers both, and its resilience state (degraded
     marker, attempt count) accumulates over the whole pipeline.
+    ``engine``, ``warm_start`` and ``max_copies`` select the label engine
+    (see :class:`repro.core.labels.LabelSolver`), cross-probe label
+    seeding, and the partial-expansion safety bound; they apply to the
+    TurboMap bound run too.
     """
     if budget is not None:
         budget.start()  # the deadline clock covers the TurboMap bound too
@@ -61,6 +69,7 @@ def turbosyn(
         upper_bound = turbomap(
             circuit, k, pld=pld, extra_depth=extra_depth, workers=workers,
             check=False, budget=budget,
+            engine=engine, warm_start=warm_start, max_copies=max_copies,
         ).phi
     return run_mapper(
         circuit,
@@ -75,4 +84,7 @@ def turbosyn(
         workers=workers,
         check=check,
         budget=budget,
+        engine=engine,
+        warm_start=warm_start,
+        max_copies=max_copies,
     )

@@ -76,6 +76,7 @@ class SeqCircuit:
         self._nodes: List[Node] = []
         self._index: Dict[str, int] = {}
         self._fanouts: Optional[List[List[Tuple[int, int]]]] = None
+        self._fanin_pairs: Optional[List[List[Tuple[int, int]]]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -87,6 +88,7 @@ class SeqCircuit:
         self._nodes.append(node)
         self._index[node.name] = nid
         self._fanouts = None
+        self._fanin_pairs = None
         return nid
 
     def add_pi(self, name: str) -> int:
@@ -151,6 +153,7 @@ class SeqCircuit:
             pins.append(Pin(src, weight))
         node.fanins = pins
         self._fanouts = None
+        self._fanin_pairs = None
 
     def _check_id(self, nid: int) -> None:
         if not 0 <= nid < len(self._nodes):
@@ -238,6 +241,20 @@ class SeqCircuit:
                 table[src].append((dst, weight))
             self._fanouts = table
         return self._fanouts[nid]
+
+    def fanin_pairs(self) -> List[List[Tuple[int, int]]]:
+        """Per-node fanin adjacency as plain ``(src, weight)`` tuples.
+
+        A flat, cached mirror of :meth:`fanins` for hot traversal loops
+        (the expanded-circuit construction walks fanins once per visited
+        copy): tuple unpacking avoids one :class:`Pin` attribute access
+        per edge.  Invalidated by any structural mutation.
+        """
+        if self._fanin_pairs is None:
+            self._fanin_pairs = [
+                [(p.src, p.weight) for p in n.fanins] for n in self._nodes
+            ]
+        return self._fanin_pairs
 
     def max_fanin(self) -> int:
         return max((len(n.fanins) for n in self._nodes if n.kind is NodeKind.GATE), default=0)

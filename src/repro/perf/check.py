@@ -12,7 +12,17 @@ Compares every ``(circuit, algorithm)`` run present in *both* reports:
 * **luts** — an increase beyond ``--tolerance`` (default 25%) fails;
 * **seconds** — noisy across machines, so by default a slowdown beyond
   the tolerance is only *warned* about; pass ``--time-tolerance`` to turn
-  the time comparison into a hard gate (e.g. on a dedicated perf host).
+  the time comparison into a hard gate (e.g. on a dedicated perf host);
+* **counters** — ``stats.flow_queries`` and ``stats.updates`` are
+  *deterministic* work measures (unlike wall clock), so a growth beyond
+  ``--counter-tolerance`` (default 10%) is a hard fail — but only when
+  the two runs are actually comparable: the report envelopes must
+  declare the same label-engine configuration (``engine`` and
+  ``warm_start``, absent in schema-1/2 baselines) and the two runs the
+  same ``workers`` count (a parallel search probes a different phi set,
+  so its counters are not comparable run-to-run).  Incomparable counter
+  growth only warns.  Pass ``--no-counters`` to skip counter checks
+  entirely.
 
 Resilience-aware (schema 2): a *degraded* current run (its budget
 expired, so its phi/luts are best-known values rather than proven
@@ -60,17 +70,43 @@ def _index(report: dict) -> Dict[RunKey, dict]:
     return runs
 
 
+#: Deterministic LabelStats counters gated by ``counter_tolerance``.
+GATED_COUNTERS = ("flow_queries", "updates")
+
+
+def _counters_comparable(baseline: dict, current: dict) -> bool:
+    """True when both envelopes declare the same engine configuration."""
+    return (
+        baseline.get("engine") is not None
+        and baseline.get("engine") == current.get("engine")
+        and baseline.get("warm_start") == current.get("warm_start")
+    )
+
+
 def compare(
     baseline: dict,
     current: dict,
     tolerance: float = 0.25,
     time_tolerance: Optional[float] = None,
     strict_resilience: bool = False,
+    counter_tolerance: Optional[float] = 0.10,
 ) -> Comparison:
     """Compare two perf reports; see the module docstring for the policy."""
     base_runs = _index(baseline)
     cur_runs = _index(current)
     result = Comparison()
+    counters_hard = counter_tolerance is not None and _counters_comparable(
+        baseline, current
+    )
+    if counter_tolerance is not None and not counters_hard:
+        result.warnings.append(
+            "engine configuration differs or is undeclared "
+            f"(baseline engine={baseline.get('engine')!r} "
+            f"warm_start={baseline.get('warm_start')!r}, current "
+            f"engine={current.get('engine')!r} "
+            f"warm_start={current.get('warm_start')!r}): counter growth "
+            "only warns"
+        )
     for err in current.get("errors", []):
         message = (
             f"{err.get('circuit')}/{err.get('algorithm')}: cell failed "
@@ -139,6 +175,40 @@ def compare(
                     result.regressions.append(message)
                 else:
                     result.warnings.append(message)
+
+        if counter_tolerance is not None:
+            same_workers = base.get("workers", 1) == cur.get("workers", 1)
+            b_stats = base.get("stats") or {}
+            c_stats = cur.get("stats") or {}
+            for counter in GATED_COUNTERS:
+                b_val, c_val = b_stats.get(counter), c_stats.get(counter)
+                if not b_val or c_val is None:
+                    continue
+                if c_val > b_val * (1.0 + counter_tolerance):
+                    message = (
+                        f"{tag}: {counter} regressed {b_val} -> {c_val} "
+                        f"(> {counter_tolerance:.0%} tolerance)"
+                    )
+                    if counters_hard and same_workers:
+                        quality_sink.append(
+                            message
+                            + (" (degraded run)" if degraded else "")
+                        )
+                    elif not same_workers:
+                        result.warnings.append(
+                            message
+                            + f" (workers {base.get('workers', 1)} vs "
+                            f"{cur.get('workers', 1)}: not comparable)"
+                        )
+                    else:
+                        result.warnings.append(message)
+                elif c_val < b_val and same_workers:
+                    # A different worker count probes a different phi
+                    # set, so a lower counter is no more meaningful
+                    # than a higher one -- stay silent.
+                    result.improvements.append(
+                        f"{tag}: {counter} improved {b_val} -> {c_val}"
+                    )
     return result
 
 
@@ -180,6 +250,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="hard-fail on degraded runs and structured error entries "
         "(default: flag them as warnings)",
     )
+    parser.add_argument(
+        "--counter-tolerance",
+        type=float,
+        default=0.10,
+        help="relative slack for the deterministic work counters "
+        "(stats.flow_queries, stats.updates; default 0.10); hard gate "
+        "only when both reports declare the same engine configuration "
+        "and the runs the same worker count",
+    )
+    parser.add_argument(
+        "--no-counters",
+        action="store_true",
+        help="skip the counter comparison entirely",
+    )
     args = parser.parse_args(argv)
     try:
         baseline = load_report(args.baseline)
@@ -193,6 +277,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         tolerance=args.tolerance,
         time_tolerance=args.time_tolerance,
         strict_resilience=args.strict_resilience,
+        counter_tolerance=None if args.no_counters else args.counter_tolerance,
     )
     print(render(comparison))
     if comparison.compared == 0:

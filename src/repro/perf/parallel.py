@@ -46,10 +46,12 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.driver import (
     infeasible_error,
+    nearest_warm_seed,
     probe_phi,
     search_bounds,
     search_min_phi,
 )
+from repro.core.expanded import DEFAULT_MAX_COPIES
 from repro.core.labels import LabelOutcome
 from repro.core.seqdecomp import DEFAULT_CMAX
 from repro.netlist.graph import SeqCircuit
@@ -64,7 +66,7 @@ from repro.resilience.retry import RetryPolicy
 
 #: Per-process probe context installed by the pool initializer:
 #: ``(circuit, k, resynthesize, cmax, pld, extra_depth, io_constrained,
-#: probe_timeout)``.
+#: probe_timeout, engine, max_copies)``.
 _WORKER_ARGS: Optional[tuple] = None
 
 
@@ -81,20 +83,26 @@ def _init_worker(
     extra_depth: int,
     io_constrained: bool,
     probe_timeout: Optional[float],
+    engine: str,
+    max_copies: int,
 ) -> None:
     global _WORKER_ARGS
     _WORKER_ARGS = (
         circuit, k, resynthesize, cmax, pld, extra_depth, io_constrained,
-        probe_timeout,
+        probe_timeout, engine, max_copies,
     )
 
 
-def _probe_worker(phi: int) -> Tuple[int, LabelOutcome]:
+def _probe_worker(
+    phi: int, seed_labels: Optional[List[int]] = None
+) -> Tuple[int, LabelOutcome]:
     assert _WORKER_ARGS is not None, "worker used before initialization"
     (circuit, k, resynthesize, cmax, pld, extra_depth, io_constrained,
-     probe_timeout) = _WORKER_ARGS
+     probe_timeout, engine, max_copies) = _WORKER_ARGS
     # The timeout is anchored inside probe_phi: it covers label-
-    # computation time, not time spent queued in the pool.
+    # computation time, not time spent queued in the pool.  The warm
+    # seed travels with the task (the shared outcome cache lives in the
+    # parent process).
     outcome = probe_phi(
         circuit,
         k,
@@ -105,6 +113,9 @@ def _probe_worker(phi: int) -> Tuple[int, LabelOutcome]:
         extra_depth=extra_depth,
         io_constrained=io_constrained,
         timeout=probe_timeout,
+        engine=engine,
+        seed_labels=seed_labels,
+        max_copies=max_copies,
     )
     return phi, outcome
 
@@ -145,11 +156,13 @@ class _ProbePool:
         workers: int,
         budget: Optional[Budget],
         policy: RetryPolicy,
+        warm_start: bool = True,
     ) -> None:
         self._initargs = initargs
         self._workers = workers
         self._budget = budget
         self._policy = policy
+        self._warm_start = warm_start
         self._pool: Optional[ProcessPoolExecutor] = None
         self.failures = 0
 
@@ -184,14 +197,29 @@ class _ProbePool:
     def probe_all(
         self, phis: List[int], outcomes: Dict[int, LabelOutcome]
     ) -> Dict[int, bool]:
-        """Answer every ``phi`` in ``phis``, retrying through pool failures."""
+        """Answer every ``phi`` in ``phis``, retrying through pool failures.
+
+        Each submission carries the warm seed visible in the outcome
+        cache *at submission time* — answers from earlier rounds warm
+        later rounds' probes, exactly like the sequential search (a
+        probe in flight cannot seed a sibling of the same round).
+        """
         missing = [p for p in phis if p not in outcomes]
         while missing:
             if self._budget is not None:
                 self._budget.check()
             pool = self._ensure()
             try:
-                pending = {pool.submit(_probe_worker, p) for p in missing}
+                pending = {
+                    pool.submit(
+                        _probe_worker,
+                        p,
+                        nearest_warm_seed(outcomes, p)
+                        if self._warm_start
+                        else None,
+                    )
+                    for p in missing
+                }
                 while pending:
                     timeout = None
                     if self._budget is not None:
@@ -235,6 +263,9 @@ def parallel_search_min_phi(
     io_constrained: bool = False,
     budget: Optional[Budget] = None,
     retry: Optional[RetryPolicy] = None,
+    engine: str = "worklist",
+    warm_start: bool = True,
+    max_copies: int = DEFAULT_MAX_COPIES,
 ) -> Tuple[int, Dict[int, LabelOutcome]]:
     """Find the minimum feasible ``phi`` with speculative parallel probes.
 
@@ -248,7 +279,9 @@ def parallel_search_min_phi(
     :class:`BudgetExhausted` when there is none); ``retry`` governs
     worker-pool restarts after ``BrokenProcessPool`` failures, after
     which the search falls back to sequential probing seeded with the
-    outcome cache.
+    outcome cache.  ``engine`` / ``warm_start`` / ``max_copies`` are the
+    label-engine options of :func:`repro.core.driver.search_min_phi`;
+    warm seeds ship with each submitted probe task.
     """
     if workers is None:
         workers = os.cpu_count() or 1
@@ -263,6 +296,9 @@ def parallel_search_min_phi(
             extra_depth=extra_depth,
             io_constrained=io_constrained,
             budget=budget,
+            engine=engine,
+            warm_start=warm_start,
+            max_copies=max_copies,
         )
     ensure_mappable(circuit, k)
     if budget is not None:
@@ -272,10 +308,11 @@ def parallel_search_min_phi(
     probe_timeout = budget.probe_timeout if budget is not None else None
     runner = _ProbePool(
         (circuit, k, resynthesize, cmax, pld, extra_depth, io_constrained,
-         probe_timeout),
+         probe_timeout, engine, max_copies),
         workers,
         budget,
         policy,
+        warm_start=warm_start,
     )
     top, ceiling = search_bounds(circuit, upper_bound, io_constrained)
     lo = 1
@@ -324,6 +361,9 @@ def parallel_search_min_phi(
             io_constrained=io_constrained,
             budget=budget,
             outcomes=outcomes,
+            engine=engine,
+            warm_start=warm_start,
+            max_copies=max_copies,
         )
     except (DeadlineExpired, ProbeTimeout) as exc:
         if budget is None or best is None:

@@ -1,13 +1,15 @@
 """JSON run reports: the machine-readable perf/quality telemetry schema.
 
-Schema (version 2) — one *suite report* wraps any number of *mapper
+Schema (version 3) — one *suite report* wraps any number of *mapper
 runs* plus the structured *errors* of cells that failed::
 
     {
-      "schema": 2,
+      "schema": 3,
       "kind": "suite",                 # or "map" for a single-run report
       "python": "3.11.7", "platform": "Linux-...",
       "k": 5, "workers": 1,
+      "engine": "worklist",            # label engine of the phi probes
+      "warm_start": true,              # cross-probe label seeding
       "runs": [
         {
           "circuit": "bbara", "algorithm": "turbomap",
@@ -27,6 +29,8 @@ runs* plus the structured *errors* of cells that failed::
             "rounds": ..., "updates": ..., "flow_queries": ...,
             "cache_hits": ..., "pld_checks": ...,
             "resyn_calls": ..., "resyn_wins": ...,
+            "warm_seeded": ..., "warm_savings": ...,
+            "expansions_reused": ...,
             "t_total": ..., "t_expand": ..., "t_flow": ..., "t_pld": ...
           }
         }, ...
@@ -40,9 +44,12 @@ runs* plus the structured *errors* of cells that failed::
       ]
     }
 
-Version 1 reports (no ``errors``, ``attempts`` or ``degraded``) load
-fine: :func:`load_report` fills the new envelope fields in, and the
-regression gate treats absent run fields as non-degraded.
+Version 1 reports (no ``errors``, ``attempts`` or ``degraded``) and
+version 2 reports (no ``engine`` / ``warm_start`` envelope fields, no
+warm-start counters in ``stats``) load fine: :func:`load_report` fills
+the new envelope fields in, the regression gate treats absent run
+fields as non-degraded, and the counter gate only compares counters
+when both reports declare the same engine configuration.
 
 ``benchmarks/baseline.json`` is a committed suite report; CI regenerates
 a fresh one and gates on :mod:`repro.perf.check`.  The pytest-benchmark
@@ -62,7 +69,7 @@ from typing import IO, Dict, List, Optional, Union
 
 from repro.resilience.atomic import atomic_write_json
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 def _environment() -> Dict[str, str]:
@@ -150,6 +157,8 @@ def suite_report(
     workers: int = 1,
     kind: str = "suite",
     errors: Optional[List[dict]] = None,
+    engine: str = "worklist",
+    warm_start: bool = True,
 ) -> dict:
     """Wrap mapper runs in a schema-versioned report envelope."""
     report = {"schema": SCHEMA_VERSION, "kind": kind}
@@ -157,6 +166,8 @@ def suite_report(
     if k is not None:
         report["k"] = k
     report["workers"] = workers
+    report["engine"] = engine
+    report["warm_start"] = warm_start
     report["runs"] = runs
     report["errors"] = list(errors) if errors else []
     return report
@@ -176,7 +187,7 @@ def write_report(report: dict, path_or_file: Union[str, IO[str]]) -> None:
 
 
 def load_report(path: str) -> dict:
-    """Read a report, tolerating envelopes, bare run lists, and schema 1."""
+    """Read a report, tolerating envelopes, bare run lists, schema 1/2."""
     with open(path) as fh:
         data = json.load(fh)
     if isinstance(data, list):  # bare run list
@@ -184,4 +195,8 @@ def load_report(path: str) -> dict:
     if "runs" not in data or not isinstance(data["runs"], list):
         raise ValueError(f"{path}: not a perf report (missing 'runs' list)")
     data.setdefault("errors", [])  # absent in schema-1 reports
+    # Absent in schema-1/2 reports: an unknown engine configuration (the
+    # counter gate then skips hard counter comparisons).
+    data.setdefault("engine", None)
+    data.setdefault("warm_start", None)
     return data

@@ -3,7 +3,11 @@
 import pytest
 
 from repro.boolfn.truthtable import TruthTable
-from repro.core.expanded import expand_partial, sequential_cone_function
+from repro.core.expanded import (
+    ExpansionOverflow,
+    expand_partial,
+    sequential_cone_function,
+)
 from repro.netlist.graph import SeqCircuit
 from tests.helpers import AND2, BUF, XOR2
 
@@ -84,6 +88,61 @@ class TestExpandPartial:
         c, x, g1, g2 = two_stage()
         with pytest.raises(ValueError):
             expand_partial(c, x, 1, lambda u, w: 0, 0)
+
+    def test_duplicate_pins_produce_no_duplicate_edges(self):
+        # g reads the same driver twice through identical register counts:
+        # one expansion edge per *distinct* pin, not per wire.
+        c = SeqCircuit()
+        x = c.add_pi("x")
+        d = c.add_gate("d", BUF, [(x, 0)])
+        g = c.add_gate("g", AND2, [(d, 1), (d, 1)])
+        c.add_po("o", g)
+        labels = {x: 0, d: 1, g: 1}
+        height = lambda u, w: labels[u] - 1 * w + 1
+        exp = expand_partial(c, g, 1, height, threshold=1)
+        assert len(exp.edges) == len(set(exp.edges))
+        assert ((d, 1), (g, 0)) in exp.edges
+
+    def test_distinct_weights_kept_as_distinct_edges(self):
+        c = SeqCircuit()
+        x = c.add_pi("x")
+        d = c.add_gate("d", BUF, [(x, 0)])
+        g = c.add_gate("g", XOR2, [(d, 0), (d, 1)])
+        c.add_po("o", g)
+        labels = {x: 0, d: 1, g: 1}
+        height = lambda u, w: labels[u] - 1 * w + 1
+        exp = expand_partial(c, g, 1, height, threshold=1)
+        assert ((d, 0), (g, 0)) in exp.edges
+        assert ((d, 1), (g, 0)) in exp.edges
+
+
+class TestExpansionOverflow:
+    def _deep_unroll(self):
+        # Self-loop with a high root label: ~41 interior copies of g
+        # before the frontier drops below the threshold.
+        c, x, g = self_loop()
+        labels = {x: 0, g: 50}
+        height = lambda u, w: labels[u] - 1 * w + 1
+        return c, g, height
+
+    def test_overflow_carries_node_name_and_limit(self):
+        c, g, height = self._deep_unroll()
+        with pytest.raises(ExpansionOverflow) as excinfo:
+            expand_partial(c, g, 1, height, threshold=10, max_copies=5)
+        assert excinfo.value.node_name == c.name_of(g)
+        assert excinfo.value.max_copies == 5
+        assert "5 copies" in str(excinfo.value)
+
+    def test_overflow_is_a_runtime_error(self):
+        # Existing fault boundaries catch RuntimeError; the typed
+        # exception must stay inside that contract.
+        assert issubclass(ExpansionOverflow, RuntimeError)
+
+    def test_limit_is_configurable(self):
+        c, g, height = self._deep_unroll()
+        exp = expand_partial(c, g, 1, height, threshold=10, max_copies=500)
+        assert not exp.blocked
+        assert len(exp.interior) > 5
 
 
 class TestSequentialConeFunction:

@@ -5,21 +5,39 @@ import json
 from repro.perf import check as perf_check
 
 
-def _report(runs, errors=None):
+def _report(runs, errors=None, engine=None, warm_start=None):
     report = {"schema": 2, "kind": "suite", "runs": runs}
     if errors is not None:
         report["errors"] = errors
+    if engine is not None:
+        report["schema"] = 3
+        report["engine"] = engine
+        report["warm_start"] = warm_start
     return report
 
 
-def _run(circuit="bbara", algo="turbomap", phi=3, luts=100, seconds=1.0):
-    return {
+def _run(
+    circuit="bbara",
+    algo="turbomap",
+    phi=3,
+    luts=100,
+    seconds=1.0,
+    workers=None,
+    flow_queries=None,
+    updates=None,
+):
+    run = {
         "circuit": circuit,
         "algorithm": algo,
         "phi": phi,
         "luts": luts,
         "seconds": seconds,
     }
+    if workers is not None:
+        run["workers"] = workers
+    if flow_queries is not None or updates is not None:
+        run["stats"] = {"flow_queries": flow_queries, "updates": updates}
+    return run
 
 
 class TestCompare:
@@ -145,6 +163,121 @@ class TestResiliencePolicy:
         assert perf_check.main([str(base), str(cur)]) == 0
         assert (
             perf_check.main([str(base), str(cur), "--strict-resilience"]) == 1
+        )
+
+
+class TestCounterGate:
+    """Deterministic work counters (schema 3) under the gate."""
+
+    def _pair(self, base_fq, cur_fq, **kwargs):
+        base = _report(
+            [_run(flow_queries=base_fq, updates=100, workers=1)],
+            engine=kwargs.pop("base_engine", "worklist"),
+            warm_start=kwargs.pop("base_warm", True),
+        )
+        cur = _report(
+            [
+                _run(
+                    flow_queries=cur_fq,
+                    updates=kwargs.pop("cur_updates", 100),
+                    workers=kwargs.pop("cur_workers", 1),
+                )
+            ],
+            engine=kwargs.pop("cur_engine", "worklist"),
+            warm_start=kwargs.pop("cur_warm", True),
+        )
+        return base, cur
+
+    def test_counter_growth_beyond_tolerance_fails(self):
+        base, cur = self._pair(100, 120)
+        comparison = perf_check.compare(base, cur, counter_tolerance=0.10)
+        assert not comparison.ok
+        assert any(
+            "flow_queries regressed" in r for r in comparison.regressions
+        )
+
+    def test_counter_growth_within_tolerance_passes(self):
+        base, cur = self._pair(100, 108)
+        comparison = perf_check.compare(base, cur, counter_tolerance=0.10)
+        assert comparison.ok
+
+    def test_counter_drop_is_improvement(self):
+        base, cur = self._pair(100, 60)
+        comparison = perf_check.compare(base, cur, counter_tolerance=0.10)
+        assert comparison.ok
+        assert any(
+            "flow_queries improved" in s for s in comparison.improvements
+        )
+
+    def test_updates_gated_too(self):
+        base, cur = self._pair(100, 100, cur_updates=200)
+        comparison = perf_check.compare(base, cur, counter_tolerance=0.10)
+        assert not comparison.ok
+        assert any("updates regressed" in r for r in comparison.regressions)
+
+    def test_engine_mismatch_downgrades_to_warning(self):
+        base, cur = self._pair(100, 300, cur_engine="rounds")
+        comparison = perf_check.compare(base, cur, counter_tolerance=0.10)
+        assert comparison.ok
+        assert any(
+            "flow_queries regressed" in w for w in comparison.warnings
+        )
+        assert any("engine configuration" in w for w in comparison.warnings)
+
+    def test_undeclared_engine_downgrades_to_warning(self):
+        # A schema-2 baseline has counters but no engine envelope: the
+        # counter comparison cannot be a hard gate.
+        base = _report([_run(flow_queries=100, updates=100, workers=1)])
+        cur = _report(
+            [_run(flow_queries=300, updates=100, workers=1)],
+            engine="worklist",
+            warm_start=True,
+        )
+        comparison = perf_check.compare(base, cur, counter_tolerance=0.10)
+        assert comparison.ok
+        assert any(
+            "flow_queries regressed" in w for w in comparison.warnings
+        )
+
+    def test_worker_mismatch_downgrades_to_warning(self):
+        # A parallel search probes a different phi set, so its counters
+        # are not comparable against a sequential baseline.
+        base, cur = self._pair(100, 300, cur_workers=2)
+        comparison = perf_check.compare(base, cur, counter_tolerance=0.10)
+        assert comparison.ok
+        assert any("not comparable" in w for w in comparison.warnings)
+
+    def test_degraded_counter_regression_warns(self):
+        base, cur = self._pair(100, 300)
+        cur["runs"][0]["degraded"] = True
+        comparison = perf_check.compare(base, cur, counter_tolerance=0.10)
+        assert comparison.ok
+        assert any(
+            "flow_queries regressed" in w for w in comparison.warnings
+        )
+
+    def test_counter_gate_off(self):
+        base, cur = self._pair(100, 300)
+        comparison = perf_check.compare(base, cur, counter_tolerance=None)
+        assert comparison.ok
+        assert not comparison.warnings
+
+    def test_counter_flags_wired_through_main(self, tmp_path):
+        base, cur = self._pair(100, 300)
+        base_path = tmp_path / "base.json"
+        cur_path = tmp_path / "cur.json"
+        base_path.write_text(json.dumps(base))
+        cur_path.write_text(json.dumps(cur))
+        assert perf_check.main([str(base_path), str(cur_path)]) == 1
+        assert (
+            perf_check.main(
+                [str(base_path), str(cur_path), "--counter-tolerance", "3.0"]
+            )
+            == 0
+        )
+        assert (
+            perf_check.main([str(base_path), str(cur_path), "--no-counters"])
+            == 0
         )
 
 

@@ -70,11 +70,39 @@ class TestSuiteReport:
         loaded = perf_report.load_report(str(path))
         assert loaded == json.loads(json.dumps(report))
 
+    def test_envelope_records_engine_configuration(self):
+        report = perf_report.suite_report([], k=3)
+        assert report["schema"] == 3
+        assert report["engine"] == "worklist"
+        assert report["warm_start"] is True
+        rounds = perf_report.suite_report(
+            [], k=3, engine="rounds", warm_start=False
+        )
+        assert rounds["engine"] == "rounds"
+        assert rounds["warm_start"] is False
+
+    def test_stats_carry_warm_start_counters(self):
+        circuit, result = _result()
+        stats = perf_report.mapper_run(result, circuit)["stats"]
+        for key in ("warm_seeded", "warm_savings", "expansions_reused"):
+            assert key in stats
+
     def test_load_tolerates_bare_run_list(self, tmp_path):
         path = tmp_path / "bare.json"
         path.write_text('[{"circuit": "x", "algorithm": "a", "phi": 1}]')
         loaded = perf_report.load_report(str(path))
         assert loaded["runs"][0]["circuit"] == "x"
+
+    def test_load_tolerates_schema_two(self, tmp_path):
+        # Schema-2 envelope: no engine / warm_start fields; the loader
+        # fills them as unknown so the counter gate stays soft.
+        path = tmp_path / "v2.json"
+        path.write_text(
+            '{"schema": 2, "kind": "suite", "runs": [], "errors": []}'
+        )
+        loaded = perf_report.load_report(str(path))
+        assert loaded["engine"] is None
+        assert loaded["warm_start"] is None
 
     def test_load_rejects_non_report(self, tmp_path):
         path = tmp_path / "junk.json"
