@@ -134,6 +134,8 @@ def run_suite_report(
     engine: str = "worklist",
     warm_start: bool = True,
     max_copies: Optional[int] = None,
+    flow: str = "dinic",
+    kernel: str = "compiled",
 ) -> dict:
     """Run mappers over suite circuits and return a JSON-able perf report.
 
@@ -154,10 +156,11 @@ def run_suite_report(
     flight.  ``resume`` takes a previously written report (as returned
     by :func:`repro.perf.report.load_report`): its successful runs are
     kept verbatim and skipped; errored or missing cells are re-run.
-    ``engine``, ``warm_start`` and ``max_copies`` configure the label
-    engine of the phi-searching mappers (TurboMap / TurboSYN); they are
-    recorded in the report envelope so the counter-based regression gate
-    (:mod:`repro.perf.check`) only compares like with like.
+    ``engine``, ``warm_start``, ``max_copies``, ``flow`` and ``kernel``
+    configure the label engine of the phi-searching mappers (TurboMap /
+    TurboSYN); they are recorded in the report envelope so the
+    counter-based regression gate (:mod:`repro.perf.check`) only
+    compares like with like.
     """
     import time
 
@@ -175,10 +178,12 @@ def run_suite_report(
         "turbomap": lambda c, b: turbomap(
             c, k, workers=workers, check=check, budget=b,
             engine=engine, warm_start=warm_start, max_copies=copies,
+            flow=flow, kernel=kernel,
         ),
         "turbosyn": lambda c, b: turbosyn(
             c, k, workers=workers, check=check, budget=b,
             engine=engine, warm_start=warm_start, max_copies=copies,
+            flow=flow, kernel=kernel,
         ),
     }
     selected_algos = list(algorithms)
@@ -197,6 +202,7 @@ def run_suite_report(
                 perf_report.suite_report(
                     runs, k=k, workers=workers, errors=errors,
                     engine=engine, warm_start=warm_start,
+                    flow=flow, kernel=kernel,
                 ),
                 path,
             )
@@ -252,6 +258,7 @@ def run_suite_report(
     report = perf_report.suite_report(
         runs, k=k, workers=workers, errors=errors,
         engine=engine, warm_start=warm_start,
+        flow=flow, kernel=kernel,
     )
     flush(checkpoint)
     return report

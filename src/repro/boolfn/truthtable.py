@@ -57,6 +57,13 @@ class TruthTable:
     def __setattr__(self, key: str, value: object) -> None:
         raise AttributeError("TruthTable is immutable")
 
+    def __reduce__(self) -> Tuple[type, Tuple[int, int]]:
+        # The default slots protocol restores via setattr, which the
+        # immutability guard rejects; rebuild through the constructor so
+        # tables survive pickling (spawn-start worker processes receive
+        # circuits that way).
+        return (type(self), (self.n, self.bits))
+
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------

@@ -38,7 +38,8 @@ from typing import List, Optional
 from repro.bench import suite as bench_suite
 from repro.core.expanded import DEFAULT_MAX_COPIES
 from repro.core.flowsyn_s import flowsyn_s
-from repro.core.labels import ENGINES
+from repro.comb.maxflow import FLOWS
+from repro.core.labels import ENGINES, KERNELS
 from repro.core.turbomap import turbomap
 from repro.core.turbosyn import turbosyn
 from repro.netlist.blif import read_blif_file, write_blif_file
@@ -88,6 +89,8 @@ def _engine_kwargs(args: argparse.Namespace) -> dict:
         "engine": args.engine,
         "warm_start": not args.cold_start,
         "max_copies": args.max_copies,
+        "flow": args.flow,
+        "kernel": args.kernel,
     }
 
 
@@ -114,6 +117,22 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         help="safety bound on the partial-expansion size per flow query "
         f"(default {DEFAULT_MAX_COPIES})",
     )
+    parser.add_argument(
+        "--flow",
+        choices=FLOWS,
+        default="dinic",
+        help="max-flow engine for the cut queries: Dinic level-graph "
+        "phases (default) or Edmonds-Karp (identical cuts, for "
+        "differential testing)",
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=KERNELS,
+        default="compiled",
+        help="hot-loop copy representation: compiled flat CSR arrays "
+        "with packed-int copies (default) or the object "
+        "tuple-and-dict engine (identical results)",
+    )
 
 
 def _write_run_report(
@@ -124,6 +143,8 @@ def _write_run_report(
     kind: str,
     engine: str = "worklist",
     warm_start: bool = True,
+    flow: str = "dinic",
+    kernel: str = "compiled",
 ) -> None:
     from repro.perf import report as perf_report
 
@@ -131,6 +152,7 @@ def _write_run_report(
         perf_report.suite_report(
             runs, k=k, workers=workers, kind=kind,
             engine=engine, warm_start=warm_start,
+            flow=flow, kernel=kernel,
         ),
         path,
     )
@@ -174,6 +196,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
         _write_run_report(
             args.report, [run], args.k, args.workers, kind="map",
             engine=args.engine, warm_start=not args.cold_start,
+            flow=args.flow, kernel=args.kernel,
         )
     final = result.mapped
     if args.retime:
@@ -298,6 +321,8 @@ def _cmd_suite(args: argparse.Namespace) -> int:
             engine=args.engine,
             warm_start=not args.cold_start,
             max_copies=args.max_copies,
+            flow=args.flow,
+            kernel=args.kernel,
         )
     except ValueError as exc:  # unknown benchmark or algorithm name
         flush_row()

@@ -17,7 +17,7 @@ bounded max-flow run.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Set
+from typing import Dict, List, Set, Tuple
 
 #: Effectively infinite capacity for non-cut edges.
 INF = 1 << 30
@@ -34,6 +34,9 @@ class FlowNetwork:
         # Recycled per-node adjacency lists (see reset): cleared lists are
         # cheaper to hand back out than freshly allocated ones.
         self._adj_pool: List[List[int]] = []
+        # BFS parent-edge scratch, grown on demand and reused across
+        # max_flow calls (one allocation per network, not per query).
+        self._parent_edge: List[int] = []
 
     def reset(self) -> None:
         """Empty the network in place, keeping allocations for reuse.
@@ -91,10 +94,13 @@ class FlowNetwork:
         if source == sink:
             raise ValueError("source equals sink")
         flow = 0
-        parent_edge: List[int] = [0] * len(self._adj)
+        parent_edge = self._parent_edge
+        n = len(self._adj)
+        while len(parent_edge) < n:
+            parent_edge.append(-1)
         while flow <= limit:
             # BFS for an augmenting path.
-            for i in range(len(parent_edge)):
+            for i in range(n):
                 parent_edge[i] = -1
             parent_edge[source] = -2
             queue = deque([source])
@@ -145,16 +151,40 @@ class FlowNetwork:
         return seen
 
 
+#: Valid ``flow=`` engines for :class:`SplitNetwork` and the label solver.
+FLOWS = ("dinic", "ek")
+
+
 class SplitNetwork:
     """A node-split flow network over an abstract DAG.
 
     Build with :func:`node_split_network`.  ``inp[x]``/``out[x]`` map each
     DAG node to its split pair; ``split_edge[x]`` is the capacity-1
     internal edge whose saturation marks ``x`` as a cut node.
+
+    ``flow`` selects the max-flow engine backing the queries:
+    ``"dinic"`` (level-graph phases with current-arc cursors,
+    :class:`repro.kernel.dinic.DinicNetwork`) or ``"ek"`` (the
+    Edmonds-Karp :class:`FlowNetwork`).  Both satisfy the same bounded
+    contract and — because the source-side residual min-cut is unique
+    for any max flow — report identical cut-node sets.
     """
 
-    def __init__(self) -> None:
-        self.net = FlowNetwork()
+    def __init__(self, flow: str = "dinic") -> None:
+        if flow == "dinic":
+            # Local import: repro.kernel imports back into repro.core,
+            # which imports this module.
+            from repro.kernel.dinic import DinicNetwork
+
+            self.net: FlowNetwork = DinicNetwork()  # API-compatible
+        elif flow == "ek":
+            self.net = FlowNetwork()
+        else:
+            raise ValueError(
+                f"unknown flow engine {flow!r}; valid engines: "
+                + ", ".join(FLOWS)
+            )
+        self.flow = flow
         self.source = self.net.add_node()
         self.sink = self.net.add_node()
         self.inp: Dict[object, int] = {}
@@ -199,6 +229,17 @@ class SplitNetwork:
 
     def max_flow(self, limit: int) -> int:
         return self.net.max_flow(self.source, self.sink, limit)
+
+    def drain_counters(self) -> Tuple[int, int]:
+        """Per-query ``(phases, arcs_advanced)`` of a Dinic backend.
+
+        The Edmonds-Karp backend has no level-graph phases; it reports
+        ``(0, 0)`` so the telemetry counters stay engine-comparable.
+        """
+        drain = getattr(self.net, "drain_counters", None)
+        if drain is None:
+            return (0, 0)
+        return drain()
 
     def cut_nodes(self) -> List[object]:
         """Cut-node set after :meth:`max_flow` (saturated split edges).

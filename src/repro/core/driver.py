@@ -111,6 +111,7 @@ def make_resyn_hook(cmax: int = DEFAULT_CMAX) -> ResynHook:
             cmax,
             solver.extra_depth,
             first_expansion=expansion,
+            max_copies=solver.max_copies,
         )
         return entry is not None
 
@@ -150,6 +151,8 @@ def probe_phi(
     engine: str = "worklist",
     seed_labels: Optional[List[int]] = None,
     max_copies: int = DEFAULT_MAX_COPIES,
+    flow: str = "dinic",
+    kernel: str = "compiled",
 ) -> LabelOutcome:
     """One feasibility query: run the label computation at ``phi``.
 
@@ -159,8 +162,10 @@ def probe_phi(
     :class:`ProbeTimeout` is raised in whichever process runs the probe.
     ``seed_labels`` warm-starts the solver from a converged label set of
     a larger period (see :func:`nearest_warm_seed`); ``engine`` selects
-    the worklist or round-robin label engine and ``max_copies`` bounds
-    each partial expansion.
+    the worklist or round-robin label engine, ``max_copies`` bounds
+    each partial expansion, and ``flow`` / ``kernel`` select the
+    max-flow engine and copy representation (bit-identical outcomes,
+    see :mod:`repro.kernel`).
     """
     fault_point("probe", tag=f"{circuit.name}:phi={phi}")
     deadline = time.monotonic() + timeout if timeout is not None else None
@@ -177,6 +182,8 @@ def probe_phi(
         engine=engine,
         seed_labels=seed_labels,
         max_copies=max_copies,
+        flow=flow,
+        kernel=kernel,
     )
     return solver.run()
 
@@ -217,6 +224,8 @@ def search_min_phi(
     engine: str = "worklist",
     warm_start: bool = True,
     max_copies: int = DEFAULT_MAX_COPIES,
+    flow: str = "dinic",
+    kernel: str = "compiled",
 ) -> "tuple[int, Dict[int, LabelOutcome]]":
     """Binary search the minimum feasible integer ``phi``.
 
@@ -266,6 +275,8 @@ def search_min_phi(
                 engine=engine,
                 seed_labels=seed,
                 max_copies=max_copies,
+                flow=flow,
+                kernel=kernel,
             )
         return outcomes[phi].feasible
 
@@ -348,6 +359,8 @@ def run_mapper(
     engine: str = "worklist",
     warm_start: bool = True,
     max_copies: int = DEFAULT_MAX_COPIES,
+    flow: str = "dinic",
+    kernel: str = "compiled",
 ) -> SeqMapResult:
     """Full mapper pipeline: search ``phi``, regenerate the mapping.
 
@@ -369,8 +382,11 @@ def run_mapper(
 
     ``engine`` selects the label engine (``"worklist"`` event-driven,
     ``"rounds"`` classical sweep), ``warm_start`` toggles cross-probe
-    label seeding and ``max_copies`` bounds each partial expansion —
-    all three leave ``phi`` and the labels bit-identical.
+    label seeding, ``max_copies`` bounds each partial expansion, and
+    ``flow`` / ``kernel`` select the max-flow engine
+    (``"dinic"``/``"ek"``) and copy representation
+    (``"compiled"``/``"object"``) — all of them leave ``phi`` and the
+    labels bit-identical.
     """
     ub = upper_bound if upper_bound is not None else min_feasible_period(circuit)
     if budget is None:
@@ -395,6 +411,8 @@ def run_mapper(
             engine=engine,
             warm_start=warm_start,
             max_copies=max_copies,
+            flow=flow,
+            kernel=kernel,
         )
     else:
         phi, outcomes = search_min_phi(
@@ -410,6 +428,8 @@ def run_mapper(
             engine=engine,
             warm_start=warm_start,
             max_copies=max_copies,
+            flow=flow,
+            kernel=kernel,
         )
     t_search = time.perf_counter() - t0
     labels = outcomes[phi].labels

@@ -134,7 +134,7 @@ def expand_partial(
     result.interior.append((v, 0))
     count = 1
     fanin_pairs = circuit.fanin_pairs()
-    kinds = [circuit.kind(u) for u in circuit.node_ids()]
+    kinds = circuit.kind_list()
     dedup: Dict[int, List[Tuple[int, int]]] = {}
     while stack:
         u, w = stack.pop()
@@ -178,6 +178,7 @@ def sequential_cone_function(
     circuit: SeqCircuit,
     root: int,
     cut: Sequence[Copy],
+    max_copies: int = DEFAULT_MAX_COPIES,
 ) -> TruthTable:
     """Exact function of ``root^0`` over the ordered cut copies.
 
@@ -185,6 +186,11 @@ def sequential_cone_function(
     ``cut[i]``); copies between the cut and the root are evaluated through
     their gate functions.  Raises when the cut does not cover the
     expansion (a PI or an unbounded regress is reached).
+
+    The cone lies inside the partial expansion that produced ``cut``, so
+    its copy count is bounded by the same ``max_copies`` the expansion
+    ran under; exceeding it means the cut fails to cover the cone (an
+    unbounded regress) and raises :class:`ExpansionOverflow`.
     """
     cut = list(cut)
     m = len(cut)
@@ -214,8 +220,8 @@ def sequential_cone_function(
                 f"cut does not cover copy ({circuit.name_of(u)}, {w})"
             )
         guard += 1
-        if guard > 500_000:
-            raise RuntimeError("sequential cone evaluation exploded")
+        if guard > max_copies:
+            raise ExpansionOverflow(circuit.name_of(root), max_copies)
         for pin in circuit.fanins(u):
             child = (pin.src, w + pin.weight)
             if child in values or state.get(child) == 1:

@@ -18,10 +18,11 @@ the paper uses for area.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Union
 
 from repro.comb.maxflow import SplitNetwork
 from repro.core.expanded import Copy, PartialExpansion, expand_partial
+from repro.kernel.expand import PackedCutArena, PackedExpansion, cut_on_packed
 from repro.netlist.graph import SeqCircuit
 
 
@@ -33,6 +34,7 @@ def find_height_cut(
     threshold: int,
     max_cut: int,
     extra_depth: int = 0,
+    max_copies: Optional[int] = None,
 ) -> Optional[List[Copy]]:
     """A cut of ``E_v`` with height ``<= threshold`` and at most
     ``max_cut`` nodes, or ``None``.
@@ -43,23 +45,40 @@ def find_height_cut(
     bounds the cut size.  ``extra_depth`` expands through candidate copies
     below the threshold (see :mod:`repro.core.expanded`).
     """
+    kwargs = {} if max_copies is None else {"max_copies": max_copies}
     expansion = expand_partial(
-        circuit, v, phi, height_of, threshold, extra_depth=extra_depth
+        circuit, v, phi, height_of, threshold, extra_depth=extra_depth,
+        **kwargs,
     )
     return cut_on_expansion(expansion, max_cut)
 
 
 def cut_on_expansion(
-    expansion: PartialExpansion,
+    expansion: Union[PartialExpansion, PackedExpansion],
     max_cut: int,
-    arena: Optional[SplitNetwork] = None,
+    arena: Optional[Union[SplitNetwork, PackedCutArena]] = None,
 ) -> Optional[List[Copy]]:
     """Run the bounded flow on a prepared partial expansion.
 
     ``arena`` recycles a caller-owned :class:`SplitNetwork` (reset in
     place) instead of allocating a fresh one — the label solver reuses
     one arena across all of its flow queries.
+
+    Accepts either engine's expansion: a
+    :class:`~repro.kernel.expand.PackedExpansion` (compiled kernel) is
+    routed to :func:`~repro.kernel.expand.cut_on_packed` and its cut
+    decoded back to ``(u, w)`` tuples, so callers downstream of the
+    label solver (sequential decomposition, mapping replay) see one cut
+    type regardless of kernel.
     """
+    if isinstance(expansion, PackedExpansion):
+        packed_arena = arena if isinstance(arena, PackedCutArena) else None
+        packed = cut_on_packed(expansion, max_cut, packed_arena)
+        if packed is None:
+            return None
+        return expansion.unpack_copies(packed)
+    if isinstance(arena, PackedCutArena):
+        raise TypeError("PackedCutArena cannot back a tuple-copy expansion")
     if expansion.blocked:
         return None
     assert len(expansion.edges) == len(set(expansion.edges)), (

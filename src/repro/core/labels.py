@@ -67,7 +67,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Set, Tuple
 
-from repro.comb.maxflow import SplitNetwork
+from repro.comb.maxflow import FLOWS, SplitNetwork
 from repro.core.expanded import (
     DEFAULT_MAX_COPIES,
     PartialExpansion,
@@ -75,11 +75,25 @@ from repro.core.expanded import (
 )
 from repro.core.kcut import cut_on_expansion
 from repro.core.pld import grounded_members
+from repro.kernel.csr import KIND_GATE
+from repro.kernel.expand import (
+    PackedCutArena,
+    PackedExpansion,
+    cut_on_packed,
+    expand_partial_packed,
+)
 from repro.netlist.graph import NodeKind, SeqCircuit
 from repro.resilience.budget import ProbeTimeout
 
 #: Valid values of :class:`LabelSolver`'s ``engine`` parameter.
 ENGINES = ("worklist", "rounds")
+
+#: Valid values of :class:`LabelSolver`'s ``kernel`` parameter:
+#: ``"compiled"`` runs expansions and cut queries on the circuit's flat
+#: CSR arrays with packed-int copies (:mod:`repro.kernel`);
+#: ``"object"`` is the tuple-and-dict engine, retained for differential
+#: testing.  Both produce bit-identical labels, cuts, and counters.
+KERNELS = ("compiled", "object")
 
 
 @dataclass
@@ -94,6 +108,11 @@ class LabelStats:
     larger-phi label set, ``warm_savings`` the total label raises such
     seeds skipped, and ``expansions_reused`` the partial expansions the
     resynthesis hook reused instead of rebuilding.
+
+    ``dinic_phases`` / ``arcs_advanced`` are the Dinic flow engine's
+    deterministic work counters (level-graph BFS phases run and arcs
+    examined by the blocking-flow search, summed over all cut queries);
+    both stay 0 under the Edmonds-Karp engine.
     """
 
     rounds: int = 0
@@ -106,6 +125,8 @@ class LabelStats:
     warm_seeded: int = 0
     warm_savings: int = 0
     expansions_reused: int = 0
+    dinic_phases: int = 0
+    arcs_advanced: int = 0
     t_total: float = 0.0
     t_expand: float = 0.0
     t_flow: float = 0.0
@@ -123,6 +144,8 @@ class LabelStats:
         self.warm_seeded += other.warm_seeded
         self.warm_savings += other.warm_savings
         self.expansions_reused += other.expansions_reused
+        self.dinic_phases += other.dinic_phases
+        self.arcs_advanced += other.arcs_advanced
         self.t_total += other.t_total
         self.t_expand += other.t_expand
         self.t_flow += other.t_flow
@@ -170,6 +193,8 @@ class LabelSolver:
         engine: str = "worklist",
         seed_labels: Optional[Sequence[int]] = None,
         max_copies: int = DEFAULT_MAX_COPIES,
+        flow: str = "dinic",
+        kernel: str = "compiled",
     ) -> None:
         if phi < 1:
             raise ValueError("target clock period must be at least 1")
@@ -178,6 +203,16 @@ class LabelSolver:
                 f"unknown label engine {engine!r}; valid engines: "
                 + ", ".join(ENGINES)
             )
+        if flow not in FLOWS:
+            raise ValueError(
+                f"unknown flow engine {flow!r}; valid engines: "
+                + ", ".join(FLOWS)
+            )
+        if kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; valid kernels: "
+                + ", ".join(KERNELS)
+            )
         self.circuit = circuit
         self.k = k
         self.phi = phi
@@ -185,6 +220,8 @@ class LabelSolver:
         self.pld = pld
         self.extra_depth = extra_depth
         self.engine = engine
+        self.flow = flow
+        self.kernel = kernel
         self.max_copies = max_copies
         #: Absolute ``time.monotonic()`` value by which the run must
         #: finish; checked cooperatively once per label round, raising
@@ -224,7 +261,9 @@ class LabelSolver:
         self._check_l: List[Optional[int]] = [None] * n
         self._check_result: List[Optional[bool]] = [None] * n
         self._check_cone: List[Optional[List[int]]] = [None] * n
-        self._check_expansion: List[Optional[PartialExpansion]] = [None] * n
+        self._check_expansion: List[
+            Optional["PartialExpansion | PackedExpansion"]
+        ] = [None] * n
         # Worklist memo guards: per gate, cone member -> the largest
         # label under which the member's frontier copies keep their tier
         # (candidate: height <= threshold; gate leaf: height <= floor).
@@ -259,8 +298,17 @@ class LabelSolver:
         # worklist conservatively re-enqueues every such gate after any
         # in-SCC label rise (upstream SCCs are already frozen).
         self._resyn_dep: Set[int] = set()
-        # One flow-network arena recycled across every cut query.
-        self._flow_arena = SplitNetwork()
+        # One scratch arena recycled across every cut query: the packed
+        # builder (compiled kernel) or the tuple-keyed SplitNetwork
+        # (object kernel), each backed by the selected flow engine.
+        if kernel == "compiled":
+            self._cc = circuit.compiled()
+            self._packed_arena = PackedCutArena(flow=flow)
+            self._flow_arena = None
+        else:
+            self._cc = None
+            self._packed_arena = None
+            self._flow_arena = SplitNetwork(flow=flow)
 
     # ------------------------------------------------------------------
     def height_of(self, u: int, w: int) -> int:
@@ -335,20 +383,56 @@ class LabelSolver:
                     self.stats.cache_hits += 1
                     return True
         t0 = time.perf_counter()
-        expansion = expand_partial(
-            self.circuit,
-            v,
-            self.phi,
-            self.height_of,
-            threshold,
-            extra_depth=self.extra_depth,
-            max_copies=self.max_copies,
-        )
+        compiled = self.kernel == "compiled"
+        if compiled:
+            expansion = expand_partial_packed(
+                self._cc,
+                v,
+                self.phi,
+                self.labels,
+                threshold,
+                extra_depth=self.extra_depth,
+                max_copies=self.max_copies,
+                name_of=self.circuit.name_of,
+            )
+        else:
+            expansion = expand_partial(
+                self.circuit,
+                v,
+                self.phi,
+                self.height_of,
+                threshold,
+                extra_depth=self.extra_depth,
+                max_copies=self.max_copies,
+            )
         t1 = time.perf_counter()
         self.stats.t_expand += t1 - t0
         self.stats.flow_queries += 1
-        cut = cut_on_expansion(expansion, self.k, arena=self._flow_arena)
+        if compiled:
+            packed_cut = cut_on_packed(
+                expansion, self.k, arena=self._packed_arena
+            )
+            cut = (
+                None
+                if packed_cut is None
+                else expansion.unpack_copies(packed_cut)
+            )
+            phases, arcs = self._packed_arena.drain_counters()
+        else:
+            cut = cut_on_expansion(expansion, self.k, arena=self._flow_arena)
+            phases, arcs = self._flow_arena.drain_counters()
         self.stats.t_flow += time.perf_counter() - t1
+        self.stats.dinic_phases += phases
+        self.stats.arcs_advanced += arcs
+        # Both kernels feed the memo the same view: frontier copies as
+        # (u, w) pairs.  Packed tiers decode lazily here — the frontier
+        # is tiny next to the interior the hot loops just traversed.
+        if compiled:
+            candidates = expansion.unpack_copies(expansion.candidates)
+            leaves = expansion.unpack_copies(expansion.leaves)
+        else:
+            candidates = expansion.candidates
+            leaves = expansion.leaves
         if self.engine == "worklist":
             # Tier caps: a frontier copy u^w keeps its tier while
             # l(u) - phi*w + 1 stays at or below its bound, i.e. while
@@ -359,16 +443,24 @@ class LabelSolver:
             guard: dict = {}
             if not expansion.blocked:
                 floor = threshold - self.extra_depth * self.phi
-                for u, w in expansion.candidates:
+                for u, w in candidates:
                     cap = threshold + self.phi * w - 1
                     if guard.get(u, cap + 1) > cap:
                         guard[u] = cap
-                kind = self.circuit.kind
-                for u, w in expansion.leaves:
-                    if kind(u) is NodeKind.GATE:
-                        cap = floor + self.phi * w - 1
-                        if guard.get(u, cap + 1) > cap:
-                            guard[u] = cap
+                if compiled:
+                    kinds = self._cc.kinds
+                    for u, w in leaves:
+                        if kinds[u] == KIND_GATE:
+                            cap = floor + self.phi * w - 1
+                            if guard.get(u, cap + 1) > cap:
+                                guard[u] = cap
+                else:
+                    kind = self.circuit.kind
+                    for u, w in leaves:
+                        if kind(u) is NodeKind.GATE:
+                            cap = floor + self.phi * w - 1
+                            if guard.get(u, cap + 1) > cap:
+                                guard[u] = cap
             old_guard = self._check_guard[v]
             if old_guard:
                 for u in old_guard:
@@ -380,11 +472,16 @@ class LabelSolver:
                 self._check_cut[v] = cut
         else:
             cone_nodes = {v}
-            for u, _w in expansion.interior:
+            if compiled:
+                mask = self._cc.mask
+                for p in expansion.interior:
+                    cone_nodes.add(p & mask)
+            else:
+                for u, _w in expansion.interior:
+                    cone_nodes.add(u)
+            for u, _w in candidates:
                 cone_nodes.add(u)
-            for u, _w in expansion.candidates:
-                cone_nodes.add(u)
-            for u, _w in expansion.leaves:
+            for u, _w in leaves:
                 cone_nodes.add(u)
             self._check_cone[v] = list(cone_nodes)
             self._check_stamp[v] = self._clock
@@ -393,8 +490,15 @@ class LabelSolver:
         self._check_expansion[v] = expansion
         return cut is not None
 
-    def expansion_for(self, v: int, threshold: int) -> Optional[PartialExpansion]:
+    def expansion_for(
+        self, v: int, threshold: int
+    ) -> Optional["PartialExpansion | PackedExpansion"]:
         """The cached partial expansion of ``E_v`` at ``threshold``.
+
+        The expansion type follows the solver's kernel — a
+        :class:`~repro.kernel.expand.PackedExpansion` under
+        ``kernel="compiled"`` — and
+        :func:`repro.core.kcut.cut_on_expansion` accepts either.
 
         Valid only while ``_memo_valid`` can prove the recorded
         expansion still holds — structurally for the worklist engine

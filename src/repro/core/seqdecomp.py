@@ -50,6 +50,7 @@ def find_seq_resynthesis(
     cmax: int = DEFAULT_CMAX,
     extra_depth: int = 0,
     first_expansion: Optional[PartialExpansion] = None,
+    max_copies: Optional[int] = None,
 ) -> Optional[SeqResyn]:
     """Try to realize label ``deadline`` for ``v`` through decomposition.
 
@@ -59,10 +60,15 @@ def find_seq_resynthesis(
     ``first_expansion`` is an optional pre-built partial expansion of
     ``E_v`` at height ``deadline`` (under the *current* labels): the
     label solver hands over the expansion its just-failed K-cut check
-    built, so the ``h = 0`` min-cut query skips the identical
-    re-expansion (the expansion depends only on ``v``, the threshold and
-    the label heights — not on the cut-size bound).
+    built — from either kernel; :func:`cut_on_expansion` dispatches on
+    the expansion type — so the ``h = 0`` min-cut query skips the
+    identical re-expansion (the expansion depends only on ``v``, the
+    threshold and the label heights — not on the cut-size bound).
+
+    ``max_copies`` bounds both the deeper re-expansions and the cone
+    evaluations (``None``: the module default).
     """
+    cone_kwargs = {} if max_copies is None else {"max_copies": max_copies}
 
     def height_of(u: int, w: int) -> int:
         return labels[u] - phi * w + 1
@@ -75,7 +81,7 @@ def find_seq_resynthesis(
         else:
             cut = find_height_cut(
                 circuit, v, phi, height_of, threshold, max_cut=cmax,
-                extra_depth=extra_depth,
+                extra_depth=extra_depth, max_copies=max_copies,
             )
         if cut is None:
             return None  # blocked or wider than Cmax: deeper only grows
@@ -85,10 +91,10 @@ def find_seq_resynthesis(
         previous_cut = cut_t
         if not cut:
             # Constant cone: a zero-input LUT always meets any deadline >= 1.
-            func = sequential_cone_function(circuit, v, [])
+            func = sequential_cone_function(circuit, v, [], **cone_kwargs)
             tree = synthesize_lut_tree(func, [], k, deadline)
             return SeqResyn((), tree) if tree is not None else None
-        func = sequential_cone_function(circuit, v, cut)
+        func = sequential_cone_function(circuit, v, cut, **cone_kwargs)
         arrival = [labels[u] - phi * w for (u, w) in cut]
         tree = synthesize_lut_tree(func, arrival, k, deadline)
         if tree is not None:

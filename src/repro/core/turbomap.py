@@ -35,6 +35,8 @@ def turbomap(
     engine: str = "worklist",
     warm_start: bool = True,
     max_copies: int = DEFAULT_MAX_COPIES,
+    flow: str = "dinic",
+    kernel: str = "compiled",
 ) -> SeqMapResult:
     """Map ``circuit`` onto K-LUTs minimizing the MDR ratio (no resynthesis).
 
@@ -80,6 +82,14 @@ def turbomap(
     max_copies:
         Per-query safety bound on the partial-expansion size
         (:class:`repro.core.expanded.ExpansionOverflow` on excess).
+    flow:
+        Max-flow engine for the cut queries: ``"dinic"`` (level-graph
+        phases, the default) or ``"ek"`` (Edmonds-Karp); identical cuts
+        either way (:mod:`repro.kernel`).
+    kernel:
+        Copy representation of the hot loops: ``"compiled"`` (flat CSR
+        arrays + packed ints, the default) or ``"object"``
+        (tuple-and-dict); identical labels and mappings either way.
     """
     return run_mapper(
         circuit,
@@ -97,4 +107,6 @@ def turbomap(
         engine=engine,
         warm_start=warm_start,
         max_copies=max_copies,
+        flow=flow,
+        kernel=kernel,
     )

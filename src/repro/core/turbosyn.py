@@ -45,6 +45,8 @@ def turbosyn(
     engine: str = "worklist",
     warm_start: bool = True,
     max_copies: int = DEFAULT_MAX_COPIES,
+    flow: str = "dinic",
+    kernel: str = "compiled",
 ) -> SeqMapResult:
     """Map ``circuit`` onto K-LUTs minimizing the MDR ratio with
     sequential functional decomposition.
@@ -60,8 +62,10 @@ def turbosyn(
     marker, attempt count) accumulates over the whole pipeline.
     ``engine``, ``warm_start`` and ``max_copies`` select the label engine
     (see :class:`repro.core.labels.LabelSolver`), cross-probe label
-    seeding, and the partial-expansion safety bound; they apply to the
-    TurboMap bound run too.
+    seeding, and the partial-expansion safety bound; ``flow`` and
+    ``kernel`` select the max-flow engine and copy representation
+    (:mod:`repro.kernel`).  All of them apply to the TurboMap bound run
+    too and leave the results bit-identical.
     """
     if budget is not None:
         budget.start()  # the deadline clock covers the TurboMap bound too
@@ -70,6 +74,7 @@ def turbosyn(
             circuit, k, pld=pld, extra_depth=extra_depth, workers=workers,
             check=False, budget=budget,
             engine=engine, warm_start=warm_start, max_copies=max_copies,
+            flow=flow, kernel=kernel,
         ).phi
     return run_mapper(
         circuit,
@@ -87,4 +92,6 @@ def turbosyn(
         engine=engine,
         warm_start=warm_start,
         max_copies=max_copies,
+        flow=flow,
+        kernel=kernel,
     )

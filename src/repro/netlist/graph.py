@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.boolfn.truthtable import TruthTable
 
@@ -77,6 +77,22 @@ class SeqCircuit:
         self._index: Dict[str, int] = {}
         self._fanouts: Optional[List[List[Tuple[int, int]]]] = None
         self._fanin_pairs: Optional[List[List[Tuple[int, int]]]] = None
+        self._kind_list: Optional[List[NodeKind]] = None
+        self._compiled: Optional[object] = None
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # Derived caches (fanouts, fanin pairs, kinds, the compiled CSR
+        # kernel) are cheap to rebuild and can be large; dropping them
+        # keeps pickles small — notably the circuit payload shipped to
+        # probe worker processes, which receive the compiled kernel
+        # through the zero-copy channel instead
+        # (:mod:`repro.kernel.share`).
+        state = self.__dict__.copy()
+        state["_fanouts"] = None
+        state["_fanin_pairs"] = None
+        state["_kind_list"] = None
+        state["_compiled"] = None
+        return state
 
     # ------------------------------------------------------------------
     # Construction
@@ -89,6 +105,8 @@ class SeqCircuit:
         self._index[node.name] = nid
         self._fanouts = None
         self._fanin_pairs = None
+        self._kind_list = None
+        self._compiled = None
         return nid
 
     def add_pi(self, name: str) -> int:
@@ -154,6 +172,7 @@ class SeqCircuit:
         node.fanins = pins
         self._fanouts = None
         self._fanin_pairs = None
+        self._compiled = None
 
     def _check_id(self, nid: int) -> None:
         if not 0 <= nid < len(self._nodes):
@@ -255,6 +274,43 @@ class SeqCircuit:
                 [(p.src, p.weight) for p in n.fanins] for n in self._nodes
             ]
         return self._fanin_pairs
+
+    def kind_list(self) -> List[NodeKind]:
+        """Per-node kinds as a dense list, cached.
+
+        The hot traversal loops (one expanded-circuit construction per
+        flow query) classify every visited copy by its node's kind;
+        indexing this cached list replaces a method call plus attribute
+        access per copy.  Invalidated by node insertion (rewiring keeps
+        kinds intact).
+        """
+        if self._kind_list is None:
+            self._kind_list = [n.kind for n in self._nodes]
+        return self._kind_list
+
+    def compiled(self) -> Any:
+        """The circuit compiled into flat CSR arrays, cached.
+
+        Returns the :class:`repro.kernel.csr.CompiledCircuit` backing
+        the compiled label kernel; built on first use and invalidated
+        by any structural mutation (node insertion or rewiring), like
+        :meth:`fanin_pairs`.
+        """
+        if self._compiled is None:
+            from repro.kernel.csr import compile_circuit
+
+            self._compiled = compile_circuit(self)
+        return self._compiled
+
+    def adopt_compiled(self, compiled: object) -> None:
+        """Install an externally built compiled kernel (worker handoff).
+
+        Probe worker processes receive the CSR arrays through the
+        zero-copy channel (:mod:`repro.kernel.share`) and adopt them
+        here so no worker recompiles the kernel.  The caller guarantees
+        the arrays describe this circuit's current structure.
+        """
+        self._compiled = compiled
 
     def max_fanin(self) -> int:
         return max((len(n.fanins) for n in self._nodes if n.kind is NodeKind.GATE), default=0)

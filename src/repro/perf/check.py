@@ -13,16 +13,18 @@ Compares every ``(circuit, algorithm)`` run present in *both* reports:
 * **seconds** — noisy across machines, so by default a slowdown beyond
   the tolerance is only *warned* about; pass ``--time-tolerance`` to turn
   the time comparison into a hard gate (e.g. on a dedicated perf host);
-* **counters** — ``stats.flow_queries`` and ``stats.updates`` are
-  *deterministic* work measures (unlike wall clock), so a growth beyond
+* **counters** — ``stats.flow_queries``, ``stats.updates``,
+  ``stats.dinic_phases`` and ``stats.arcs_advanced`` are *deterministic*
+  work measures (unlike wall clock), so a growth beyond
   ``--counter-tolerance`` (default 10%) is a hard fail — but only when
   the two runs are actually comparable: the report envelopes must
   declare the same label-engine configuration (``engine`` and
-  ``warm_start``, absent in schema-1/2 baselines) and the two runs the
-  same ``workers`` count (a parallel search probes a different phi set,
-  so its counters are not comparable run-to-run).  Incomparable counter
-  growth only warns.  Pass ``--no-counters`` to skip counter checks
-  entirely.
+  ``warm_start``, absent in schema-1/2 baselines; ``flow`` and
+  ``kernel``, absent in schema-3 baselines, match when both declare
+  them) and the two runs the same ``workers`` count (a parallel search
+  probes a different phi set, so its counters are not comparable
+  run-to-run).  Incomparable counter growth only warns.  Pass
+  ``--no-counters`` to skip counter checks entirely.
 
 Resilience-aware (schema 2): a *degraded* current run (its budget
 expired, so its phi/luts are best-known values rather than proven
@@ -71,7 +73,21 @@ def _index(report: dict) -> Dict[RunKey, dict]:
 
 
 #: Deterministic LabelStats counters gated by ``counter_tolerance``.
-GATED_COUNTERS = ("flow_queries", "updates")
+#: ``dinic_phases`` / ``arcs_advanced`` are zero under the EK flow engine
+#: (the gate skips counters with a zero/absent baseline), so they only
+#: bite on Dinic-vs-Dinic comparisons.
+GATED_COUNTERS = ("flow_queries", "updates", "dinic_phases", "arcs_advanced")
+
+
+def _same_declared(baseline: dict, current: dict, key: str) -> bool:
+    """True unless *both* envelopes declare ``key`` and the values differ.
+
+    Schema-3 baselines predate the ``flow`` / ``kernel`` fields (loaded
+    as ``None``); an undeclared side is treated as unknown rather than
+    as a mismatch, so old baselines keep their counter gate.
+    """
+    b_val, c_val = baseline.get(key), current.get(key)
+    return b_val is None or c_val is None or b_val == c_val
 
 
 def _counters_comparable(baseline: dict, current: dict) -> bool:
@@ -80,6 +96,8 @@ def _counters_comparable(baseline: dict, current: dict) -> bool:
         baseline.get("engine") is not None
         and baseline.get("engine") == current.get("engine")
         and baseline.get("warm_start") == current.get("warm_start")
+        and _same_declared(baseline, current, "flow")
+        and _same_declared(baseline, current, "kernel")
     )
 
 
@@ -102,9 +120,13 @@ def compare(
         result.warnings.append(
             "engine configuration differs or is undeclared "
             f"(baseline engine={baseline.get('engine')!r} "
-            f"warm_start={baseline.get('warm_start')!r}, current "
+            f"warm_start={baseline.get('warm_start')!r} "
+            f"flow={baseline.get('flow')!r} "
+            f"kernel={baseline.get('kernel')!r}, current "
             f"engine={current.get('engine')!r} "
-            f"warm_start={current.get('warm_start')!r}): counter growth "
+            f"warm_start={current.get('warm_start')!r} "
+            f"flow={current.get('flow')!r} "
+            f"kernel={current.get('kernel')!r}): counter growth "
             "only warns"
         )
     for err in current.get("errors", []):
@@ -255,9 +277,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=float,
         default=0.10,
         help="relative slack for the deterministic work counters "
-        "(stats.flow_queries, stats.updates; default 0.10); hard gate "
-        "only when both reports declare the same engine configuration "
-        "and the runs the same worker count",
+        "(stats.flow_queries, stats.updates, stats.dinic_phases, "
+        "stats.arcs_advanced; default 0.10); hard gate only when both "
+        "reports declare the same engine configuration and the runs "
+        "the same worker count",
     )
     parser.add_argument(
         "--no-counters",

@@ -32,7 +32,13 @@ budget marked exhausted.
 Implementation notes: probes run in a ``ProcessPoolExecutor`` whose
 initializer ships the circuit to each worker exactly once; the fork
 start method is preferred when available so the circuit is inherited
-by copy-on-write instead of pickled.
+by copy-on-write instead of pickled.  Under the compiled kernel the
+circuit's CSR arrays are *published* once (shared-memory segment or
+inline bytes, :mod:`repro.kernel.share`) and attached by each worker in
+the initializer — the circuit pickle itself drops its derived caches
+(:meth:`SeqCircuit.__getstate__`) and no worker recompiles the kernel.
+Per-probe warm seeds travel as packed ``int32`` bytes instead of
+pickled lists.
 """
 
 from __future__ import annotations
@@ -54,6 +60,7 @@ from repro.core.driver import (
 from repro.core.expanded import DEFAULT_MAX_COPIES
 from repro.core.labels import LabelOutcome
 from repro.core.seqdecomp import DEFAULT_CMAX
+from repro.kernel.share import CsrHandle, pack_labels, publish_csr, unpack_labels
 from repro.netlist.graph import SeqCircuit
 from repro.netlist.validate import ensure_mappable
 from repro.resilience.budget import (
@@ -66,7 +73,7 @@ from repro.resilience.retry import RetryPolicy
 
 #: Per-process probe context installed by the pool initializer:
 #: ``(circuit, k, resynthesize, cmax, pld, extra_depth, io_constrained,
-#: probe_timeout, engine, max_copies)``.
+#: probe_timeout, engine, max_copies, flow, kernel)``.
 _WORKER_ARGS: Optional[tuple] = None
 
 
@@ -85,24 +92,34 @@ def _init_worker(
     probe_timeout: Optional[float],
     engine: str,
     max_copies: int,
+    flow: str = "dinic",
+    kernel: str = "compiled",
+    csr_handle: Optional[CsrHandle] = None,
 ) -> None:
     global _WORKER_ARGS
+    if csr_handle is not None and circuit._compiled is None:
+        # Spawned workers receive the circuit without its derived caches
+        # (SeqCircuit.__getstate__); the compiled kernel arrives through
+        # the published handle instead of being recompiled per worker.
+        # Forked workers inherit the parent's compiled arrays by
+        # copy-on-write and skip the attach.
+        circuit.adopt_compiled(csr_handle.attach())
     _WORKER_ARGS = (
         circuit, k, resynthesize, cmax, pld, extra_depth, io_constrained,
-        probe_timeout, engine, max_copies,
+        probe_timeout, engine, max_copies, flow, kernel,
     )
 
 
 def _probe_worker(
-    phi: int, seed_labels: Optional[List[int]] = None
+    phi: int, seed_blob: Optional[bytes] = None
 ) -> Tuple[int, LabelOutcome]:
     assert _WORKER_ARGS is not None, "worker used before initialization"
     (circuit, k, resynthesize, cmax, pld, extra_depth, io_constrained,
-     probe_timeout, engine, max_copies) = _WORKER_ARGS
+     probe_timeout, engine, max_copies, flow, kernel) = _WORKER_ARGS
     # The timeout is anchored inside probe_phi: it covers label-
     # computation time, not time spent queued in the pool.  The warm
-    # seed travels with the task (the shared outcome cache lives in the
-    # parent process).
+    # seed travels with the task as packed int32 bytes (the shared
+    # outcome cache lives in the parent process).
     outcome = probe_phi(
         circuit,
         k,
@@ -114,8 +131,10 @@ def _probe_worker(
         io_constrained=io_constrained,
         timeout=probe_timeout,
         engine=engine,
-        seed_labels=seed_labels,
+        seed_labels=unpack_labels(seed_blob),
         max_copies=max_copies,
+        flow=flow,
+        kernel=kernel,
     )
     return phi, outcome
 
@@ -157,12 +176,17 @@ class _ProbePool:
         budget: Optional[Budget],
         policy: RetryPolicy,
         warm_start: bool = True,
+        csr_handle: Optional[CsrHandle] = None,
     ) -> None:
         self._initargs = initargs
         self._workers = workers
         self._budget = budget
         self._policy = policy
         self._warm_start = warm_start
+        # Owner side of the published compiled circuit; must outlive
+        # every pool restart (the same handle re-initializes rebuilt
+        # pools) and is released exactly once, on shutdown.
+        self._csr_handle = csr_handle
         self._pool: Optional[ProcessPoolExecutor] = None
         self.failures = 0
 
@@ -183,6 +207,8 @@ class _ProbePool:
 
     def shutdown(self) -> None:
         self._recycle()
+        if self._csr_handle is not None:
+            self._csr_handle.unlink()
 
     def _on_broken_pool(self) -> None:
         self._recycle()
@@ -214,7 +240,7 @@ class _ProbePool:
                     pool.submit(
                         _probe_worker,
                         p,
-                        nearest_warm_seed(outcomes, p)
+                        pack_labels(nearest_warm_seed(outcomes, p))
                         if self._warm_start
                         else None,
                     )
@@ -266,6 +292,8 @@ def parallel_search_min_phi(
     engine: str = "worklist",
     warm_start: bool = True,
     max_copies: int = DEFAULT_MAX_COPIES,
+    flow: str = "dinic",
+    kernel: str = "compiled",
 ) -> Tuple[int, Dict[int, LabelOutcome]]:
     """Find the minimum feasible ``phi`` with speculative parallel probes.
 
@@ -279,9 +307,12 @@ def parallel_search_min_phi(
     :class:`BudgetExhausted` when there is none); ``retry`` governs
     worker-pool restarts after ``BrokenProcessPool`` failures, after
     which the search falls back to sequential probing seeded with the
-    outcome cache.  ``engine`` / ``warm_start`` / ``max_copies`` are the
-    label-engine options of :func:`repro.core.driver.search_min_phi`;
-    warm seeds ship with each submitted probe task.
+    outcome cache.  ``engine`` / ``warm_start`` / ``max_copies`` /
+    ``flow`` / ``kernel`` are the label-engine options of
+    :func:`repro.core.driver.search_min_phi`; warm seeds ship with each
+    submitted probe task as packed ``int32`` bytes, and under
+    ``kernel="compiled"`` the circuit's CSR arrays are published to the
+    workers once (:func:`repro.kernel.share.publish_csr`).
     """
     if workers is None:
         workers = os.cpu_count() or 1
@@ -299,6 +330,8 @@ def parallel_search_min_phi(
             engine=engine,
             warm_start=warm_start,
             max_copies=max_copies,
+            flow=flow,
+            kernel=kernel,
         )
     ensure_mappable(circuit, k)
     if budget is not None:
@@ -306,13 +339,17 @@ def parallel_search_min_phi(
     policy = retry if retry is not None else RetryPolicy()
     outcomes: Dict[int, LabelOutcome] = {}
     probe_timeout = budget.probe_timeout if budget is not None else None
+    csr_handle = (
+        publish_csr(circuit.compiled()) if kernel == "compiled" else None
+    )
     runner = _ProbePool(
         (circuit, k, resynthesize, cmax, pld, extra_depth, io_constrained,
-         probe_timeout, engine, max_copies),
+         probe_timeout, engine, max_copies, flow, kernel, csr_handle),
         workers,
         budget,
         policy,
         warm_start=warm_start,
+        csr_handle=csr_handle,
     )
     top, ceiling = search_bounds(circuit, upper_bound, io_constrained)
     lo = 1
@@ -364,6 +401,8 @@ def parallel_search_min_phi(
             engine=engine,
             warm_start=warm_start,
             max_copies=max_copies,
+            flow=flow,
+            kernel=kernel,
         )
     except (DeadlineExpired, ProbeTimeout) as exc:
         if budget is None or best is None:

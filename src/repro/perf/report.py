@@ -1,15 +1,18 @@
 """JSON run reports: the machine-readable perf/quality telemetry schema.
 
-Schema (version 3) — one *suite report* wraps any number of *mapper
+Schema (version 4) — one *suite report* wraps any number of *mapper
 runs* plus the structured *errors* of cells that failed::
 
     {
-      "schema": 3,
+      "schema": 4,
       "kind": "suite",                 # or "map" for a single-run report
       "python": "3.11.7", "platform": "Linux-...",
       "k": 5, "workers": 1,
       "engine": "worklist",            # label engine of the phi probes
       "warm_start": true,              # cross-probe label seeding
+      "flow": "dinic",                 # max-flow engine (dinic / ek)
+      "kernel": "compiled",            # copy representation
+                                       # (compiled CSR / object tuples)
       "runs": [
         {
           "circuit": "bbara", "algorithm": "turbomap",
@@ -31,6 +34,7 @@ runs* plus the structured *errors* of cells that failed::
             "resyn_calls": ..., "resyn_wins": ...,
             "warm_seeded": ..., "warm_savings": ...,
             "expansions_reused": ...,
+            "dinic_phases": ..., "arcs_advanced": ...,
             "t_total": ..., "t_expand": ..., "t_flow": ..., "t_pld": ...
           }
         }, ...
@@ -44,12 +48,14 @@ runs* plus the structured *errors* of cells that failed::
       ]
     }
 
-Version 1 reports (no ``errors``, ``attempts`` or ``degraded``) and
+Version 1 reports (no ``errors``, ``attempts`` or ``degraded``),
 version 2 reports (no ``engine`` / ``warm_start`` envelope fields, no
-warm-start counters in ``stats``) load fine: :func:`load_report` fills
-the new envelope fields in, the regression gate treats absent run
-fields as non-degraded, and the counter gate only compares counters
-when both reports declare the same engine configuration.
+warm-start counters in ``stats``) and version 3 reports (no ``flow`` /
+``kernel`` envelope fields, no Dinic counters in ``stats``) load fine:
+:func:`load_report` fills the new envelope fields in, the regression
+gate treats absent run fields as non-degraded, and the counter gate
+only compares counters when both reports declare the same engine
+configuration.
 
 ``benchmarks/baseline.json`` is a committed suite report; CI regenerates
 a fresh one and gates on :mod:`repro.perf.check`.  The pytest-benchmark
@@ -69,7 +75,7 @@ from typing import IO, Dict, List, Optional, Union
 
 from repro.resilience.atomic import atomic_write_json
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 
 def _environment() -> Dict[str, str]:
@@ -159,6 +165,8 @@ def suite_report(
     errors: Optional[List[dict]] = None,
     engine: str = "worklist",
     warm_start: bool = True,
+    flow: str = "dinic",
+    kernel: str = "compiled",
 ) -> dict:
     """Wrap mapper runs in a schema-versioned report envelope."""
     report = {"schema": SCHEMA_VERSION, "kind": kind}
@@ -168,6 +176,8 @@ def suite_report(
     report["workers"] = workers
     report["engine"] = engine
     report["warm_start"] = warm_start
+    report["flow"] = flow
+    report["kernel"] = kernel
     report["runs"] = runs
     report["errors"] = list(errors) if errors else []
     return report
@@ -199,4 +209,7 @@ def load_report(path: str) -> dict:
     # counter gate then skips hard counter comparisons).
     data.setdefault("engine", None)
     data.setdefault("warm_start", None)
+    # Absent in schema-3 reports: an unknown flow/kernel configuration.
+    data.setdefault("flow", None)
+    data.setdefault("kernel", None)
     return data

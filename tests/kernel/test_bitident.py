@@ -1,0 +1,115 @@
+"""End-to-end bit-identity across the engine matrix.
+
+The acceptance bar of the kernel layer: ``dinic+compiled`` (the new
+default) must produce byte-for-byte the same labels, phi, and mappings
+as ``ek+object`` (the original engine), with identical deterministic
+work counters where the engines share them.
+"""
+
+import pytest
+
+from repro.bench import suite as bench_suite
+from repro.core.labels import LabelSolver
+from repro.core.turbomap import turbomap
+from repro.core.turbosyn import turbosyn
+
+MATRIX = [
+    ("ek", "object"),
+    ("ek", "compiled"),
+    ("dinic", "object"),
+    ("dinic", "compiled"),
+]
+
+
+def _min_phi(circuit, k=5):
+    phi = 1
+    while True:
+        if LabelSolver(circuit, k, phi, flow="ek", kernel="object").run().feasible:
+            return phi
+        phi += 1
+
+
+class TestLabelIdentity:
+    @pytest.mark.parametrize("name", ["bbara", "dk16", "s838"])
+    def test_labels_identical_across_matrix(self, name):
+        circuit = bench_suite.build(name)
+        k = 5
+        phi = _min_phi(circuit, k)
+        reference = None
+        for flow, kernel in MATRIX:
+            outcome = LabelSolver(
+                circuit, k, phi, flow=flow, kernel=kernel
+            ).run()
+            assert outcome.feasible
+            if reference is None:
+                reference = outcome
+                continue
+            tag = f"{flow}+{kernel}"
+            assert outcome.labels == reference.labels, tag
+            # The memo/guard logic is shared across kernels, so the
+            # engine-independent work counters must match exactly.
+            assert outcome.stats.flow_queries == reference.stats.flow_queries, tag
+            assert outcome.stats.cache_hits == reference.stats.cache_hits, tag
+            assert outcome.stats.updates == reference.stats.updates, tag
+
+    def test_infeasible_phi_agrees(self):
+        circuit = bench_suite.build("bbara")
+        k = 5
+        phi = _min_phi(circuit, k)
+        if phi == 1:
+            pytest.skip("already feasible at phi=1")
+        for flow, kernel in MATRIX:
+            outcome = LabelSolver(
+                circuit, k, phi - 1, flow=flow, kernel=kernel
+            ).run()
+            assert not outcome.feasible, f"{flow}+{kernel}"
+
+    def test_dinic_counters_populate_only_under_dinic(self):
+        circuit = bench_suite.build("bbara")
+        phi = _min_phi(circuit)
+        dinic = LabelSolver(circuit, 5, phi, flow="dinic").run()
+        ek = LabelSolver(circuit, 5, phi, flow="ek").run()
+        assert dinic.stats.dinic_phases > 0
+        assert dinic.stats.arcs_advanced > 0
+        assert ek.stats.dinic_phases == 0
+        assert ek.stats.arcs_advanced == 0
+
+    def test_engines_validate_arguments(self):
+        circuit = bench_suite.build("bbara")
+        with pytest.raises(ValueError, match="flow"):
+            LabelSolver(circuit, 5, 3, flow="bogus")
+        with pytest.raises(ValueError, match="kernel"):
+            LabelSolver(circuit, 5, 3, kernel="bogus")
+
+
+class TestMapperIdentity:
+    def test_turbomap_matches_reference_engine(self):
+        new = turbomap(bench_suite.build("bbara"), 5, check=False)
+        old = turbomap(
+            bench_suite.build("bbara"), 5, check=False,
+            flow="ek", kernel="object",
+        )
+        assert new.phi == old.phi
+        assert new.n_luts == old.n_luts
+        assert sorted(new.outcomes) == sorted(old.outcomes)
+
+    def test_turbosyn_matches_reference_engine(self):
+        new = turbosyn(bench_suite.build("dk16"), 5, check=False)
+        old = turbosyn(
+            bench_suite.build("dk16"), 5, check=False,
+            flow="ek", kernel="object",
+        )
+        assert new.phi == old.phi
+        assert new.n_luts == old.n_luts
+
+    def test_rounds_engine_accepts_kernel(self):
+        res = turbomap(
+            bench_suite.build("bbara"), 5, check=False,
+            engine="rounds", flow="dinic", kernel="compiled",
+        )
+        ref = turbomap(
+            bench_suite.build("bbara"), 5, check=False,
+            engine="rounds", flow="ek", kernel="object",
+        )
+        assert res.phi == ref.phi
+        assert res.n_luts == ref.n_luts

@@ -1,0 +1,120 @@
+"""Tests for the compiled CSR circuit representation."""
+
+import random
+
+import pytest
+
+from repro.bench import suite as bench_suite
+from repro.kernel.csr import (
+    KIND_GATE,
+    KIND_PI,
+    KIND_PO,
+    CompiledCircuit,
+    compile_circuit,
+    pack_shift,
+)
+from repro.netlist.graph import NodeKind
+from tests.helpers import random_seq_circuit
+
+_KIND_CODE = {NodeKind.PI: KIND_PI, NodeKind.PO: KIND_PO, NodeKind.GATE: KIND_GATE}
+
+
+class TestCompile:
+    @pytest.mark.parametrize("name", ["bbara", "s838"])
+    def test_matches_object_circuit(self, name):
+        circuit = bench_suite.build(name)
+        cc = compile_circuit(circuit)
+        assert cc.n == len(circuit)
+        for u in range(cc.n):
+            assert cc.kinds[u] == _KIND_CODE[circuit.kind(u)]
+            expected = list(
+                dict.fromkeys((p.src, p.weight) for p in circuit.fanins(u))
+            )
+            assert cc.pins(u) == expected
+
+    def test_dedupes_repeated_pins(self):
+        circuit = random_seq_circuit(4, 30, seed=7)
+        cc = compile_circuit(circuit)
+        for u in range(cc.n):
+            pins = cc.pins(u)
+            assert len(pins) == len(set(pins))
+
+    def test_cached_on_circuit_and_invalidated_by_mutation(self):
+        circuit = random_seq_circuit(4, 20, seed=11)
+        cc = circuit.compiled()
+        assert circuit.compiled() is cc  # cached
+        g = circuit.gates[0]
+        pins = [(p.src, p.weight) for p in circuit.fanins(g)]
+        circuit.set_fanins(g, pins)  # structural touch, even if a no-op
+        assert circuit.compiled() is not cc
+
+    def test_pickle_strips_compiled_cache(self):
+        import pickle
+
+        circuit = random_seq_circuit(4, 20, seed=13)
+        circuit.compiled()
+        clone = pickle.loads(pickle.dumps(circuit))
+        assert clone._compiled is None
+        assert clone.compiled().srcs == circuit.compiled().srcs
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("name", ["bbara", "dk16"])
+    def test_round_trip(self, name):
+        cc = compile_circuit(bench_suite.build(name))
+        clone = CompiledCircuit.from_bytes(cc.to_bytes())
+        assert clone.n == cc.n
+        assert clone.shift == cc.shift
+        assert clone.mask == cc.mask
+        assert clone.kinds == cc.kinds
+        assert clone.offsets == cc.offsets
+        assert clone.srcs == cc.srcs
+        assert clone.weights == cc.weights
+
+    def test_round_trip_from_memoryview(self):
+        cc = compile_circuit(random_seq_circuit(4, 25, seed=3))
+        blob = memoryview(cc.to_bytes())
+        assert CompiledCircuit.from_bytes(blob).offsets == cc.offsets
+
+    def test_bad_magic_rejected(self):
+        cc = compile_circuit(random_seq_circuit(3, 10, seed=5))
+        data = bytearray(cc.to_bytes())
+        data[:4] = b"XXXX"
+        with pytest.raises(ValueError, match="magic"):
+            CompiledCircuit.from_bytes(bytes(data))
+
+    def test_bad_version_rejected(self):
+        cc = compile_circuit(random_seq_circuit(3, 10, seed=5))
+        data = bytearray(cc.to_bytes())
+        data[4] = 99
+        with pytest.raises(ValueError, match="version"):
+            CompiledCircuit.from_bytes(bytes(data))
+
+
+class TestPacking:
+    def test_pack_round_trip_property(self):
+        """Seeded random property: unpack(pack(u, w)) == (u, w) and the
+        packing is injective over the copy space."""
+        rng = random.Random(0xC0FFEE)
+        for _ in range(200):
+            n = rng.randint(1, 5000)
+            shift = pack_shift(n)
+            cc = CompiledCircuit(n, shift, [], [0] * (n + 1), [], [])
+            seen = {}
+            for _ in range(50):
+                u = rng.randrange(n)
+                w = rng.randint(0, 1 << 16)
+                p = cc.pack(u, w)
+                assert cc.unpack(p) == (u, w)
+                assert seen.setdefault(p, (u, w)) == (u, w)  # injective
+
+    def test_shift_covers_node_ids(self):
+        for n in (1, 2, 3, 4, 255, 256, 257, 1 << 14):
+            assert (1 << pack_shift(n)) >= n
+            assert pack_shift(n) >= 1
+
+    def test_root_copy_packs_to_node_id(self):
+        # (v, 0) must pack to v itself: the expansion relies on it.
+        cc = CompiledCircuit(100, pack_shift(100), [], [0] * 101, [], [])
+        for v in (0, 1, 42, 99):
+            assert cc.pack(v, 0) == v

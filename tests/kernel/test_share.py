@@ -1,0 +1,126 @@
+"""Zero-copy CSR publication and packed warm-seed transport."""
+
+import pickle
+
+import pytest
+
+from repro.bench import suite as bench_suite
+from repro.kernel.csr import compile_circuit
+from repro.kernel.share import (
+    CsrHandle,
+    pack_labels,
+    publish_csr,
+    unpack_labels,
+)
+from tests.helpers import random_seq_circuit
+
+
+class TestLabelPacking:
+    def test_round_trip(self):
+        labels = [0, 1, 5, 1000, -3, 2**30]
+        assert unpack_labels(pack_labels(labels)) == labels
+
+    def test_none_passes_through(self):
+        assert pack_labels(None) is None
+        assert unpack_labels(None) is None
+
+    def test_empty(self):
+        assert unpack_labels(pack_labels([])) == []
+
+    def test_packed_is_four_bytes_per_label(self):
+        blob = pack_labels(list(range(100)))
+        assert len(blob) == 400
+
+    def test_large_labels_round_trip(self):
+        labels = [2**31 - 1, -(2**31)]
+        assert unpack_labels(pack_labels(labels)) == labels
+
+
+class TestBytesTransport:
+    def test_round_trip(self):
+        cc = compile_circuit(random_seq_circuit(4, 30, seed=1))
+        handle = publish_csr(cc, prefer_shm=False)
+        try:
+            assert handle.transport == "bytes"
+            clone = handle.attach()
+            assert clone.srcs == cc.srcs
+            assert clone.offsets == cc.offsets
+            assert clone.kinds == cc.kinds
+        finally:
+            handle.unlink()
+
+    def test_survives_pickling(self):
+        cc = compile_circuit(random_seq_circuit(4, 30, seed=2))
+        handle = publish_csr(cc, prefer_shm=False)
+        try:
+            received = pickle.loads(pickle.dumps(handle))
+            assert received.attach().srcs == cc.srcs
+        finally:
+            handle.unlink()
+
+    def test_unlink_idempotent(self):
+        handle = publish_csr(
+            compile_circuit(random_seq_circuit(3, 10, seed=3)),
+            prefer_shm=False,
+        )
+        handle.unlink()
+        handle.unlink()  # no-op
+
+
+class TestShmTransport:
+    @pytest.fixture()
+    def shm_handle(self):
+        cc = compile_circuit(bench_suite.build("bbara"))
+        handle = publish_csr(cc)
+        if handle.transport != "shm":
+            handle.unlink()
+            pytest.skip("shared memory unavailable on this platform")
+        yield cc, handle
+        handle.unlink()
+
+    def test_round_trip(self, shm_handle):
+        cc, handle = shm_handle
+        clone = handle.attach()
+        assert clone.srcs == cc.srcs
+        assert clone.weights == cc.weights
+
+    def test_pickled_handle_is_tiny(self, shm_handle):
+        cc, handle = shm_handle
+        # The whole point: the pickle stream carries a segment name, not
+        # the arrays.
+        assert handle.pickled_size() < 256
+        assert handle.pickled_size() < len(cc.to_bytes())
+
+    def test_attach_after_pickling(self, shm_handle):
+        cc, handle = shm_handle
+        received = pickle.loads(pickle.dumps(handle))
+        assert received._shm is None  # never the owner
+        assert received.attach().offsets == cc.offsets
+
+    def test_unlink_releases_segment(self, shm_handle):
+        cc, handle = shm_handle
+        name = handle.shm_name
+        handle.unlink()
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+class TestCircuitAdoption:
+    def test_adopt_compiled_installs_cache(self):
+        circuit = random_seq_circuit(4, 20, seed=4)
+        reference = compile_circuit(circuit)
+        handle = publish_csr(reference, prefer_shm=False)
+        try:
+            clone = pickle.loads(pickle.dumps(circuit))
+            assert clone._compiled is None
+            clone.adopt_compiled(handle.attach())
+            assert clone.compiled().srcs == reference.srcs
+        finally:
+            handle.unlink()
+
+    def test_handle_accepts_missing_payload_fields(self):
+        handle = CsrHandle("bytes", payload=b"", size=0)
+        state = pickle.loads(pickle.dumps(handle))
+        assert state.transport == "bytes"

@@ -5,7 +5,7 @@ import json
 from repro.perf import check as perf_check
 
 
-def _report(runs, errors=None, engine=None, warm_start=None):
+def _report(runs, errors=None, engine=None, warm_start=None, flow=None, kernel=None):
     report = {"schema": 2, "kind": "suite", "runs": runs}
     if errors is not None:
         report["errors"] = errors
@@ -13,6 +13,10 @@ def _report(runs, errors=None, engine=None, warm_start=None):
         report["schema"] = 3
         report["engine"] = engine
         report["warm_start"] = warm_start
+    if flow is not None or kernel is not None:
+        report["schema"] = 4
+        report["flow"] = flow
+        report["kernel"] = kernel
     return report
 
 
@@ -246,6 +250,63 @@ class TestCounterGate:
         comparison = perf_check.compare(base, cur, counter_tolerance=0.10)
         assert comparison.ok
         assert any("not comparable" in w for w in comparison.warnings)
+
+    def test_dinic_counters_gated(self):
+        base = _report(
+            [_run(workers=1)], engine="worklist", warm_start=True
+        )
+        cur = _report(
+            [_run(workers=1)], engine="worklist", warm_start=True
+        )
+        base["runs"][0]["stats"] = {"dinic_phases": 100, "arcs_advanced": 1000}
+        cur["runs"][0]["stats"] = {"dinic_phases": 200, "arcs_advanced": 1000}
+        comparison = perf_check.compare(base, cur, counter_tolerance=0.10)
+        assert not comparison.ok
+        assert any(
+            "dinic_phases regressed" in r for r in comparison.regressions
+        )
+
+    def test_ek_baseline_zero_dinic_counters_skipped(self):
+        # An EK baseline reports dinic_phases=0; a zero baseline counter
+        # is never gated (no meaningful ratio).
+        base, cur = self._pair(100, 100)
+        base["runs"][0]["stats"]["dinic_phases"] = 0
+        cur["runs"][0]["stats"]["dinic_phases"] = 500
+        comparison = perf_check.compare(base, cur, counter_tolerance=0.10)
+        assert comparison.ok
+
+    def test_flow_mismatch_downgrades_to_warning(self):
+        base, cur = self._pair(100, 300)
+        base["flow"], base["kernel"] = "ek", "object"
+        cur["flow"], cur["kernel"] = "dinic", "object"
+        comparison = perf_check.compare(base, cur, counter_tolerance=0.10)
+        assert comparison.ok
+        assert any(
+            "flow_queries regressed" in w for w in comparison.warnings
+        )
+
+    def test_kernel_mismatch_downgrades_to_warning(self):
+        base, cur = self._pair(100, 300)
+        base["flow"], base["kernel"] = "dinic", "compiled"
+        cur["flow"], cur["kernel"] = "dinic", "object"
+        comparison = perf_check.compare(base, cur, counter_tolerance=0.10)
+        assert comparison.ok
+
+    def test_undeclared_flow_keeps_hard_gate(self):
+        # A schema-3 baseline (no flow/kernel fields) against a schema-4
+        # current run: the engine fields still match, so the counter
+        # gate stays hard — old baselines keep their teeth.
+        base, cur = self._pair(100, 300)
+        cur["flow"], cur["kernel"] = "dinic", "compiled"
+        comparison = perf_check.compare(base, cur, counter_tolerance=0.10)
+        assert not comparison.ok
+
+    def test_matching_flow_kernel_hard_gate(self):
+        base, cur = self._pair(100, 300)
+        for rep in (base, cur):
+            rep["flow"], rep["kernel"] = "dinic", "compiled"
+        comparison = perf_check.compare(base, cur, counter_tolerance=0.10)
+        assert not comparison.ok
 
     def test_degraded_counter_regression_warns(self):
         base, cur = self._pair(100, 300)

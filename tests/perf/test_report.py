@@ -72,9 +72,11 @@ class TestSuiteReport:
 
     def test_envelope_records_engine_configuration(self):
         report = perf_report.suite_report([], k=3)
-        assert report["schema"] == 3
+        assert report["schema"] == 4
         assert report["engine"] == "worklist"
         assert report["warm_start"] is True
+        assert report["flow"] == "dinic"
+        assert report["kernel"] == "compiled"
         rounds = perf_report.suite_report(
             [], k=3, engine="rounds", warm_start=False
         )
