@@ -24,7 +24,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from repro.core.expanded import DEFAULT_MAX_COPIES
-from repro.core.labels import LabelOutcome, LabelSolver, LabelStats, ResynHook
+from repro.core.labels import (
+    DirtySeed,
+    LabelOutcome,
+    LabelSolver,
+    LabelStats,
+    ResynHook,
+)
 from repro.core.mapping import Realization, generate_mapping
 from repro.core.seqdecomp import DEFAULT_CMAX, find_seq_resynthesis
 from repro.netlist.graph import SeqCircuit
@@ -70,6 +76,9 @@ class SeqMapResult:
     #: (:func:`repro.analysis.certificate`); ``None`` when verification
     #: was opted out of.
     certificate: Optional[dict] = None
+    #: the phi search repaired a previous result incrementally
+    #: (:mod:`repro.incremental`) instead of probing cold
+    incremental: bool = False
 
     @property
     def n_luts(self) -> int:
@@ -153,6 +162,7 @@ def probe_phi(
     max_copies: int = DEFAULT_MAX_COPIES,
     flow: str = "dinic",
     kernel: str = "compiled",
+    dirty_seed: Optional[DirtySeed] = None,
 ) -> LabelOutcome:
     """One feasibility query: run the label computation at ``phi``.
 
@@ -165,7 +175,10 @@ def probe_phi(
     the worklist or round-robin label engine, ``max_copies`` bounds
     each partial expansion, and ``flow`` / ``kernel`` select the
     max-flow engine and copy representation (bit-identical outcomes,
-    see :mod:`repro.kernel`).
+    see :mod:`repro.kernel`).  ``dirty_seed`` repairs a previous
+    fixpoint at the same phi incrementally
+    (:class:`repro.core.labels.DirtySeed`) — still bit-identical to a
+    cold probe.
     """
     fault_point("probe", tag=f"{circuit.name}:phi={phi}")
     deadline = time.monotonic() + timeout if timeout is not None else None
@@ -184,6 +197,7 @@ def probe_phi(
         max_copies=max_copies,
         flow=flow,
         kernel=kernel,
+        dirty_seed=dirty_seed,
     )
     return solver.run()
 
@@ -226,6 +240,8 @@ def search_min_phi(
     max_copies: int = DEFAULT_MAX_COPIES,
     flow: str = "dinic",
     kernel: str = "compiled",
+    prev_outcomes: Optional[Dict[int, LabelOutcome]] = None,
+    dirty: Optional[Set[int]] = None,
 ) -> "tuple[int, Dict[int, LabelOutcome]]":
     """Binary search the minimum feasible integer ``phi``.
 
@@ -248,6 +264,13 @@ def search_min_phi(
     phi, so those labels are valid lower bounds and the probe skips the
     raises a cold start would recompute.  The returned ``phi_min`` and
     its labels are identical either way; only the per-probe work drops.
+
+    ``prev_outcomes`` + ``dirty`` enable incremental repair
+    (:mod:`repro.incremental`): when a probe lands on a phi whose
+    previous outcome was *feasible*, the solver is handed a
+    :class:`DirtySeed` so every label outside the dirty region is
+    adopted verbatim and clean SCCs are skipped.  Verdicts and labels
+    stay bit-identical, so the search trajectory matches a cold run.
     """
     ensure_mappable(circuit, k)
     if budget is not None:
@@ -262,6 +285,14 @@ def search_min_phi(
         if phi not in outcomes:
             allowance = budget.begin_probe() if budget is not None else None
             seed = nearest_warm_seed(outcomes, phi) if warm_start else None
+            dirty_seed: Optional[DirtySeed] = None
+            if dirty is not None and prev_outcomes:
+                prev = prev_outcomes.get(phi)
+                if prev is not None and prev.feasible:
+                    # Only a *converged* (feasible) previous outcome is a
+                    # fixpoint; an infeasible run aborted early and its
+                    # labels for later SCCs are not trustworthy seeds.
+                    dirty_seed = DirtySeed(prev.labels, dirty)
             outcomes[phi] = probe_phi(
                 circuit,
                 k,
@@ -277,6 +308,7 @@ def search_min_phi(
                 max_copies=max_copies,
                 flow=flow,
                 kernel=kernel,
+                dirty_seed=dirty_seed,
             )
         return outcomes[phi].feasible
 
@@ -310,6 +342,7 @@ def verify_result(
     result: SeqMapResult,
     k: int,
     resyn_roots: Optional[Set[str]] = None,
+    compiled: Optional[object] = None,
 ) -> SeqMapResult:
     """Certify a mapping result in place: verify, attach the certificate.
 
@@ -318,7 +351,10 @@ def verify_result(
     consistency, the phi >= MDR-ratio bound, cone-function equality) plus
     a structural pass over the mapped network.  ``resyn_roots`` carries
     the exact set of subject gates realized by resynthesis trees (their
-    cone invariants do not apply).  Raises
+    cone invariants do not apply).  ``compiled`` (an incrementally
+    patched :class:`~repro.kernel.csr.CompiledCircuit`) additionally
+    runs the CSR round-trip rules — the patched arrays must serialize
+    byte-identically to a fresh compile of the subject.  Raises
     :class:`repro.analysis.VerificationError` on any ERROR finding —
     a malformed mapping must never reach a report as a success.
     """
@@ -333,6 +369,7 @@ def verify_result(
         k,
         result.algorithm,
         resyn_roots=resyn_roots,
+        compiled=compiled,
     )
     result.t_verify = time.perf_counter() - t0
     result.certificate = certificate(
@@ -361,6 +398,8 @@ def run_mapper(
     max_copies: int = DEFAULT_MAX_COPIES,
     flow: str = "dinic",
     kernel: str = "compiled",
+    prev_result: Optional[SeqMapResult] = None,
+    dirty: Optional[Set[int]] = None,
 ) -> SeqMapResult:
     """Full mapper pipeline: search ``phi``, regenerate the mapping.
 
@@ -387,12 +426,23 @@ def run_mapper(
     (``"dinic"``/``"ek"``) and copy representation
     (``"compiled"``/``"object"``) — all of them leave ``phi`` and the
     labels bit-identical.
+
+    ``prev_result`` + ``dirty`` run the search as an incremental repair
+    of a previous mapping of the *same circuit before the edits in
+    the dirty region* (see :func:`repro.incremental.remap`, the
+    intended entry point): probes landing on previously feasible phis
+    adopt every clean label verbatim and skip clean SCCs.  The repaired
+    search is forced sequential — worker processes would re-pickle the
+    mutated circuit and probe a different phi set, defeating the
+    reuse — and the result is bit-identical to a cold sequential run.
     """
     ub = upper_bound if upper_bound is not None else min_feasible_period(circuit)
     if budget is None:
         budget = Budget()
     budget.start()
     t0 = time.perf_counter()
+    if prev_result is not None:
+        workers = 1
     if workers > 1:
         # Imported lazily: repro.perf.parallel imports probe_phi from here.
         from repro.perf.parallel import parallel_search_min_phi
@@ -430,6 +480,10 @@ def run_mapper(
             max_copies=max_copies,
             flow=flow,
             kernel=kernel,
+            prev_outcomes=(
+                prev_result.outcomes if prev_result is not None else None
+            ),
+            dirty=dirty if prev_result is not None else None,
         )
     t_search = time.perf_counter() - t0
     labels = outcomes[phi].labels
@@ -460,6 +514,7 @@ def run_mapper(
         degraded_reason=budget.reason,
         attempts=budget.attempts,
         resilience_events=list(budget.events),
+        incremental=prev_result is not None,
     )
     if check:
         resyn_roots = {
@@ -467,5 +522,13 @@ def run_mapper(
             for v, real in chosen.items()
             if real.resyn is not None
         }
-        verify_result(circuit, result, k, resyn_roots=resyn_roots)
+        verify_result(
+            circuit,
+            result,
+            k,
+            resyn_roots=resyn_roots,
+            # Incremental runs probed on a delta-patched CSR: hand it to
+            # the verifier so the round-trip rules certify the patch.
+            compiled=circuit.compiled() if prev_result is not None else None,
+        )
     return result

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.expanded import Copy, sequential_cone_function
+from repro.core.expanded import Copy, ExpansionOverflow, sequential_cone_function
 from repro.core.kcut import find_height_cut
 from repro.core.seqdecomp import SeqResyn, find_seq_resynthesis
 from repro.netlist.graph import NodeKind, SeqCircuit
@@ -67,6 +67,23 @@ def realize_node(
         )
         if entry is not None:
             return Realization(cut=entry.cut, resyn=entry)
+    # The worklist label engine re-anchors recorded cut witnesses at later
+    # thresholds: the witness is a structural separator, so it certifies
+    # the label as long as its member heights fit — even when it lies
+    # *below* the extra_depth=0 expansion frontier (heights are not
+    # monotone along register-crossing paths).  Such a label is genuine
+    # but invisible to the frontier query above, so retry with the floor
+    # dropped to zero or below: that expansion reaches every copy a
+    # witness can name, and the witness itself bounds its flow by K.
+    deep = max(extra_depth + 1, -(-target // phi))
+    try:
+        cut = find_height_cut(
+            circuit, v, phi, height_of, target, max_cut=k, extra_depth=deep
+        )
+    except ExpansionOverflow:
+        cut = None
+    if cut is not None:
+        return Realization(cut=tuple(cut))
     raise MappingError(
         f"no realization for {circuit.name_of(v)!r} at label {target} "
         f"(phi={phi}): label computation and mapping disagree"

@@ -13,7 +13,7 @@ resynthesis.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Set
 
 from repro.core.driver import SeqMapResult, run_mapper
 from repro.core.expanded import DEFAULT_MAX_COPIES
@@ -37,6 +37,8 @@ def turbomap(
     max_copies: int = DEFAULT_MAX_COPIES,
     flow: str = "dinic",
     kernel: str = "compiled",
+    prev_result: Optional[SeqMapResult] = None,
+    dirty: Optional[Set[int]] = None,
 ) -> SeqMapResult:
     """Map ``circuit`` onto K-LUTs minimizing the MDR ratio (no resynthesis).
 
@@ -90,6 +92,11 @@ def turbomap(
         Copy representation of the hot loops: ``"compiled"`` (flat CSR
         arrays + packed ints, the default) or ``"object"``
         (tuple-and-dict); identical labels and mappings either way.
+    prev_result / dirty:
+        Incremental repair of a previous TurboMap result of this circuit
+        after a k-gate edit; prefer the :func:`repro.incremental.remap`
+        entry point, which journals the edits, patches the compiled CSR
+        and computes ``dirty`` itself.  Bit-identical to a cold run.
     """
     return run_mapper(
         circuit,
@@ -109,4 +116,6 @@ def turbomap(
         max_copies=max_copies,
         flow=flow,
         kernel=kernel,
+        prev_result=prev_result,
+        dirty=dirty,
     )

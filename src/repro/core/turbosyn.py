@@ -21,7 +21,7 @@ average) at some LUT-count cost, which the area stage
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Set
 
 from repro.core.driver import SeqMapResult, run_mapper
 from repro.core.expanded import DEFAULT_MAX_COPIES
@@ -47,6 +47,8 @@ def turbosyn(
     max_copies: int = DEFAULT_MAX_COPIES,
     flow: str = "dinic",
     kernel: str = "compiled",
+    prev_result: Optional[SeqMapResult] = None,
+    dirty: Optional[Set[int]] = None,
 ) -> SeqMapResult:
     """Map ``circuit`` onto K-LUTs minimizing the MDR ratio with
     sequential functional decomposition.
@@ -66,6 +68,12 @@ def turbosyn(
     ``kernel`` select the max-flow engine and copy representation
     (:mod:`repro.kernel`).  All of them apply to the TurboMap bound run
     too and leave the results bit-identical.
+
+    ``prev_result`` + ``dirty`` repair a previous TurboSYN result of
+    this circuit incrementally after a k-gate edit (prefer
+    :func:`repro.incremental.remap`).  The TurboMap bound run stays
+    cold — exactly what a cold TurboSYN would execute — so the main
+    search sees the same upper bound and probes the same phi set.
     """
     if budget is not None:
         budget.start()  # the deadline clock covers the TurboMap bound too
@@ -94,4 +102,6 @@ def turbosyn(
         max_copies=max_copies,
         flow=flow,
         kernel=kernel,
+        prev_result=prev_result,
+        dirty=dirty,
     )

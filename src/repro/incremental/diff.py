@@ -1,0 +1,60 @@
+"""Structural diff of two aligned circuits into journal-equivalent edits.
+
+``repro remap BASE.blif EDITED.blif`` has no in-process mutation
+journal to drain — the two netlists arrive as independent files — so
+:func:`circuit_edits` reconstructs the journal: for every shared node
+id whose fanin pins differ, one ``rewire`` record; for every appended
+node, one ``add`` record.  The circuits must be *alignable*: node ids
+(creation order), names and kinds of the shared prefix must agree, and
+nodes may only be appended, never deleted — exactly the shape an
+edit-and-remap loop produces.
+
+Node-function changes that leave the pin structure intact produce no
+edit record on purpose: labels depend only on structure, and the
+mapping regeneration re-reads every function from the edited circuit,
+so a function-only change flows into the remapped network without
+dirtying anything.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.netlist.graph import Edit, SeqCircuit
+
+
+def _pins(circuit: SeqCircuit, nid: int) -> Tuple[Tuple[int, int], ...]:
+    return tuple((p.src, p.weight) for p in circuit.fanins(nid))
+
+
+def circuit_edits(base: SeqCircuit, edited: SeqCircuit) -> List[Edit]:
+    """Journal-equivalent edits transforming ``base`` into ``edited``.
+
+    Raises :class:`ValueError` when the circuits are not alignable
+    (shrunk node set, or a shared id whose name or kind differs) —
+    such inputs need a cold run, not an incremental repair.
+    """
+    if len(edited) < len(base):
+        raise ValueError(
+            f"{edited.name}: node set shrank ({len(base)} -> "
+            f"{len(edited)}); circuits are not incrementally alignable"
+        )
+    for nid in range(len(base)):
+        if (
+            base.name_of(nid) != edited.name_of(nid)
+            or base.kind(nid) is not edited.kind(nid)
+        ):
+            raise ValueError(
+                f"node {nid} differs in name or kind "
+                f"({base.name_of(nid)!r}/{base.kind(nid).value} vs "
+                f"{edited.name_of(nid)!r}/{edited.kind(nid).value}); "
+                "circuits are not incrementally alignable"
+            )
+    edits: List[Edit] = []
+    for nid in range(len(base)):
+        new = _pins(edited, nid)
+        if _pins(base, nid) != new:
+            edits.append(Edit("rewire", nid, new))
+    for nid in range(len(base), len(edited)):
+        edits.append(Edit("add", nid, _pins(edited, nid)))
+    return edits

@@ -1,0 +1,53 @@
+"""Dirty-region computation: which labels can a k-gate edit change?
+
+A node's label (:mod:`repro.core.labels`) is a function of its
+*transitive fanin cone* only — the expanded circuit ``E_v`` unrolls
+exactly that cone, and the fixpoint iteration reads nothing else.  So
+after editing nodes ``S``, the labels that can differ from the previous
+fixpoint are precisely the nodes whose fanin cone intersects ``S``:
+the forward closure of ``S`` over fanout edges of *any* weight
+(registers delay signals, they do not block label dependence).
+
+Two properties the label repair relies on:
+
+* the region is **forward-closed**, hence SCC-homogeneous: if any
+  member of an SCC is dirty, every member is reachable from it inside
+  the SCC and therefore dirty too — an SCC is wholly dirty or wholly
+  clean, which is what lets the solver skip clean SCCs (and their
+  positive-loop detection) outright;
+* a **clean node's entire fanin cone is clean** (were any cone node
+  dirty, the closure would have propagated forward to the node), so
+  clean labels from a converged previous run are exact, not just lower
+  bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+from repro.netlist.graph import Edit, SeqCircuit
+
+
+def dirty_region(circuit: SeqCircuit, edits: Iterable[Edit]) -> Set[int]:
+    """Forward closure of the edited nodes over fanout edges.
+
+    ``circuit`` is the *post-edit* circuit; ``edits`` the journal
+    records (:meth:`~repro.netlist.graph.SeqCircuit.take_journal`).
+    Returns the set of node ids whose label may differ from the
+    pre-edit fixpoint — the edited nodes themselves plus everything
+    downstream of them, registers included.
+    """
+    dirty: Set[int] = set()
+    stack: List[int] = []
+    for edit in edits:
+        if edit.nid not in dirty:
+            dirty.add(edit.nid)
+            stack.append(edit.nid)
+    fanouts = circuit.fanouts
+    while stack:
+        u = stack.pop()
+        for dst, _w in fanouts(u):
+            if dst not in dirty:
+                dirty.add(dst)
+                stack.append(dst)
+    return dirty

@@ -1,0 +1,70 @@
+"""Delta CSR patching: journaled edits applied to a compiled circuit.
+
+:func:`patch_compiled` replays a mutation journal
+(:class:`repro.netlist.graph.Edit` records) onto a cached
+:class:`~repro.kernel.csr.CompiledCircuit` so an edit-and-remap loop
+never pays the O(circuit) recompile — a k-gate rewire costs
+O(pins) per edit (plus an offset shift when a dedup changes the pin
+count).
+
+The patch must be *indistinguishable* from a fresh compile: pins go
+through the same first-occurrence dedup as
+:func:`repro.kernel.csr.compile_circuit`, and the analysis rule pack
+(MAP007 in :mod:`repro.analysis.invariants`) asserts the patched
+arrays serialize byte-identically to a fresh compile of the subject.
+
+Node insertion can outgrow the packed-copy id space (``pack_shift``
+steps up at powers of two); :meth:`CompiledCircuit.append_node` refuses
+such an append and the patcher falls back to one fresh compile.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.kernel.csr import CompiledCircuit, compile_circuit, kind_code
+from repro.netlist.graph import Edit, SeqCircuit
+
+
+def dedup_pins(pins: Iterable[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """First-occurrence pin dedup, exactly as ``compile_circuit``."""
+    out = list(pins)
+    return list(dict.fromkeys(out)) if len(out) > 1 else out
+
+
+def patch_compiled(
+    circuit: SeqCircuit,
+    compiled: CompiledCircuit,
+    edits: Iterable[Edit],
+) -> Tuple[CompiledCircuit, bool]:
+    """Replay ``edits`` onto ``compiled``; return ``(compiled, patched)``.
+
+    ``circuit`` is the *post-edit* circuit (used to resolve the kinds
+    of appended nodes and as the recompile source on fallback);
+    ``compiled`` must describe the pre-edit structure and is mutated in
+    place.  The second element is True when the arrays were patched in
+    place, False when a boundary condition (pack-shift growth, a
+    journal that does not line up with the arrays) forced a fresh
+    compile — either way the returned object matches the current
+    circuit.
+    """
+    for edit in edits:
+        pins = dedup_pins(edit.pins)
+        if edit.kind == "rewire":
+            if not 0 <= edit.nid < compiled.n:
+                return compile_circuit(circuit), False
+            compiled.splice_pins(edit.nid, pins)
+        elif edit.kind == "add":
+            if edit.nid != compiled.n:
+                # The journal and the arrays disagree on the id space
+                # (e.g. a stale journal): patching would corrupt.
+                return compile_circuit(circuit), False
+            try:
+                compiled.append_node(kind_code(circuit.kind(edit.nid)), pins)
+            except ValueError:
+                # Growing past a pack_shift boundary re-encodes every
+                # packed copy: recompile once instead.
+                return compile_circuit(circuit), False
+        else:
+            raise ValueError(f"unknown journal edit kind {edit.kind!r}")
+    return compiled, True

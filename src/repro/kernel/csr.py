@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import struct
 from array import array
-from typing import List, Tuple
+from typing import Dict, List, Sequence, Tuple, Union
 
 from repro.netlist.graph import NodeKind, SeqCircuit
 
@@ -44,7 +44,16 @@ KIND_PI = 0
 KIND_PO = 1
 KIND_GATE = 2
 
-_KIND_CODE = {NodeKind.PI: KIND_PI, NodeKind.PO: KIND_PO, NodeKind.GATE: KIND_GATE}
+_KIND_CODE: Dict[NodeKind, int] = {
+    NodeKind.PI: KIND_PI,
+    NodeKind.PO: KIND_PO,
+    NodeKind.GATE: KIND_GATE,
+}
+
+
+def kind_code(kind: NodeKind) -> int:
+    """The ``kinds``-array code for a :class:`NodeKind`."""
+    return _KIND_CODE[kind]
 
 #: Serialization header: magic, format version, node count, pin count,
 #: pack shift.
@@ -107,6 +116,49 @@ class CompiledCircuit:
         return list(zip(self.srcs[lo:hi], self.weights[lo:hi]))
 
     # ------------------------------------------------------------------
+    # Delta patching (incremental remapping)
+    # ------------------------------------------------------------------
+    def splice_pins(self, u: int, pins: Sequence[Tuple[int, int]]) -> None:
+        """Replace node ``u``'s fanin pins in place (delta CSR patch).
+
+        ``pins`` must already be deduplicated exactly as
+        :func:`compile_circuit` dedups (first-occurrence order) — the
+        incremental patcher applies the same ``dict.fromkeys`` pass —
+        so a patched array is indistinguishable from a fresh compile.
+        A pin-count change shifts every later node's offset by the
+        delta: O(pins + n) worst case, O(pins) when the count is
+        unchanged (the common rewire).
+        """
+        lo, hi = self.offsets[u], self.offsets[u + 1]
+        self.srcs[lo:hi] = [src for src, _w in pins]
+        self.weights[lo:hi] = [w for _src, w in pins]
+        delta = len(pins) - (hi - lo)
+        if delta:
+            offsets = self.offsets
+            for i in range(u + 1, len(offsets)):
+                offsets[i] += delta
+
+    def append_node(self, kind: int, pins: Sequence[Tuple[int, int]]) -> None:
+        """Append node ``n`` with the given kind code and (deduped) pins.
+
+        Raises :class:`ValueError` when growing the id space would
+        change :func:`pack_shift` — packed copies embedded in caller
+        state would silently decode wrong, so the patcher must fall
+        back to a full recompile at such boundaries.
+        """
+        if pack_shift(self.n + 1) != self.shift:
+            raise ValueError(
+                f"append crosses the pack-shift boundary at n={self.n}: "
+                "recompile required"
+            )
+        self.kinds.append(kind)
+        for src, w in pins:
+            self.srcs.append(src)
+            self.weights.append(w)
+        self.offsets.append(len(self.srcs))
+        self.n += 1
+
+    # ------------------------------------------------------------------
     def to_bytes(self) -> bytes:
         """Compact byte serialization (header + packed int arrays).
 
@@ -128,7 +180,7 @@ class CompiledCircuit:
         )
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "CompiledCircuit":
+    def from_bytes(cls, data: Union[bytes, memoryview]) -> "CompiledCircuit":
         """Rebuild a compiled circuit from :meth:`to_bytes` output.
 
         Accepts any buffer (``bytes``, ``memoryview`` over shared

@@ -31,7 +31,7 @@ deterministic work telemetry in
 from __future__ import annotations
 
 from collections import deque
-from typing import List, Set
+from typing import Deque, List, Set
 
 #: Effectively infinite capacity for non-cut edges (mirrors
 #: :data:`repro.comb.maxflow.INF`).
@@ -56,7 +56,7 @@ class DinicNetwork:
         # demand): BFS level and the current-arc cursor.
         self._level: List[int] = []
         self._cursor: List[int] = []
-        self._queue: deque = deque()
+        self._queue: Deque[int] = deque()
         #: Level-graph phases run since construction or the last
         #: counter drain (one BFS each).
         self.phases = 0

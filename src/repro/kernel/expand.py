@@ -19,11 +19,23 @@ asserts this differentially against the object engine.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.expanded import DEFAULT_MAX_COPIES, ExpansionOverflow
 from repro.kernel.csr import KIND_GATE, KIND_PI, CompiledCircuit
 from repro.kernel.dinic import INF, DinicNetwork
+
+if TYPE_CHECKING:
+    from repro.comb.maxflow import FlowNetwork
 
 
 @dataclass
@@ -139,6 +151,7 @@ class PackedCutArena:
     """
 
     def __init__(self, flow: str = "dinic") -> None:
+        self.net: "Union[DinicNetwork, FlowNetwork]"
         if flow == "dinic":
             self.net = DinicNetwork()
         elif flow == "ek":

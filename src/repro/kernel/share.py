@@ -30,9 +30,12 @@ instead of one pickle opcode per element.
 from __future__ import annotations
 
 from array import array
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
 from repro.kernel.csr import CompiledCircuit
+
+if TYPE_CHECKING:
+    from multiprocessing.shared_memory import SharedMemory
 
 
 def pack_labels(labels: Optional[Sequence[int]]) -> Optional[bytes]:
@@ -71,9 +74,10 @@ class CsrHandle:
         self.payload = payload
         self.shm_name = shm_name
         self.size = size
-        self._shm = None  # owner-side segment, excluded from pickling
+        #: Owner-side segment, excluded from pickling.
+        self._shm: "Optional[SharedMemory]" = None
 
-    def __getstate__(self) -> dict:
+    def __getstate__(self) -> Dict[str, Any]:
         return {
             "transport": self.transport,
             "payload": self.payload,
@@ -81,7 +85,7 @@ class CsrHandle:
             "size": self.size,
         }
 
-    def __setstate__(self, state: dict) -> None:
+    def __setstate__(self, state: Dict[str, Any]) -> None:
         self.__dict__.update(state)
         self._shm = None
 

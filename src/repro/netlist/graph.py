@@ -50,6 +50,24 @@ class Pin:
             raise ValueError("edge weight (register count) must be >= 0")
 
 
+@dataclass(frozen=True)
+class Edit:
+    """One journaled structural mutation of a :class:`SeqCircuit`.
+
+    ``kind`` is ``"add"`` (a node was appended; ``nid`` is its new id)
+    or ``"rewire"`` (the fanins of existing node ``nid`` changed);
+    ``pins`` is the node's fanin list *after* the edit as plain
+    ``(src, weight)`` tuples.  Consumed by the incremental remapping
+    layer (:mod:`repro.incremental`), which patches the compiled CSR
+    kernel and computes the dirty region from these records instead of
+    recompiling and resolving the whole circuit.
+    """
+
+    kind: str
+    nid: int
+    pins: Tuple[Tuple[int, int], ...]
+
+
 @dataclass
 class Node:
     """A node of the retiming graph.  Use :class:`SeqCircuit` to build."""
@@ -79,6 +97,7 @@ class SeqCircuit:
         self._fanin_pairs: Optional[List[List[Tuple[int, int]]]] = None
         self._kind_list: Optional[List[NodeKind]] = None
         self._compiled: Optional[object] = None
+        self._journal: Optional[List[Edit]] = None
 
     def __getstate__(self) -> Dict[str, Any]:
         # Derived caches (fanouts, fanin pairs, kinds, the compiled CSR
@@ -92,7 +111,48 @@ class SeqCircuit:
         state["_fanin_pairs"] = None
         state["_kind_list"] = None
         state["_compiled"] = None
+        # The journal records *local* mutations; a pickled copy starts a
+        # new life (typically in a worker process) with no pending edits.
+        state["_journal"] = None
         return state
+
+    # ------------------------------------------------------------------
+    # Mutation journal
+    # ------------------------------------------------------------------
+    def begin_journal(self) -> None:
+        """Start (or reset) recording structural mutations.
+
+        While enabled, every node insertion and every *effective*
+        rewiring (no-op rewires are skipped entirely, see
+        :meth:`set_fanins`) appends an :class:`Edit` record.  The
+        incremental remapping layer drains the records with
+        :meth:`take_journal` to patch the compiled CSR kernel and bound
+        the dirty region, instead of recompiling from scratch.
+        """
+        self._journal = []
+
+    def journaling(self) -> bool:
+        """True while a mutation journal is recording."""
+        return self._journal is not None
+
+    def take_journal(self) -> List[Edit]:
+        """Drain and return the recorded edits; recording continues.
+
+        Raises :class:`ValueError` if :meth:`begin_journal` was never
+        called — a silent empty answer would let callers believe no
+        edits happened when in fact none were being recorded.
+        """
+        if self._journal is None:
+            raise ValueError(
+                f"{self.name}: no mutation journal; call begin_journal() first"
+            )
+        edits = self._journal
+        self._journal = []
+        return edits
+
+    def end_journal(self) -> None:
+        """Stop recording mutations and discard any pending records."""
+        self._journal = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -107,6 +167,10 @@ class SeqCircuit:
         self._fanin_pairs = None
         self._kind_list = None
         self._compiled = None
+        if self._journal is not None:
+            self._journal.append(
+                Edit("add", nid, tuple((p.src, p.weight) for p in node.fanins))
+            )
         return nid
 
     def add_pi(self, name: str) -> int:
@@ -169,10 +233,41 @@ class SeqCircuit:
         for src, weight in fanins:
             self._check_id(src)
             pins.append(Pin(src, weight))
+        if pins == node.fanins:
+            # No-op rewire (e.g. re-adding an identical fanin pin):
+            # keep the derived caches — notably the compiled CSR kernel,
+            # whose wholesale invalidation is exactly what incremental
+            # remapping exists to avoid — and journal nothing.
+            return
         node.fanins = pins
         self._fanouts = None
         self._fanin_pairs = None
         self._compiled = None
+        if self._journal is not None:
+            self._journal.append(
+                Edit("rewire", nid, tuple((p.src, p.weight) for p in pins))
+            )
+
+    def rewire_pin(self, nid: int, index: int, src: int, weight: int) -> bool:
+        """Rewire one fanin pin of ``nid``; return False for a no-op.
+
+        The k-gate-edit convenience entry used by edit-and-remap
+        callers (and the edit fuzzer): replaces fanin ``index`` with
+        ``(src, weight)`` through :meth:`set_fanins`, so cache
+        invalidation, no-op detection and journaling all apply.
+        """
+        node = self.node(nid)
+        if not 0 <= index < len(node.fanins):
+            raise ValueError(
+                f"{node.name!r}: fanin index {index} out of range "
+                f"(node has {len(node.fanins)} fanins)"
+            )
+        pins = [(p.src, p.weight) for p in node.fanins]
+        if pins[index] == (src, weight):
+            return False
+        pins[index] = (src, weight)
+        self.set_fanins(nid, pins)
+        return True
 
     def _check_id(self, nid: int) -> None:
         if not 0 <= nid < len(self._nodes):

@@ -1,10 +1,10 @@
 """JSON run reports: the machine-readable perf/quality telemetry schema.
 
-Schema (version 4) — one *suite report* wraps any number of *mapper
+Schema (version 5) — one *suite report* wraps any number of *mapper
 runs* plus the structured *errors* of cells that failed::
 
     {
-      "schema": 4,
+      "schema": 5,
       "kind": "suite",                 # or "map" for a single-run report
       "python": "3.11.7", "platform": "Linux-...",
       "k": 5, "workers": 1,
@@ -24,6 +24,13 @@ runs* plus the structured *errors* of cells that failed::
           "degraded": false,           # true: phi is best-known, not
                                        # proven optimal (budget expired);
                                        # adds "degraded_reason"
+          "incremental": false,        # true: the phi search repaired a
+                                       # previous result (repro.incremental)
+                                       # instead of probing cold; the
+                                       # repair counters land in "stats"
+                                       # (dirty_nodes, labels_reused,
+                                       # witnesses_revalidated,
+                                       # sccs_skipped)
           "search": {
             "t_search": 0.55, "t_mapping": 0.06,
             "probes": [3, 4, 5, 10, 20], "n_probes": 5
@@ -50,8 +57,10 @@ runs* plus the structured *errors* of cells that failed::
 
 Version 1 reports (no ``errors``, ``attempts`` or ``degraded``),
 version 2 reports (no ``engine`` / ``warm_start`` envelope fields, no
-warm-start counters in ``stats``) and version 3 reports (no ``flow`` /
-``kernel`` envelope fields, no Dinic counters in ``stats``) load fine:
+warm-start counters in ``stats``), version 3 reports (no ``flow`` /
+``kernel`` envelope fields, no Dinic counters in ``stats``) and
+version 4 reports (no ``incremental`` run field, no repair counters in
+``stats``) load fine:
 :func:`load_report` fills the new envelope fields in, the regression
 gate treats absent run fields as non-degraded, and the counter gate
 only compares counters when both reports declare the same engine
@@ -75,7 +84,7 @@ from typing import IO, Dict, List, Optional, Union
 
 from repro.resilience.atomic import atomic_write_json
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 
 def _environment() -> Dict[str, str]:
@@ -119,6 +128,7 @@ def mapper_run(
     }
     run["attempts"] = getattr(result, "attempts", 1)
     run["degraded"] = bool(getattr(result, "degraded", False))
+    run["incremental"] = bool(getattr(result, "incremental", False))
     if run["degraded"]:
         run["degraded_reason"] = getattr(result, "degraded_reason", None)
     events = getattr(result, "resilience_events", None)

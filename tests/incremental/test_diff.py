@@ -1,0 +1,68 @@
+"""Structural diff of aligned circuits into journal-equivalent edits."""
+
+import pytest
+
+from repro.boolfn.truthtable import TruthTable
+from repro.incremental.diff import circuit_edits
+from repro.netlist.graph import SeqCircuit
+from tests.helpers import random_seq_circuit
+
+
+class TestCircuitEdits:
+    def test_identical_circuits_diff_empty(self):
+        base = random_seq_circuit(3, 10, seed=31)
+        assert circuit_edits(base, base.copy()) == []
+
+    def test_diff_reproduces_the_journal(self):
+        base = random_seq_circuit(3, 10, seed=32)
+        edited = base.copy()
+        edited.begin_journal()
+        g = edited.gates[1]
+        pin = edited.fanins(g)[0]
+        edited.rewire_pin(g, 0, pin.src, pin.weight + 1)
+        edited.add_po("diff_out", edited.gates[-1], weight=2)
+        journal = edited.take_journal()
+        diffed = circuit_edits(base, edited)
+        assert [(e.kind, e.nid, tuple(e.pins)) for e in diffed] == [
+            (e.kind, e.nid, tuple(e.pins)) for e in journal
+        ]
+
+    def test_appended_nodes_become_add_records(self):
+        base = random_seq_circuit(3, 10, seed=33)
+        edited = base.copy()
+        g = edited.gates[-1]
+        nid = edited.add_gate("extra", TruthTable.var(0, 1), [(g, 1)])
+        edits = circuit_edits(base, edited)
+        assert [(e.kind, e.nid, e.pins) for e in edits] == [
+            ("add", nid, ((g, 1),))
+        ]
+
+    def test_function_only_change_produces_no_edit(self):
+        # Labels depend on structure alone; the mapping regeneration
+        # re-reads functions from the edited circuit.
+        base = random_seq_circuit(3, 10, seed=34)
+        edited = base.copy()
+        g = edited.gates[0]
+        edited.node(g).func = ~edited.node(g).func
+        assert circuit_edits(base, edited) == []
+
+    def test_shrunk_node_set_rejected(self):
+        base = random_seq_circuit(3, 10, seed=35)
+        smaller = random_seq_circuit(3, 6, seed=35)
+        with pytest.raises(ValueError, match="not incrementally alignable"):
+            circuit_edits(base, smaller)
+
+    def test_name_mismatch_rejected(self):
+        base = random_seq_circuit(3, 10, seed=36)
+        edited = base.copy()
+        edited.node(edited.gates[0]).name = "renamed"
+        with pytest.raises(ValueError, match="differs in name or kind"):
+            circuit_edits(base, edited)
+
+    def test_kind_mismatch_rejected(self):
+        base = SeqCircuit("a")
+        base.add_pi("n0")
+        other = SeqCircuit("b")
+        other.add_gate("n0", TruthTable.const(0, False), [])
+        with pytest.raises(ValueError, match="differs in name or kind"):
+            circuit_edits(base, other)

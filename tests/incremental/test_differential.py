@@ -1,0 +1,83 @@
+"""The differential edit-fuzz harness itself (one cell per case)."""
+
+import json
+
+from repro.incremental.fuzz import (
+    _failures,
+    differential_remap,
+    main,
+    random_edits,
+)
+from tests.helpers import random_seq_circuit
+
+
+class TestRandomEdits:
+    def test_edits_preserve_validity(self):
+        import random
+
+        circuit = random_seq_circuit(4, 20, seed=51)
+        applied = random_edits(circuit, random.Random(7), 6)
+        assert applied == 6
+        circuit.check()
+        circuit.comb_topo_order()  # no combinational cycle was created
+
+    def test_edits_are_journaled(self):
+        import random
+
+        circuit = random_seq_circuit(4, 20, seed=52)
+        circuit.begin_journal()
+        applied = random_edits(circuit, random.Random(7), 3)
+        # Reverted illegal drops journal the edit and its inverse; at
+        # least the effective edits are recorded.
+        assert len(circuit.take_journal()) >= applied
+
+
+class TestDifferentialCell:
+    def test_small_edit_cell_is_clean(self):
+        record = differential_remap(
+            random_seq_circuit(4, 24, seed=53), 2, seed=99, k=4
+        )
+        assert record["identical"]
+        assert record["labels_reused"] > 0
+        assert record["dirty_nodes"] < record["n_nodes"]
+        assert _failures(record) == []
+
+    def test_failures_flag_divergence_and_no_reuse(self):
+        record = {
+            "circuit": "c",
+            "edits_requested": 1,
+            "identical": False,
+            "phi": 3,
+            "cold_phi": 2,
+            "edits_applied": 0,
+            "dirty_nodes": 10,
+            "n_nodes": 10,
+            "labels_reused": 0,
+        }
+        problems = _failures(record)
+        assert len(problems) == 4
+        assert any("differs from cold" in p for p in problems)
+        assert any("no labels were reused" in p for p in problems)
+
+
+class TestFuzzMain:
+    def test_main_writes_report_and_exits_zero(self, tmp_path, capsys):
+        out = tmp_path / "fuzz.json"
+        code = main(
+            [
+                "--circuits",
+                "bbara",
+                "--edits",
+                "1",
+                "--seed",
+                "0",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["kind"] == "edit-fuzz"
+        assert len(report["runs"]) == 1
+        assert report["runs"][0]["identical"]
+        assert "OK" in capsys.readouterr().out

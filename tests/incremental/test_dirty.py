@@ -1,0 +1,65 @@
+"""Dirty-region computation: forward closure over fanout edges."""
+
+from repro.boolfn.truthtable import TruthTable
+from repro.incremental.dirty import dirty_region
+from repro.netlist.graph import Edit, SeqCircuit
+
+
+def _buf() -> TruthTable:
+    return TruthTable.var(0, 1)
+
+
+def chain() -> SeqCircuit:
+    """x -> g0 -> g1 (1 FF) -> g2 -> out, plus a side branch g0 -> s."""
+    c = SeqCircuit("chain")
+    x = c.add_pi("x")
+    g0 = c.add_gate("g0", _buf(), [(x, 0)])
+    g1 = c.add_gate("g1", _buf(), [(g0, 1)])
+    g2 = c.add_gate("g2", _buf(), [(g1, 0)])
+    s = c.add_gate("s", _buf(), [(g0, 0)])
+    c.add_po("out", g2)
+    c.add_po("side", s)
+    return c
+
+
+class TestDirtyRegion:
+    def test_forward_closure_stops_upstream(self):
+        c = chain()
+        g1 = c.id_of("g1")
+        dirty = dirty_region(c, [Edit("rewire", g1, ((0, 2),))])
+        assert g1 in dirty
+        assert c.id_of("g2") in dirty
+        assert c.id_of("out") in dirty
+        # Upstream of the edit, and the untouched side branch, stay clean.
+        assert c.id_of("g0") not in dirty
+        assert c.id_of("s") not in dirty
+        assert c.id_of("side") not in dirty
+
+    def test_register_edges_propagate_dirt(self):
+        c = chain()
+        g0 = c.id_of("g0")
+        dirty = dirty_region(c, [Edit("rewire", g0, ((0, 1),))])
+        # g0 -> g1 crosses a register; labels downstream still depend on it.
+        assert c.id_of("g1") in dirty
+        assert c.id_of("g2") in dirty
+        assert c.id_of("s") in dirty
+
+    def test_pis_never_dirty(self):
+        c = chain()
+        dirty = dirty_region(
+            c, [Edit("rewire", c.id_of("g0"), ((0, 1),))]
+        )
+        assert c.id_of("x") not in dirty
+
+    def test_no_edits_no_dirt(self):
+        assert dirty_region(chain(), []) == set()
+
+    def test_duplicate_edits_counted_once(self):
+        c = chain()
+        g2 = c.id_of("g2")
+        edits = [
+            Edit("rewire", g2, ((1, 0),)),
+            Edit("rewire", g2, ((2, 0),)),
+        ]
+        dirty = dirty_region(c, edits)
+        assert dirty == {g2, c.id_of("out")}

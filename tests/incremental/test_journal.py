@@ -1,0 +1,97 @@
+"""Mutation journal semantics on :class:`SeqCircuit`."""
+
+import pytest
+
+from repro.netlist.graph import SeqCircuit
+from tests.helpers import random_seq_circuit
+
+
+class TestJournalLifecycle:
+    def test_take_without_begin_raises(self):
+        circuit = random_seq_circuit(3, 6, seed=1)
+        with pytest.raises(ValueError, match="no mutation journal"):
+            circuit.take_journal()
+
+    def test_begin_take_drains_and_keeps_recording(self):
+        circuit = random_seq_circuit(3, 6, seed=1)
+        circuit.begin_journal()
+        assert circuit.journaling()
+        assert circuit.take_journal() == []
+        g = circuit.gates[0]
+        pins = [(p.src, p.weight) for p in circuit.fanins(g)]
+        pins[0] = (pins[0][0], pins[0][1] + 1)
+        circuit.set_fanins(g, pins)
+        edits = circuit.take_journal()
+        assert [(e.kind, e.nid) for e in edits] == [("rewire", g)]
+        assert edits[0].pins == tuple(pins)
+        # Drained; recording continues.
+        assert circuit.take_journal() == []
+
+    def test_end_journal_stops_recording(self):
+        circuit = random_seq_circuit(3, 6, seed=1)
+        circuit.begin_journal()
+        circuit.end_journal()
+        assert not circuit.journaling()
+        with pytest.raises(ValueError):
+            circuit.take_journal()
+
+    def test_node_insertion_records_add(self):
+        circuit = random_seq_circuit(3, 6, seed=2)
+        circuit.begin_journal()
+        g = circuit.gates[-1]
+        po = circuit.add_po("extra_out", g, weight=1)
+        edits = circuit.take_journal()
+        assert [(e.kind, e.nid, e.pins) for e in edits] == [
+            ("add", po, ((g, 1),))
+        ]
+
+    def test_rewire_pin_convenience_journals_once(self):
+        circuit = random_seq_circuit(3, 6, seed=3)
+        circuit.begin_journal()
+        g = circuit.gates[0]
+        src, w = circuit.fanins(g)[0].src, circuit.fanins(g)[0].weight
+        assert circuit.rewire_pin(g, 0, src, w + 2)
+        edits = circuit.take_journal()
+        assert len(edits) == 1 and edits[0].kind == "rewire"
+
+
+class TestNoOpEdits:
+    """No-op edits must not invalidate caches or produce records."""
+
+    def test_noop_set_fanins_keeps_compiled_cache(self):
+        circuit = random_seq_circuit(3, 8, seed=4)
+        circuit.begin_journal()
+        compiled = circuit.compiled()
+        g = circuit.gates[0]
+        circuit.set_fanins(
+            g, [(p.src, p.weight) for p in circuit.fanins(g)]
+        )
+        assert circuit.compiled() is compiled
+        assert circuit.take_journal() == []
+
+    def test_noop_rewire_pin_returns_false_and_keeps_cache(self):
+        circuit = random_seq_circuit(3, 8, seed=4)
+        circuit.begin_journal()
+        compiled = circuit.compiled()
+        g = circuit.gates[0]
+        pin = circuit.fanins(g)[0]
+        assert not circuit.rewire_pin(g, 0, pin.src, pin.weight)
+        assert circuit.compiled() is compiled
+        assert circuit.take_journal() == []
+
+    def test_effective_rewire_invalidates_compiled_cache(self):
+        circuit = random_seq_circuit(3, 8, seed=4)
+        compiled = circuit.compiled()
+        g = circuit.gates[0]
+        pin = circuit.fanins(g)[0]
+        assert circuit.rewire_pin(g, 0, pin.src, pin.weight + 1)
+        assert circuit.compiled() is not compiled
+
+    def test_pickled_copy_sheds_journal(self):
+        import pickle
+
+        circuit = random_seq_circuit(3, 6, seed=5)
+        circuit.begin_journal()
+        clone = pickle.loads(pickle.dumps(circuit))
+        assert isinstance(clone, SeqCircuit)
+        assert not clone.journaling()

@@ -1,0 +1,117 @@
+"""Delta CSR patching: a patched array is a fresh compile, byte for byte."""
+
+import pytest
+
+from repro.boolfn.truthtable import TruthTable
+from repro.incremental.patch import dedup_pins, patch_compiled
+from repro.kernel.csr import compile_circuit, pack_shift
+from repro.netlist.graph import Edit, SeqCircuit
+from tests.helpers import random_seq_circuit
+
+
+def _journaled(circuit):
+    """Snapshot the compiled arrays, start journaling, return the snapshot."""
+    circuit.begin_journal()
+    circuit.take_journal()
+    return compile_circuit(circuit)
+
+
+class TestDedup:
+    def test_first_occurrence_order(self):
+        assert dedup_pins([(3, 0), (1, 1), (3, 0), (1, 1)]) == [
+            (3, 0),
+            (1, 1),
+        ]
+
+    def test_same_src_different_weight_kept(self):
+        assert dedup_pins([(3, 0), (3, 1)]) == [(3, 0), (3, 1)]
+
+
+class TestPatchRoundTrip:
+    def test_rewire_patch_matches_fresh_compile(self):
+        circuit = random_seq_circuit(4, 14, seed=21)
+        compiled = _journaled(circuit)
+        for g in circuit.gates[:5]:
+            pin = circuit.fanins(g)[0]
+            circuit.rewire_pin(g, 0, pin.src, pin.weight + 1)
+        patched, in_place = patch_compiled(
+            circuit, compiled, circuit.take_journal()
+        )
+        assert in_place
+        assert patched.to_bytes() == compile_circuit(circuit).to_bytes()
+
+    def test_dedup_shrink_shifts_offsets(self):
+        # Rewiring both pins of a 2-input gate to the identical driver
+        # dedups to one CSR pin: the splice must shift later offsets.
+        circuit = random_seq_circuit(4, 14, seed=22)
+        compiled = _journaled(circuit)
+        g = circuit.gates[2]
+        src = circuit.fanins(g)[0].src
+        circuit.set_fanins(g, [(src, 0), (src, 0)])
+        patched, in_place = patch_compiled(
+            circuit, compiled, circuit.take_journal()
+        )
+        assert in_place
+        assert patched.to_bytes() == compile_circuit(circuit).to_bytes()
+
+    def test_append_patch_matches_fresh_compile(self):
+        circuit = random_seq_circuit(4, 14, seed=23)
+        compiled = _journaled(circuit)
+        if pack_shift(len(circuit) + 2) != compiled.shift:
+            pytest.skip("seed lands on a pack-shift boundary")
+        g = circuit.gates[-1]
+        circuit.add_gate("patch_g", TruthTable.var(0, 1), [(g, 1)])
+        circuit.add_po("patch_out", circuit.id_of("patch_g"))
+        patched, in_place = patch_compiled(
+            circuit, compiled, circuit.take_journal()
+        )
+        assert in_place
+        assert patched.to_bytes() == compile_circuit(circuit).to_bytes()
+
+
+class TestPatchFallbacks:
+    def _eight_node_circuit(self) -> SeqCircuit:
+        # 3 PIs + 4 gates + 1 PO = 8 nodes: pack_shift(9) > pack_shift(8).
+        c = SeqCircuit("boundary")
+        pis = [c.add_pi(f"x{i}") for i in range(3)]
+        buf = TruthTable.var(0, 1)
+        g = pis[0]
+        for i in range(4):
+            g = c.add_gate(f"g{i}", buf, [(g, 0)])
+        c.add_po("out", g)
+        assert len(c) == 8
+        return c
+
+    def test_pack_shift_boundary_forces_recompile(self):
+        circuit = self._eight_node_circuit()
+        compiled = _journaled(circuit)
+        assert pack_shift(len(circuit) + 1) != compiled.shift
+        circuit.begin_journal()
+        circuit.add_po("out2", circuit.id_of("g3"), weight=1)
+        patched, in_place = patch_compiled(
+            circuit, compiled, circuit.take_journal()
+        )
+        assert not in_place
+        assert patched.to_bytes() == compile_circuit(circuit).to_bytes()
+
+    def test_stale_add_journal_forces_recompile(self):
+        circuit = random_seq_circuit(3, 8, seed=24)
+        compiled = _journaled(circuit)
+        stale = [Edit("add", compiled.n + 3, ((0, 0),))]
+        patched, in_place = patch_compiled(circuit, compiled, stale)
+        assert not in_place
+        assert patched.to_bytes() == compile_circuit(circuit).to_bytes()
+
+    def test_out_of_range_rewire_forces_recompile(self):
+        circuit = random_seq_circuit(3, 8, seed=25)
+        compiled = _journaled(circuit)
+        stale = [Edit("rewire", compiled.n + 1, ((0, 0),))]
+        patched, in_place = patch_compiled(circuit, compiled, stale)
+        assert not in_place
+        assert patched.to_bytes() == compile_circuit(circuit).to_bytes()
+
+    def test_unknown_edit_kind_raises(self):
+        circuit = random_seq_circuit(3, 8, seed=26)
+        compiled = _journaled(circuit)
+        with pytest.raises(ValueError, match="unknown journal edit kind"):
+            patch_compiled(circuit, compiled, [Edit("drop", 0, ())])

@@ -1,0 +1,106 @@
+"""`remap` / `IncrementalSession`: bit-identical repair with reuse."""
+
+import pytest
+
+from repro.core.turbomap import turbomap
+from repro.incremental.fuzz import mapped_signature
+from repro.incremental.session import IncrementalSession, remap
+from tests.helpers import random_seq_circuit
+
+K = 4
+
+
+def _bump_pin(circuit, gate_index: int = -1) -> None:
+    """Bump a register count on a *late* gate: the upstream cone stays
+    clean, so the repair has labels to reuse."""
+    g = circuit.gates[gate_index]
+    pin = circuit.fanins(g)[0]
+    assert circuit.rewire_pin(g, 0, pin.src, pin.weight + 1)
+
+
+def _assert_identical(inc, cold) -> None:
+    assert inc.phi == cold.phi
+    assert list(inc.labels) == list(cold.labels)
+    assert mapped_signature(inc.mapped) == mapped_signature(cold.mapped)
+
+
+class TestRemap:
+    def test_remap_bit_identical_to_cold(self):
+        circuit = random_seq_circuit(4, 16, seed=41)
+        circuit.begin_journal()
+        circuit.take_journal()
+        prev = turbomap(circuit, K)
+        compiled = circuit.compiled()
+        _bump_pin(circuit)
+        edits = circuit.take_journal()
+        inc = remap(circuit, prev, edits, k=K, compiled=compiled)
+        cold = turbomap(circuit.copy(), K)
+        _assert_identical(inc, cold)
+        assert inc.incremental
+        stats = inc.total_stats
+        assert stats.labels_reused > 0
+        assert 0 < stats.dirty_nodes < len(circuit)
+
+    def test_remap_patches_instead_of_recompiling(self):
+        circuit = random_seq_circuit(4, 16, seed=42)
+        circuit.begin_journal()
+        circuit.take_journal()
+        turbomap(circuit, K)
+        compiled = circuit.compiled()
+        _bump_pin(circuit)
+        edits = circuit.take_journal()
+        prev = turbomap(circuit.copy(), K)  # any baseline-shaped result
+        remap(circuit, prev, edits, k=K, compiled=compiled)
+        # The pre-edit arrays were patched in place and adopted.
+        assert circuit.compiled() is compiled
+
+    def test_unknown_algorithm_rejected(self):
+        import dataclasses
+
+        circuit = random_seq_circuit(3, 8, seed=43)
+        circuit.begin_journal()
+        prev = dataclasses.replace(turbomap(circuit, K), algorithm="magic")
+        _bump_pin(circuit)
+        with pytest.raises(ValueError, match="cannot remap"):
+            remap(circuit, prev, circuit.take_journal(), k=K)
+
+
+class TestIncrementalSession:
+    def test_edit_and_remap_loop(self):
+        circuit = random_seq_circuit(4, 16, seed=44)
+        session = IncrementalSession(circuit, k=K)
+        first = session.map()
+        assert not first.incremental
+        for step in range(2):
+            _bump_pin(circuit, gate_index=-1 - step)
+            result = session.remap()
+            assert result.incremental
+            cold = turbomap(circuit.copy(), K)
+            _assert_identical(result, cold)
+            assert result.total_stats.labels_reused > 0
+
+    def test_remap_without_baseline_runs_cold(self):
+        circuit = random_seq_circuit(3, 10, seed=45)
+        session = IncrementalSession(circuit, k=K)
+        result = session.remap()
+        assert not result.incremental
+        assert session.result is result
+
+    def test_node_insertion_pads_previous_labels(self):
+        from repro.boolfn.truthtable import TruthTable
+
+        circuit = random_seq_circuit(4, 16, seed=46)
+        session = IncrementalSession(circuit, k=K)
+        session.map()
+        g = circuit.gates[-1]
+        circuit.add_gate("grown", TruthTable.var(0, 1), [(g, 1)])
+        circuit.add_po("grown_out", circuit.id_of("grown"))
+        result = session.remap()
+        cold = turbomap(circuit.copy(), K)
+        _assert_identical(result, cold)
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            IncrementalSession(
+                random_seq_circuit(3, 8, seed=47), algorithm="magic"
+            )

@@ -45,7 +45,11 @@ class TestCompile:
         assert circuit.compiled() is cc  # cached
         g = circuit.gates[0]
         pins = [(p.src, p.weight) for p in circuit.fanins(g)]
-        circuit.set_fanins(g, pins)  # structural touch, even if a no-op
+        circuit.set_fanins(g, pins)  # no-op rewire: cache survives
+        assert circuit.compiled() is cc
+        src, w = pins[0]
+        pins[0] = (src, w + 1)
+        circuit.set_fanins(g, pins)  # effective rewire: cache dropped
         assert circuit.compiled() is not cc
 
     def test_pickle_strips_compiled_cache(self):

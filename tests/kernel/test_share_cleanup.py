@@ -1,0 +1,139 @@
+"""Shared-memory segment cleanup when probe workers die abnormally.
+
+The probe pool (:mod:`repro.perf.parallel`) publishes the compiled CSR
+once and unlinks the segment in ``shutdown`` — which also runs after a
+worker was killed or crashed mid-probe.  These tests pin the owner-side
+contract of :class:`repro.kernel.share.CsrHandle`:
+
+* ``unlink`` releases the segment even when a worker exited without any
+  cleanup (hard ``os._exit``) or was SIGKILLed *while attached*;
+* ``unlink`` is idempotent and survives the segment already being gone;
+* worker-side (pickled) handles never own the segment, so a confused
+  worker calling ``unlink`` cannot yank it from under its siblings.
+"""
+
+import multiprocessing
+import os
+import pickle
+import signal
+
+import pytest
+
+from repro.kernel.csr import compile_circuit
+from repro.kernel.share import publish_csr
+from tests.helpers import random_seq_circuit
+
+
+def _shm_available() -> bool:
+    try:
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(create=True, size=8)
+    except (ImportError, OSError):
+        return False
+    segment.close()
+    segment.unlink()
+    return True
+
+
+pytestmark = pytest.mark.skipif(
+    not _shm_available(), reason="shared memory unavailable"
+)
+
+
+def _segment_exists(name: str) -> bool:
+    from multiprocessing import shared_memory
+
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    segment.close()
+    return True
+
+
+def _attach_and_hard_exit(handle, code: int) -> None:
+    handle.attach()
+    os._exit(code)  # abnormal: no atexit, no finally, no cleanup
+
+
+def _attach_and_block(name: str, ready, release) -> None:
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=name)
+    ready.set()
+    release.wait(30)  # parent SIGKILLs us here, mapping still open
+    segment.close()
+
+
+def _publish(seed: int):
+    handle = publish_csr(
+        compile_circuit(random_seq_circuit(3, 12, seed=seed))
+    )
+    if handle.transport != "shm":
+        handle.unlink()
+        pytest.skip("publish_csr fell back to bytes transport")
+    return handle
+
+
+class TestAbnormalWorkerExit:
+    def test_unlink_after_worker_hard_exit(self):
+        handle = _publish(seed=11)
+        ctx = multiprocessing.get_context()
+        worker = ctx.Process(
+            target=_attach_and_hard_exit, args=(handle, 7)
+        )
+        worker.start()
+        worker.join(30)
+        assert worker.exitcode == 7
+        handle.unlink()
+        assert not _segment_exists(handle.shm_name)
+        handle.unlink()  # idempotent after release
+
+    def test_unlink_with_sigkilled_attached_reader(self):
+        handle = _publish(seed=12)
+        ctx = multiprocessing.get_context()
+        ready = ctx.Event()
+        release = ctx.Event()
+        worker = ctx.Process(
+            target=_attach_and_block,
+            args=(handle.shm_name, ready, release),
+        )
+        worker.start()
+        try:
+            assert ready.wait(30), "worker never attached"
+            os.kill(worker.pid, signal.SIGKILL)
+            worker.join(30)
+            assert worker.exitcode == -signal.SIGKILL
+            # The dead reader must not block the owner's release.
+            handle.unlink()
+            assert not _segment_exists(handle.shm_name)
+        finally:
+            # Only release a *live* waiter: notifying an Event whose
+            # registered sleeper was SIGKILLed deadlocks the notifier
+            # (the dead waiter can never acknowledge the wakeup).
+            if worker.is_alive():  # pragma: no cover - kill failed
+                release.set()
+                worker.terminate()
+                worker.join(30)
+
+    def test_unlink_survives_segment_already_gone(self):
+        from multiprocessing import shared_memory
+
+        handle = _publish(seed=13)
+        # Another actor (e.g. a stale-segment sweeper) raced us to it.
+        segment = shared_memory.SharedMemory(name=handle.shm_name)
+        segment.close()
+        segment.unlink()
+        handle.unlink()  # FileNotFoundError is swallowed
+
+    def test_worker_side_handle_does_not_own_the_segment(self):
+        handle = _publish(seed=14)
+        try:
+            received = pickle.loads(pickle.dumps(handle))
+            received.unlink()  # worker side: must be a no-op
+            assert _segment_exists(handle.shm_name)
+            assert received.attach().srcs == handle.attach().srcs
+        finally:
+            handle.unlink()
+        assert not _segment_exists(handle.shm_name)
