@@ -9,14 +9,34 @@ Public surface
 * :mod:`repro.analysis.invariants` — post-hoc verification of mapping
   and retiming results (MAP0xx), the ``certificate`` summary attached to
   ``SeqMapResult``, and :class:`VerificationError`.
+* :mod:`repro.analysis.certify` — independent schedule / cycle-mean
+  certificates (RET002/RET003): a balanced-binary-word periodic
+  schedule replayed on the mapped marked graph, and Karp's maximum
+  cycle mean on the condensed register graph, both emitted as
+  machine-readable blobs on the result certificate.
+* :mod:`repro.analysis.kernelrules` — CSR integrity audit of compiled
+  circuits (KERN00x), run by ``repro lint`` alongside the structural
+  pack.
+* :mod:`repro.analysis.increrules` — incremental-repair audit
+  (INC00x): journal coherence, dirty-closure soundness, witness
+  revalidation.
+* :mod:`repro.analysis.sanitize` — opt-in runtime invariant hooks
+  (SAN00x, ``REPRO_SANITIZE=1`` / ``--sanitize``) with a seeded
+  mutation-testing selftest.
 * :mod:`repro.analysis.sarif` — SARIF 2.1.0 reports.
 * :mod:`repro.analysis.baseline` — baseline suppression for CI.
 * :mod:`repro.analysis.cli` — ``repro lint`` / ``python -m
   repro.analysis``.
 
-Importing this package registers both rule packs.
+Importing this package registers every rule pack.
 """
 
+from repro.analysis.certify import (
+    build_cycle_certificate,
+    build_schedule_certificate,
+    check_cycle_certificate,
+    replay_schedule,
+)
 from repro.analysis.engine import (
     CircuitContext,
     Diagnostic,
@@ -33,6 +53,7 @@ from repro.analysis.engine import (
     run_rules,
     sort_diagnostics,
 )
+from repro.analysis.increrules import IncrementalContext, audit_incremental
 from repro.analysis.invariants import (
     MappingContext,
     RetimingContext,
@@ -42,19 +63,29 @@ from repro.analysis.invariants import (
     raise_on_errors,
     verify_mapping,
 )
+from repro.analysis.kernelrules import KernelContext, audit_compiled
+from repro.analysis.sanitize import SanitizerViolation
 from repro.analysis.structural import lint_circuit
 
 __all__ = [
     "CircuitContext",
     "Diagnostic",
+    "IncrementalContext",
+    "KernelContext",
     "Location",
     "MappingContext",
     "RetimingContext",
     "Rule",
+    "SanitizerViolation",
     "Severity",
     "VerificationError",
     "all_rules",
+    "audit_compiled",
+    "audit_incremental",
+    "build_cycle_certificate",
+    "build_schedule_certificate",
     "certificate",
+    "check_cycle_certificate",
     "count_by_severity",
     "diagnostics_json",
     "get_rule",
@@ -64,6 +95,7 @@ __all__ = [
     "max_severity",
     "raise_on_errors",
     "render_text",
+    "replay_schedule",
     "run_rules",
     "sort_diagnostics",
     "verify_mapping",

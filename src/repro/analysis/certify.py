@@ -1,0 +1,625 @@
+"""Independent schedule and cycle-mean certificates (RET002 / RET003).
+
+Second-opinion verification of the Tier-1 claim ``phi >= MDR``: the
+mapper's own bound comes from the vectorized Bellman-Ford search in
+:mod:`repro.retime.mdr`, so this module re-derives it twice by means
+that share no code with that engine.
+
+**Schedule certificate (RET002).**  The retiming graph is a marked
+graph (Millo & de Simone, arXiv 1202.4912): edges carry ``w`` tokens
+(registers), node ``v`` takes ``d(v)`` time units per firing.  A
+*strictly periodic* schedule at period ``phi`` fires ``v`` at times
+``s(v) + k*phi``; its activation trace is the balanced binary word
+``0^{s(v)} (1 0^{phi-1})^w`` — one firing per period after an initial
+delay of ``s(v)`` slots.  Such a schedule exists iff
+``phi * w(C) >= d(C)`` on every cycle ``C``, i.e. iff ``phi >= MDR``,
+so a valid offset vector is an *executable certificate* of the bound.
+:func:`build_schedule_certificate` constructs the offsets by per-SCC
+longest-path relaxation; :func:`replay_schedule` then re-checks them
+two independent ways — the per-edge start constraint, and an
+operational token-game replay of the marked graph over a warm-up
+prefix plus one full period with a periodicity check at the end.
+
+**Karp cycle-mean certificate (RET003).**  The MDR ratio
+``max_C d(C)/w(C)`` is recomputed exactly as a *maximum cycle mean* on
+the condensed register graph: every register instance becomes a node,
+chained registers are linked by zero-cost unit edges, and the last
+register of an edge connects to the first register of each successor
+edge with the maximum gate delay accumulated along zero-weight
+combinational paths in between.  A cycle of the condensed graph
+traverses exactly ``w(C)`` edges at total cost ``d(C)``, so its mean
+equals the cycle's delay-to-register ratio and Karp's theorem
+(``mu* = max_v min_k (D_n(v) - D_k(v)) / (n - k)``) yields the exact
+MDR.  The blob carries an explicit critical cycle mapped back to
+circuit nodes, which the rule re-walks against the original circuit —
+the reported ratio is both *achieved* (witness cycle) and *respected*
+(``phi >= mu*``), and finally cross-checked against the engine's own
+:func:`repro.retime.mdr.min_feasible_period`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.engine import Diagnostic, Severity, rule
+from repro.analysis.invariants import MappingContext
+from repro.netlist.graph import SeqCircuit
+
+#: Certificate blob schema version (both certificate kinds).
+CERT_SCHEMA = 1
+
+#: Replay budget: past this many simulated firing events the token-game
+#: replay is skipped (the O(E) constraint check still certifies).
+DEFAULT_MAX_EVENTS = 250_000
+
+#: Karp budget: past this many condensed nodes/edges the cycle-mean
+#: cross-check is skipped with an explicit reason (O(N*M) table).
+DEFAULT_MAX_REGISTERS = 2_000
+DEFAULT_MAX_CONDENSED_EDGES = 20_000
+
+_NEG_INF = float("-inf")
+
+
+def _delays(circuit: SeqCircuit) -> List[int]:
+    """Per-node delays under the circuit's delay model."""
+    return [circuit.node(v).delay for v in circuit.node_ids()]
+
+
+def _dedup_edges(circuit: SeqCircuit) -> List[Tuple[int, int, int]]:
+    """Deduplicated ``(src, dst, weight)`` edges (parallel pins merged)."""
+    seen = set()
+    out: List[Tuple[int, int, int]] = []
+    for edge in circuit.edges():
+        if edge not in seen:
+            seen.add(edge)
+            out.append(edge)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Schedule certificates
+# ----------------------------------------------------------------------
+def balanced_word(offset: int, phi: int, length: int) -> str:
+    """Prefix of the balanced binary activation word ``0^s (1 0^{phi-1})^w``.
+
+    Position ``t`` is ``1`` exactly when the node fires at time ``t``
+    under the strictly periodic schedule ``s + k*phi``.
+    """
+    return "".join(
+        "1" if t >= offset and (t - offset) % phi == 0 else "0"
+        for t in range(length)
+    )
+
+
+def build_schedule_certificate(
+    circuit: SeqCircuit, phi: int
+) -> Dict[str, Any]:
+    """Construct the periodic-schedule certificate blob for ``phi``.
+
+    Solves the difference constraints ``s(v) >= s(u) + d(u) - phi*w``
+    by longest-path relaxation, SCC by SCC in topological order of the
+    condensation (cross edges settle in one pass; an SCC of ``m`` nodes
+    converges within ``m`` sweeps or proves a cycle with
+    ``d(C) > phi * w(C)``, i.e. ``phi < MDR``).
+    """
+    n = len(circuit)
+    delays = _delays(circuit)
+    offsets = [0] * n
+    fanin_edges: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+    for src, dst, weight in _dedup_edges(circuit):
+        fanin_edges[dst].append((src, delays[src] - phi * weight))
+    for members in circuit.sccs():
+        member_set = set(members)
+        # Cross edges first: predecessors outside the SCC are final.
+        for v in members:
+            for src, gain in fanin_edges[v]:
+                if src not in member_set:
+                    cand = offsets[src] + gain
+                    if cand > offsets[v]:
+                        offsets[v] = cand
+        internal = [
+            (v, src, gain)
+            for v in members
+            for src, gain in fanin_edges[v]
+            if src in member_set
+        ]
+        if not internal:
+            continue
+        witness: Optional[int] = None
+        for sweep in range(len(members) + 1):
+            changed = False
+            for v, src, gain in internal:
+                cand = offsets[src] + gain
+                if cand > offsets[v]:
+                    offsets[v] = cand
+                    changed = True
+                    witness = v
+            if not changed:
+                break
+        else:
+            # Still relaxing after |S| sweeps: a positive cycle through
+            # ``witness`` proves the period infeasible.
+            return {
+                "schema": CERT_SCHEMA,
+                "kind": "periodic-schedule",
+                "phi": phi,
+                "feasible": False,
+                "witness_node": circuit.name_of(witness)
+                if witness is not None
+                else None,
+            }
+    base = min(offsets) if offsets else 0
+    offsets = [s - base for s in offsets]
+    return {
+        "schema": CERT_SCHEMA,
+        "kind": "periodic-schedule",
+        "phi": phi,
+        "feasible": True,
+        "offsets": offsets,
+        "hyperperiod": phi,
+        "makespan": max(offsets) if offsets else 0,
+        "word": {"ones_per_period": 1, "period": phi},
+    }
+
+
+def replay_schedule(
+    circuit: SeqCircuit,
+    phi: int,
+    offsets: Sequence[int],
+    max_events: int = DEFAULT_MAX_EVENTS,
+) -> List[str]:
+    """Re-check a schedule certificate; returns violation messages.
+
+    Two independent passes:
+
+    1. every edge ``u -> v`` with ``w`` registers must satisfy the
+       start constraint ``s(v) >= s(u) + d(u) - phi*w``;
+    2. an operational token-game replay: edges start with ``w`` tokens,
+       the ``k``-th firing of ``v`` (time ``s(v)+k*phi``) consumes one
+       token per fanin edge, completions at ``s(u)+k*phi+d(u)`` produce
+       one token per fanout edge.  The marking must never go negative
+       and must return to itself one period after warm-up (periodicity
+       implies the schedule runs forever at throughput ``1/phi``).
+
+    The replay is skipped (never a violation) past ``max_events``; the
+    constraint pass alone is already a complete proof.
+    """
+    problems: List[str] = []
+    if phi < 1:
+        return [f"period {phi} is not a positive integer"]
+    n = len(circuit)
+    if len(offsets) != n:
+        return [f"offset vector has {len(offsets)} entries for {n} nodes"]
+    delays = _delays(circuit)
+    edges = _dedup_edges(circuit)
+    for src, dst, weight in edges:
+        slack = offsets[dst] - offsets[src] - delays[src] + phi * weight
+        if slack < 0:
+            problems.append(
+                f"edge {circuit.name_of(src)!r}->{circuit.name_of(dst)!r}"
+                f" (w={weight}) violates the start constraint by {-slack}"
+            )
+    if problems:
+        return problems
+
+    makespan = max(offsets) if offsets else 0
+    horizon = makespan + 2 * phi
+    n_events = sum((horizon - s) // phi + 1 for s in offsets) * 2
+    if n_events > max_events:
+        return problems  # replay skipped; constraint pass certified
+
+    fires: List[List[int]] = [[] for _ in range(horizon + 1)]
+    completes: List[List[int]] = [[] for _ in range(horizon + 2)]
+    for v in range(n):
+        for t in range(offsets[v], horizon + 1, phi):
+            fires[t].append(v)
+            completes[t + delays[v]].append(v)
+    fanout_edges: List[List[int]] = [[] for _ in range(n)]
+    fanin_edge_ids: List[List[int]] = [[] for _ in range(n)]
+    tokens: List[int] = []
+    for idx, (src, dst, weight) in enumerate(edges):
+        fanout_edges[src].append(idx)
+        fanin_edge_ids[dst].append(idx)
+        tokens.append(weight)
+    snapshot: Optional[List[int]] = None
+    for t in range(horizon + 1):
+        for u in completes[t]:
+            for idx in fanout_edges[u]:
+                tokens[idx] += 1
+        for v in fires[t]:
+            for idx in fanin_edge_ids[v]:
+                tokens[idx] -= 1
+                if tokens[idx] < 0:
+                    src, dst, weight = edges[idx]
+                    problems.append(
+                        f"replay: edge {circuit.name_of(src)!r}->"
+                        f"{circuit.name_of(dst)!r} runs out of tokens at"
+                        f" t={t}"
+                    )
+                    return problems
+        if t == makespan + phi:
+            snapshot = list(tokens)
+        elif t == makespan + 2 * phi and snapshot is not None:
+            if tokens != snapshot:
+                problems.append(
+                    "replay: marking is not periodic one period after"
+                    " warm-up"
+                )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Karp cycle-mean certificates
+# ----------------------------------------------------------------------
+@dataclass
+class _CondensedGraph:
+    """The condensed register graph and its back-mapping to the circuit.
+
+    ``edges`` entries are ``(src_reg, dst_reg, cost, path)`` where
+    ``path`` is the circuit node-id path (head node of the source
+    register's bank through the last combinational node) the cost was
+    accumulated over, or ``None`` for the zero-cost links inside a
+    register chain.  ``reg_edge[r]`` indexes ``weighted`` (the original
+    weighted circuit edges) for register ``r``'s bank.
+    """
+
+    labels: List[str]
+    edges: List[Tuple[int, int, int, Optional[List[int]]]]
+    n_regs: int
+    weighted: List[Tuple[int, int, int]]
+    reg_edge: List[int]
+
+
+def _condensed_register_graph(circuit: SeqCircuit) -> _CondensedGraph:
+    """Build the condensed register graph of a circuit.
+
+    Raises ``ValueError`` on a combinational cycle (MDR unbounded).
+    """
+    delays = _delays(circuit)
+    weighted = [e for e in _dedup_edges(circuit) if e[2] >= 1]
+    reg_base: List[int] = []
+    labels: List[str] = []
+    reg_edge: List[int] = []
+    n_regs = 0
+    first_reg: List[List[int]] = [[] for _ in range(len(circuit))]
+    for idx, (src, dst, weight) in enumerate(weighted):
+        reg_base.append(n_regs)
+        tag = f"{circuit.name_of(src)}->{circuit.name_of(dst)}"
+        labels.extend(f"{tag}#{i}" for i in range(weight))
+        reg_edge.extend([idx] * weight)
+        first_reg[src].append(n_regs)
+        n_regs += weight
+    edges: List[Tuple[int, int, int, Optional[List[int]]]] = []
+    for idx, (_src, _dst, weight) in enumerate(weighted):
+        base = reg_base[idx]
+        for i in range(weight - 1):
+            edges.append((base + i, base + i + 1, 0, None))
+    # best[v]: exit register -> (max accumulated delay from v inclusive,
+    # next hop on that path, or -1 for a direct weighted out-edge of v).
+    best: List[Dict[int, Tuple[int, int]]] = [
+        {} for _ in range(len(circuit))
+    ]
+    order = circuit.comb_topo_order()  # raises on combinational cycles
+    for v in reversed(order):
+        d_v = delays[v]
+        mine = best[v]
+        for reg in first_reg[v]:
+            mine[reg] = (d_v, -1)
+        for dst, weight in circuit.fanouts(v):
+            if weight == 0:
+                for reg, (cost, _hop) in best[dst].items():
+                    cand = d_v + cost
+                    if reg not in mine or cand > mine[reg][0]:
+                        mine[reg] = (cand, dst)
+    for idx, (_src, dst, weight) in enumerate(weighted):
+        tail = reg_base[idx] + weight - 1
+        for reg, (cost, _hop) in best[dst].items():
+            path = [dst]
+            hop = best[dst][reg][1]
+            node = dst
+            while hop != -1:
+                path.append(hop)
+                node = hop
+                hop = best[node][reg][1]
+            edges.append((tail, reg, cost, path))
+    return _CondensedGraph(labels, edges, n_regs, weighted, reg_edge)
+
+
+def _karp_max_cycle_mean(
+    n_regs: int, edges: Sequence[Tuple[int, int, int, Optional[List[int]]]]
+) -> Optional[Tuple[Fraction, List[int]]]:
+    """Karp's maximum cycle mean; ``(mu*, critical cycle)`` or ``None``.
+
+    Runs on the condensed graph plus a super-source with zero-cost
+    edges to every register, so every cycle is reachable.  ``None``
+    when the graph is acyclic.
+    """
+    n = n_regs + 1  # + super-source (vertex n_regs)
+    source = n_regs
+    adj: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+    for src, dst, cost, _path in edges:
+        adj[src].append((dst, cost))
+    for v in range(n_regs):
+        adj[source].append((v, 0))
+    dist: List[List[float]] = [[_NEG_INF] * n for _ in range(n + 1)]
+    parent: List[List[int]] = [[-1] * n for _ in range(n + 1)]
+    dist[0][source] = 0.0
+    for k in range(1, n + 1):
+        row = dist[k]
+        par = parent[k]
+        prev = dist[k - 1]
+        for u in range(n):
+            du = prev[u]
+            if du == _NEG_INF:
+                continue
+            for v, cost in adj[u]:
+                cand = du + cost
+                if cand > row[v]:
+                    row[v] = cand
+                    par[v] = u
+    mu: Optional[Fraction] = None
+    arg: int = -1
+    final = dist[n]
+    for v in range(n):
+        if final[v] == _NEG_INF:
+            continue
+        worst: Optional[Fraction] = None
+        for k in range(n):
+            if dist[k][v] == _NEG_INF:
+                continue
+            ratio = Fraction(int(final[v] - dist[k][v]), n - k)
+            if worst is None or ratio < worst:
+                worst = ratio
+        if worst is not None and (mu is None or worst > mu):
+            mu = worst
+            arg = v
+    if mu is None:
+        return None
+    # Walk parents from (n, arg); within n+1 visited vertices one must
+    # repeat, and the slice between repeats is a critical cycle.
+    walk: List[int] = []
+    seen: Dict[int, int] = {}
+    v, k = arg, n
+    while v not in seen:
+        seen[v] = len(walk)
+        walk.append(v)
+        v, k = parent[k][v], k - 1
+    cycle = walk[seen[v] :]
+    cycle.reverse()  # parent walk runs backwards in time
+    return mu, cycle
+
+
+def build_cycle_certificate(
+    circuit: SeqCircuit,
+    phi: int,
+    max_registers: int = DEFAULT_MAX_REGISTERS,
+    max_condensed_edges: int = DEFAULT_MAX_CONDENSED_EDGES,
+) -> Dict[str, Any]:
+    """Construct the Karp cycle-mean certificate blob for ``phi``.
+
+    The blob carries the exact MDR as a fraction, the implied integer
+    period bound, and a critical closed walk mapped back to circuit
+    nodes (``circuit_cycle``: ``[[name, weight_to_next], ...]``) so a
+    checker can re-walk the original circuit without rebuilding the
+    condensed graph.  Oversized inputs are skipped with a reason.
+    """
+    base: Dict[str, Any] = {
+        "schema": CERT_SCHEMA,
+        "kind": "karp-cycle-mean",
+        "phi": phi,
+    }
+    try:
+        graph = _condensed_register_graph(circuit)
+    except ValueError:
+        base.update(mcm=None, feasible=False, reason="combinational cycle")
+        return base
+    base.update(
+        registers=graph.n_regs, condensed_edges=len(graph.edges)
+    )
+    if (
+        graph.n_regs > max_registers
+        or len(graph.edges) > max_condensed_edges
+    ):
+        base.update(
+            mcm=None,
+            skipped=(
+                f"condensed graph too large ({graph.n_regs} registers,"
+                f" {len(graph.edges)} edges)"
+            ),
+        )
+        return base
+    found = _karp_max_cycle_mean(graph.n_regs, graph.edges)
+    if found is None:
+        base.update(mcm=None, bound=1, feasible=True, critical_cycle=[])
+        return base
+    mu, cycle = found
+    bound = max(1, math.ceil(mu))
+    edge_paths: Dict[Tuple[int, int], Optional[List[int]]] = {
+        (src, dst): path for src, dst, _cost, path in graph.edges
+    }
+    # Rebuild the critical closed walk on circuit nodes.  Each cost
+    # edge of the cycle contributes its combinational path ``v .. x``
+    # (zero-weight hops), and consecutive paths are connected by the
+    # register bank the target register belongs to (``w`` registers
+    # from ``x`` into the next path's first node).
+    segments: List[Tuple[List[int], int]] = []  # (path, exit weight)
+    for i, reg in enumerate(cycle):
+        nxt = cycle[(i + 1) % len(cycle)]
+        path = edge_paths.get((reg, nxt))
+        if path is None:
+            continue  # zero-cost chain link inside one register bank
+        # ``nxt`` is the first register of the bank the walk enters
+        # after this path: its weight spans path[-1] -> next path[0].
+        _src, _dst, weight = graph.weighted[graph.reg_edge[nxt]]
+        segments.append((path, weight))
+    circuit_cycle: List[List[Any]] = []
+    for path, exit_weight in segments:
+        for node in path[:-1]:
+            circuit_cycle.append([circuit.name_of(node), 0])
+        circuit_cycle.append([circuit.name_of(path[-1]), exit_weight])
+    base.update(
+        mcm=f"{mu.numerator}/{mu.denominator}",
+        bound=bound,
+        feasible=phi >= mu,
+        critical_cycle=[graph.labels[reg] for reg in cycle],
+        circuit_cycle=circuit_cycle,
+    )
+    return base
+
+
+def check_cycle_certificate(
+    circuit: SeqCircuit, phi: int, blob: Dict[str, Any]
+) -> List[str]:
+    """Re-check a cycle-mean certificate; returns violation messages.
+
+    Re-walks ``circuit_cycle`` on the original circuit (every claimed
+    edge must exist with the claimed register count), recomputes the
+    walk's delay-to-register ratio, and requires it to equal the
+    claimed ``mcm`` with ``phi >= mcm``.
+    """
+    problems: List[str] = []
+    if blob.get("skipped") is not None:
+        return problems
+    mcm_text = blob.get("mcm")
+    if mcm_text is None:
+        if blob.get("feasible") is False:
+            problems.append(
+                "cycle certificate reports an unbounded MDR"
+                f" ({blob.get('reason', 'no reason')})"
+            )
+        return problems
+    num, den = (int(part) for part in str(mcm_text).split("/", 1))
+    mu = Fraction(num, den)
+    walk = blob.get("circuit_cycle") or []
+    if not walk:
+        problems.append("cycle certificate has no witness cycle")
+        return problems
+    ids = {circuit.name_of(v): v for v in circuit.node_ids()}
+    pin_sets = [
+        {(p.src, p.weight) for p in circuit.fanins(v)}
+        for v in circuit.node_ids()
+    ]
+    delays = _delays(circuit)
+    total_delay = 0
+    total_weight = 0
+    for i, (name, weight) in enumerate(walk):
+        nxt_name = walk[(i + 1) % len(walk)][0]
+        if name not in ids or nxt_name not in ids:
+            problems.append(f"witness cycle names unknown node {name!r}")
+            return problems
+        src, dst = ids[name], ids[nxt_name]
+        if (src, int(weight)) not in pin_sets[dst]:
+            problems.append(
+                f"witness cycle claims edge {name!r}->{nxt_name!r}"
+                f" (w={weight}) which the circuit does not have"
+            )
+            return problems
+        total_delay += delays[src]
+        total_weight += int(weight)
+    if total_weight <= 0:
+        problems.append("witness cycle carries no registers")
+        return problems
+    achieved = Fraction(total_delay, total_weight)
+    if achieved != mu:
+        problems.append(
+            f"witness cycle achieves ratio {achieved}, certificate"
+            f" claims {mu}"
+        )
+    if phi < mu:
+        problems.append(
+            f"period {phi} is below the certified MDR ratio {mu}"
+        )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+@rule(
+    "RET002",
+    "schedule-certificate",
+    Severity.ERROR,
+    "mapping",
+    "A balanced-binary-word periodic schedule at period phi must exist "
+    "and replay cleanly on the mapped circuit's marked graph "
+    "(independent proof of phi >= MDR).",
+)
+def _check_schedule_certificate(ctx: MappingContext) -> Iterator[Diagnostic]:
+    blob = ctx.schedule_cert
+    if blob is None:
+        blob = build_schedule_certificate(ctx.mapped, ctx.phi)
+    loc = ctx.loc()
+    if not blob.get("feasible"):
+        yield Diagnostic(
+            "RET002",
+            Severity.ERROR,
+            "no periodic schedule exists at period "
+            f"{ctx.phi} (phi < MDR); infeasibility witnessed at node "
+            f"{blob.get('witness_node')!r}",
+            loc,
+            data={"certificate": blob},
+        )
+        return
+    offsets = blob.get("offsets") or []
+    for problem in replay_schedule(ctx.mapped, ctx.phi, offsets):
+        yield Diagnostic(
+            "RET002",
+            Severity.ERROR,
+            f"schedule certificate failed replay: {problem}",
+            loc,
+            data={"phi": ctx.phi},
+        )
+
+
+@rule(
+    "RET003",
+    "cycle-mean-crosscheck",
+    Severity.ERROR,
+    "mapping",
+    "Karp's maximum cycle mean on the condensed register graph must "
+    "re-derive the MDR bound: the witness cycle re-walks, phi >= mcm, "
+    "and the independent bound agrees with the engine's.",
+)
+def _check_cycle_certificate(ctx: MappingContext) -> Iterator[Diagnostic]:
+    blob = ctx.cycle_cert
+    if blob is None:
+        blob = build_cycle_certificate(ctx.mapped, ctx.phi)
+    loc = ctx.loc()
+    for problem in check_cycle_certificate(ctx.mapped, ctx.phi, blob):
+        yield Diagnostic(
+            "RET003",
+            Severity.ERROR,
+            f"cycle-mean certificate rejected: {problem}",
+            loc,
+            data={"mcm": blob.get("mcm")},
+        )
+        return
+    if blob.get("skipped") is not None or blob.get("feasible") is False:
+        return
+    bound = blob.get("bound")
+    if bound is None:
+        return
+    from repro.retime.mdr import min_feasible_period
+
+    try:
+        engine_bound = min_feasible_period(ctx.mapped, upper_bound=ctx.phi)
+    except ValueError as exc:
+        yield Diagnostic(
+            "RET003",
+            Severity.ERROR,
+            f"engine cross-check failed: {exc}",
+            loc,
+        )
+        return
+    if engine_bound != bound:
+        yield Diagnostic(
+            "RET003",
+            Severity.ERROR,
+            "independent Karp bound disagrees with the engine: "
+            f"ceil(mcm) = {bound}, min_feasible_period = {engine_bound}",
+            loc,
+            data={"mcm": blob.get("mcm"), "engine_bound": engine_bound},
+        )

@@ -99,6 +99,12 @@ def run_lint(args: argparse.Namespace) -> int:
                 "circuit", CircuitContext(circuit, args.k, file=path), select
             )
         )
+        # The kernel pack audits the compiled CSR twin of every linted
+        # circuit, so a kernel regression surfaces in the same report
+        # stream as a malformed netlist.
+        from repro.analysis.kernelrules import audit_compiled
+
+        diags.extend(audit_compiled(circuit, file=path, select=select))
     if load_failed:
         return 2
 
@@ -106,7 +112,7 @@ def run_lint(args: argparse.Namespace) -> int:
         baseline_mod.write_baseline(diags, args.write_baseline)
 
     kept, n_suppressed = baseline_mod.suppress(diags, known)
-    rules_run = all_rules("circuit", select)
+    rules_run = all_rules("circuit", select) + all_rules("kernel", select)
 
     if args.format == "sarif":
         report = render_sarif(kept, rules_run)

@@ -34,7 +34,7 @@ import enum
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.netlist.graph import SeqCircuit
 
@@ -59,7 +59,39 @@ _SEVERITY_RANK: Dict[Severity, int] = {
 }
 
 #: Valid rule scopes.
-SCOPES = ("circuit", "mapping", "retiming")
+SCOPES = (
+    "circuit",
+    "mapping",
+    "retiming",
+    "kernel",
+    "incremental",
+    "sanitizer",
+)
+
+
+def anchor_node(names: Iterable[str]) -> str:
+    """Deterministic anchor for a diagnostic over an unordered node set.
+
+    Fingerprints hash ``rule|circuit|node``, so a rule that reports a
+    *group* of nodes (a cycle, an offender set, a dirty region) must
+    not anchor at whatever element an iteration order produced first —
+    set/dict order varies across Python versions and hash seeds, and a
+    cycle can be entered at any rotation.  Sorting first makes the
+    fingerprint a pure function of the finding.
+    """
+    return min(names)
+
+
+def canonical_cycle(names: Sequence[str]) -> List[str]:
+    """Rotate a cycle so it starts at its lexicographic minimum.
+
+    The same cycle discovered from a different entry point then renders
+    and fingerprints identically.
+    """
+    if not names:
+        return []
+    pivot = min(range(len(names)), key=names.__getitem__)
+    return list(names[pivot:]) + list(names[:pivot])
 
 
 @dataclass(frozen=True)

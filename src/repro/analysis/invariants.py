@@ -101,6 +101,10 @@ class MappingContext:
     #: by delta patching (:mod:`repro.incremental`); ``None`` (cold
     #: runs) skips the round-trip rules MAP007/MAP008.
     compiled: Optional[CompiledCircuit] = None
+    #: pre-built certificate blobs from :mod:`repro.analysis.certify`;
+    #: ``None`` makes RET002/RET003 construct their own on the fly.
+    schedule_cert: Optional[Dict[str, object]] = None
+    cycle_cert: Optional[Dict[str, object]] = None
 
     def loc(self, nid: Optional[int] = None) -> Location:
         node = None if nid is None else self.mapped.name_of(nid)
@@ -464,6 +468,8 @@ def verify_mapping(
     algorithm: str = "",
     resyn_roots: Optional[AbstractSet[str]] = None,
     compiled: Optional[CompiledCircuit] = None,
+    schedule_cert: Optional[Dict[str, object]] = None,
+    cycle_cert: Optional[Dict[str, object]] = None,
 ) -> List[Diagnostic]:
     """Certify one mapping result: invariant pack + structural pass.
 
@@ -472,8 +478,11 @@ def verify_mapping(
     infers trees from the naming convention and softens cone-coverage
     failures to INFO.  ``compiled`` is the delta-patched CSR an
     incremental run probed on; passing it arms the round-trip rules
-    (MAP007/MAP008).  Returns every diagnostic found; an empty list (or
-    one free of ``ERROR`` findings) certifies the result.
+    (MAP007/MAP008).  ``schedule_cert`` / ``cycle_cert`` are pre-built
+    certificate blobs (:mod:`repro.analysis.certify`) for RET002/RET003
+    to re-check instead of rebuilding.  Returns every diagnostic found;
+    an empty list (or one free of ``ERROR`` findings) certifies the
+    result.
     """
     ctx = MappingContext(
         subject,
@@ -484,6 +493,8 @@ def verify_mapping(
         algorithm,
         resyn_roots=resyn_roots,
         compiled=compiled,
+        schedule_cert=schedule_cert,
+        cycle_cert=cycle_cert,
     )
     diags = run_rules("mapping", ctx)
     diags += lint_circuit(CircuitContext(mapped, k))
@@ -509,11 +520,19 @@ def certificate(
     phi: int,
     algorithm: str = "",
     t_verify: float = 0.0,
+    schedule_certificate: Optional[Dict[str, object]] = None,
+    cycle_certificate: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
-    """Machine-readable verification summary for a ``SeqMapResult``."""
+    """Machine-readable verification summary for a ``SeqMapResult``.
+
+    ``schedule_certificate`` / ``cycle_certificate`` embed the
+    independent proof blobs (:mod:`repro.analysis.certify`) the driver
+    built for RET002/RET003, so a result carries not just the verdict
+    but the replayable evidence.
+    """
     errors = [d for d in diags if d.severity is Severity.ERROR]
     warnings = [d for d in diags if d.severity is Severity.WARNING]
-    return {
+    out: Dict[str, object] = {
         "schema": 1,
         "verified": not has_errors(diags),
         "algorithm": algorithm,
@@ -524,6 +543,11 @@ def certificate(
         "findings": [d.as_dict() for d in diags],
         "t_verify": round(t_verify, 6),
     }
+    if schedule_certificate is not None:
+        out["schedule_certificate"] = schedule_certificate
+    if cycle_certificate is not None:
+        out["cycle_certificate"] = cycle_certificate
+    return out
 
 
 def raise_on_errors(

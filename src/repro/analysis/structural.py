@@ -28,6 +28,7 @@ from repro.analysis.engine import (
     CircuitContext,
     Diagnostic,
     Severity,
+    canonical_cycle,
     rule,
 )
 from repro.netlist.graph import NodeKind
@@ -50,7 +51,11 @@ from repro.netlist.validate import (
 )
 def check_comb_cycle(ctx: CircuitContext) -> Iterator[Diagnostic]:
     for cycle in zero_weight_cycles(ctx.circuit):
-        names = [ctx.circuit.name_of(v) for v in cycle]
+        # Canonical rotation: the traversal can enter the cycle at any
+        # node, so anchor (and fingerprint) at the smallest name.
+        names = canonical_cycle(
+            [ctx.circuit.name_of(v) for v in cycle]
+        )
         shown = " -> ".join(names[:MAX_SHOWN])
         if len(names) > MAX_SHOWN:
             shown += f" -> ... ({len(names)} nodes)"
@@ -58,7 +63,7 @@ def check_comb_cycle(ctx: CircuitContext) -> Iterator[Diagnostic]:
             "CIRC001",
             Severity.ERROR,
             f"combinational cycle with zero register weight: {shown}",
-            ctx.loc(cycle[0]),
+            ctx.loc(ctx.circuit.id_of(names[0])),
             data={"cycle": names},
         )
 

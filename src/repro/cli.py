@@ -41,6 +41,7 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.analysis.sanitize import SanitizerViolation
 from repro.bench import suite as bench_suite
 from repro.core.expanded import DEFAULT_MAX_COPIES
 from repro.core.flowsyn_s import flowsyn_s
@@ -87,6 +88,19 @@ def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
         help="wall-clock budget per feasibility probe (one label "
         "computation)",
     )
+
+
+def _maybe_sanitize(args: argparse.Namespace) -> None:
+    """Arm the invariant sanitizer when ``--sanitize`` was given.
+
+    Equivalent to running under ``REPRO_SANITIZE=1``: label solvers and
+    flow arenas constructed afterwards carry the SAN0xx assertion
+    hooks; a violation aborts the command with the diagnostic.
+    """
+    if getattr(args, "sanitize", False):
+        from repro.analysis import sanitize
+
+        sanitize.enable()
 
 
 def _engine_kwargs(args: argparse.Namespace) -> dict:
@@ -139,6 +153,13 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         "with packed-int copies (default) or the object "
         "tuple-and-dict engine (identical results)",
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="arm the invariant sanitizer (SAN0xx runtime assertion "
+        "hooks in the label solver and the flow engine; equivalent to "
+        "REPRO_SANITIZE=1) — a violation aborts with the diagnostic",
+    )
 
 
 def _write_run_report(
@@ -174,6 +195,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
     except (OSError, BlifError, ValidationError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    _maybe_sanitize(args)
     t0 = time.perf_counter()
     try:
         result = _ALGOS[args.algo](
@@ -238,6 +260,7 @@ def _cmd_remap(args: argparse.Namespace) -> int:
     except (OSError, BlifError, ValidationError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    _maybe_sanitize(args)
     engine = _engine_kwargs(args)
     check = not args.no_check
     t0 = time.perf_counter()
@@ -365,6 +388,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     """
     from repro.perf.report import load_report
 
+    _maybe_sanitize(args)
     if args.circuit:
         names = list(args.circuit)
     elif args.quick:
@@ -693,6 +717,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return int(args.func(args))
+    except SanitizerViolation as exc:
+        # An armed invariant hook caught corrupted engine state; the
+        # diagnostic names the rule, the location, and the evidence.
+        print(f"sanitizer: {exc.diagnostic.render()}", file=sys.stderr)
+        return 1
     except KeyboardInterrupt:
         # Long-running commands (notably ``suite``) flush their
         # checkpoint before the interrupt reaches this handler, so a

@@ -359,8 +359,17 @@ def verify_result(
     a malformed mapping must never reach a report as a success.
     """
     from repro.analysis import certificate, raise_on_errors, verify_mapping
+    from repro.analysis.certify import (
+        build_cycle_certificate,
+        build_schedule_certificate,
+    )
 
     t0 = time.perf_counter()
+    # Independent second opinions, built once and handed both to the
+    # rules (RET002/RET003 check them instead of rebuilding) and to the
+    # certificate blob (machine-readable evidence on the result).
+    schedule_cert = build_schedule_certificate(result.mapped, result.phi)
+    cycle_cert = build_cycle_certificate(result.mapped, result.phi)
     diags = verify_mapping(
         circuit,
         result.mapped,
@@ -370,10 +379,17 @@ def verify_result(
         result.algorithm,
         resyn_roots=resyn_roots,
         compiled=compiled,
+        schedule_cert=schedule_cert,
+        cycle_cert=cycle_cert,
     )
     result.t_verify = time.perf_counter() - t0
     result.certificate = certificate(
-        diags, result.phi, result.algorithm, t_verify=result.t_verify
+        diags,
+        result.phi,
+        result.algorithm,
+        t_verify=result.t_verify,
+        schedule_certificate=schedule_cert,
+        cycle_certificate=cycle_cert,
     )
     raise_on_errors(diags, circuit.name, result.algorithm)
     return result

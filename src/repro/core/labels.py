@@ -385,6 +385,18 @@ class LabelSolver:
             self._cc = None
             self._packed_arena = None
             self._flow_arena = SplitNetwork(flow=flow)
+        # Opt-in invariant sanitizer (REPRO_SANITIZE=1 / --sanitize):
+        # epoch monotonicity, epoch budgets, and fixpoint justification
+        # checks, raising SanitizerViolation with a full Diagnostic.
+        # Imported lazily at construction time — repro.analysis imports
+        # this module, so a top-level import would cycle.
+        self._san = None
+        try:
+            from repro.analysis.sanitize import label_sanitizer
+        except ImportError:  # pragma: no cover - analysis always ships
+            pass
+        else:
+            self._san = label_sanitizer(self, dirty_seed)
 
     # ------------------------------------------------------------------
     def height_of(self, u: int, w: int) -> int:
@@ -669,14 +681,18 @@ class LabelSolver:
         max_rounds: int,
     ) -> bool:
         """Classical round-robin sweep; returns True when converged."""
+        san = self._san
         isolated_streak = 0
         for _round in range(max_rounds):
             self._check_deadline()
             self.stats.rounds += 1
+            before = None if san is None else san.snapshot(members)
             changed = False
             for v in members:
                 if self._update(v):
                     changed = True
+            if san is not None and before is not None:
+                san.check_epoch(members, before)
             if not changed:
                 return True
             if self.pld:
@@ -718,10 +734,12 @@ class LabelSolver:
         heapq.heapify(heap)
         in_current = set(members)
         next_set: Set[int] = set()
+        san = self._san
         isolated_streak = 0
         for _epoch in range(max_rounds):
             self._check_deadline()
             self.stats.rounds += 1
+            before = None if san is None else san.snapshot(members)
             changed = False
             while heap:
                 pos_v, v = heapq.heappop(heap)
@@ -773,6 +791,8 @@ class LabelSolver:
                         heapq.heappush(heap, (order_pos[dep], dep))
                     else:
                         next_set.add(dep)
+            if san is not None and before is not None:
+                san.check_epoch(members, before)
             if not changed:
                 return True
             if self.pld:
@@ -819,14 +839,24 @@ class LabelSolver:
             )
             if n_scc == 1 and not self_looped:
                 self.stats.rounds += 1
-                self._update(members[0])
+                if self._san is not None:
+                    before = self._san.snapshot(members)
+                    self._update(members[0])
+                    self._san.check_epoch(members, before)
+                else:
+                    self._update(members[0])
                 continue
             max_rounds = 6 * n_scc + self.PLD_PATIENCE if self.pld else n_scc * n_scc + 2
+            rounds_before = self.stats.rounds
             if self.engine == "rounds":
                 converged = self._run_scc_rounds(members, member_set, max_rounds)
             else:
                 converged = self._run_scc_worklist(
                     members, member_set, order_pos, max_rounds
+                )
+            if self._san is not None:
+                self._san.check_epoch_budget(
+                    self.stats.rounds - rounds_before, max_rounds
                 )
             if not converged:
                 return LabelOutcome(
@@ -848,4 +878,6 @@ class LabelSolver:
                         stats=self.stats,
                         failed_scc=[po],
                     )
+        if self._san is not None:
+            self._san.check_converged()
         return LabelOutcome(feasible=True, labels=self.labels, stats=self.stats)

@@ -81,13 +81,57 @@ def remap(
     prev = _padded(prev_result, len(circuit))
     algorithm = prev_result.algorithm
     if algorithm == "turbomap":
-        return turbomap(circuit, k, prev_result=prev, dirty=dirty, **mapper_kwargs)
-    if algorithm == "turbosyn":
-        return turbosyn(circuit, k, prev_result=prev, dirty=dirty, **mapper_kwargs)
-    raise ValueError(
-        f"cannot remap a {algorithm!r} result; "
-        "expected algorithm 'turbomap' or 'turbosyn'"
+        result = turbomap(circuit, k, prev_result=prev, dirty=dirty, **mapper_kwargs)
+    elif algorithm == "turbosyn":
+        result = turbosyn(circuit, k, prev_result=prev, dirty=dirty, **mapper_kwargs)
+    else:
+        raise ValueError(
+            f"cannot remap a {algorithm!r} result; "
+            "expected algorithm 'turbomap' or 'turbosyn'"
+        )
+    if mapper_kwargs.get("check", True):
+        _audit_repair(circuit, prev, result, edits, dirty, compiled)
+    return result
+
+
+def _audit_repair(
+    circuit: SeqCircuit,
+    prev: SeqMapResult,
+    result: SeqMapResult,
+    edits: Sequence[Edit],
+    dirty: "set[int] | frozenset[int]",
+    compiled: Optional[CompiledCircuit],
+) -> None:
+    """Run the incremental rule pack over one repair's evidence.
+
+    Folds the findings into ``result.certificate`` (under
+    ``"incremental_audit"``) and raises
+    :class:`~repro.analysis.VerificationError` on any ERROR — the same
+    contract as the mapping verifier, so a broken repair never reports
+    success.  Only called on checked runs (``check=True``).
+    """
+    from repro.analysis import (
+        IncrementalContext,
+        audit_incremental,
+        raise_on_errors,
     )
+
+    ctx = IncrementalContext(
+        circuit,
+        edits,
+        dirty,
+        prev_outcomes=prev.outcomes,
+        outcomes=result.outcomes,
+        # The adopted kernel is the delta-patched CSR; audit that one.
+        compiled=circuit.compiled() if compiled is not None else None,
+    )
+    diags = audit_incremental(ctx)
+    if result.certificate is not None:
+        result.certificate["incremental_audit"] = {
+            "rules": ["INC001", "INC002", "INC003"],
+            "findings": [d.as_dict() for d in diags],
+        }
+    raise_on_errors(diags, circuit.name, result.algorithm)
 
 
 class IncrementalSession:

@@ -31,7 +31,10 @@ deterministic work telemetry in
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Set
+from typing import TYPE_CHECKING, Deque, List, Optional, Set
+
+if TYPE_CHECKING:
+    from repro.analysis.sanitize import FlowSanitizer
 
 #: Effectively infinite capacity for non-cut edges (mirrors
 #: :data:`repro.comb.maxflow.INF`).
@@ -63,6 +66,18 @@ class DinicNetwork:
         #: Arcs examined by the blocking-flow search since the last
         #: drain (the deterministic work measure of the DFS).
         self.arcs_advanced = 0
+        # Opt-in invariant sanitizer (REPRO_SANITIZE=1 / --sanitize):
+        # conservation, capacity, and level-graph checks per max_flow
+        # call.  Imported lazily at construction time — the analysis
+        # package imports repro.kernel, so a top-level import would
+        # cycle.
+        self._san: Optional["FlowSanitizer"] = None
+        try:
+            from repro.analysis.sanitize import flow_sanitizer
+        except ImportError:  # pragma: no cover - analysis always ships
+            pass
+        else:
+            self._san = flow_sanitizer()
 
     # ------------------------------------------------------------------
     # Construction (FlowNetwork-compatible)
@@ -71,6 +86,8 @@ class DinicNetwork:
         """Empty the network in place, keeping allocations for reuse."""
         self._to.clear()
         self._cap.clear()
+        if self._san is not None:
+            self._san.reset()
         while self._adj:
             lst = self._adj.pop()
             lst.clear()
@@ -99,6 +116,8 @@ class DinicNetwork:
         idx = len(self._to)
         self._to.extend((v, u))
         self._cap.extend((cap, 0))
+        if self._san is not None:
+            self._san.record_edge(cap)
         self._adj[u].append(idx)
         self._adj[v].append(idx + 1)
         return idx
@@ -215,9 +234,14 @@ class DinicNetwork:
             raise ValueError("source equals sink")
         flow = 0
         cursor = self._cursor
+        san = self._san
         while flow <= limit:
             if not self._bfs_levels(source, sink):
+                if san is not None:
+                    san.check_flow(self, source, sink)
                 return flow
+            if san is not None:
+                san.check_levels(self, source, sink)
             self.phases += 1
             n = len(self._adj)
             while len(cursor) < n:
@@ -229,6 +253,8 @@ class DinicNetwork:
                 if not pushed:
                     break
                 flow += pushed
+        if san is not None:
+            san.check_flow(self, source, sink)
         return flow
 
     def residual_reachable(self, source: int) -> Set[int]:

@@ -146,6 +146,22 @@ def mapper_run(
             for key in ("verified", "rules", "errors", "warnings", "t_verify")
             if key in cert
         }
+        # Compact summaries of the independent certificates (the full
+        # blobs — offsets, witness cycles — stay on the result object).
+        sched = cert.get("schedule_certificate")
+        if isinstance(sched, dict):
+            run["certificate"]["schedule_certificate"] = {
+                key: sched[key]
+                for key in ("phi", "feasible", "makespan")
+                if key in sched
+            }
+        cyc = cert.get("cycle_certificate")
+        if isinstance(cyc, dict):
+            run["certificate"]["cycle_certificate"] = {
+                key: cyc[key]
+                for key in ("phi", "feasible", "mcm", "bound", "skipped")
+                if key in cyc
+            }
     return run
 
 

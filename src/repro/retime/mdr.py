@@ -81,16 +81,30 @@ def has_positive_cycle(circuit: SeqCircuit, ratio: Fraction) -> bool:
     return True
 
 
-def min_feasible_period(circuit: SeqCircuit) -> int:
+def min_feasible_period(
+    circuit: SeqCircuit, upper_bound: Optional[int] = None
+) -> int:
     """Smallest integer ``phi`` with no cycle ``d(C) > phi * w(C)``.
 
     This is the minimum clock period achievable by LUT-count-preserving
     retiming plus pipelining (unit delay model).  Raises ``ValueError``
     when a zero-weight (combinational) cycle exists.
+
+    ``upper_bound`` is a hint from a caller that already holds a
+    (believed) feasible period — e.g. the certificate cross-check of an
+    achieved mapping — and narrows the binary search.  It is verified
+    before use: a hint that turns out infeasible is ignored rather than
+    trusted, so the result is identical with or without it.
     """
     lo, hi = 1, max(1, circuit.n_gates)
     if has_positive_cycle(circuit, Fraction(hi, 1)):
         raise ValueError("combinational cycle: MDR ratio is unbounded")
+    if (
+        upper_bound is not None
+        and 1 <= upper_bound < hi
+        and not has_positive_cycle(circuit, Fraction(upper_bound, 1))
+    ):
+        hi = upper_bound
     while lo < hi:
         mid = (lo + hi) // 2
         if has_positive_cycle(circuit, Fraction(mid, 1)):

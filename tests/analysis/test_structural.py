@@ -157,3 +157,48 @@ class TestRobustness:
         diags = lint_circuit(CircuitContext(c, 1))
         ids = {d.rule_id for d in diags}
         assert {"CIRC001", "CIRC003", "CIRC004", "CIRC005"} <= ids
+
+
+class TestFingerprintStability:
+    """Baseline fingerprints are pure functions of the finding.
+
+    A cycle discovered from a different entry point (different
+    construction order) must anchor, render, and fingerprint
+    identically — otherwise every re-lint invalidates the baseline.
+    """
+
+    def comb_ring(self, order, name):
+        """A g1->g2->g3->g1 zero-weight ring, nodes added in ``order``."""
+        c = SeqCircuit(name)
+        ids = {}
+        for gate in order:
+            ids[gate] = c.add_gate_placeholder(gate, BUF)
+        c.set_fanins(ids["g1"], [(ids["g3"], 0)])
+        c.set_fanins(ids["g2"], [(ids["g1"], 0)])
+        c.set_fanins(ids["g3"], [(ids["g2"], 0)])
+        c.add_po("o", ids["g3"])
+        return c
+
+    def test_rotation_invariant_fingerprint(self):
+        orders = [
+            ["g1", "g2", "g3"],
+            ["g2", "g3", "g1"],
+            ["g3", "g1", "g2"],
+        ]
+        reports = []
+        for order in orders:
+            diags = findings(self.comb_ring(order, "ring"), "CIRC001")
+            assert len(diags) == 1
+            reports.append(diags[0])
+        prints = {d.fingerprint for d in reports}
+        assert len(prints) == 1
+        cycles = {tuple(d.data["cycle"]) for d in reports}
+        assert cycles == {("g1", "g2", "g3")}
+        assert {d.location.node for d in reports} == {"g1"}
+
+    def test_anchor_helpers(self):
+        from repro.analysis.engine import anchor_node, canonical_cycle
+
+        assert anchor_node(["z", "m", "a"]) == "a"
+        assert canonical_cycle(["c", "a", "b"]) == ["a", "b", "c"]
+        assert canonical_cycle([]) == []
