@@ -32,6 +32,14 @@ Commands
     Static analysis: run the structural rule pack over BLIF circuits and
     report diagnostics as text, JSON or SARIF 2.1.0
     (:mod:`repro.analysis`).
+``serve``
+    Run the crash-only mapping service (:mod:`repro.serve`): HTTP job
+    intake with admission control, a write-ahead job journal, and
+    ``kill -9``-safe resumption of in-flight jobs.
+``serve-chaos``
+    The crash-recovery differential: run a suite cold, re-run it while
+    SIGKILLing the served process at a journaled fault point, restart,
+    and assert every job recovers bit-identically (the CI smoke job).
 """
 
 from __future__ import annotations
@@ -531,6 +539,76 @@ def _cmd_dot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve the crash-only mapping service (``repro.serve``)."""
+    from repro.serve.__main__ import main as serve_main
+
+    argv = [
+        "--state-dir", args.state_dir,
+        "--host", args.host,
+        "--port", str(args.port),
+        "--max-active", str(args.max_active),
+        "--max-queue", str(args.max_queue),
+    ]
+    return serve_main(argv)
+
+
+def _cmd_serve_chaos(args: argparse.Namespace) -> int:
+    """The crash-recovery differential as a one-shot command (CI smoke).
+
+    Runs a small suite cold, then again under a SIGKILL fault plan with
+    restarts, and exits non-zero unless every job recovers to a
+    bit-identical result signature.
+    """
+    import json as json_mod
+    import os
+    import tempfile
+
+    from repro.resilience.atomic import atomic_write_json
+    from repro.serve.chaos import demo_blif, run_kill_differential
+
+    with tempfile.TemporaryDirectory(prefix="serve-chaos-") as scratch:
+        if args.circuit:
+            paths = list(args.circuit)
+        else:
+            # Self-contained: deterministic demo circuits, quick to map
+            # but with real sequential feedback and multi-probe searches.
+            paths = []
+            for index, seed in enumerate((5, 9)):
+                path = os.path.join(scratch, f"demo{index}.blif")
+                with open(path, "w", encoding="utf-8") as fh:
+                    fh.write(demo_blif(args.gates, seed=seed))
+                paths.append(path)
+        state_root = args.state_dir or os.path.join(scratch, "state")
+        report = run_kill_differential(
+            state_root,
+            paths,
+            algorithms=tuple(args.algo) if args.algo else ("turbomap",),
+            kill_site=args.kill_site,
+            kill_at=args.kill_at,
+            timeout=args.timeout,
+            k=args.k,
+        )
+        if args.report:
+            atomic_write_json(args.report, report, indent=2)
+        if args.events_log and os.path.exists(report.get("journal", "")):
+            # Preserve the structured job-event log (the chaos journal)
+            # before the scratch state directory is discarded.
+            with open(report["journal"], encoding="utf-8") as fh:
+                with open(args.events_log, "w", encoding="utf-8") as out:
+                    out.write(fh.read())
+        verdict = "bit-identical" if report["ok"] else "MISMATCH"
+        print(
+            f"serve-chaos [{report['kill_site']}@{report['kill_at']}]: "
+            f"{report['chaos']['jobs'] if 'chaos' in report else 0} jobs, "
+            f"{report.get('chaos', {}).get('restarts', 0)} restart(s) "
+            f"after SIGKILL -> {verdict}"
+        )
+        if not report["ok"]:
+            print(json_mod.dumps(report.get("mismatches", report), indent=2))
+        return 0 if report["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="turbosyn",
@@ -701,6 +779,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="fill the nodes of one MDR-critical cycle",
     )
     p_dot.set_defaults(func=_cmd_dot)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve the crash-only mapping service over HTTP "
+        "(write-ahead journal, admission control)",
+    )
+    p_serve.add_argument("--state-dir", required=True,
+                         help="durable state: journal, store, results")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8731,
+                         help="TCP port (0 picks a free one)")
+    p_serve.add_argument("--max-active", type=int, default=1,
+                         help="concurrent worker lanes")
+    p_serve.add_argument("--max-queue", type=int, default=8,
+                         help="admission-control bound on pending jobs")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_chaos = sub.add_parser(
+        "serve-chaos",
+        help="crash-recovery differential: SIGKILL the service mid-suite, "
+        "restart, assert bit-identical results",
+    )
+    p_chaos.add_argument("--circuit", action="append", default=[],
+                         help="BLIF file(s); default: built-in demo circuits")
+    p_chaos.add_argument("--gates", type=int, default=60,
+                         help="demo-circuit size when no --circuit given")
+    p_chaos.add_argument("-k", type=int, default=4, help="LUT input count")
+    p_chaos.add_argument("--algo", action="append", default=[],
+                         choices=sorted(_ALGOS),
+                         help="algorithm(s); default turbomap")
+    p_chaos.add_argument("--kill-site", default="journal-append",
+                         help="fault-injection site to SIGKILL at")
+    p_chaos.add_argument("--kill-at", type=int, default=3,
+                         help="matching hits to skip before the kill")
+    p_chaos.add_argument("--state-dir", default=None,
+                         help="keep state here instead of a temp dir")
+    p_chaos.add_argument("--timeout", type=float, default=300.0)
+    p_chaos.add_argument("--report", default=None,
+                         help="write the differential report JSON here")
+    p_chaos.add_argument("--events-log", default=None,
+                         help="copy the chaos journal (job-event log) here")
+    p_chaos.set_defaults(func=_cmd_serve_chaos)
 
     from repro.analysis.cli import add_lint_arguments, run_lint
 

@@ -416,6 +416,8 @@ def run_mapper(
     kernel: str = "compiled",
     prev_result: Optional[SeqMapResult] = None,
     dirty: Optional[Set[int]] = None,
+    outcomes: Optional[Dict[int, LabelOutcome]] = None,
+    csr_handle: Optional[object] = None,
 ) -> SeqMapResult:
     """Full mapper pipeline: search ``phi``, regenerate the mapping.
 
@@ -442,6 +444,20 @@ def run_mapper(
     (``"dinic"``/``"ek"``) and copy representation
     (``"compiled"``/``"object"``) — all of them leave ``phi`` and the
     labels bit-identical.
+
+    ``outcomes`` seeds (and collects) the probe cache across *calls*:
+    a mapping interrupted mid-search can resume from its journaled
+    probe outcomes and follow the identical search trajectory — every
+    cached probe is adopted verbatim, every missing one recomputed, and
+    the final ``phi``/labels are bit-identical to an uninterrupted run
+    (this is the crash-recovery contract of :mod:`repro.serve`).  The
+    dict is mutated in place, so an observing mapping (e.g. a
+    write-ahead journal) sees each probe outcome as it lands.
+    ``csr_handle`` hands the parallel search an already-published
+    compiled-circuit handle (:func:`repro.kernel.share.publish_bytes`);
+    the caller retains ownership (it is not unlinked by the search),
+    which lets a long-running service publish a stored CSR blob once
+    and reuse it across jobs and pool restarts.
 
     ``prev_result`` + ``dirty`` run the search as an incremental repair
     of a previous mapping of the *same circuit before the edits in
@@ -479,6 +495,8 @@ def run_mapper(
             max_copies=max_copies,
             flow=flow,
             kernel=kernel,
+            outcomes=outcomes,
+            csr_handle=csr_handle,
         )
     else:
         phi, outcomes = search_min_phi(
@@ -496,6 +514,7 @@ def run_mapper(
             max_copies=max_copies,
             flow=flow,
             kernel=kernel,
+            outcomes=outcomes,
             prev_outcomes=(
                 prev_result.outcomes if prev_result is not None else None
             ),

@@ -13,12 +13,15 @@ resynthesis.
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import TYPE_CHECKING, Dict, Optional, Set
 
 from repro.core.driver import SeqMapResult, run_mapper
 from repro.core.expanded import DEFAULT_MAX_COPIES
 from repro.netlist.graph import SeqCircuit
 from repro.resilience.budget import Budget
+
+if TYPE_CHECKING:
+    from repro.core.labels import LabelOutcome
 
 
 def turbomap(
@@ -39,6 +42,8 @@ def turbomap(
     kernel: str = "compiled",
     prev_result: Optional[SeqMapResult] = None,
     dirty: Optional[Set[int]] = None,
+    outcomes: Optional[Dict[int, "LabelOutcome"]] = None,
+    csr_handle: Optional[object] = None,
 ) -> SeqMapResult:
     """Map ``circuit`` onto K-LUTs minimizing the MDR ratio (no resynthesis).
 
@@ -97,6 +102,11 @@ def turbomap(
         after a k-gate edit; prefer the :func:`repro.incremental.remap`
         entry point, which journals the edits, patches the compiled CSR
         and computes ``dirty`` itself.  Bit-identical to a cold run.
+    outcomes / csr_handle:
+        Resume/serve hooks (see :func:`repro.core.driver.run_mapper`):
+        ``outcomes`` seeds the probe cache so an interrupted search
+        resumes bit-identically, ``csr_handle`` reuses an already-
+        published compiled-circuit handle for the worker fleet.
     """
     return run_mapper(
         circuit,
@@ -118,4 +128,6 @@ def turbomap(
         kernel=kernel,
         prev_result=prev_result,
         dirty=dirty,
+        outcomes=outcomes,
+        csr_handle=csr_handle,
     )

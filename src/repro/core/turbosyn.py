@@ -21,7 +21,7 @@ average) at some LUT-count cost, which the area stage
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import TYPE_CHECKING, Dict, Optional, Set
 
 from repro.core.driver import SeqMapResult, run_mapper
 from repro.core.expanded import DEFAULT_MAX_COPIES
@@ -29,6 +29,9 @@ from repro.core.seqdecomp import DEFAULT_CMAX
 from repro.core.turbomap import turbomap
 from repro.netlist.graph import SeqCircuit
 from repro.resilience.budget import Budget
+
+if TYPE_CHECKING:
+    from repro.core.labels import LabelOutcome
 
 
 def turbosyn(
@@ -49,6 +52,8 @@ def turbosyn(
     kernel: str = "compiled",
     prev_result: Optional[SeqMapResult] = None,
     dirty: Optional[Set[int]] = None,
+    outcomes: Optional[Dict[int, "LabelOutcome"]] = None,
+    csr_handle: Optional[object] = None,
 ) -> SeqMapResult:
     """Map ``circuit`` onto K-LUTs minimizing the MDR ratio with
     sequential functional decomposition.
@@ -74,6 +79,12 @@ def turbosyn(
     :func:`repro.incremental.remap`).  The TurboMap bound run stays
     cold — exactly what a cold TurboSYN would execute — so the main
     search sees the same upper bound and probes the same phi set.
+
+    ``outcomes`` seeds the probe cache of the *main* (resynthesizing)
+    search only — bound-run probes answer a different question, so a
+    resuming caller (:mod:`repro.serve`) journals the bound separately
+    and passes it back as ``upper_bound``.  ``csr_handle`` reuses an
+    already-published compiled-circuit handle for both stages' fleets.
     """
     if budget is not None:
         budget.start()  # the deadline clock covers the TurboMap bound too
@@ -82,7 +93,7 @@ def turbosyn(
             circuit, k, pld=pld, extra_depth=extra_depth, workers=workers,
             check=False, budget=budget,
             engine=engine, warm_start=warm_start, max_copies=max_copies,
-            flow=flow, kernel=kernel,
+            flow=flow, kernel=kernel, csr_handle=csr_handle,
         ).phi
     return run_mapper(
         circuit,
@@ -104,4 +115,6 @@ def turbosyn(
         kernel=kernel,
         prev_result=prev_result,
         dirty=dirty,
+        outcomes=outcomes,
+        csr_handle=csr_handle,
     )

@@ -128,7 +128,17 @@ def publish_csr(compiled: CompiledCircuit, prefer_shm: bool = True) -> CsrHandle
     handle when shared memory is unavailable (platform without
     ``/dev/shm``, sandboxed environments).
     """
-    data = compiled.to_bytes()
+    return publish_bytes(compiled.to_bytes(), prefer_shm=prefer_shm)
+
+
+def publish_bytes(data: bytes, prefer_shm: bool = True) -> CsrHandle:
+    """Publish an already-serialized CSR byte string.
+
+    The serve layer stores compiled circuits as exactly these bytes
+    (:meth:`CompiledCircuit.to_bytes` is the store's blob format), so a
+    job dispatched to the fleet can publish the stored blob verbatim —
+    no deserialize/reserialize round trip in the service process.
+    """
     if prefer_shm:
         try:
             from multiprocessing import shared_memory

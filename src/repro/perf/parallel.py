@@ -177,6 +177,7 @@ class _ProbePool:
         policy: RetryPolicy,
         warm_start: bool = True,
         csr_handle: Optional[CsrHandle] = None,
+        owns_handle: bool = True,
     ) -> None:
         self._initargs = initargs
         self._workers = workers
@@ -185,8 +186,11 @@ class _ProbePool:
         self._warm_start = warm_start
         # Owner side of the published compiled circuit; must outlive
         # every pool restart (the same handle re-initializes rebuilt
-        # pools) and is released exactly once, on shutdown.
+        # pools).  When owned it is released exactly once, on shutdown;
+        # a caller-provided handle (the serve scheduler publishing a
+        # stored blob shared across jobs) is left alone.
         self._csr_handle = csr_handle
+        self._owns_handle = owns_handle
         self._pool: Optional[ProcessPoolExecutor] = None
         self.failures = 0
 
@@ -207,7 +211,7 @@ class _ProbePool:
 
     def shutdown(self) -> None:
         self._recycle()
-        if self._csr_handle is not None:
+        if self._csr_handle is not None and self._owns_handle:
             self._csr_handle.unlink()
 
     def _on_broken_pool(self) -> None:
@@ -294,6 +298,8 @@ def parallel_search_min_phi(
     max_copies: int = DEFAULT_MAX_COPIES,
     flow: str = "dinic",
     kernel: str = "compiled",
+    outcomes: Optional[Dict[int, LabelOutcome]] = None,
+    csr_handle: Optional[CsrHandle] = None,
 ) -> Tuple[int, Dict[int, LabelOutcome]]:
     """Find the minimum feasible ``phi`` with speculative parallel probes.
 
@@ -313,6 +319,14 @@ def parallel_search_min_phi(
     submitted probe task as packed ``int32`` bytes, and under
     ``kernel="compiled"`` the circuit's CSR arrays are published to the
     workers once (:func:`repro.kernel.share.publish_csr`).
+
+    ``outcomes`` seeds the shared probe cache (a resumed search adopts
+    every cached answer verbatim and recomputes only the rest — the
+    crash-recovery path of :mod:`repro.serve`); the dict is mutated in
+    place as answers land.  ``csr_handle`` supplies an already-published
+    compiled-circuit handle; the caller keeps ownership (it is not
+    unlinked here), so a service can publish a stored blob once for many
+    searches.
     """
     if workers is None:
         workers = os.cpu_count() or 1
@@ -332,16 +346,18 @@ def parallel_search_min_phi(
             max_copies=max_copies,
             flow=flow,
             kernel=kernel,
+            outcomes=outcomes,
         )
     ensure_mappable(circuit, k)
     if budget is not None:
         budget.start()
     policy = retry if retry is not None else RetryPolicy()
-    outcomes: Dict[int, LabelOutcome] = {}
+    if outcomes is None:
+        outcomes = {}
     probe_timeout = budget.probe_timeout if budget is not None else None
-    csr_handle = (
-        publish_csr(circuit.compiled()) if kernel == "compiled" else None
-    )
+    owns_handle = csr_handle is None
+    if csr_handle is None and kernel == "compiled":
+        csr_handle = publish_csr(circuit.compiled())
     runner = _ProbePool(
         (circuit, k, resynthesize, cmax, pld, extra_depth, io_constrained,
          probe_timeout, engine, max_copies, flow, kernel, csr_handle),
@@ -350,6 +366,7 @@ def parallel_search_min_phi(
         policy,
         warm_start=warm_start,
         csr_handle=csr_handle,
+        owns_handle=owns_handle,
     )
     top, ceiling = search_bounds(circuit, upper_bound, io_constrained)
     lo = 1

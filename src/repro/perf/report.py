@@ -1,10 +1,10 @@
 """JSON run reports: the machine-readable perf/quality telemetry schema.
 
-Schema (version 5) — one *suite report* wraps any number of *mapper
+Schema (version 6) — one *suite report* wraps any number of *mapper
 runs* plus the structured *errors* of cells that failed::
 
     {
-      "schema": 5,
+      "schema": 6,
       "kind": "suite",                 # or "map" for a single-run report
       "python": "3.11.7", "platform": "Linux-...",
       "k": 5, "workers": 1,
@@ -13,10 +13,24 @@ runs* plus the structured *errors* of cells that failed::
       "flow": "dinic",                 # max-flow engine (dinic / ek)
       "kernel": "compiled",            # copy representation
                                        # (compiled CSR / object tuples)
+      "service": {                     # v6: set when the runs came out
+                                       # of a served instance
+        "state_dir": "...",            # (repro.serve); None/absent for
+        "journal": {...}, "stats": {...},   # offline sweeps
+        "recovered": {...}
+      },
       "runs": [
         {
           "circuit": "bbara", "algorithm": "turbomap",
           "k": 5, "workers": 1,
+          "job": {                     # v6: the serving envelope — only
+            "id": "j000017",           # on runs executed as service jobs
+            "attempts": 2,             # 1 + crash replays
+            "probes_journaled": 5,     # checkpoints adopted on resume
+            "signature": "sha256...",  # result content signature (the
+                                       # crash-recovery differential key)
+            "store": {"blob_reused": true, "recompiled": false}
+          },
           "gates": 462, "ffs": 10,     # input circuit size
           "phi": 5, "luts": 522,       # quality (lower is better)
           "seconds": 0.61,             # end-to-end wall clock
@@ -58,9 +72,10 @@ runs* plus the structured *errors* of cells that failed::
 Version 1 reports (no ``errors``, ``attempts`` or ``degraded``),
 version 2 reports (no ``engine`` / ``warm_start`` envelope fields, no
 warm-start counters in ``stats``), version 3 reports (no ``flow`` /
-``kernel`` envelope fields, no Dinic counters in ``stats``) and
-version 4 reports (no ``incremental`` run field, no repair counters in
-``stats``) load fine:
+``kernel`` envelope fields, no Dinic counters in ``stats``), version 4
+reports (no ``incremental`` run field, no repair counters in
+``stats``) and version 5 reports (no ``service`` envelope, no per-run
+``job`` objects) load fine:
 :func:`load_report` fills the new envelope fields in, the regression
 gate treats absent run fields as non-degraded, and the counter gate
 only compares counters when both reports declare the same engine
@@ -84,7 +99,7 @@ from typing import IO, Dict, List, Optional, Union
 
 from repro.resilience.atomic import atomic_write_json
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 
 def _environment() -> Dict[str, str]:
@@ -98,12 +113,16 @@ def mapper_run(
     result,
     circuit=None,
     seconds: Optional[float] = None,
+    job: Optional[dict] = None,
 ) -> dict:
     """Serialize one :class:`~repro.core.driver.SeqMapResult` to a dict.
 
     ``circuit`` (the *input* circuit) adds size context; ``seconds``
     records the caller's end-to-end wall clock (defaults to the result's
-    own search + mapping time).
+    own search + mapping time).  ``job`` (schema 6) attaches the serving
+    envelope when the run executed as a :mod:`repro.serve` job: id,
+    attempts (1 + crash replays), journaled-checkpoint count, result
+    signature, and store-hygiene flags.
     """
     run: dict = {
         "circuit": circuit.name if circuit is not None else result.mapped.name,
@@ -126,6 +145,8 @@ def mapper_run(
             for key, value in dataclasses.asdict(result.total_stats).items()
         },
     }
+    if job is not None:
+        run["job"] = dict(job)
     run["attempts"] = getattr(result, "attempts", 1)
     run["degraded"] = bool(getattr(result, "degraded", False))
     run["incremental"] = bool(getattr(result, "incremental", False))
@@ -193,8 +214,15 @@ def suite_report(
     warm_start: bool = True,
     flow: str = "dinic",
     kernel: str = "compiled",
+    service: Optional[dict] = None,
 ) -> dict:
-    """Wrap mapper runs in a schema-versioned report envelope."""
+    """Wrap mapper runs in a schema-versioned report envelope.
+
+    ``service`` (schema 6) attaches the serving envelope — the
+    :meth:`repro.serve.service.MappingService.health` snapshot of the
+    instance the runs came out of — for reports assembled from served
+    jobs; offline sweeps carry ``null``.
+    """
     report = {"schema": SCHEMA_VERSION, "kind": kind}
     report.update(_environment())
     if k is not None:
@@ -204,6 +232,7 @@ def suite_report(
     report["warm_start"] = warm_start
     report["flow"] = flow
     report["kernel"] = kernel
+    report["service"] = dict(service) if service is not None else None
     report["runs"] = runs
     report["errors"] = list(errors) if errors else []
     return report
@@ -238,4 +267,7 @@ def load_report(path: str) -> dict:
     # Absent in schema-3 reports: an unknown flow/kernel configuration.
     data.setdefault("flow", None)
     data.setdefault("kernel", None)
+    # Absent in schema-5 reports (and offline schema-6 sweeps): the runs
+    # did not come out of a served instance.
+    data.setdefault("service", None)
     return data

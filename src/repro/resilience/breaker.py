@@ -1,0 +1,120 @@
+"""Circuit breakers: stop hammering a failing dependency, then probe it.
+
+A :class:`CircuitBreaker` guards one unreliable resource — in this
+codebase, one worker lane of the serve scheduler dispatching jobs to a
+process fleet (:mod:`repro.serve.scheduler`).  It is the classic
+three-state machine:
+
+``closed``
+    Normal operation.  Failures are counted; ``failure_threshold``
+    *consecutive* failures trip the breaker open (a success resets the
+    count).
+``open``
+    The resource is presumed down.  :meth:`allow` answers ``False`` until
+    a cool-down period has elapsed; callers degrade (the scheduler drops
+    a lane to sequential in-process probing) instead of queueing more
+    work onto a broken pool.  The cool-down reuses the existing
+    :class:`~repro.resilience.retry.RetryPolicy` backoff — the Nth trip
+    waits ``policy.delay(N)`` seconds, deterministically jittered, so
+    repeated trips back off exponentially just like pool restarts do.
+``half_open``
+    The cool-down elapsed; exactly one trial call is let through.  Its
+    success closes the breaker, its failure re-opens it (with the next,
+    longer cool-down).
+
+The clock is injectable, so every transition is testable without real
+sleeps, and all state is in-memory by design: a breaker protects a
+*live* resource, and after a process crash the replacement process
+should probe the resource afresh rather than inherit stale verdicts.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.resilience.retry import RetryPolicy
+
+#: The three breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with :class:`RetryPolicy` cool-downs."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        policy: Optional[RetryPolicy] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = failure_threshold
+        #: Cool-down schedule: trip N waits ``policy.delay(N)`` seconds.
+        self.policy = policy if policy is not None else RetryPolicy(
+            max_restarts=0, base_delay=1.0, max_delay=60.0
+        )
+        self.clock = clock
+        self._state = CLOSED
+        self._failures = 0  # consecutive failures while closed
+        self._trips = 0  # times the breaker has opened (backoff index)
+        self._retry_at: Optional[float] = None
+
+    # -- inspection -----------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state, advancing ``open`` to ``half_open`` on expiry."""
+        if self._state == OPEN:
+            assert self._retry_at is not None
+            if self.clock() >= self._retry_at:
+                self._state = HALF_OPEN
+        return self._state
+
+    @property
+    def trips(self) -> int:
+        """How many times the breaker has opened so far."""
+        return self._trips
+
+    def snapshot(self) -> dict:
+        """JSON-able state for events / health endpoints."""
+        return {
+            "state": self.state,
+            "failures": self._failures,
+            "trips": self._trips,
+            "retry_in": (
+                None
+                if self._retry_at is None or self._state != OPEN
+                else max(0.0, round(self._retry_at - self.clock(), 6))
+            ),
+        }
+
+    # -- the protocol ---------------------------------------------------
+    def allow(self) -> bool:
+        """May the caller attempt the guarded operation right now?"""
+        return self.state != OPEN
+
+    def record_success(self) -> None:
+        """The guarded operation succeeded; close and reset."""
+        self._state = CLOSED
+        self._failures = 0
+        self._retry_at = None
+
+    def record_failure(self) -> None:
+        """The guarded operation failed; maybe trip (or re-trip) open."""
+        if self.state == HALF_OPEN:
+            self._trip()  # the trial failed: straight back to open
+            return
+        self._failures += 1
+        if self._failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._failures = 0
+        self._trips += 1
+        self._retry_at = self.clock() + self.policy.delay(self._trips)

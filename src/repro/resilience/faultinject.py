@@ -21,6 +21,30 @@ Sites instrumented in this codebase:
     A JSON artifact write, between writing the temp sibling and the
     atomic ``os.replace``; tag is the destination path.  A ``raise``
     here proves interrupted writes never corrupt the old file.
+``artifact-dirsync``
+    Between the atomic ``os.replace`` and the directory fsync that makes
+    the rename durable; tag is the destination path.  A crash here must
+    leave a complete (old or new) file either way.
+``journal-append``
+    One write-ahead journal record (:mod:`repro.serve.journal`), *after*
+    the record reached stable storage (write + fsync) but before the
+    service acts on it; tag ``"<type>:<job-id>"``.  A ``kill`` here is
+    the canonical crash-only test: on restart the replay must redo the
+    action exactly once.
+``store-put``
+    One content-addressed store insertion
+    (:mod:`repro.serve.store`), after the BLIF text and compiled CSR
+    blob landed; tag is the circuit id.  A crash here must leave the
+    store readable (the entry is complete or absent, never torn).
+``worker-dispatch``
+    The serve scheduler handing one accepted job to a worker lane; tag
+    ``"<job-id>:<circuit-id>"``.  A ``kill`` here crashes with the job
+    journaled-but-unstarted; replay must re-dispatch it.
+``result-commit``
+    Between writing a job's result artifact and appending the terminal
+    journal record; tag is the job id.  A crash here leaves a complete
+    artifact with a non-terminal journal — recovery must reconcile the
+    two without recomputing (or recompute bit-identically).
 
 Plans are deterministic: matching uses :func:`fnmatch.fnmatchcase` over
 the tag (no randomness), ``at`` skips the first N matching hits, and

@@ -1,0 +1,59 @@
+"""``repro.serve`` — the crash-only mapping service.
+
+A long-running front end over the paper's mappers (TurboMap / TurboSYN
+/ FlowSYN-s): accept mapping jobs over HTTP or in-process, dedup
+circuits by content into a compiled-kernel store, schedule phi probes
+across the existing worker fleet, and make **crashes boring**: every
+transition is write-ahead journaled, so ``kill -9`` at any instant
+resumes every accepted job from its last journaled probe with
+bit-identical results.
+
+Layering (each module's docstring carries its contract):
+
+========================  =============================================
+:mod:`~repro.serve.journal`    append-fsync-act WAL + torn-tail replay
+:mod:`~repro.serve.store`      content-addressed circuits + CSR blobs,
+                               KERN-audited on load
+:mod:`~repro.serve.jobs`       specs, state machine, cancellable budgets
+:mod:`~repro.serve.scheduler`  worker lanes + per-lane circuit breakers
+:mod:`~repro.serve.service`    the orchestrator (admission, recovery,
+                               execution, degradation)
+:mod:`~repro.serve.server`     dependency-free asyncio HTTP front end
+:mod:`~repro.serve.client`     stdlib urllib client (CLI / CI / chaos)
+:mod:`~repro.serve.chaos`      the crash-recovery differential harness
+========================  =============================================
+
+Run it: ``python -m repro.serve --state-dir STATE --port 8731`` (or
+``repro serve ...`` via the CLI).
+"""
+
+from repro.serve.client import QueueFull, ServeClient, ServeError
+from repro.serve.jobs import Job, JobBudget, JobSpec
+from repro.serve.journal import Journal, JournalError
+from repro.serve.scheduler import Scheduler
+from repro.serve.server import ServeServer, run_server
+from repro.serve.service import (
+    AdmissionRejected,
+    MappingService,
+    artifact_signature,
+)
+from repro.serve.store import CircuitStore, StoreError
+
+__all__ = [
+    "AdmissionRejected",
+    "CircuitStore",
+    "Job",
+    "JobBudget",
+    "JobSpec",
+    "Journal",
+    "JournalError",
+    "MappingService",
+    "QueueFull",
+    "Scheduler",
+    "ServeClient",
+    "ServeError",
+    "ServeServer",
+    "StoreError",
+    "artifact_signature",
+    "run_server",
+]

@@ -1,0 +1,67 @@
+"""``python -m repro.serve`` — serve a state directory over HTTP.
+
+Equivalent to ``repro serve`` (:mod:`repro.cli`); this entry point
+exists so the service can be launched without the CLI installed, e.g.
+by the chaos harness and the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.serve.service import MappingService
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve the crash-only mapping service.",
+    )
+    parser.add_argument("--state-dir", required=True,
+                        help="durable state: journal, store, results")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8731,
+                        help="TCP port (0 picks a free one)")
+    parser.add_argument("--max-active", type=int, default=1,
+                        help="concurrent worker lanes")
+    parser.add_argument("--max-queue", type=int, default=8,
+                        help="admission-control bound on pending jobs")
+    args = parser.parse_args(argv)
+
+    from repro.serve.server import ServeServer
+
+    service = MappingService(
+        args.state_dir,
+        max_active=args.max_active,
+        max_queue=args.max_queue,
+    )
+    server = ServeServer(service, host=args.host, port=args.port)
+
+    async def run() -> None:
+        await server.start()
+        print(
+            f"repro-serve listening on {server.host}:{server.port} "
+            f"(state: {service.state_dir}, recovered "
+            f"{service.recovered.get('records', 0)} journal records, "
+            f"{len(service.recovered.get('replayed_pending', []))} jobs "
+            f"re-enqueued)",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,141 @@
+"""A small stdlib HTTP client for the mapping service.
+
+:class:`ServeClient` wraps ``urllib`` (no third-party deps) and mirrors
+the server's endpoint surface one method per route.  It is what the CLI,
+the chaos harness and the CI smoke job use to talk to a served
+instance; tests that don't need a socket drive
+:class:`~repro.serve.service.MappingService` directly instead.
+
+Admission control surfaces as :class:`QueueFull` carrying the parsed
+``retry_after`` seconds — callers back off and retry rather than
+hammering a shedding server.  :meth:`submit_with_backoff` does that
+loop for suite-style callers.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, List, Optional
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response from the service (structured body attached)."""
+
+    def __init__(self, status: int, body: Dict[str, Any]) -> None:
+        super().__init__(f"HTTP {status}: {body}")
+        self.status = status
+        self.body = body
+
+
+class QueueFull(ServeError):
+    """Admission control rejected the job; retry after ``retry_after``."""
+
+    def __init__(self, status: int, body: Dict[str, Any]) -> None:
+        super().__init__(status, body)
+        self.retry_after = float(body.get("retry_after", 1.0))
+
+
+class ServeClient:
+    """Talk to one served :class:`MappingService` instance."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8731,
+                 timeout: float = 60.0) -> None:
+        self.base = f"http://{host}:{port}"
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[bytes] = None,
+                 content_type: str = "application/json") -> Dict[str, Any]:
+        request = urllib.request.Request(
+            self.base + path, data=body, method=method,
+            headers={"Content-Type": content_type} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+            except ValueError:
+                payload = {"error": "unparseable", "status": exc.code}
+            if exc.code == 429:
+                raise QueueFull(exc.code, payload) from exc
+            raise ServeError(exc.code, payload) from exc
+
+    def _post_json(self, path: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        return self._request(
+            "POST", path, json.dumps(payload).encode("utf-8")
+        )
+
+    # -- endpoints ------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def readyz(self) -> Dict[str, Any]:
+        return self._request("GET", "/readyz")
+
+    def events(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/events")["events"]
+
+    def upload_circuit(self, blif_text: str) -> str:
+        out = self._request(
+            "POST", "/circuits", blif_text.encode("utf-8"), "text/plain"
+        )
+        return out["circuit_id"]
+
+    def submit(self, **job_fields: Any) -> Dict[str, Any]:
+        """Submit one job (``circuit_id=...`` or ``blif=...`` + spec)."""
+        return self._post_json("/jobs", job_fields)
+
+    def submit_suite(self, circuits: List[Any],
+                     algorithms: List[str],
+                     **spec_fields: Any) -> List[Dict[str, Any]]:
+        payload = dict(spec_fields)
+        payload["circuits"] = circuits
+        payload["algorithms"] = algorithms
+        return self._post_json("/suite", payload)["jobs"]
+
+    def submit_with_backoff(
+        self, max_tries: int = 20,
+        sleep: Callable[[float], None] = time.sleep,
+        **job_fields: Any,
+    ) -> Dict[str, Any]:
+        """Submit, honoring ``Retry-After`` when the queue sheds load."""
+        last: Optional[QueueFull] = None
+        for _ in range(max_tries):
+            try:
+                return self.submit(**job_fields)
+            except QueueFull as exc:
+                last = exc
+                sleep(exc.retry_after)
+        assert last is not None
+        raise last
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 0.25) -> Dict[str, Any]:
+        """Block until a job is terminal (server-side bounded waits)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(f"job {job_id} not terminal in {timeout}s")
+            chunk = max(poll, min(10.0, remaining))
+            view = self._request("GET", f"/jobs/{job_id}?wait={chunk:.3f}")
+            if view.get("state") in ("done", "failed", "cancelled"):
+                return view
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/cancel", b"{}")

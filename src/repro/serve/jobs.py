@@ -1,0 +1,262 @@
+"""Job model of the mapping service: specs, states, cancellable budgets.
+
+A *job* is one accepted mapping request: a circuit (by content id in the
+store), an algorithm, and the engine/budget options of the existing
+mapper entry points.  Jobs move through a tiny, strictly forward state
+machine::
+
+    queued ──► running ──► done
+                       ├─► failed      (structured reason, never lost)
+                       └─► cancelled   (cooperative; best-known result
+                                        attached when one exists)
+
+Every transition is journaled before it is acted on
+(:mod:`repro.serve.journal`), so the state machine survives ``kill -9``
+at any instant.  Terminal states are absorbing: recovery never demotes a
+``done`` job, and a crash mid-``running`` replays back to ``queued``
+with its completed probes seeded from the journal.
+
+:class:`JobBudget` extends the per-run :class:`~repro.resilience.budget.
+Budget` with cooperative cancellation: a cancel request sets an event
+the search observes at its existing budget checkpoints (between probes),
+so cancellation has exactly the semantics of deadline pressure — the
+run stops at the next probe boundary and degrades to the best-known
+answer, with ``"cancelled"`` as the reason.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.expanded import DEFAULT_MAX_COPIES
+from repro.resilience.budget import Budget
+
+#: Algorithms a job may request (the suite's report algorithms).
+ALGORITHMS = ("flowsyn-s", "turbomap", "turbosyn")
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a recovered job is re-enqueued from.
+PENDING_STATES = (QUEUED, RUNNING)
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What to map and how — the JSON-able request half of a job."""
+
+    circuit_id: str
+    algorithm: str = "turbomap"
+    k: int = 5
+    workers: int = 1
+    engine: str = "worklist"
+    warm_start: bool = True
+    max_copies: int = DEFAULT_MAX_COPIES
+    flow: str = "dinic"
+    kernel: str = "compiled"
+    check: bool = True
+    deadline: Optional[float] = None
+    probe_timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r} "
+                f"(one of {', '.join(ALGORITHMS)})"
+            )
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobSpec":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown job spec field(s): {sorted(unknown)}")
+        return cls(**data)
+
+
+@dataclass
+class Job:
+    """One accepted job: spec + live state + terminal outcome."""
+
+    id: str
+    seq: int  # journal seq of the accept record (admission order)
+    spec: JobSpec
+    state: str = QUEUED
+    #: Journaled probe outcomes: ``{stage: {phi: {"feasible", "labels"}}}``
+    #: — the crash checkpoint the search resumes from.
+    probes: Dict[str, Dict[int, Dict[str, Any]]] = field(default_factory=dict)
+    #: TurboSYN's journaled bound-stage optimum (skips the bound run on
+    #: resume).
+    bound_phi: Optional[int] = None
+    #: Terminal summary (phi, luts, degraded, signature, artifact path).
+    result: Optional[Dict[str, Any]] = None
+    #: Structured failure record (exception type, message).
+    error: Optional[Dict[str, Any]] = None
+    #: How many times a process picked this job up (1 + crash replays).
+    attempts: int = 0
+    #: A cancel request was journaled (honored at the next checkpoint,
+    #: including across a crash).
+    cancel_requested: bool = False
+
+    def view(self) -> Dict[str, Any]:
+        """JSON-able public status of this job."""
+        out: Dict[str, Any] = {
+            "id": self.id,
+            "seq": self.seq,
+            "state": self.state,
+            "spec": self.spec.to_dict(),
+            "attempts": self.attempts,
+            "probes_journaled": sum(len(v) for v in self.probes.values()),
+            "cancel_requested": self.cancel_requested,
+        }
+        if self.result is not None:
+            out["result"] = self.result
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+class JobBudget(Budget):
+    """A :class:`Budget` that can additionally be cancelled cooperatively.
+
+    Cancellation raises through the same control-flow paths as deadline
+    expiry (the searches already catch and degrade), but records
+    ``"cancelled"`` as the reason so callers can distinguish the two.
+    """
+
+    def __init__(
+        self,
+        deadline: Optional[float] = None,
+        probe_timeout: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        super().__init__(
+            deadline=deadline, probe_timeout=probe_timeout, clock=clock
+        )
+        self._cancel = threading.Event()
+
+    def cancel(self) -> None:
+        """Request cooperative cancellation (observed between probes)."""
+        self._cancel.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancel.is_set()
+
+    def expired(self) -> bool:
+        return self._cancel.is_set() or super().expired()
+
+    def check(self) -> None:
+        self._raise_if_cancelled()
+        super().check()
+
+    def begin_probe(self) -> Optional[float]:
+        self._raise_if_cancelled()
+        return super().begin_probe()
+
+    def _raise_if_cancelled(self) -> None:
+        if self._cancel.is_set():
+            from repro.resilience.budget import DeadlineExpired
+
+            raise DeadlineExpired("job cancelled")
+
+    def exhaust(self, exc: BaseException) -> None:
+        if self._cancel.is_set():
+            self.exhausted = True
+            self.reason = "cancelled"
+            self.note("cancelled", detail=str(exc))
+        else:
+            super().exhaust(exc)
+
+
+def serialize_probes(
+    probes: Dict[str, Dict[int, Dict[str, Any]]]
+) -> Dict[str, Any]:
+    """Journal-friendly form of a job's probe checkpoint (string keys)."""
+    return {
+        stage: {str(phi): entry for phi, entry in stage_probes.items()}
+        for stage, stage_probes in probes.items()
+    }
+
+
+def deserialize_probes(data: Dict[str, Any]) -> Dict[str, Dict[int, Dict[str, Any]]]:
+    """Inverse of :func:`serialize_probes`."""
+    return {
+        stage: {int(phi): entry for phi, entry in stage_probes.items()}
+        for stage, stage_probes in data.items()
+    }
+
+
+class ServiceStats:
+    """Thread-safe counters surfaced by ``/healthz`` and reports."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.replayed = 0
+        #: EWMA of recent job wall-clock seconds (Retry-After estimates).
+        self.avg_job_seconds = 1.0
+
+    def bump(self, name: str, value: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + value)
+
+    def observe_duration(self, seconds: float) -> None:
+        with self._lock:
+            self.avg_job_seconds = (
+                0.7 * self.avg_job_seconds + 0.3 * max(seconds, 1e-3)
+            )
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "submitted": self.submitted,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "failed": self.failed,
+                "cancelled": self.cancelled,
+                "replayed": self.replayed,
+                "avg_job_seconds": round(self.avg_job_seconds, 6),
+            }
+
+
+#: Retry-After estimate: how long until a queue slot likely frees up.
+def retry_after_estimate(pending: int, avg_job_seconds: float) -> float:
+    return float(min(60.0, max(1.0, pending * avg_job_seconds)))
+
+
+__all__: List[str] = [
+    "ALGORITHMS",
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+    "PENDING_STATES",
+    "TERMINAL_STATES",
+    "JobSpec",
+    "Job",
+    "JobBudget",
+    "ServiceStats",
+    "serialize_probes",
+    "deserialize_probes",
+    "retry_after_estimate",
+]

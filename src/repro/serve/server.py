@@ -1,0 +1,327 @@
+"""Asyncio HTTP front end over :class:`~repro.serve.service.MappingService`.
+
+A deliberately tiny, dependency-free HTTP/1.1 server (``asyncio``
+streams + hand-rolled request parsing — the container image has no web
+framework, and the service surface is six endpoints):
+
+====== ========================== =======================================
+POST   ``/circuits``              upload BLIF text → ``{"circuit_id"}``
+                                  (content-addressed; uploads dedup)
+POST   ``/jobs``                  submit a job: JSON spec fields, plus
+                                  either ``circuit_id`` or inline
+                                  ``blif`` text → ``202`` + job view;
+                                  ``429`` + ``Retry-After`` when the
+                                  queue is full (admission control)
+POST   ``/suite``                 one job per (circuit, algorithm) pair
+GET    ``/jobs``                  all job views (admission order)
+GET    ``/jobs/{id}``             one job view (``?wait=SECONDS`` blocks
+                                  until terminal, bounded)
+GET    ``/jobs/{id}/result``      the full result artifact (labels,
+                                  mapped BLIF, certificate, signature)
+POST   ``/jobs/{id}/cancel``      cooperative cancellation
+GET    ``/healthz``               liveness + structured observability
+GET    ``/readyz``                ``200``/``503`` readiness (capacity)
+GET    ``/events``                the structured job-event log (the
+                                  journal, one JSON record per line)
+====== ========================== =======================================
+
+Every service call runs in a worker thread (``run_in_executor``): the
+journal fsyncs on each transition, and the event loop must keep
+answering health probes while jobs grind.
+
+Error mapping: ``AdmissionRejected`` → 429 (with both a ``Retry-After``
+header and the structured body), ``KeyError`` → 404, ``ValueError`` →
+400, draining/fatal ``RuntimeError`` → 503.  Responses are always JSON;
+the server never hangs a rejected request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from repro.serve.jobs import ALGORITHMS, JobSpec
+from repro.serve.service import AdmissionRejected, MappingService
+
+_MAX_BODY = 64 * 1024 * 1024  # a BLIF upload ceiling, not a real limit
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, body: Dict[str, Any],
+                 headers: Optional[Dict[str, str]] = None) -> None:
+        super().__init__(body.get("error", status))
+        self.status = status
+        self.body = body
+        self.headers = headers or {}
+
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ServeServer:
+    """Bind a :class:`MappingService` to a TCP port."""
+
+    def __init__(self, service: MappingService, host: str = "127.0.0.1",
+                 port: int = 8731) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> None:
+        self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        # Port 0 means "pick one"; reflect the real binding.
+        if self.port == 0 and self._server.sockets:
+            self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.service.stop
+        )
+
+    # -- connection handling --------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, body = request
+                status, payload, headers = await self._route(
+                    method, path, body
+                )
+                await self._respond(writer, status, payload, headers)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> Optional[Tuple[str, str, bytes]]:
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, asyncio.LimitOverrunError):
+            return None
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    content_length = 0
+        if content_length > _MAX_BODY:
+            return method, path, b""  # routed to a 413 below
+        body = (
+            await reader.readexactly(content_length)
+            if content_length else b""
+        )
+        return method, path, body
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int,
+                       payload: Dict[str, Any],
+                       headers: Dict[str, str]) -> None:
+        body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        reason = _REASONS.get(status, "Unknown")
+        head = [
+            f"HTTP/1.1 {status} {reason}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+        ]
+        head.extend(f"{name}: {value}" for name, value in headers.items())
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        writer.write(body)
+        await writer.drain()
+
+    # -- routing --------------------------------------------------------
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        path, _, query = path.partition("?")
+        params = _parse_query(query)
+        try:
+            if len(body) > _MAX_BODY:
+                raise _HttpError(413, {"error": "payload_too_large"})
+            return await self._dispatch(method, path, body, params)
+        except AdmissionRejected as exc:
+            return 429, exc.to_dict(), {
+                "Retry-After": str(int(exc.retry_after + 0.999))
+            }
+        except _HttpError as exc:
+            return exc.status, exc.body, exc.headers
+        except KeyError as exc:
+            return 404, {"error": "not_found", "message": str(exc)}, {}
+        except (ValueError, TypeError) as exc:
+            return 400, {"error": "bad_request", "message": str(exc)}, {}
+        except RuntimeError as exc:
+            return 503, {"error": "unavailable", "message": str(exc)}, {}
+        except Exception as exc:  # noqa: BLE001 — last-resort boundary
+            return 500, {
+                "error": type(exc).__name__, "message": str(exc)
+            }, {}
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes, params: Dict[str, str]
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        loop = asyncio.get_running_loop()
+
+        def call(fn, *args, **kwargs):
+            return loop.run_in_executor(
+                None, lambda: fn(*args, **kwargs)
+            )
+
+        if path == "/healthz" and method == "GET":
+            return 200, await call(self.service.health), {}
+        if path == "/readyz" and method == "GET":
+            ready = await call(self.service.ready)
+            return (200 if ready["ready"] else 503), ready, {}
+        if path == "/events" and method == "GET":
+            return 200, await call(self._events), {}
+        if path == "/circuits" and method == "POST":
+            text = body.decode("utf-8")
+            circuit_id = await call(self.service.store.put, text)
+            return 200, {"circuit_id": circuit_id}, {}
+        if path == "/jobs" and method == "GET":
+            return 200, {"jobs": await call(self.service.jobs)}, {}
+        if path == "/jobs" and method == "POST":
+            view = await call(self._submit_one, _json_body(body))
+            return 202, view, {}
+        if path == "/suite" and method == "POST":
+            views = await call(self._submit_suite, _json_body(body))
+            return 202, {"jobs": views}, {}
+        if path.startswith("/jobs/"):
+            rest = path[len("/jobs/"):]
+            if method == "POST" and rest.endswith("/cancel"):
+                job_id = rest[: -len("/cancel")]
+                return 200, await call(self.service.cancel, job_id), {}
+            if method == "GET" and rest.endswith("/result"):
+                job_id = rest[: -len("/result")]
+                return 200, await call(self.service.result, job_id), {}
+            if method == "GET" and "/" not in rest:
+                if "wait" in params:
+                    timeout = float(params["wait"])
+                    try:
+                        return 200, await call(
+                            self.service.wait, rest, timeout
+                        ), {}
+                    except TimeoutError:
+                        # Bounded wait elapsed: report the live state.
+                        return 200, await call(
+                            self.service.status, rest
+                        ), {}
+                return 200, await call(self.service.status, rest), {}
+        raise _HttpError(
+            405 if path in ("/jobs", "/suite", "/circuits") else 404,
+            {"error": "no_such_route", "path": path, "method": method},
+        )
+
+    # -- endpoint bodies -------------------------------------------------
+    def _submit_one(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        payload = dict(payload)
+        blif = payload.pop("blif", None)
+        if blif is not None:
+            payload["circuit_id"] = self.service.store.put(blif)
+        if "circuit_id" not in payload:
+            raise ValueError("job needs either 'circuit_id' or 'blif'")
+        return self.service.submit(JobSpec.from_dict(payload))
+
+    def _submit_suite(self, payload: Dict[str, Any]) -> list:
+        """One job per (circuit, algorithm): the service-side suite."""
+        payload = dict(payload)
+        circuits = payload.pop("circuits", [])
+        algorithms = payload.pop("algorithms", ["turbomap"])
+        for algorithm in algorithms:
+            if algorithm not in ALGORITHMS:
+                raise ValueError(f"unknown algorithm {algorithm!r}")
+        circuit_ids = []
+        for entry in circuits:
+            if isinstance(entry, dict) and "blif" in entry:
+                circuit_ids.append(self.service.store.put(entry["blif"]))
+            elif isinstance(entry, str):
+                circuit_ids.append(entry)
+            else:
+                raise ValueError(
+                    "suite circuits must be ids or {'blif': ...} objects"
+                )
+        views = []
+        for circuit_id in circuit_ids:
+            for algorithm in algorithms:
+                views.append(
+                    self.service.submit(JobSpec.from_dict(
+                        {**payload, "circuit_id": circuit_id,
+                         "algorithm": algorithm}
+                    ))
+                )
+        return views
+
+    def _events(self) -> Dict[str, Any]:
+        """The journal as a structured job-event log."""
+        return {
+            "events": self.service.journal_events(),
+            "path": self.service._journal.path,
+        }
+
+
+def _parse_query(query: str) -> Dict[str, str]:
+    params: Dict[str, str] = {}
+    for piece in query.split("&"):
+        if "=" in piece:
+            name, _, value = piece.partition("=")
+            params[name] = value
+    return params
+
+
+def _json_body(body: bytes) -> Dict[str, Any]:
+    if not body:
+        raise ValueError("request body must be a JSON object")
+    data = json.loads(body.decode("utf-8"))
+    if not isinstance(data, dict):
+        raise ValueError("request body must be a JSON object")
+    return data
+
+
+async def run_server(service: MappingService, host: str = "127.0.0.1",
+                     port: int = 8731) -> None:
+    """Start and serve until cancelled (the ``python -m repro.serve`` body)."""
+    server = ServeServer(service, host=host, port=port)
+    await server.start()
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()

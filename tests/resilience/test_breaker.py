@@ -1,0 +1,133 @@
+"""Circuit breakers: closed → open → half-open, on an injected clock."""
+
+import pytest
+
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.resilience.retry import RetryPolicy
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_breaker(threshold: int = 3, jitter: float = 0.0) -> "tuple":
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        failure_threshold=threshold,
+        policy=RetryPolicy(base_delay=1.0, max_delay=60.0, jitter=jitter),
+        clock=clock,
+    )
+    return breaker, clock
+
+
+class TestClosed:
+    def test_starts_closed_and_allowing(self):
+        breaker, _ = make_breaker()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_failures_below_threshold_stay_closed(self):
+        breaker, _ = make_breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_success_resets_consecutive_count(self):
+        breaker, _ = make_breaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # never two *consecutive* failures
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+
+class TestOpen:
+    def test_threshold_failures_trip_open(self):
+        breaker, _ = make_breaker(threshold=3)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_cooldown_follows_retry_policy_delay(self):
+        breaker, clock = make_breaker(threshold=1)
+        breaker.record_failure()
+        # First trip waits policy.delay(1) = base_delay (jitter 0).
+        clock.advance(0.99)
+        assert breaker.state == OPEN
+        clock.advance(0.02)
+        assert breaker.state == HALF_OPEN
+
+    def test_repeated_trips_back_off_exponentially(self):
+        breaker, clock = make_breaker(threshold=1)
+        breaker.record_failure()  # trip 1: delay 1.0
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+        breaker.record_failure()  # trial failed → trip 2: delay 2.0
+        assert breaker.state == OPEN
+        clock.advance(1.5)
+        assert breaker.state == OPEN  # 1.5 < 2.0: still cooling down
+        clock.advance(0.5)
+        assert breaker.state == HALF_OPEN
+        assert breaker.trips == 2
+
+
+class TestHalfOpen:
+    def test_trial_success_closes_and_resets(self):
+        breaker, clock = make_breaker(threshold=1)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()  # the half-open trial
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        # Closed again: takes a full threshold run to re-trip.
+        breaker.record_failure()
+        assert breaker.state == OPEN  # threshold=1
+        assert breaker.trips == 2
+
+    def test_trial_failure_reopens_immediately(self):
+        breaker, clock = make_breaker(threshold=3)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+        breaker.record_failure()  # one failure suffices in half-open
+        assert breaker.state == OPEN
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_able_and_counts_down(self):
+        breaker, clock = make_breaker(threshold=1)
+        assert breaker.snapshot() == {
+            "state": CLOSED, "failures": 0, "trips": 0, "retry_in": None,
+        }
+        breaker.record_failure()
+        snap = breaker.snapshot()
+        assert snap["state"] == OPEN
+        assert snap["trips"] == 1
+        assert snap["retry_in"] == pytest.approx(1.0)
+        clock.advance(0.4)
+        assert breaker.snapshot()["retry_in"] == pytest.approx(0.6)
+
+    def test_deterministic_jitter_shared_with_retry_policy(self):
+        # The breaker's cool-downs are exactly RetryPolicy delays: same
+        # seed, same schedule — reproducible chaos tests.
+        policy_a = RetryPolicy(base_delay=1.0, max_delay=60.0, seed=11)
+        policy_b = RetryPolicy(base_delay=1.0, max_delay=60.0, seed=11)
+        clock = FakeClock()
+        a = CircuitBreaker(1, policy=policy_a, clock=clock)
+        b = CircuitBreaker(1, policy=policy_b, clock=clock)
+        a.record_failure()
+        b.record_failure()
+        assert a.snapshot()["retry_in"] == b.snapshot()["retry_in"]

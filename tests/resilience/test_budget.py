@@ -118,3 +118,46 @@ class TestLedger:
         assert not budget.exhausted
         assert budget.reason is None
         assert budget.events == []
+
+
+class TestMonotonicClock:
+    """The deadline must ride the injected *monotonic* clock only: wall
+    clock adjustments (NTP steps, DST) — modeled here as the injected
+    clock simply being the single source of truth — never shorten or
+    extend a budget."""
+
+    def test_elapsed_tracks_injected_clock_exactly(self):
+        clock = FakeClock(t=1000.0)  # arbitrary epoch: only deltas matter
+        budget = Budget(deadline=5.0, clock=clock).start()
+        for step in (0.5, 1.25, 0.25):
+            clock.advance(step)
+        assert budget.elapsed() == pytest.approx(2.0)
+        assert budget.remaining() == pytest.approx(3.0)
+        assert not budget.expired()
+
+    def test_clock_standing_still_never_expires(self):
+        # A stalled monotonic clock (no time passing) must never expire
+        # the budget, regardless of how often it is consulted.
+        clock = FakeClock()
+        budget = Budget(deadline=0.001, clock=clock).start()
+        for _ in range(100):
+            budget.check()
+        assert not budget.expired()
+
+    def test_expiry_is_a_pure_function_of_clock_deltas(self):
+        clock = FakeClock(t=-50.0)  # even a negative epoch is fine
+        budget = Budget(deadline=2.0, clock=clock).start()
+        clock.advance(1.999)
+        budget.check()
+        clock.advance(0.002)
+        assert budget.expired()
+        with pytest.raises(DeadlineExpired):
+            budget.check()
+
+    def test_probe_allowance_uses_the_same_clock(self):
+        clock = FakeClock(t=7.0)
+        budget = Budget(deadline=4.0, probe_timeout=3.0, clock=clock).start()
+        assert budget.begin_probe() == pytest.approx(3.0)
+        clock.advance(2.0)
+        # Remaining deadline (2.0) now clamps the probe allowance.
+        assert budget.begin_probe() == pytest.approx(2.0)

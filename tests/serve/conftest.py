@@ -1,0 +1,27 @@
+"""Shared fixtures for the serve tests: fault isolation + quick circuits."""
+
+import pytest
+
+from repro.resilience import faultinject
+from repro.serve.chaos import demo_blif
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state(monkeypatch):
+    """Isolate the process-global fault plan (and its env hook) per test."""
+    monkeypatch.delenv(faultinject.ENV_PLAN, raising=False)
+    faultinject.reset()
+    yield
+    faultinject.clear()
+
+
+@pytest.fixture(scope="session")
+def quick_blif() -> str:
+    """A small deterministic sequential circuit (multi-probe search)."""
+    return demo_blif(40, seed=5)
+
+
+@pytest.fixture(scope="session")
+def other_blif() -> str:
+    """A second circuit with a different content id."""
+    return demo_blif(30, seed=9)

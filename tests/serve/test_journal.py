@@ -1,0 +1,130 @@
+"""The WAL primitive: append-fsync-act, torn tails, compaction."""
+
+import json
+import os
+
+import pytest
+
+from repro.resilience import faultinject
+from repro.resilience.faultinject import Fault, FaultPlan, InjectedFault
+from repro.serve.journal import Journal
+
+
+def path_of(tmp_path) -> str:
+    return str(tmp_path / "journal.jsonl")
+
+
+class TestAppendReplay:
+    def test_append_assigns_monotone_seq(self, tmp_path):
+        journal, records = Journal.open(path_of(tmp_path))
+        assert records == []
+        assert journal.append({"type": "accept", "job": "j1"}) == 1
+        assert journal.append({"type": "start", "job": "j1"}) == 2
+        assert journal.seq == 2
+
+    def test_replay_round_trips_records(self, tmp_path):
+        journal, _ = Journal.open(path_of(tmp_path))
+        journal.append({"type": "accept", "job": "j1", "spec": {"k": 4}})
+        journal.append({"type": "done", "job": "j1"})
+        journal.close()
+        replayed, records = Journal.open(path_of(tmp_path))
+        assert [r["type"] for r in records] == ["accept", "done"]
+        assert records[0]["spec"] == {"k": 4}
+        assert [r["seq"] for r in records] == [1, 2]
+        assert replayed.seq == 2
+
+    def test_seq_continues_after_reopen(self, tmp_path):
+        journal, _ = Journal.open(path_of(tmp_path))
+        journal.append({"type": "accept", "job": "j1"})
+        journal.close()
+        journal, _ = Journal.open(path_of(tmp_path))
+        assert journal.append({"type": "start", "job": "j1"}) == 2
+
+    def test_record_on_disk_before_append_returns(self, tmp_path):
+        # WAL discipline: the fault site fires *after* write+fsync, so a
+        # crash there leaves the record durable but unacted-on.
+        journal, _ = Journal.open(path_of(tmp_path))
+        faultinject.install(
+            FaultPlan([Fault("journal-append", "raise", match="accept:*")])
+        )
+        with pytest.raises(InjectedFault):
+            journal.append({"type": "accept", "job": "j9"})
+        journal.close()
+        _, records = Journal.open(path_of(tmp_path))
+        assert [r["job"] for r in records] == ["j9"]
+
+
+class TestTornTail:
+    def test_partial_last_line_is_dropped_and_truncated(self, tmp_path):
+        journal, _ = Journal.open(path_of(tmp_path))
+        journal.append({"type": "accept", "job": "j1"})
+        journal.close()
+        with open(path_of(tmp_path), "a") as fh:
+            fh.write('{"type": "start", "job": "j1", "se')  # torn mid-write
+        journal, records = Journal.open(path_of(tmp_path))
+        assert [r["type"] for r in records] == ["accept"]
+        # The torn bytes are gone: the next append produces a clean file.
+        journal.append({"type": "start", "job": "j1"})
+        journal.close()
+        lines = open(path_of(tmp_path)).read().splitlines()
+        assert [json.loads(line)["type"] for line in lines] == [
+            "accept", "start",
+        ]
+
+    def test_corrupt_middle_line_stops_replay_at_last_good(self, tmp_path):
+        journal, _ = Journal.open(path_of(tmp_path))
+        journal.append({"type": "accept", "job": "j1"})
+        journal.append({"type": "accept", "job": "j2"})
+        journal.close()
+        raw = open(path_of(tmp_path)).read().splitlines()
+        with open(path_of(tmp_path), "w") as fh:
+            fh.write(raw[0] + "\n")
+            fh.write("NOT JSON AT ALL\n")
+            fh.write(raw[1] + "\n")
+        _, records = Journal.open(path_of(tmp_path))
+        # Everything from the corruption on is untrusted (prefix
+        # integrity): only j1 survives.
+        assert [r["job"] for r in records] == ["j1"]
+
+    def test_empty_file_replays_to_nothing(self, tmp_path):
+        open(path_of(tmp_path), "w").close()
+        journal, records = Journal.open(path_of(tmp_path))
+        assert records == []
+        assert journal.seq == 0
+
+
+class TestCompact:
+    def test_compact_preserves_seq_and_content(self, tmp_path):
+        journal, _ = Journal.open(path_of(tmp_path))
+        for job in ("j1", "j2", "j3"):
+            journal.append({"type": "accept", "job": job})
+        journal.append({"type": "done", "job": "j1"})
+        size_before = journal.size_bytes()
+        journal.compact([
+            {"type": "accept", "job": "j2", "seq": 2},
+            {"type": "accept", "job": "j3", "seq": 3},
+        ])
+        assert journal.size_bytes() < size_before
+        # seq keeps counting from the pre-compaction high-water mark.
+        assert journal.append({"type": "start", "job": "j2"}) == 5
+        journal.close()
+        _, records = Journal.open(path_of(tmp_path))
+        assert [(r["type"], r["seq"]) for r in records] == [
+            ("accept", 2), ("accept", 3), ("start", 5),
+        ]
+
+    def test_compact_is_atomic_under_injected_crash(self, tmp_path):
+        journal, _ = Journal.open(path_of(tmp_path))
+        journal.append({"type": "accept", "job": "j1"})
+        faultinject.install(FaultPlan([
+            Fault("artifact-write", "raise", match=path_of(tmp_path))
+        ]))
+        with pytest.raises(InjectedFault):
+            journal.compact([])
+        faultinject.clear()
+        # The old journal survived the interrupted compaction intact.
+        _, records = Journal.open(path_of(tmp_path))
+        assert [r["job"] for r in records] == ["j1"]
+        assert not [
+            name for name in os.listdir(tmp_path) if name != "journal.jsonl"
+        ]
