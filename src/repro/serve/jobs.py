@@ -102,6 +102,12 @@ class Job:
     #: TurboSYN's journaled bound-stage optimum (skips the bound run on
     #: resume).
     bound_phi: Optional[int] = None
+    #: Journal seqs of the bound / cancel-request / terminal records
+    #: (compaction preserves each record's original seq; probe seqs live
+    #: inside the ``probes`` entries).
+    bound_seq: Optional[int] = None
+    cancel_seq: Optional[int] = None
+    terminal_seq: Optional[int] = None
     #: Terminal summary (phi, luts, degraded, signature, artifact path).
     result: Optional[Dict[str, Any]] = None
     #: Structured failure record (exception type, message).

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.resilience.atomic import atomic_write_text, fsync_directory
@@ -59,6 +60,10 @@ class Journal:
         self.path = os.fspath(path)
         self._fh: Optional[Any] = None
         self._seq = 0
+        # Appends come from every lane thread (probe checkpoints) as well
+        # as the intake path; seq assignment and the write+flush+fsync
+        # must be one atomic unit or concurrent appends tear lines.
+        self._write_lock = threading.Lock()
 
     # -- lifecycle ------------------------------------------------------
     @classmethod
@@ -106,6 +111,10 @@ class Journal:
                 fsync_directory(self.path)
 
     def close(self) -> None:
+        with self._write_lock:
+            self._close_locked()
+
+    def _close_locked(self) -> None:
         if self._fh is not None:
             self._fh.close()
             self._fh = None
@@ -123,22 +132,26 @@ class Journal:
         may act on (or acknowledge) the transition.  Any I/O failure
         raises :class:`JournalError`: an unjournaled action must never
         be taken, so the caller's only safe move is to stop.
+
+        Thread-safe: lanes checkpoint probes concurrently, and a torn or
+        duplicate-seq line would truncate everything after it on replay.
         """
-        self._ensure_open()
-        assert self._fh is not None
-        seq = self._seq + 1
         payload = dict(record)
-        payload["seq"] = seq
-        line = json.dumps(payload, separators=(",", ":"), sort_keys=False)
-        try:
-            self._fh.write(line + "\n")
-            self._fh.flush()
-            os.fsync(self._fh.fileno())
-        except OSError as exc:
-            raise JournalError(
-                f"journal append failed ({self.path}): {exc}"
-            ) from exc
-        self._seq = seq
+        with self._write_lock:
+            self._ensure_open()
+            assert self._fh is not None
+            seq = self._seq + 1
+            payload["seq"] = seq
+            line = json.dumps(payload, separators=(",", ":"), sort_keys=False)
+            try:
+                self._fh.write(line + "\n")
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+            except OSError as exc:
+                raise JournalError(
+                    f"journal append failed ({self.path}): {exc}"
+                ) from exc
+            self._seq = seq
         fault_point(
             "journal-append",
             tag=f"{payload.get('type', '?')}:{payload.get('job', '')}",
@@ -149,17 +162,24 @@ class Journal:
     def compact(self, records: Iterable[Record]) -> None:
         """Atomically replace the journal with a snapshot of ``records``.
 
-        Sequence numbers are preserved verbatim (they must stay
-        monotone across compaction, so ``seq`` keeps counting from the
-        pre-compaction high-water mark).
+        Sequence numbers are preserved verbatim, and a ``compact``
+        header record pins the pre-compaction high-water mark: even
+        when the highest-seq live record was dropped (a ``note``, a
+        superseded probe), a later :meth:`open` replays ``seq`` at or
+        above every seq ever handed out, so numbering never regresses.
         """
+        header: Record = {
+            "type": "compact", "high_water": self._seq, "seq": self._seq,
+        }
         lines = [
-            json.dumps(dict(record), separators=(",", ":")) for record in records
+            json.dumps(dict(record), separators=(",", ":"))
+            for record in [header, *records]
         ]
         text = "".join(line + "\n" for line in lines)
-        self.close()
-        atomic_write_text(self.path, text)
-        self._ensure_open()
+        with self._write_lock:
+            self._close_locked()
+            atomic_write_text(self.path, text)
+            self._ensure_open()
 
     def size_bytes(self) -> int:
         """Current on-disk size (observability / overhead accounting)."""

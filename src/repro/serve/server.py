@@ -102,7 +102,17 @@ class ServeServer:
                       writer: asyncio.StreamWriter) -> None:
         try:
             while True:
-                request = await self._read_request(reader)
+                try:
+                    request = await self._read_request(reader)
+                except _HttpError as exc:
+                    # Oversize upload: answer 413 without reading the
+                    # body, then close — the unread bytes would desync
+                    # any further keep-alive requests on this socket.
+                    await self._respond(
+                        writer, exc.status, exc.body,
+                        {"Connection": "close", **exc.headers},
+                    )
+                    break
                 if request is None:
                     break
                 method, path, body = request
@@ -145,7 +155,11 @@ class ServeServer:
                 except ValueError:
                     content_length = 0
         if content_length > _MAX_BODY:
-            return method, path, b""  # routed to a 413 below
+            raise _HttpError(413, {
+                "error": "payload_too_large",
+                "content_length": content_length,
+                "max_bytes": _MAX_BODY,
+            })
         body = (
             await reader.readexactly(content_length)
             if content_length else b""
@@ -174,8 +188,6 @@ class ServeServer:
         path, _, query = path.partition("?")
         params = _parse_query(query)
         try:
-            if len(body) > _MAX_BODY:
-                raise _HttpError(413, {"error": "payload_too_large"})
             return await self._dispatch(method, path, body, params)
         except AdmissionRejected as exc:
             return 429, exc.to_dict(), {

@@ -268,6 +268,7 @@ class MappingService:
         job = self._jobs.get(job_id)
         if job is None or kind == "note":
             return
+        seq = int(record.get("seq", 0))
         if kind == "start":
             job.state = RUNNING
             job.attempts += 1
@@ -276,23 +277,35 @@ class MappingService:
             job.probes.setdefault(stage, {})[int(record["phi"])] = {
                 "feasible": bool(record["feasible"]),
                 "labels": list(record["labels"]),
+                "seq": seq,
             }
         elif kind == "bound":
             job.bound_phi = int(record["phi"])
+            job.bound_seq = seq
         elif kind == "cancel-request":
             job.cancel_requested = True
+            job.cancel_seq = seq
         elif kind == "done":
             job.state = DONE
             job.result = record.get("summary")
+            job.terminal_seq = seq
         elif kind == "fail":
             job.state = FAILED
             job.error = record.get("error")
+            job.terminal_seq = seq
         elif kind == "cancelled":
             job.state = CANCELLED
             job.result = record.get("summary")
+            job.terminal_seq = seq
 
     def _live_records(self) -> List[Record]:
-        """Minimal records reproducing the current job table (compaction)."""
+        """Minimal records reproducing the current job table (compaction).
+
+        Every record keeps its *original* journal seq (the fallback to
+        the accept seq only covers pre-upgrade journals), so the
+        compacted journal never invents duplicate seqs and replaying it
+        recomputes the true high-water mark.
+        """
         records: List[Record] = []
         for job in sorted(self._jobs.values(), key=lambda j: j.seq):
             records.append(
@@ -300,20 +313,21 @@ class MappingService:
                  "seq": job.seq}
             )
             if job.state in TERMINAL_STATES:
+                terminal_seq = job.terminal_seq or job.seq
                 if job.state == DONE:
                     records.append(
                         {"type": "done", "job": job.id,
-                         "summary": job.result, "seq": job.seq}
+                         "summary": job.result, "seq": terminal_seq}
                     )
                 elif job.state == FAILED:
                     records.append(
                         {"type": "fail", "job": job.id,
-                         "error": job.error, "seq": job.seq}
+                         "error": job.error, "seq": terminal_seq}
                     )
                 else:
                     records.append(
                         {"type": "cancelled", "job": job.id,
-                         "summary": job.result, "seq": job.seq}
+                         "summary": job.result, "seq": terminal_seq}
                     )
                 continue
             for stage, stage_probes in job.probes.items():
@@ -321,16 +335,18 @@ class MappingService:
                     records.append(
                         {"type": "probe", "job": job.id, "stage": stage,
                          "phi": phi, "feasible": entry["feasible"],
-                         "labels": entry["labels"], "seq": job.seq}
+                         "labels": entry["labels"],
+                         "seq": entry.get("seq") or job.seq}
                     )
             if job.bound_phi is not None:
                 records.append(
                     {"type": "bound", "job": job.id, "phi": job.bound_phi,
-                     "seq": job.seq}
+                     "seq": job.bound_seq or job.seq}
                 )
             if job.cancel_requested:
                 records.append(
-                    {"type": "cancel-request", "job": job.id, "seq": job.seq}
+                    {"type": "cancel-request", "job": job.id,
+                     "seq": job.cancel_seq or job.seq}
                 )
         return records
 
@@ -418,7 +434,9 @@ class MappingService:
             job = self._require(job_id)
             if job.state in TERMINAL_STATES:
                 return job.view()
-            self._journal.append({"type": "cancel-request", "job": job_id})
+            job.cancel_seq = self._journal.append(
+                {"type": "cancel-request", "job": job_id}
+            )
             job.cancel_requested = True
             budget = self._budgets.get(job_id)
         if budget is not None:
@@ -455,7 +473,16 @@ class MappingService:
             raise ValueError(f"job {job_id} is still {job.state}")
         if job.result is None:
             raise ValueError(f"job {job_id} {job.state}: {job.error}")
-        with open(self.result_path(job_id), encoding="utf-8") as fh:
+        path = self.result_path(job_id)
+        # A job cancelled before it ran has a summary but no artifact
+        # (e.g. reason=cancelled_queued): a structured error, not a
+        # FileNotFoundError-turned-500.
+        if "artifact" not in job.result or not os.path.exists(path):
+            raise ValueError(
+                f"job {job_id} {job.state} without a result artifact "
+                f"(reason: {job.result.get('reason', 'unknown')})"
+            )
+        with open(path, encoding="utf-8") as fh:
             return json.load(fh)
 
     def wait(self, job_id: str, timeout: Optional[float] = None) -> Dict[str, Any]:
@@ -594,14 +621,19 @@ class MappingService:
         """One lane executing one job end to end (the scheduler runner)."""
         job = self._jobs[job_id]
         with self._lock:
-            if job.state not in PENDING_STATES:
-                return  # raced with a duplicate enqueue after recovery
+            if job.state != QUEUED:
+                # Terminal, or already claimed by another lane (a
+                # duplicate enqueue after recovery): exactly one lane
+                # may flip queued→running, and it happens under the
+                # lock so a racing lane can never pass this guard.
+                return
             if job.cancel_requested:
                 # Cancelled while queued (possibly in a previous life).
                 self._finish(
                     job, CANCELLED, summary={"reason": "cancelled_queued"}
                 )
                 return
+            job.state = RUNNING  # claimed; other lanes bounce off above
         try:
             # Crash window: journaled as picked-up, nothing acted on yet.
             fault_point(
@@ -609,7 +641,6 @@ class MappingService:
             )
             with self._lock:
                 self._journal.append({"type": "start", "job": job_id})
-                job.state = RUNNING
                 job.attempts += 1
             self._execute(job, breaker)
         except JournalError as exc:
@@ -757,7 +788,7 @@ class MappingService:
                 circuit, spec.k, check=False,
                 outcomes=bound_outcomes, **common,
             )
-            self._journal.append(
+            job.bound_seq = self._journal.append(
                 {"type": "bound", "job": job.id, "phi": bound.phi}
             )
             job.bound_phi = bound.phi
@@ -781,7 +812,7 @@ class MappingService:
             )
 
         def on_probe(phi: int, outcome: LabelOutcome) -> None:
-            self._journal.append(
+            seq = self._journal.append(
                 {
                     "type": "probe",
                     "job": job.id,
@@ -794,6 +825,7 @@ class MappingService:
             job.probes.setdefault(stage, {})[phi] = {
                 "feasible": outcome.feasible,
                 "labels": list(outcome.labels),
+                "seq": seq,
             }
 
         return _JournalingOutcomes(seed, on_probe)
@@ -818,7 +850,7 @@ class MappingService:
             record["type"] = "fail"
             record["error"] = error
         with self._lock:
-            self._journal.append(record)
+            job.terminal_seq = self._journal.append(record)
             job.state = state
             job.result = summary
             job.error = error

@@ -2,6 +2,7 @@
 
 import json
 import os
+import threading
 
 import pytest
 
@@ -52,6 +53,44 @@ class TestAppendReplay:
         journal.close()
         _, records = Journal.open(path_of(tmp_path))
         assert [r["job"] for r in records] == ["j9"]
+
+
+class TestConcurrentAppend:
+    def test_parallel_appends_stay_atomic_and_monotone(self, tmp_path):
+        # Lane threads journal probe checkpoints concurrently; a torn or
+        # duplicate-seq line would truncate the replay at the damage.
+        journal, _ = Journal.open(path_of(tmp_path))
+        n_threads, per_thread = 8, 25
+        barrier = threading.Barrier(n_threads)
+
+        def hammer(worker: int) -> None:
+            barrier.wait()
+            for i in range(per_thread):
+                journal.append(
+                    {"type": "probe", "job": f"w{worker}", "phi": i}
+                )
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,))
+            for w in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        journal.close()
+        _, records = Journal.open(path_of(tmp_path))
+        total = n_threads * per_thread
+        # Every append survived (no interleaved/torn lines lost replay)
+        # and seqs are exactly 1..N with no duplicates.
+        assert len(records) == total
+        assert [r["seq"] for r in records] == list(range(1, total + 1))
+        per_worker = {}
+        for record in records:
+            per_worker.setdefault(record["job"], []).append(record["phi"])
+        assert all(
+            phis == sorted(phis) for phis in per_worker.values()
+        )  # per-thread order preserved
 
 
 class TestTornTail:
@@ -110,8 +149,22 @@ class TestCompact:
         journal.close()
         _, records = Journal.open(path_of(tmp_path))
         assert [(r["type"], r["seq"]) for r in records] == [
-            ("accept", 2), ("accept", 3), ("start", 5),
+            ("compact", 4), ("accept", 2), ("accept", 3), ("start", 5),
         ]
+
+    def test_high_water_mark_survives_compaction_and_reopen(self, tmp_path):
+        # The highest-seq records (notes, superseded probes) may not be
+        # in the live snapshot at all; the compaction header must still
+        # pin the high-water mark so a replayed seq never regresses.
+        journal, _ = Journal.open(path_of(tmp_path))
+        journal.append({"type": "accept", "job": "j1"})  # seq 1
+        for _ in range(5):
+            journal.append({"type": "note", "job": "j1"})  # seq 2..6
+        journal.compact([{"type": "accept", "job": "j1", "seq": 1}])
+        journal.close()
+        reopened, records = Journal.open(path_of(tmp_path))
+        assert records[0] == {"type": "compact", "high_water": 6, "seq": 6}
+        assert reopened.append({"type": "start", "job": "j1"}) == 7
 
     def test_compact_is_atomic_under_injected_crash(self, tmp_path):
         journal, _ = Journal.open(path_of(tmp_path))

@@ -3,6 +3,8 @@ through ServeClient.  Admission control must answer 429 + Retry-After,
 never hang; everything else maps to structured JSON."""
 
 import asyncio
+import json
+import socket
 import threading
 import urllib.request
 
@@ -153,6 +155,35 @@ class TestAdmissionOverHttp:
             assert exc.code == 429
             assert int(exc.headers["Retry-After"]) >= 1
             exc.close()
+
+
+class TestOversizeUpload:
+    def test_oversize_content_length_is_413_and_closes(self, queued_only):
+        # The server must answer 413 *without* reading the oversized
+        # body, and close the connection so the unread bytes can never
+        # desync a keep-alive stream.
+        port = int(queued_only.base.rsplit(":", 1)[1])
+        with socket.create_connection(("127.0.0.1", port), timeout=10.0) as sock:
+            sock.sendall(
+                b"POST /circuits HTTP/1.1\r\n"
+                b"Host: localhost\r\n"
+                b"Content-Length: 999999999999\r\n"
+                b"\r\n"
+                b".model partial"  # a sliver of the body, never the rest
+            )
+            sock.settimeout(10.0)
+            raw = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break  # server closed: the desync window is gone
+                raw += chunk
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 413 ")
+        assert b"Connection: close" in head
+        payload = json.loads(body)
+        assert payload["error"] == "payload_too_large"
+        assert payload["content_length"] == 999999999999
 
 
 class TestErrorMapping:

@@ -117,6 +117,17 @@ class TestCancellation:
         assert done["state"] == "cancelled"
         assert service.stats.snapshot()["cancelled"] == 1
 
+    def test_cancelled_queued_job_result_is_a_structured_error(
+        self, service, quick_blif
+    ):
+        # No artifact was ever written: result() must say so, not leak
+        # a FileNotFoundError (which the HTTP layer would map to 500).
+        view = service.submit_circuit(quick_blif, algorithm="turbomap", k=4)
+        service.cancel(view["id"])
+        service.run_job_inline(view["id"])
+        with pytest.raises(ValueError, match="without a result artifact"):
+            service.result(view["id"])
+
     def test_cancel_mid_run_degrades_with_cancelled_reason(
         self, service, quick_blif
     ):
@@ -134,6 +145,22 @@ class TestCancellation:
         view = service.submit_circuit(other_blif, algorithm="flowsyn-s", k=4)
         service.run_job_inline(view["id"])
         assert service.cancel(view["id"])["state"] == "done"
+
+
+class TestDuplicateEnqueue:
+    def test_running_job_is_not_claimed_twice(self, service, quick_blif):
+        # A duplicate enqueue (recovery + a racing lane) must bounce off
+        # the queued→running claim: only QUEUED jobs may be picked up.
+        view = service.submit_circuit(quick_blif, algorithm="turbomap", k=4)
+        job = service._jobs[view["id"]]
+        job.state = "running"  # lane A claimed it
+        seq_before = service._journal.seq
+        done = service.run_job_inline(view["id"])  # lane B's duplicate
+        assert done["state"] == "running"  # untouched, no second run
+        assert service._journal.seq == seq_before  # no duplicate records
+        job.state = "queued"  # hand it back; it runs exactly once
+        assert service.run_job_inline(view["id"])["state"] == "done"
+        assert service.status(view["id"])["attempts"] == 1
 
 
 class TestDegradation:
