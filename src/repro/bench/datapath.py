@@ -21,8 +21,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
-
+from repro.compat import default_rng
 from repro.boolfn.truthtable import TruthTable
 from repro.netlist.graph import SeqCircuit
 
@@ -248,7 +247,7 @@ def datapath_circuit(
     the accumulator carry chains, the counters and the LFSRs, giving the
     mix of loop lengths the ISCAS'89 circuits exhibit.
     """
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     c = SeqCircuit(name)
     bus = [c.add_pi(f"d{i}") for i in range(width)]
     en = c.add_pi("en")

@@ -28,8 +28,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
+from repro.compat import default_rng
 from repro.boolfn.truthtable import TruthTable
 from repro.comb.gatedecomp import decompose_gate_function
 from repro.netlist.graph import SeqCircuit
@@ -44,7 +43,7 @@ _CONST0 = TruthTable.const(0, False)
 # ----------------------------------------------------------------------
 # STG generation
 # ----------------------------------------------------------------------
-def _disjoint_cubes(n_inputs: int, depth: int, rng: np.random.Generator) -> List[str]:
+def _disjoint_cubes(n_inputs: int, depth: int, rng: "object") -> List[str]:
     """Partition the input space into disjoint cubes via a random tree."""
     cubes = ["-" * n_inputs]
     for _ in range(depth):
@@ -79,7 +78,7 @@ def random_fsm(
     """
     if n_states < 2:
         raise ValueError("need at least two states")
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     states = [f"s{i}" for i in range(n_states)]
     fsm = FSM(name, n_inputs, n_outputs, reset_state=states[0])
 
@@ -366,7 +365,7 @@ def simulate_fsm_circuit(
     """
     from repro.verify.simulate import Simulator
 
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     sim = Simulator(circuit, lanes=1)
     state = fsm.reset_state or fsm.states[0]
     for _t in range(steps):

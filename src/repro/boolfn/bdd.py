@@ -21,8 +21,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Set, Tuple
 
-import numpy as np
-
 from repro.boolfn.truthtable import TruthTable
 
 ZERO = 0
@@ -229,23 +227,28 @@ class BDD:
             raise ValueError("table arity exceeds manager width")
         if table.n == 0:
             return ONE if table.bits else ZERO
-        arr = table.to_array()
-        memo: Dict[Tuple[int, bytes], int] = {}
+        # Reverse the variable order once so that splitting on the
+        # recursion variable is a contiguous halving of the packed bits
+        # (low half = var 0, exactly the old even/odd stride split).
+        n = table.n
+        reversed_bits = table.permute(list(range(n - 1, -1, -1))).bits
+        memo: Dict[Tuple[int, int], int] = {}
 
-        def build(sub: np.ndarray, var: int) -> int:
-            if len(sub) == 1:
-                return ONE if sub[0] else ZERO
-            key = (var, sub.tobytes())
+        def build(bits: int, size: int, var: int) -> int:
+            if size == 1:
+                return ONE if bits else ZERO
+            key = (var, bits)
             cached = memo.get(key)
             if cached is not None:
                 return cached
-            lo = build(sub[0::2], var + 1)
-            hi = build(sub[1::2], var + 1)
+            half = size >> 1
+            lo = build(bits & ((1 << half) - 1), half, var + 1)
+            hi = build(bits >> half, half, var + 1)
             result = self.node(var, lo, hi) if lo != hi else lo
             memo[key] = result
             return result
 
-        return build(arr, 0)
+        return build(reversed_bits, 1 << n, 0)
 
     def to_truthtable(self, f: int, n: "int | None" = None) -> TruthTable:
         """Expand ``f`` into a packed truth table over ``n`` variables."""
@@ -253,28 +256,36 @@ class BDD:
         sup = self.support(f)
         if sup and max(sup) >= width:
             raise ValueError("requested arity smaller than the support")
-        memo: Dict[Tuple[int, int], "np.ndarray"] = {}
+        memo: Dict[Tuple[int, int], int] = {}
 
-        def expand(u: int, var: int) -> "np.ndarray":
-            """Output column of ``u`` over variables ``var .. width-1``."""
+        def expand(u: int, var: int) -> int:
+            """Packed column of ``u`` over variables ``var .. width-1``.
+
+            Variable ``var`` sits in the most significant position of the
+            returned ``2**(width - var)``-bit block; a final permute
+            restores the table's LSB-first variable order.
+            """
             if var == width:
-                return np.array([1 if u == ONE else 0], dtype=np.uint8)
+                return 1 if u == ONE else 0
             key = (u, var)
             cached = memo.get(key)
             if cached is not None:
                 return cached
-            out = np.empty(1 << (width - var), dtype=np.uint8)
+            half = 1 << (width - var - 1)
             if self.is_terminal(u) or self._var[u] > var:
-                half = expand(u, var + 1)
-                out[0::2] = half
-                out[1::2] = half
+                sub = expand(u, var + 1)
+                out = sub | (sub << half)
             else:  # self._var[u] == var, ordering forbids smaller
-                out[0::2] = expand(self._low[u], var + 1)
-                out[1::2] = expand(self._high[u], var + 1)
+                out = expand(self._low[u], var + 1) | (
+                    expand(self._high[u], var + 1) << half
+                )
             memo[key] = out
             return out
 
-        return TruthTable.from_array(expand(f, 0))
+        reversed_table = TruthTable(width, expand(f, 0))
+        if width == 0:
+            return reversed_table
+        return reversed_table.permute(list(range(width - 1, -1, -1)))
 
     # ------------------------------------------------------------------
     # Decomposition support

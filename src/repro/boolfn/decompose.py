@@ -88,7 +88,7 @@ def disjoint_decompose(
     """
     bound = tuple(bound)
     free = tuple(i for i in range(f.n) if i not in bound)
-    cols = f.columns(bound).tolist()
+    cols = f.columns(bound)
     code_of: Dict[int, int] = {}
     codes: List[int] = []
     for col in cols:

@@ -63,7 +63,7 @@ def joint_multiplicity(
     n = funcs[0].n
     if any(f.n != n for f in funcs):
         raise ValueError("functions must share one variable space")
-    per_func = [f.columns(bound).tolist() for f in funcs]
+    per_func = [f.columns(bound) for f in funcs]
     vectors = set(zip(*per_func))
     return len(vectors)
 
@@ -83,7 +83,7 @@ def shared_decompose(
         raise ValueError("need at least one function")
     n = funcs[0].n
     free = tuple(i for i in range(n) if i not in bound)
-    per_func = [f.columns(bound).tolist() for f in funcs]
+    per_func = [f.columns(bound) for f in funcs]
     vectors = list(zip(*per_func))
     code_of: Dict[Tuple[int, ...], int] = {}
     codes: List[int] = []

@@ -9,7 +9,11 @@ position (``x0 = i & 1``, ``x1 = (i >> 1) & 1``, ...).
 Truth tables are the workhorse function representation of this project: the
 cones resynthesized by TurboSYN are bounded to ``Cmax = 15`` inputs, so a
 dense table (at most ``2**15`` bits, i.e. 4 KiB) is both exact and fast.
-Tables are immutable and hashable; bulk operations use numpy internally.
+Tables are immutable and hashable; bulk operations run on Python big-int
+bit algebra (delta-swaps, periodic masks), so the module has no hard
+numpy dependency — only the explicit :meth:`TruthTable.from_array` /
+:meth:`TruthTable.to_array` ndarray conversions require the ``[vector]``
+extra.
 
 The companion :mod:`repro.boolfn.bdd` module provides a ROBDD engine used to
 cross-check decompositions and for equivalence checking of larger functions.
@@ -17,9 +21,9 @@ cross-check decompositions and for equivalence checking of larger functions.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence, Tuple
+from typing import Any, Callable, List, Sequence, Tuple
 
-import numpy as np
+from repro.compat import require_numpy
 
 #: Hard cap on the number of variables of a dense table.  ``2**MAX_VARS``
 #: bits must stay cheap to copy; 20 variables is a 128 KiB table.
@@ -29,6 +33,61 @@ MAX_VARS = 20
 def _check_nvars(n: int) -> None:
     if not 0 <= n <= MAX_VARS:
         raise ValueError(f"truth table arity {n} outside [0, {MAX_VARS}]")
+
+
+def _periodic_mask(block: int, period: int, total: int) -> int:
+    """``block`` replicated with ``period`` bits of stride across ``total``."""
+    mask = block
+    width = period
+    while width < total:
+        mask |= mask << width
+        width <<= 1
+    return mask & ((1 << total) - 1)
+
+
+def _swap_vars_bits(bits: int, n: int, i: int, j: int) -> int:
+    """Table bits with variables ``i`` and ``j`` exchanged (delta-swap).
+
+    Assignment indices with ``x_i = 1, x_j = 0`` trade places with their
+    ``x_i = 0, x_j = 1`` partners ``delta = 2**j - 2**i`` positions up —
+    one masked xor-swap over the whole table, no arrays.
+    """
+    if i == j:
+        return bits
+    if i > j:
+        i, j = j, i
+    total = 1 << n
+    mask_i = _periodic_mask(((1 << (1 << i)) - 1) << (1 << i), 1 << (i + 1), total)
+    mask_j = _periodic_mask(((1 << (1 << j)) - 1) << (1 << j), 1 << (j + 1), total)
+    mask = mask_i & ~mask_j
+    delta = (1 << j) - (1 << i)
+    t = ((bits >> delta) ^ bits) & mask
+    return bits ^ t ^ (t << delta)
+
+
+def eval_gate_columns(func: "TruthTable", child_cols: Sequence[int], width: int) -> int:
+    """Bit-parallel gate evaluation over packed assignment columns.
+
+    ``child_cols[j]`` packs the value of fanin ``j`` on each of the
+    ``2**width`` assignments (bit ``a`` = value on assignment ``a``).
+    Returns the equally packed output column of ``func`` — the pure-int
+    minterm expansion the cycle simulator uses, shared here so cone
+    evaluation needs no numpy.
+    """
+    full = (1 << (1 << width)) - 1
+    out = 0
+    for m in range(func.size):
+        if not (func.bits >> m) & 1:
+            continue
+        term = full
+        for j, col in enumerate(child_cols):
+            term &= col if (m >> j) & 1 else (~col & full)
+            if not term:
+                break
+        out |= term
+        if out == full:
+            break
+    return out
 
 
 class TruthTable:
@@ -118,14 +177,19 @@ class TruthTable:
         return cls(n, bits)
 
     @classmethod
-    def from_array(cls, arr: np.ndarray) -> "TruthTable":
-        """Build a table from a numpy 0/1 vector of length ``2**n``."""
+    def from_array(cls, arr: Any) -> "TruthTable":
+        """Build a table from a numpy 0/1 vector of length ``2**n``.
+
+        Requires the ``[vector]`` extra; :meth:`from_values` is the
+        dependency-free equivalent for plain sequences.
+        """
+        np = require_numpy("TruthTable.from_array")
         arr = np.asarray(arr, dtype=np.uint8).ravel()
         packed = np.packbits(arr, bitorder="little")
         return cls(len(arr).bit_length() - 1, int.from_bytes(packed.tobytes(), "little"))
 
     @classmethod
-    def random(cls, n: int, rng: "np.random.Generator") -> "TruthTable":
+    def random(cls, n: int, rng: Any) -> "TruthTable":
         """A uniformly random function of ``n`` variables."""
         _check_nvars(n)
         nbytes = max(1, (1 << n) // 8) if n >= 3 else 1
@@ -172,8 +236,13 @@ class TruthTable:
         """Indices of the variables the function essentially depends on."""
         return tuple(i for i in range(self.n) if self.depends_on(i))
 
-    def to_array(self) -> np.ndarray:
-        """Output column as a numpy uint8 vector of length ``2**n``."""
+    def to_array(self) -> Any:
+        """Output column as a numpy uint8 vector of length ``2**n``.
+
+        Requires the ``[vector]`` extra; iterate :meth:`value` (or use
+        the bits directly) for a dependency-free column.
+        """
+        np = require_numpy("TruthTable.to_array")
         nbytes = (self.size + 7) // 8
         raw = np.frombuffer(self.bits.to_bytes(nbytes, "little"), dtype=np.uint8)
         return np.unpackbits(raw, bitorder="little")[: self.size]
@@ -251,11 +320,17 @@ class TruthTable:
         """Drop variable ``i`` (which must be non-essential)."""
         if self.depends_on(i):
             raise ValueError(f"variable {i} is essential; cannot remove")
-        arr = self.to_array().reshape([2] * self.n)
-        # numpy axis 0 corresponds to the most significant variable.
-        axis = self.n - 1 - i
-        sub = np.take(arr, 0, axis=axis)
-        return TruthTable.from_array(sub.ravel())
+        # Keep the x_i = 0 rows (blocks of 2**i bits at stride 2**(i+1)),
+        # then close the gaps by doubling the block size each pass.
+        block = 1 << i
+        total = 1 << self.n
+        bits = self.bits & _periodic_mask((1 << block) - 1, 2 * block, total)
+        size = block
+        while size < total >> 1:
+            even = _periodic_mask((1 << size) - 1, 4 * size, total)
+            bits = (bits & even) | ((bits >> size) & (even << size))
+            size <<= 1
+        return TruthTable(self.n - 1, bits)
 
     def permute(self, perm: Sequence[int]) -> "TruthTable":
         """Reorder variables: new variable ``j`` is old variable ``perm[j]``.
@@ -267,13 +342,21 @@ class TruthTable:
             raise ValueError("perm must be a permutation of range(n)")
         if list(perm) == list(range(self.n)):
             return self
-        arr = self.to_array().reshape([2] * self.n)
-        # arr axes are ordered most-significant-first: axis a <-> var n-1-a.
-        # We want out[idx with y_j at position j] = f(x with x_perm[j]=y_j),
-        # i.e. axis for new var j must be the old axis of var perm[j].
-        axes = [self.n - 1 - perm[self.n - 1 - a] for a in range(self.n)]
-        out = np.transpose(arr, axes)
-        return TruthTable.from_array(out.ravel())
+        # Cycle-sort the variables into place; each transposition is one
+        # delta-swap over the packed bits (no array materialization).
+        n = self.n
+        bits = self.bits
+        pos = list(range(n))  # pos[old_var] = its current table position
+        cur = list(range(n))  # cur[position] = the old var sitting there
+        for j in range(n):
+            want = perm[j]
+            p = pos[want]
+            if p != j:
+                bits = _swap_vars_bits(bits, n, j, p)
+                other = cur[j]
+                cur[j], cur[p] = want, other
+                pos[want], pos[other] = j, p
+        return TruthTable(n, bits)
 
     def extend(self, n: int, placement: Sequence[int]) -> "TruthTable":
         """Embed into a larger arity ``n``: old var ``j`` becomes ``placement[j]``."""
@@ -281,12 +364,21 @@ class TruthTable:
             raise ValueError("cannot extend to a smaller arity")
         if len(set(placement)) != self.n or any(not 0 <= p < n for p in placement):
             raise ValueError("placement must be distinct indices below n")
-        arr = self.to_array()
-        idx = np.arange(1 << n)
-        small_idx = np.zeros(1 << n, dtype=np.int64)
+        # Replicate up to arity n (new high variables are don't-care),
+        # then permute old var j into position placement[j].
+        bits = self.bits
+        size = self.size
+        while size < (1 << n):
+            bits |= bits << size
+            size <<= 1
+        perm = [-1] * n
         for j, p in enumerate(placement):
-            small_idx |= (((idx >> p) & 1) << j).astype(np.int64)
-        return TruthTable.from_array(arr[small_idx])
+            perm[p] = j
+        extra = iter(range(self.n, n))
+        for q in range(n):
+            if perm[q] < 0:
+                perm[q] = next(extra)
+        return TruthTable(n, bits).permute(perm)
 
     def compose(self, i: int, g: "TruthTable") -> "TruthTable":
         """Substitute function ``g`` (same arity) for variable ``i``."""
@@ -314,11 +406,11 @@ class TruthTable:
     # ------------------------------------------------------------------
     # Decomposition support
     # ------------------------------------------------------------------
-    def columns(self, bound: Sequence[int]) -> np.ndarray:
+    def columns(self, bound: Sequence[int]) -> List[int]:
         """Decomposition chart columns for a bound set of variables.
 
         For the (disjoint) partition ``bound`` / ``free = rest``, returns a
-        1-D object array of Python ints of shape ``(2**|bound|,)`` where
+        list of Python ints of length ``2**|bound|`` where
         entry ``b`` packs the sub-function ``f(bound := b, free)`` as
         ``2**|free|`` bits (free variables in ascending original order).
         The number of distinct entries is the classical Roth-Karp *column
@@ -335,12 +427,10 @@ class TruthTable:
         chunk = 1 << len(free)
         mask = (1 << chunk) - 1
         bits = reordered.bits
-        out = np.empty(1 << len(bound), dtype=object)
-        for b in range(1 << len(bound)):
-            out[b] = (bits >> (b * chunk)) & mask
-        return out
+        return [
+            (bits >> (b * chunk)) & mask for b in range(1 << len(bound))
+        ]
 
     def column_multiplicity(self, bound: Sequence[int]) -> int:
         """Roth-Karp column multiplicity for the given bound set."""
-        cols = self.columns(bound)
-        return len(set(cols.tolist()))
+        return len(set(self.columns(bound)))

@@ -155,11 +155,14 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--kernel",
-        choices=KERNELS,
+        choices=KERNELS + ("auto",),
         default="compiled",
         help="hot-loop copy representation: compiled flat CSR arrays "
-        "with packed-int copies (default) or the object "
-        "tuple-and-dict engine (identical results)",
+        "with packed-int copies (default), the object tuple-and-dict "
+        "engine, the numpy vectorized batch kernel ('vector', needs "
+        "the [vector] extra, falls back to compiled without it), or "
+        "'auto' to pick vector vs compiled from the microbench-"
+        "measured crossover (identical results in every case)",
     )
     parser.add_argument(
         "--sanitize",

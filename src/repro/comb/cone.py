@@ -15,9 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
-import numpy as np
-
-from repro.boolfn.truthtable import TruthTable
+from repro.boolfn.truthtable import TruthTable, eval_gate_columns
 from repro.netlist.graph import NodeKind, SeqCircuit
 
 
@@ -85,22 +83,20 @@ def cone_function(
 
     ``cut`` must cover the fan-in cone of ``root``; variable ``i`` of the
     result corresponds to ``cut[i]``.  Evaluation is bit-parallel over all
-    ``2**len(cut)`` assignments.
+    ``2**len(cut)`` assignments, packed as Python ints (bit ``a`` of a
+    node's column is its value on assignment ``a``).
     """
     cut = list(cut)
     m = len(cut)
     if m > 20:
         raise ValueError(f"cut of {m} nodes is too wide for dense evaluation")
-    values: Dict[int, np.ndarray] = {}
+    values: Dict[int, int] = {}
     for i, u in enumerate(cut):
-        values[u] = TruthTable.var(i, m).to_array() if m else np.array([0], dtype=np.uint8)
+        values[u] = TruthTable.var(i, m).bits if m else 0
     for v in cluster_between(circuit, root, cut):
         node = circuit.node(v)
         if node.kind is not NodeKind.GATE:
             raise ValueError(f"cluster contains non-gate {node.name!r}")
-        idx = np.zeros(1 << m, dtype=np.int64)
-        for j, pin in enumerate(node.fanins):
-            idx |= values[pin.src].astype(np.int64) << j
-        table = node.func.to_array()
-        values[v] = table[idx]
-    return TruthTable.from_array(values[root])
+        cols = [values[pin.src] for pin in node.fanins]
+        values[v] = eval_gate_columns(node.func, cols, m)
+    return TruthTable(m, values[root])

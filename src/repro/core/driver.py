@@ -441,9 +441,11 @@ def run_mapper(
     ``"rounds"`` classical sweep), ``warm_start`` toggles cross-probe
     label seeding, ``max_copies`` bounds each partial expansion, and
     ``flow`` / ``kernel`` select the max-flow engine
-    (``"dinic"``/``"ek"``) and copy representation
-    (``"compiled"``/``"object"``) — all of them leave ``phi`` and the
-    labels bit-identical.
+    (``"dinic"``/``"ek"``) and copy representation (``"compiled"`` /
+    ``"object"`` / the numpy-batched ``"vector"``, plus ``"auto"``
+    which resolves to vector or compiled from the microbench-measured
+    crossover, see :func:`repro.kernel.batch.resolve_kernel`) — all of
+    them leave ``phi`` and the labels bit-identical.
 
     ``outcomes`` seeds (and collects) the probe cache across *calls*:
     a mapping interrupted mid-search can resume from its journaled

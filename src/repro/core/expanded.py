@@ -32,9 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence, Tuple
 
-import numpy as np
-
-from repro.boolfn.truthtable import TruthTable
+from repro.boolfn.truthtable import TruthTable, eval_gate_columns
 from repro.netlist.graph import NodeKind, SeqCircuit
 
 #: A copy of circuit node ``u`` delayed by ``w`` registers.
@@ -196,9 +194,9 @@ def sequential_cone_function(
     m = len(cut)
     if m > 20:
         raise ValueError(f"cut of {m} copies is too wide for dense evaluation")
-    values: Dict[Copy, np.ndarray] = {}
+    values: Dict[Copy, int] = {}
     for i, copy in enumerate(cut):
-        values[copy] = TruthTable.var(i, m).to_array()
+        values[copy] = TruthTable.var(i, m).bits
 
     order: List[Copy] = []
     state: Dict[Copy, int] = {}
@@ -231,9 +229,8 @@ def sequential_cone_function(
     for copy in order:
         u, w = copy
         node = circuit.node(u)
-        idx = np.zeros(1 << m, dtype=np.int64)
-        for j, pin in enumerate(node.fanins):
-            child = (pin.src, w + pin.weight)
-            idx |= values[child].astype(np.int64) << j
-        values[copy] = node.func.to_array()[idx]
-    return TruthTable.from_array(values[(root, 0)])
+        cols = [
+            values[(pin.src, w + pin.weight)] for pin in node.fanins
+        ]
+        values[copy] = eval_gate_columns(node.func, cols, m)
+    return TruthTable(m, values[(root, 0)])

@@ -1,0 +1,696 @@
+"""Vectorized batch kernel: numpy level-BFS flow over stacked cut arenas.
+
+The scalar kernels answer one K-cut query at a time: build one
+node-split network (:func:`repro.kernel.expand.cut_on_packed`), run one
+bounded Dinic (:class:`repro.kernel.dinic.DinicNetwork`).  The label
+engines, however, produce *bursts* of independent queries — every gate
+updated in one round (rounds engine) or one epoch (worklist engine)
+computes its threshold from the same label snapshot.  This module
+solves such a burst as one stacked problem:
+
+* :class:`BatchCutArena` collects many node-split networks into shared
+  flat edge arrays (consecutive ``idx ^ 1`` forward/reverse pairing,
+  CSR adjacency by counting sort) and runs a *frontier-at-a-time*
+  level-BFS: one masked numpy gather advances the BFS frontier of
+  **every** active network simultaneously.  Augmentation stays scalar,
+  but only on networks whose BFS actually reached the sink, and only
+  along that phase's level graph.
+* :func:`batch_gate_profile` and :func:`witness_feasible` are the
+  vectorized height prefilter: fanin maxima (``big_l``), depth-1
+  blocked detection, and recorded-witness-cut height checks are
+  evaluated for the whole burst with a few array expressions, so
+  trivially feasible/infeasible queries never construct a flow network
+  (counted as ``prefilter_hits`` by the solver).
+* :class:`CsrViews` exposes a :class:`~repro.kernel.csr.CompiledCircuit`
+  (or a serialized CSR blob, including one sitting in a
+  ``multiprocessing.shared_memory`` segment) as numpy arrays —
+  ``np.frombuffer`` views for blobs (zero-copy, with an explicit
+  ``keepalive`` so the owning buffer cannot be released under a live
+  view), one-time ``np.asarray`` conversions for list-backed circuits.
+
+Correctness contract — why batching preserves bit-identity: the cut
+query's verdict depends only on the bounded max-flow *value*, and its
+cut only on the residual reachability of a *completed* max flow, which
+is the canonical source-side min cut — unique for a given network, for
+any max-flow algorithm.  The batch solver therefore only has to honor
+the scalar engine's value contract (exact when ``<= limit``, any value
+``> limit`` otherwise, never a partial augmenting path left behind) and
+is free to choose different augmenting paths than the scalar Dinic.
+``tests/kernel`` asserts this three ways: scalar Dinic vs batched Dinic
+vs Edmonds-Karp on randomized networks.
+
+numpy is an *optional* dependency (the ``[vector]`` extra): importing
+this module without it succeeds, and every public entry point either
+raises :class:`repro.compat.MissingDependency` with an install hint or
+— for :func:`resolve_kernel` — falls back to the scalar compiled
+kernel, so ``--kernel vector``/``auto`` degrade cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from functools import lru_cache
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.compat import HAVE_NUMPY, np, require_numpy
+from repro.kernel.csr import _FORMAT_VERSION, _HEADER, _MAGIC, CompiledCircuit
+from repro.kernel.dinic import INF
+from repro.kernel.expand import PackedExpansion
+
+#: Fallback node-count crossover used by ``--kernel auto`` when no
+#: measured envelope (``BENCH_microbench.json``) is available: batches
+#: over circuits smaller than this stay scalar.  The microbench sweep
+#: (:mod:`repro.perf.microbench`) replaces this guess with a measured
+#: value.
+DEFAULT_CROSSOVER_NODES = 256
+
+#: Environment variable naming the microbench JSON the auto kernel
+#: reads its measured crossover from.
+ENVELOPE_ENV = "REPRO_MICROBENCH"
+
+#: Default on-disk location of the measured envelope, relative to the
+#: working directory (where CI and the bench harness run).
+ENVELOPE_PATH = os.path.join("benchmarks", "results", "BENCH_microbench.json")
+
+#: Buffer owners whose exported views outlived their :class:`CsrViews`
+#: (see :meth:`CsrViews.close`); kept referenced so teardown stays
+#: silent and the pages stay valid until the process exits.
+_LEAKED_OWNERS: List[Any] = []
+
+
+# ----------------------------------------------------------------------
+# Zero-copy CSR views
+# ----------------------------------------------------------------------
+class CsrViews:
+    """numpy views of one compiled circuit's CSR arrays.
+
+    ``kinds`` is ``int8``; ``offsets`` / ``srcs`` / ``weights`` are
+    ``int32`` — exactly the serialized layout of
+    :meth:`~repro.kernel.csr.CompiledCircuit.to_bytes`, so blob-backed
+    views are ``np.frombuffer`` windows into the original buffer with
+    no copy at all.
+
+    ``keepalive`` pins whatever object owns the underlying buffer (the
+    blob bytes, a ``multiprocessing.shared_memory.SharedMemory``
+    segment) for as long as the views live: a zero-copy view into a
+    shared segment must keep the segment's mapping referenced, or a
+    worker tearing the segment down (or the owner being garbage
+    collected) would free the pages under the live arrays.
+    """
+
+    __slots__ = (
+        "n",
+        "shift",
+        "mask",
+        "kinds",
+        "offsets",
+        "srcs",
+        "weights",
+        "keepalive",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        shift: int,
+        kinds: Any,
+        offsets: Any,
+        srcs: Any,
+        weights: Any,
+        keepalive: Tuple[Any, ...] = (),
+    ) -> None:
+        self.n = n
+        self.shift = shift
+        self.mask = (1 << shift) - 1
+        self.kinds = kinds
+        self.offsets = offsets
+        self.srcs = srcs
+        self.weights = weights
+        self.keepalive = keepalive
+
+    def close(self) -> None:
+        """Release the views, then their buffer owners, in that order.
+
+        Buffer teardown is order-sensitive: a ``memoryview`` refuses to
+        release while arrays still export from it, and a shared-memory
+        segment refuses to close while any export is live.  Dropping
+        the array references first, then releasing views, then closing
+        closeable owners guarantees a silent teardown; called from
+        ``__del__`` so plain garbage collection follows the same order
+        instead of whatever order the slots happen to clear in.
+        Idempotent; arrays still referenced elsewhere keep the
+        underlying pages alive through their own buffer chain.
+        """
+        self.kinds = self.offsets = self.srcs = self.weights = None
+        keepalive, self.keepalive = self.keepalive, ()
+        for obj in keepalive:
+            if isinstance(obj, memoryview):
+                try:
+                    obj.release()
+                except BufferError:  # an array outlives the views
+                    _LEAKED_OWNERS.append(obj)
+            else:
+                closer = getattr(obj, "close", None)
+                if closer is None:
+                    continue
+                try:
+                    closer()
+                except BufferError:
+                    # An array still exports from this owner; parking it
+                    # here keeps it alive (pages stay mapped, and its
+                    # __del__ never runs against the live export) until
+                    # process exit.
+                    _LEAKED_OWNERS.append(obj)
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
+
+
+def views_from_compiled(cc: CompiledCircuit) -> CsrViews:
+    """Array views of a list-backed compiled circuit (one-time copy).
+
+    List-backed circuits (the in-process representation) cannot be
+    viewed zero-copy; the conversion happens once per solver and the
+    arrays are immutable thereafter.
+    """
+    require_numpy("the vectorized batch kernel")
+    return CsrViews(
+        cc.n,
+        cc.shift,
+        np.asarray(cc.kinds, dtype=np.int8),
+        np.asarray(cc.offsets, dtype=np.int32),
+        np.asarray(cc.srcs, dtype=np.int32),
+        np.asarray(cc.weights, dtype=np.int32),
+    )
+
+
+def views_from_blob(
+    data: Any, keepalive: Tuple[Any, ...] = ()
+) -> CsrViews:
+    """Zero-copy views over a serialized CSR blob.
+
+    ``data`` is any buffer holding
+    :meth:`~repro.kernel.csr.CompiledCircuit.to_bytes` output — a
+    ``bytes`` payload or a ``memoryview`` into a shared-memory segment.
+    The returned views alias the buffer directly (``np.frombuffer``);
+    pass the buffer's owner in ``keepalive`` so it outlives them.
+    """
+    require_numpy("the vectorized batch kernel")
+    view = memoryview(data)
+    magic, version, n, n_pins, shift = _HEADER.unpack_from(view, 0)
+    if magic != _MAGIC:
+        raise ValueError("not a compiled-circuit payload (bad magic)")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported compiled-circuit format version {version}"
+        )
+    pos = _HEADER.size
+    kinds = np.frombuffer(view, dtype=np.int8, count=n, offset=pos)
+    pos += n
+    offsets = np.frombuffer(view, dtype=np.int32, count=n + 1, offset=pos)
+    pos += 4 * (n + 1)
+    srcs = np.frombuffer(view, dtype=np.int32, count=n_pins, offset=pos)
+    pos += 4 * n_pins
+    weights = np.frombuffer(view, dtype=np.int32, count=n_pins, offset=pos)
+    return CsrViews(
+        n, shift, kinds, offsets, srcs, weights, keepalive=(view,) + keepalive
+    )
+
+
+# ----------------------------------------------------------------------
+# Vectorized height prefilter
+# ----------------------------------------------------------------------
+def _ragged_gather(starts: Any, counts: Any) -> Any:
+    """Concatenated ``range(starts[i], starts[i]+counts[i])`` (int64)."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    cum = np.cumsum(counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
+    return np.repeat(starts.astype(np.int64), counts) + within
+
+
+def batch_gate_profile(
+    views: CsrViews,
+    labels: Any,
+    phi: int,
+    gates: Sequence[int],
+    pi_kind: int,
+) -> "tuple[Any, Any, Any]":
+    """Vectorized fanin maxima and depth-1 blocked detection.
+
+    For every gate in ``gates`` (over the packed ``labels`` array),
+    computes ``big_l = max(l(u) - phi*w)`` over its deduplicated fanin
+    pins, whether it has pins at all, and whether the expansion at
+    threshold ``big_l`` is *trivially blocked*: an arg-max pin driven by
+    a PI has height ``big_l + 1 > big_l``, which blocks the expansion on
+    the very first traversal step — no flow network needed.
+
+    Returns ``(big_l, has_pins, blocked)`` arrays aligned with
+    ``gates``; ``big_l`` is undefined where ``has_pins`` is False.
+    """
+    g = np.asarray(gates, dtype=np.int64)
+    starts = views.offsets[g]
+    counts = (views.offsets[g + 1] - starts).astype(np.int64)
+    pin_idx = _ragged_gather(starts, counts)
+    qid = np.repeat(np.arange(len(g), dtype=np.int64), counts)
+    pin_src = views.srcs[pin_idx].astype(np.int64)
+    pin_w = views.weights[pin_idx].astype(np.int64)
+    contrib = labels[pin_src] - phi * pin_w
+    big_l = np.full(len(g), np.iinfo(np.int64).min, dtype=np.int64)
+    np.maximum.at(big_l, qid, contrib)
+    has_pins = counts > 0
+    blocked = np.zeros(len(g), dtype=bool)
+    hit = (views.kinds[pin_src] == pi_kind) & (contrib == big_l[qid])
+    blocked[qid[hit]] = True
+    return big_l, has_pins, blocked
+
+
+def witness_feasible(
+    labels: Any,
+    phi: int,
+    cut_nodes: Sequence[int],
+    cut_weights: Sequence[int],
+    cut_qid: Sequence[int],
+    thresholds: Sequence[int],
+) -> Any:
+    """Vectorized witness-cut height check across a burst of queries.
+
+    ``cut_nodes`` / ``cut_weights`` / ``cut_qid`` stack the recorded
+    witness-cut members of all queries (``cut_qid[i]`` names the query
+    member ``i`` belongs to); ``thresholds[q]`` is query ``q``'s height
+    threshold.  Returns a boolean array over queries: True where every
+    member's height ``l(u) - phi*w + 1`` still fits under the
+    threshold, i.e. the recorded cut proves feasibility and the flow
+    construction can be skipped outright.
+    """
+    thr = np.asarray(thresholds, dtype=np.int64)
+    ok = np.ones(len(thr), dtype=bool)
+    if not len(cut_nodes):
+        return ok
+    nodes = np.asarray(cut_nodes, dtype=np.int64)
+    weights = np.asarray(cut_weights, dtype=np.int64)
+    qid = np.asarray(cut_qid, dtype=np.int64)
+    heights = labels[nodes] - phi * weights + 1
+    ok[qid[heights > thr[qid]]] = False
+    return ok
+
+
+# ----------------------------------------------------------------------
+# Stacked batch arena
+# ----------------------------------------------------------------------
+class _BatchNet:
+    """Bookkeeping of one query inside the stacked arena."""
+
+    __slots__ = ("expansion", "max_cut", "source", "sink", "base", "end", "index")
+
+    def __init__(
+        self,
+        expansion: PackedExpansion,
+        max_cut: int,
+        source: int,
+        sink: int,
+    ) -> None:
+        self.expansion = expansion
+        self.max_cut = max_cut
+        self.source = source
+        self.sink = sink
+        self.base = source
+        self.end = sink + 1
+        self.index: Dict[int, int] = {}
+
+
+class BatchCutArena:
+    """Many node-split cut networks, solved as one stacked Dinic.
+
+    Usage: ``reset()``, then ``add(expansion, max_cut)`` per query
+    (non-blocked, with a non-empty frontier), then ``solve()`` — which
+    returns one entry per added query: the packed min-cut copies sorted
+    by ``(u, w)`` (identical to
+    :func:`repro.kernel.expand.cut_on_packed`) or ``None`` when every
+    cut needs more than ``max_cut`` nodes.
+
+    The per-phase BFS advances every active network's frontier with a
+    single masked gather over the shared edge arrays; blocking-flow
+    augmentation runs scalar, but only on networks whose BFS reached
+    the sink in that phase.  ``phases`` / ``arcs_advanced`` mirror the
+    scalar Dinic's deterministic work counters (their values measure
+    the batched search, so they differ from the scalar kernel's —
+    the regression gate only compares them between like kernels).
+    """
+
+    def __init__(self) -> None:
+        require_numpy("the vectorized batch kernel")
+        self._nets: List[_BatchNet] = []
+        self._eu: List[int] = []
+        self._ev: List[int] = []
+        self._ecap: List[int] = []
+        self._n_nodes = 0
+        self.phases = 0
+        self.arcs_advanced = 0
+
+    def reset(self) -> None:
+        """Empty the arena in place for the next burst."""
+        self._nets.clear()
+        self._eu.clear()
+        self._ev.clear()
+        self._ecap.clear()
+        self._n_nodes = 0
+
+    def __len__(self) -> int:
+        return len(self._nets)
+
+    def drain_counters(self) -> "tuple[int, int]":
+        """Return and zero ``(phases, arcs_advanced)``."""
+        out = (self.phases, self.arcs_advanced)
+        self.phases = 0
+        self.arcs_advanced = 0
+        return out
+
+    # -- construction ---------------------------------------------------
+    def _edge(self, u: int, v: int, cap: int) -> None:
+        self._eu.append(u)
+        self._ev.append(v)
+        self._ecap.append(cap)
+        self._eu.append(v)
+        self._ev.append(u)
+        self._ecap.append(0)
+
+    def add(self, expansion: PackedExpansion, max_cut: int) -> int:
+        """Stack one query's node-split network; returns its slot."""
+        if expansion.blocked:
+            raise ValueError("blocked expansions never build a network")
+        source = self._n_nodes
+        sink = source + 1
+        net = _BatchNet(expansion, max_cut, source, sink)
+        index = net.index
+        nid = sink + 1
+        edge = self._edge
+        for p in expansion.interior:
+            index[p] = nid
+            edge(nid, nid + 1, INF)
+            edge(nid, sink, INF)
+            nid += 2
+        for p in expansion.candidates:
+            index[p] = nid
+            edge(nid, nid + 1, 1)
+            nid += 2
+        for p in expansion.leaves:
+            index[p] = nid
+            edge(nid, nid + 1, 1)
+            edge(source, nid, INF)
+            nid += 2
+        edges = expansion.edges
+        for i in range(0, len(edges), 2):
+            # out half of the child -> inp half of the parent
+            edge(index[edges[i]] + 1, index[edges[i + 1]], INF)
+        net.end = nid
+        self._n_nodes = nid
+        self._nets.append(net)
+        return len(self._nets) - 1
+
+    # -- solve ----------------------------------------------------------
+    def solve(self) -> List[Optional[List[int]]]:
+        """Run every stacked network to completion; extract the cuts."""
+        nets = self._nets
+        if not nets:
+            return []
+        n_nodes = self._n_nodes
+        to = np.asarray(self._ev, dtype=np.int64)
+        cap = np.asarray(self._ecap, dtype=np.int64)
+        tails = np.asarray(self._eu, dtype=np.int64)
+        # CSR adjacency over edge ids grouped by tail node (stable, so
+        # per-node edge order matches insertion order like the scalar
+        # adjacency lists).
+        adj_edges = np.argsort(tails, kind="stable")
+        counts = np.bincount(tails, minlength=n_nodes)
+        adj_start = np.zeros(n_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=adj_start[1:])
+        q_n = len(nets)
+        src_arr = np.asarray([net.source for net in nets], dtype=np.int64)
+        snk_arr = np.asarray([net.sink for net in nets], dtype=np.int64)
+        limit = np.asarray([net.max_cut for net in nets], dtype=np.int64)
+        flow = np.zeros(q_n, dtype=np.int64)
+        net_of = np.zeros(n_nodes, dtype=np.int64)
+        for q, net in enumerate(nets):
+            net_of[net.base : net.end] = q
+        sink_mark = np.zeros(n_nodes, dtype=bool)
+        sink_mark[snk_arr] = True
+        level = np.full(n_nodes, -1, dtype=np.int64)
+        cursor = np.zeros(n_nodes, dtype=np.int64)
+        active = np.ones(q_n, dtype=bool)
+        infeasible = np.zeros(q_n, dtype=bool)
+        while active.any():
+            level.fill(-1)
+            sink_lv = np.full(q_n, -1, dtype=np.int64)
+            frontier = src_arr[active]
+            level[frontier] = 0
+            depth = 0
+            # Frontier-at-a-time level BFS across every active network:
+            # one ragged gather expands all frontiers one level.
+            while frontier.size:
+                e_pos = _ragged_gather(
+                    adj_start[frontier],
+                    adj_start[frontier + 1] - adj_start[frontier],
+                )
+                eids = adj_edges[e_pos]
+                tgt = to[eids]
+                ok = (cap[eids] > 0) & (level[tgt] < 0)
+                cand = tgt[ok]
+                if not cand.size:
+                    break
+                depth += 1
+                level[cand] = depth
+                hits = cand[sink_mark[cand]]
+                if hits.size:
+                    sink_lv[net_of[hits]] = depth
+                nxt = np.unique(cand)
+                keep = (~sink_mark[nxt]) & (sink_lv[net_of[nxt]] < 0)
+                frontier = nxt[keep]
+            reached = sink_lv >= 0
+            for q in np.nonzero(active)[0]:
+                if not reached[q]:
+                    # BFS failed: this network's max flow is complete
+                    # (and <= its limit), the residual state canonical.
+                    active[q] = False
+                    continue
+                self.phases += 1
+                net = nets[q]
+                cursor[net.base : net.end] = adj_start[net.base : net.end]
+                lim = int(limit[q])
+                total = int(flow[q])
+                while total <= lim:
+                    pushed = self._augment(
+                        net.source, net.sink, to, cap, adj_edges,
+                        adj_start, level, cursor,
+                    )
+                    if not pushed:
+                        break
+                    total += pushed
+                flow[q] = total
+                if total > lim:
+                    active[q] = False
+                    infeasible[q] = True
+        return self._extract(to, cap, adj_edges, adj_start, infeasible)
+
+    def _augment(
+        self,
+        source: int,
+        sink: int,
+        to: Any,
+        cap: Any,
+        adj_edges: Any,
+        adj_start: Any,
+        level: Any,
+        cursor: Any,
+    ) -> int:
+        """One augmenting path along the level graph (scalar cursor DFS).
+
+        The direct port of :meth:`DinicNetwork._augment` onto the
+        stacked arrays: dead ends are pruned (``level = -1``), the
+        retreated-over arc's cursor advances, and every arc is examined
+        at most once per phase.
+        """
+        path: List[int] = []
+        u = source
+        arcs = 0
+        while True:
+            if u == sink:
+                bottleneck = min(int(cap[e]) for e in path)
+                for e in path:
+                    cap[e] -= bottleneck
+                    cap[e ^ 1] += bottleneck
+                self.arcs_advanced += arcs
+                return bottleneck
+            i = int(cursor[u])
+            hi = int(adj_start[u + 1])
+            du = int(level[u]) + 1
+            start = i
+            advanced = False
+            while i < hi:
+                e = int(adj_edges[i])
+                if cap[e] > 0 and level[to[e]] == du:
+                    cursor[u] = i
+                    path.append(e)
+                    u = int(to[e])
+                    advanced = True
+                    break
+                i += 1
+            arcs += i - start + (1 if advanced else 0)
+            if advanced:
+                continue
+            cursor[u] = hi
+            level[u] = -1  # dead end: prune from this phase's level graph
+            if not path:
+                self.arcs_advanced += arcs
+                return 0
+            e = path.pop()
+            u = int(to[e ^ 1])
+            cursor[u] += 1
+
+    def _extract(
+        self,
+        to: Any,
+        cap: Any,
+        adj_edges: Any,
+        adj_start: Any,
+        infeasible: Any,
+    ) -> List[Optional[List[int]]]:
+        """Residual reachability (vectorized multi-source BFS) + cuts."""
+        nets = self._nets
+        reach = np.zeros(self._n_nodes, dtype=bool)
+        feas_srcs = np.asarray(
+            [net.source for q, net in enumerate(nets) if not infeasible[q]],
+            dtype=np.int64,
+        )
+        if feas_srcs.size:
+            reach[feas_srcs] = True
+            frontier = feas_srcs
+            while frontier.size:
+                e_pos = _ragged_gather(
+                    adj_start[frontier],
+                    adj_start[frontier + 1] - adj_start[frontier],
+                )
+                eids = adj_edges[e_pos]
+                tgt = to[eids]
+                cand = tgt[(cap[eids] > 0) & (~reach[tgt])]
+                if not cand.size:
+                    break
+                reach[cand] = True
+                frontier = np.unique(cand)
+        results: List[Optional[List[int]]] = []
+        for q, net in enumerate(nets):
+            if infeasible[q]:
+                results.append(None)
+                continue
+            expansion = net.expansion
+            index = net.index
+            cut = [
+                p
+                for p in expansion.candidates
+                if reach[index[p]] and not reach[index[p] + 1]
+            ]
+            cut.extend(
+                p
+                for p in expansion.leaves
+                if reach[index[p]] and not reach[index[p] + 1]
+            )
+            mask = (1 << expansion.shift) - 1
+            shift = expansion.shift
+            cut.sort(key=lambda p: (p & mask, p >> shift))
+            results.append(cut)
+        return results
+
+
+def solve_batch(
+    queries: Sequence[Tuple[PackedExpansion, int]],
+    arena: Optional[BatchCutArena] = None,
+) -> List[Optional[List[int]]]:
+    """Batched twin of :func:`repro.kernel.expand.cut_on_packed`.
+
+    Answers every ``(expansion, max_cut)`` query, handling the trivial
+    cases (blocked → ``None``, empty frontier → ``[]``) inline and
+    stacking the rest into one :class:`BatchCutArena` solve.
+    """
+    if arena is None:
+        arena = BatchCutArena()
+    arena.reset()
+    slots: List[Optional[int]] = []
+    trivial: List[Optional[List[int]]] = []
+    for expansion, max_cut in queries:
+        if expansion.blocked:
+            slots.append(None)
+            trivial.append(None)
+        elif not expansion.leaves and not expansion.candidates:
+            slots.append(None)
+            trivial.append([])
+        else:
+            slots.append(arena.add(expansion, max_cut))
+            trivial.append(None)
+    solved = arena.solve()
+    return [
+        trivial[i] if slot is None else solved[slot]
+        for i, slot in enumerate(slots)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Auto-kernel crossover
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=8)
+def _load_envelope(path: str) -> Optional[dict]:
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    envelope = payload.get("envelope")
+    return envelope if isinstance(envelope, dict) else None
+
+
+def crossover_nodes(path: Optional[str] = None) -> Optional[int]:
+    """The measured vector-vs-scalar crossover (nodes), or a default.
+
+    Reads the ``envelope.crossover.crossover_nodes`` field the
+    microbench sweep records in ``BENCH_microbench.json`` (path override
+    via the ``REPRO_MICROBENCH`` environment variable).  Returns
+    ``None`` when the measured sweep found the vectorized kernel never
+    profitable, and :data:`DEFAULT_CROSSOVER_NODES` when no envelope
+    has been measured at all.
+    """
+    candidate = path or os.environ.get(ENVELOPE_ENV) or ENVELOPE_PATH
+    envelope = _load_envelope(candidate)
+    if envelope is None:
+        return DEFAULT_CROSSOVER_NODES
+    crossover = envelope.get("crossover")
+    if not isinstance(crossover, dict) or "crossover_nodes" not in crossover:
+        return DEFAULT_CROSSOVER_NODES
+    value = crossover["crossover_nodes"]
+    return int(value) if value is not None else None
+
+
+def resolve_kernel(kernel: str, n_nodes: int) -> str:
+    """Resolve ``auto`` (and numpy-less ``vector``) to a concrete kernel.
+
+    * ``vector`` without numpy installed falls back to ``compiled`` —
+      the import-guarded degradation of the ``[vector]`` extra;
+    * ``auto`` picks ``vector`` when numpy is present and the circuit
+      is at least as large as the measured crossover
+      (:func:`crossover_nodes`), else ``compiled``.
+
+    Every choice is bit-identical in outcome; only throughput differs.
+    """
+    if kernel == "vector":
+        return "vector" if HAVE_NUMPY else "compiled"
+    if kernel != "auto":
+        return kernel
+    if not HAVE_NUMPY:
+        return "compiled"
+    threshold = crossover_nodes()
+    if threshold is None or n_nodes < threshold:
+        return "compiled"
+    return "vector"

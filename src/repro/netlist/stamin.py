@@ -96,9 +96,9 @@ def machines_equivalent(a: FSM, b: FSM, steps: int = 256, seed: int = 0) -> bool
     """Random-walk behavioural comparison of two machines from reset."""
     if a.num_inputs != b.num_inputs or a.num_outputs != b.num_outputs:
         return False
-    import numpy as np
+    from repro.compat import default_rng
 
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     sa = a.reset_state or a.states[0]
     sb = b.reset_state or b.states[0]
     for _ in range(steps):

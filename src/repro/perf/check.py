@@ -16,7 +16,11 @@ Compares every ``(circuit, algorithm)`` run present in *both* reports:
 * **counters** — ``stats.flow_queries``, ``stats.updates``,
   ``stats.dinic_phases`` and ``stats.arcs_advanced`` are *deterministic*
   work measures (unlike wall clock), so a growth beyond
-  ``--counter-tolerance`` (default 10%) is a hard fail — but only when
+  ``--counter-tolerance`` (default 10%) is a hard fail; the schema-7
+  batch counters (``batched_queries``, ``prefilter_hits``,
+  ``batch_rounds``) join them, with the first two gated in the
+  *opposite* direction — they count saved work, so a drop beyond the
+  tolerance is the failure.  Counters gate only when
   the two runs are actually comparable: the report envelopes must
   declare the same label-engine configuration (``engine`` and
   ``warm_start``, absent in schema-1/2 baselines; ``flow`` and
@@ -75,8 +79,27 @@ def _index(report: dict) -> Dict[RunKey, dict]:
 #: Deterministic LabelStats counters gated by ``counter_tolerance``.
 #: ``dinic_phases`` / ``arcs_advanced`` are zero under the EK flow engine
 #: (the gate skips counters with a zero/absent baseline), so they only
-#: bite on Dinic-vs-Dinic comparisons.
-GATED_COUNTERS = ("flow_queries", "updates", "dinic_phases", "arcs_advanced")
+#: bite on Dinic-vs-Dinic comparisons.  The batch counters
+#: (``batched_queries`` / ``prefilter_hits`` / ``batch_rounds``, schema
+#: 7) are zero under the scalar kernels and deterministic under
+#: ``vector``, so they gate exactly the vector-vs-vector comparisons the
+#: ``kernel`` envelope check admits — a regression in batching
+#: effectiveness (fewer queries answered from the arena, fewer
+#: prefilter skips) fails the gate even when wall clock stays flat.
+GATED_COUNTERS = (
+    "flow_queries",
+    "updates",
+    "dinic_phases",
+    "arcs_advanced",
+    "batched_queries",
+    "prefilter_hits",
+    "batch_rounds",
+)
+
+#: Gated counters where *shrinking* is the regression: these count work
+#: the batch kernel saved (queries answered from the arena, flow solves
+#: skipped by the prefilter), so a drop means the fast path decayed.
+INVERTED_COUNTERS = frozenset({"batched_queries", "prefilter_hits"})
 
 
 def _same_declared(baseline: dict, current: dict, key: str) -> bool:
@@ -206,7 +229,13 @@ def compare(
                 b_val, c_val = b_stats.get(counter), c_stats.get(counter)
                 if not b_val or c_val is None:
                     continue
-                if c_val > b_val * (1.0 + counter_tolerance):
+                if counter in INVERTED_COUNTERS:
+                    regressed = c_val < b_val * (1.0 - counter_tolerance)
+                    improved = c_val > b_val
+                else:
+                    regressed = c_val > b_val * (1.0 + counter_tolerance)
+                    improved = c_val < b_val
+                if regressed:
                     message = (
                         f"{tag}: {counter} regressed {b_val} -> {c_val} "
                         f"(> {counter_tolerance:.0%} tolerance)"
@@ -224,7 +253,7 @@ def compare(
                         )
                     else:
                         result.warnings.append(message)
-                elif c_val < b_val and same_workers:
+                elif improved and same_workers:
                     # A different worker count probes a different phi
                     # set, so a lower counter is no more meaningful
                     # than a higher one -- stay silent.

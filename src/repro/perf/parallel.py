@@ -316,9 +316,10 @@ def parallel_search_min_phi(
     outcome cache.  ``engine`` / ``warm_start`` / ``max_copies`` /
     ``flow`` / ``kernel`` are the label-engine options of
     :func:`repro.core.driver.search_min_phi`; warm seeds ship with each
-    submitted probe task as packed ``int32`` bytes, and under
-    ``kernel="compiled"`` the circuit's CSR arrays are published to the
-    workers once (:func:`repro.kernel.share.publish_csr`).
+    submitted probe task as packed ``int32`` bytes, and under every
+    CSR-backed kernel (``"compiled"``, ``"vector"``, ``"auto"``) the
+    circuit's arrays are published to the workers once
+    (:func:`repro.kernel.share.publish_csr`).
 
     ``outcomes`` seeds the shared probe cache (a resumed search adopts
     every cached answer verbatim and recomputes only the rest — the
@@ -356,7 +357,7 @@ def parallel_search_min_phi(
         outcomes = {}
     probe_timeout = budget.probe_timeout if budget is not None else None
     owns_handle = csr_handle is None
-    if csr_handle is None and kernel == "compiled":
+    if csr_handle is None and kernel != "object":
         csr_handle = publish_csr(circuit.compiled())
     runner = _ProbePool(
         (circuit, k, resynthesize, cmax, pld, extra_depth, io_constrained,

@@ -1,18 +1,19 @@
 """JSON run reports: the machine-readable perf/quality telemetry schema.
 
-Schema (version 6) — one *suite report* wraps any number of *mapper
+Schema (version 7) — one *suite report* wraps any number of *mapper
 runs* plus the structured *errors* of cells that failed::
 
     {
-      "schema": 6,
+      "schema": 7,
       "kind": "suite",                 # or "map" for a single-run report
       "python": "3.11.7", "platform": "Linux-...",
       "k": 5, "workers": 1,
       "engine": "worklist",            # label engine of the phi probes
       "warm_start": true,              # cross-probe label seeding
       "flow": "dinic",                 # max-flow engine (dinic / ek)
-      "kernel": "compiled",            # copy representation
-                                       # (compiled CSR / object tuples)
+      "kernel": "compiled",            # copy representation (compiled
+                                       # CSR / object tuples / vector —
+                                       # the numpy batch kernel)
       "service": {                     # v6: set when the runs came out
                                        # of a served instance
         "state_dir": "...",            # (repro.serve); None/absent for
@@ -56,6 +57,11 @@ runs* plus the structured *errors* of cells that failed::
             "warm_seeded": ..., "warm_savings": ...,
             "expansions_reused": ...,
             "dinic_phases": ..., "arcs_advanced": ...,
+            "batched_queries": ...,    # v7: vector-kernel batching —
+            "prefilter_hits": ...,     # queries answered from a batch,
+            "batch_rounds": ...,       # skipped by the height prefilter,
+                                       # and arena solves (all zero under
+                                       # scalar kernels)
             "t_total": ..., "t_expand": ..., "t_flow": ..., "t_pld": ...
           }
         }, ...
@@ -74,8 +80,9 @@ version 2 reports (no ``engine`` / ``warm_start`` envelope fields, no
 warm-start counters in ``stats``), version 3 reports (no ``flow`` /
 ``kernel`` envelope fields, no Dinic counters in ``stats``), version 4
 reports (no ``incremental`` run field, no repair counters in
-``stats``) and version 5 reports (no ``service`` envelope, no per-run
-``job`` objects) load fine:
+``stats``), version 5 reports (no ``service`` envelope, no per-run
+``job`` objects) and version 6 reports (no vector-kernel batch
+counters in ``stats``) load fine:
 :func:`load_report` fills the new envelope fields in, the regression
 gate treats absent run fields as non-degraded, and the counter gate
 only compares counters when both reports declare the same engine
@@ -99,7 +106,7 @@ from typing import IO, Dict, List, Optional, Union
 
 from repro.resilience.atomic import atomic_write_json
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 
 def _environment() -> Dict[str, str]:

@@ -22,13 +22,12 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import List, Optional, Tuple
 
-import numpy as np
-
+from repro.compat import HAVE_NUMPY, np
 from repro.netlist.graph import SeqCircuit
 
 
-def _edge_arrays(circuit: SeqCircuit) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """(src, dst, weight, delay-of-dst) arrays over all edges."""
+def _edge_lists(circuit: SeqCircuit) -> Tuple[List[int], List[int], List[int], List[int]]:
+    """(src, dst, weight, delay-of-dst) lists over all edges."""
     src: List[int] = []
     dst: List[int] = []
     weight: List[int] = []
@@ -38,12 +37,7 @@ def _edge_arrays(circuit: SeqCircuit) -> Tuple[np.ndarray, np.ndarray, np.ndarra
         dst.append(d)
         weight.append(w)
         delay.append(circuit.node(d).delay)
-    return (
-        np.asarray(src, dtype=np.int64),
-        np.asarray(dst, dtype=np.int64),
-        np.asarray(weight, dtype=np.int64),
-        np.asarray(delay, dtype=np.int64),
-    )
+    return src, dst, weight, delay
 
 
 def has_positive_cycle(circuit: SeqCircuit, ratio: Fraction) -> bool:
@@ -52,15 +46,45 @@ def has_positive_cycle(circuit: SeqCircuit, ratio: Fraction) -> bool:
     Works on exact integers: with ``ratio = p/q`` the test is whether a
     cycle of positive total gain exists for edge gains
     ``q * d(v) - p * w(e)`` (delay attributed to the edge's head).
+
+    Uses the vectorized numpy Bellman-Ford when the ``[vector]`` extra is
+    installed and falls back to a pure edge-relaxation loop otherwise;
+    the boolean is exact either way (both are longest-path relaxations
+    from an implicit all-zero super-source).
     """
     p, q = ratio.numerator, ratio.denominator
-    src, dst, weight, delay = _edge_arrays(circuit)
+    src, dst, weight, delay = _edge_lists(circuit)
     if len(src) == 0:
         return False
     n = len(circuit)
+    gains = [q * d - p * w for d, w in zip(delay, weight)]
+    if HAVE_NUMPY:
+        return _has_positive_cycle_numpy(n, src, dst, gains)
+    # Pure fallback: Gauss-Seidel edge relaxation.  Without a positive
+    # cycle the all-zero longest paths stabilize within n rounds; a
+    # positive-gain cycle keeps improving its nodes forever.
+    dist = [0] * n
+    edges = list(zip(src, dst, gains))
+    for _ in range(n + 1):
+        improved = False
+        for s, d, g in edges:
+            cand = dist[s] + g
+            if cand > dist[d]:
+                dist[d] = cand
+                improved = True
+        if not improved:
+            return False
+    return True
+
+
+def _has_positive_cycle_numpy(
+    n: int, src: List[int], dst: List[int], gains: List[int]
+) -> bool:
+    """Vectorized (Jacobi) longest-path relaxation over the edge arrays."""
+    src_a = np.asarray(src, dtype=np.int64)
+    dst_a = np.asarray(dst, dtype=np.int64)
     # Exact arithmetic: accumulated distances reach ~n * max|gain|; switch
     # to Python-int (object) arrays when that nears the int64 range.
-    gains = [q * int(d) - p * int(w) for d, w in zip(delay.tolist(), weight.tolist())]
     bound = max((abs(g) for g in gains), default=0) * (n + 2)
     if bound < (1 << 62):
         gain = np.asarray(gains, dtype=np.int64)
@@ -72,9 +96,9 @@ def has_positive_cycle(circuit: SeqCircuit, ratio: Fraction) -> bool:
     # nodes).  Any positive-gain cycle keeps increasing its nodes forever;
     # without one, distances stabilize within n rounds.
     for _ in range(n + 1):
-        candidate = dist[src] + gain
+        candidate = dist[src_a] + gain
         new = dist.copy()
-        np.maximum.at(new, dst, candidate)
+        np.maximum.at(new, dst_a, candidate)
         if np.array_equal(new, dist):
             return False
         dist = new
@@ -158,17 +182,17 @@ def critical_ratio_cycle(circuit: SeqCircuit) -> Optional[List[int]]:
     eps = Fraction(1, 2 * max(1, circuit.total_edge_weight) ** 2)
     target = ratio - eps
     p, q = target.numerator, target.denominator
-    src, dst, weight, delay = _edge_arrays(circuit)
-    gain = q * delay - p * weight
+    src, dst, weight, delay = _edge_lists(circuit)
+    gain = [q * d - p * w for d, w in zip(delay, weight)]
     n = len(circuit)
-    dist = np.zeros(n, dtype=object)  # exact ints (gains can be huge)
-    pred = np.full(n, -1, dtype=np.int64)
+    dist = [0] * n  # exact ints (gains can be huge)
+    pred = [-1] * n
     edge_count = len(src)
     last_improved = None
     for _round in range(n + 1):
         improved = False
         for i in range(edge_count):
-            cand = dist[src[i]] + int(gain[i])
+            cand = dist[src[i]] + gain[i]
             if cand > dist[dst[i]]:
                 dist[dst[i]] = cand
                 pred[dst[i]] = src[i]

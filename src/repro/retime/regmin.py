@@ -137,8 +137,16 @@ def minimize_registers_exact(
     I/O lags are free and the solution is normalized afterwards.
     Quadratic preprocessing — guarded to :data:`EXACT_NODE_LIMIT` nodes.
     """
-    import numpy as np
-    from scipy.optimize import linprog
+    try:
+        import numpy as np
+        from scipy.optimize import linprog
+    except ImportError as exc:  # pragma: no cover - no-numpy environments
+        from repro.compat import MissingDependency
+
+        raise MissingDependency(
+            "exact register minimization needs numpy + scipy "
+            "(pip install 'repro[vector]' scipy)"
+        ) from exc
 
     from repro.retime.leiserson import _wd_matrices
     from repro.retime.mdr import min_feasible_period

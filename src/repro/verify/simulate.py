@@ -16,8 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-import numpy as np
-
+from repro.compat import default_rng
 from repro.netlist.graph import NodeKind, SeqCircuit
 
 
@@ -109,7 +108,7 @@ def random_stimulus(
     circuit: SeqCircuit, cycles: int, seed: int, lanes: int = 64
 ) -> List[Dict[int, int]]:
     """Uniform random lane-packed PI values for ``cycles`` steps."""
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     pis = circuit.pis
     nbytes = (lanes + 7) // 8
     mask = (1 << lanes) - 1

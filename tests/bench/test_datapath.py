@@ -107,11 +107,11 @@ class TestArrayMultiplier:
         return c, a, b
 
     def _check_products(self, c, a, b, latency, trials=30, seed=2):
-        import numpy as np
+        from repro.compat import default_rng
 
         n, m = len(a), len(b)
         sim = Simulator(c, lanes=1)
-        rng = np.random.default_rng(seed)
+        rng = default_rng(seed)
         history = []
         for t in range(trials):
             av = int(rng.integers(0, 1 << n))

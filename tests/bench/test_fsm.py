@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.compat import default_rng
 from repro.bench.fsm import (
     _disjoint_cubes,
     encode_fsm,
@@ -12,13 +13,12 @@ from repro.bench.fsm import (
 )
 from repro.netlist.kiss import write_kiss, read_kiss
 
-import numpy as np
 
 
 class TestDisjointCubes:
     @pytest.mark.parametrize("seed", range(5))
     def test_partition_is_disjoint_and_complete(self, seed):
-        rng = np.random.default_rng(seed)
+        rng = default_rng(seed)
         n = 5
         cubes = _disjoint_cubes(n, depth=3, rng=rng)
         covered = [0] * (1 << n)
@@ -109,9 +109,7 @@ class TestStructuralSynthesis:
         # machine must return to the reset-state signature.
         sim_a = Simulator(circuit, lanes=1)
         sim_b = Simulator(circuit, lanes=1)
-        import numpy as np
-
-        rng = np.random.default_rng(9)
+        rng = default_rng(9)
         for _ in range(17):  # odd count: the two runs de-phase
             sim_a.step({**{p: int(rng.integers(0, 2)) for p in pis}, rst: 0})
         for _ in range(8):

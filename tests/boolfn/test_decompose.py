@@ -1,10 +1,10 @@
 """Tests for Roth-Karp decomposition and deadline-driven LUT-tree synthesis."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.compat import default_rng
 from repro.boolfn.decompose import disjoint_decompose, synthesize_lut_tree
 from repro.boolfn.truthtable import TruthTable
 
@@ -131,7 +131,7 @@ class TestLutTree:
         assert tree.to_truthtable() == f
 
     def test_nondecomposable_fails_gracefully(self):
-        rng = np.random.default_rng(0)
+        rng = default_rng(0)
         # A random function of 6 vars is almost surely not decomposable
         # with small multiplicity; with k=5 and no slack it must fail.
         f = TruthTable.random(6, rng)
@@ -157,7 +157,7 @@ class TestLutTree:
     )
     @settings(max_examples=40, deadline=None)
     def test_synthesized_trees_are_exact(self, n, k, rnd):
-        rng = np.random.default_rng(rnd.randrange(1 << 30))
+        rng = default_rng(rnd.randrange(1 << 30))
         # Build decomposable-ish functions: trees of AND/OR/XOR.
         f = TruthTable.var(0, n)
         for i in range(1, n):

@@ -1,10 +1,10 @@
 """Tests for multi-output (shared-encoder) functional decomposition."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.compat import default_rng
 from repro.boolfn.modecomp import (
     best_shared_bound,
     encoder_savings,
@@ -39,7 +39,7 @@ class TestJointMultiplicity:
         assert mu == 3  # (0,0), (1,0), (0,1) ... vectors over b-assignments
 
     def test_single_function_matches_column_multiplicity(self):
-        rng = np.random.default_rng(3)
+        rng = default_rng(3)
         f = TruthTable.random(5, rng)
         assert joint_multiplicity([f], [0, 1, 2]) == f.column_multiplicity([0, 1, 2])
 
@@ -89,7 +89,7 @@ class TestBestSharedBound:
         assert bound == (0, 1, 2)
 
     def test_none_when_nothing_decomposes(self):
-        rng = np.random.default_rng(1)
+        rng = default_rng(1)
         f1, f2 = TruthTable.random(5, rng), TruthTable.random(5, rng)
         # random pairs almost surely have full joint multiplicity
         assert best_shared_bound([f1, f2], size=2) is None
@@ -116,9 +116,7 @@ class TestOnRealisticFunctions:
 
     def test_joint_at_least_single_multiplicity(self):
         """Joint multiplicity dominates each member's multiplicity."""
-        import numpy as np
-
-        rng = np.random.default_rng(7)
+        rng = default_rng(7)
         f1 = TruthTable.random(5, rng)
         f2 = TruthTable.random(5, rng)
         for bound in ([0, 1, 2], [1, 3, 4], [0, 2, 4]):

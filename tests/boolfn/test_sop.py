@@ -103,9 +103,9 @@ class TestMinimizeCover:
         assert len(minimize_cover(TruthTable.const(4, False))) == 0
 
     def test_large_arity_heuristic_exact(self):
-        import numpy as np
+        from repro.compat import default_rng
 
-        rng = np.random.default_rng(11)
+        rng = default_rng(11)
         t = TruthTable.random(11, rng)  # above QM_MAX_VARS
         cover = minimize_cover(t)
         assert cover.to_truthtable() == t

@@ -1,10 +1,10 @@
 """Unit and property tests for packed truth tables."""
 
-import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.compat import default_rng
 from repro.boolfn.truthtable import MAX_VARS, TruthTable
 
 
@@ -61,7 +61,8 @@ class TestConstructors:
         assert maj.eval([1, 0, 0]) == 0
 
     def test_from_array_roundtrip(self):
-        rng = np.random.default_rng(7)
+        pytest.importorskip("numpy")  # to_array/from_array are numpy-only
+        rng = default_rng(7)
         t = TruthTable.random(5, rng)
         assert TruthTable.from_array(t.to_array()) == t
 
@@ -233,6 +234,6 @@ class TestMisc:
         assert "minterms" in repr(TruthTable.const(7, True))
 
     def test_random_is_deterministic_per_seed(self):
-        a = TruthTable.random(4, np.random.default_rng(3))
-        b = TruthTable.random(4, np.random.default_rng(3))
+        a = TruthTable.random(4, default_rng(3))
+        b = TruthTable.random(4, default_rng(3))
         assert a == b

@@ -1,10 +1,10 @@
 """Tests for K-bounding gate decomposition."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.compat import default_rng
 from repro.boolfn.truthtable import TruthTable
 from repro.comb.cone import cone_function
 from repro.comb.gatedecomp import decompose_gate_function, k_bound_circuit
@@ -42,7 +42,7 @@ class TestDecomposeGateFunction:
         assert tree.to_truthtable() == func
 
     def test_random_function_k2(self):
-        rng = np.random.default_rng(5)
+        rng = default_rng(5)
         func = TruthTable.random(6, rng)
         tree = decompose_gate_function(func, 2)
         assert tree.max_fanin() <= 2

@@ -4,8 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
-
+from repro.compat import default_rng
 from repro.boolfn.truthtable import TruthTable
 from repro.netlist.graph import NodeKind, SeqCircuit
 
@@ -57,7 +56,7 @@ def random_dag(
     name: str = "randdag",
 ) -> SeqCircuit:
     """Random combinational 2-bounded DAG with one PO per sink gate."""
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     c = SeqCircuit(name)
     pool: List[int] = [c.add_pi(f"x{i}") for i in range(n_inputs)]
     ops = list(GATE_LIB.values())
@@ -114,7 +113,7 @@ def random_seq_circuit(
     inputs to later gates through 1-2 registers, creating genuine loops
     while keeping the combinational subgraph acyclic.
     """
-    rng = np.random.default_rng(seed)
+    rng = default_rng(seed)
     c = SeqCircuit(name)
     pool: List[int] = [c.add_pi(f"x{i}") for i in range(n_inputs)]
     ops = list(GATE_LIB.values())

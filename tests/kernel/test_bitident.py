@@ -9,6 +9,7 @@ work counters where the engines share them.
 import pytest
 
 from repro.bench import suite as bench_suite
+from repro.compat import HAVE_NUMPY
 from repro.core.labels import LabelSolver
 from repro.core.turbomap import turbomap
 from repro.core.turbosyn import turbosyn
@@ -19,6 +20,10 @@ MATRIX = [
     ("dinic", "object"),
     ("dinic", "compiled"),
 ]
+
+requires_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="numpy not installed ([vector] extra)"
+)
 
 
 def _min_phi(circuit, k=5):
@@ -80,6 +85,99 @@ class TestLabelIdentity:
             LabelSolver(circuit, 5, 3, flow="bogus")
         with pytest.raises(ValueError, match="kernel"):
             LabelSolver(circuit, 5, 3, kernel="bogus")
+
+
+class TestFullMatrixIdentity:
+    """2 engines x 2 flows x 3 kernels: every combination bit-identical.
+
+    Labels (and phi feasibility) are identical across the *whole*
+    matrix; the deterministic work counters are identical within each
+    label engine (worklist and rounds schedule different update
+    sequences, so their counters differ from each other by design —
+    but not across flows or kernels).
+    """
+
+    @requires_numpy
+    @pytest.mark.parametrize("name", ["bbara", "dk16"])
+    def test_engine_flow_kernel_sweep(self, name):
+        circuit = bench_suite.build(name)
+        k = 5
+        phi = _min_phi(circuit, k)
+        reference = None
+        for engine in ("worklist", "rounds"):
+            engine_ref = None
+            for flow in ("dinic", "ek"):
+                for kernel in ("compiled", "object", "vector"):
+                    tag = f"{engine}/{flow}+{kernel}"
+                    outcome = LabelSolver(
+                        circuit, k, phi,
+                        engine=engine, flow=flow, kernel=kernel,
+                    ).run()
+                    assert outcome.feasible, tag
+                    if reference is None:
+                        reference = outcome
+                    assert outcome.labels == reference.labels, tag
+                    if engine_ref is None:
+                        engine_ref = outcome
+                        continue
+                    ref = engine_ref.stats
+                    stats = outcome.stats
+                    assert stats.rounds == ref.rounds, tag
+                    assert stats.updates == ref.updates, tag
+                    assert stats.flow_queries == ref.flow_queries, tag
+                    assert stats.cache_hits == ref.cache_hits, tag
+                    assert stats.pld_checks == ref.pld_checks, tag
+
+    @requires_numpy
+    def test_batch_counters_populate_only_under_vector(self):
+        circuit = bench_suite.build("bbara")
+        phi = _min_phi(circuit)
+        vec = LabelSolver(circuit, 5, phi, kernel="vector").run()
+        scalar = LabelSolver(circuit, 5, phi, kernel="compiled").run()
+        assert vec.stats.batched_queries > 0
+        assert vec.stats.batch_rounds > 0
+        assert scalar.stats.batched_queries == 0
+        assert scalar.stats.prefilter_hits == 0
+        assert scalar.stats.batch_rounds == 0
+
+    @requires_numpy
+    def test_prefilter_hits_at_infeasible_phi(self):
+        # The witness prefilter consumes re-validated witness cuts — a
+        # worklist-engine path that only gets exercised while labels
+        # are still climbing, i.e. at an infeasible phi.
+        circuit = bench_suite.build("bbara")
+        phi = _min_phi(circuit)
+        assert phi > 1, "bbara must be infeasible below its optimum"
+        vec = LabelSolver(circuit, 5, phi - 1, kernel="vector").run()
+        ref = LabelSolver(circuit, 5, phi - 1, kernel="compiled").run()
+        assert not vec.feasible and not ref.feasible
+        assert vec.labels == ref.labels
+        assert vec.stats.prefilter_hits > 0
+        assert vec.stats.flow_queries == ref.stats.flow_queries
+        assert vec.stats.cache_hits == ref.stats.cache_hits
+
+    def test_auto_kernel_resolves_to_concrete_kernel(self):
+        solver = LabelSolver(bench_suite.build("bbara"), 5, 3, kernel="auto")
+        assert solver.kernel in ("compiled", "vector")
+
+    def test_vector_without_numpy_is_still_accepted(self, monkeypatch):
+        # The degradation path: "vector" resolves through the batch
+        # module, which maps it to "compiled" when numpy is missing.
+        import repro.kernel.batch as batch
+
+        monkeypatch.setattr(batch, "HAVE_NUMPY", False)
+        solver = LabelSolver(bench_suite.build("bbara"), 5, 3, kernel="vector")
+        assert solver.kernel == "compiled"
+
+    @requires_numpy
+    def test_turbomap_vector_kernel_matches(self):
+        vec = turbomap(
+            bench_suite.build("bbara"), 5, check=False, kernel="vector"
+        )
+        ref = turbomap(bench_suite.build("bbara"), 5, check=False)
+        assert vec.phi == ref.phi
+        assert vec.n_luts == ref.n_luts
+        assert sorted(vec.outcomes) == sorted(ref.outcomes)
 
 
 class TestMapperIdentity:

@@ -14,9 +14,9 @@ FAST = settings(max_examples=25, deadline=None)
 
 def legal_retiming(circuit, rnd):
     """A random legal lag vector (verified by construction)."""
-    import numpy as np
+    from repro.compat import default_rng
 
-    rng = np.random.default_rng(rnd)
+    rng = default_rng(rnd)
     r = [0] * len(circuit)
     # Random small lags on gates/POs, clipped to legality by rejection.
     for _ in range(40):

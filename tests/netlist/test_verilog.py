@@ -104,9 +104,9 @@ class TestWriter:
         text = write_verilog(c)
         ref = Simulator(c, lanes=1)
         dut = _VerilogEval(text)
-        import numpy as np
+        from repro.compat import default_rng
 
-        rng = np.random.default_rng(3)
+        rng = default_rng(3)
         for _ in range(30):
             a, b = int(rng.integers(0, 2)), int(rng.integers(0, 2))
             got = dut.step({"a": a, "b": b})
@@ -119,9 +119,9 @@ class TestWriter:
         text = write_verilog(c)
         ref = Simulator(c, lanes=1)
         dut = _VerilogEval(text)
-        import numpy as np
+        from repro.compat import default_rng
 
-        rng = np.random.default_rng(seed)
+        rng = default_rng(seed)
         po_names = {
             po: re.sub(r"[^A-Za-z0-9_]", "_", c.name_of(po)) for po in c.pos
         }

@@ -72,7 +72,7 @@ class TestSuiteReport:
 
     def test_envelope_records_engine_configuration(self):
         report = perf_report.suite_report([], k=3)
-        assert report["schema"] == 6
+        assert report["schema"] == 7
         assert report["engine"] == "worklist"
         assert report["warm_start"] is True
         assert report["flow"] == "dinic"

@@ -121,9 +121,9 @@ class TestMdrRatio:
 
     @pytest.mark.parametrize("seed", range(8))
     def test_matches_brute_force(self, seed):
-        import numpy as np
+        from repro.compat import default_rng
 
-        rng = np.random.default_rng(seed)
+        rng = default_rng(seed)
         c = SeqCircuit(f"rand{seed}")
         a = c.add_pi("a")
         n = 6

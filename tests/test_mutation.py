@@ -7,9 +7,9 @@ be benign (dead logic, unreachable rows), the probabilistic simulation
 check is held to agreement with the exact unrolled oracle instead.
 """
 
-import numpy as np
 import pytest
 
+from repro.compat import default_rng
 from repro.boolfn.truthtable import TruthTable
 from repro.bench.fsm import fsm_to_circuit, random_fsm
 from repro.core.turbomap import turbomap
@@ -57,7 +57,7 @@ class TestSimulationAgreesWithOracle:
     @pytest.mark.parametrize("seed", range(6))
     def test_bit_flip_verdicts_match(self, seed):
         c = random_seq_circuit(3, 8, seed=seed, feedback=1)
-        rng = np.random.default_rng(seed)
+        rng = default_rng(seed)
         mutant = flip_table_bit(
             c, int(rng.integers(0, 99)), int(rng.integers(0, 4))
         )
