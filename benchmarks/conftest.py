@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 from collections import OrderedDict
 from typing import Dict, List
 
@@ -28,6 +29,21 @@ from repro.bench import suite as bench_suite
 from repro.perf.report import SCHEMA_VERSION
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def table_slug(table: str) -> str:
+    """A filesystem-portable file stem for a table title.
+
+    Table titles contain ``:``, ``(``, ``)`` and spaces; ``:`` alone
+    makes the name illegal on Windows/NTFS and hostile to shells and
+    URLs.  Keep only ``[a-z0-9._+=-]``, turn everything else into
+    ``_``, and collapse the runs so the stem stays readable:
+
+    >>> table_slug("Table 1: Clock period (K=5)")
+    'table_1_clock_period_k=5'
+    """
+    safe = re.sub(r"[^a-z0-9._+=-]+", "_", table.lower().replace("/", "-"))
+    return re.sub(r"_+", "_", safe).strip("_")
 
 
 class RowCollector:
@@ -75,7 +91,7 @@ class RowCollector:
         for table in self.tables:
             text = self.render(table)
             print("\n" + text)
-            safe = table.lower().replace(" ", "_").replace("/", "-")
+            safe = table_slug(table)
             with open(os.path.join(RESULTS_DIR, f"{safe}.txt"), "w") as fh:
                 fh.write(text + "\n")
             json_path = os.path.join(RESULTS_DIR, f"BENCH_{safe}.json")

@@ -392,6 +392,39 @@ def _karp_max_cycle_mean(
     return mu, cycle
 
 
+def exact_mdr_period(
+    circuit: SeqCircuit,
+    max_registers: int = DEFAULT_MAX_REGISTERS,
+    max_condensed_edges: int = DEFAULT_MAX_CONDENSED_EDGES,
+) -> Optional[int]:
+    """``max(1, ceil(MDR))`` of a circuit in one exact Karp pass.
+
+    This equals :func:`repro.retime.mdr.min_feasible_period` (the
+    smallest integer phi with no cycle ``d(C) > phi * w(C)``) but
+    replaces that function's ``O(log n)`` Bellman-Ford feasibility
+    probes with a single Karp maximum-cycle-mean computation on the
+    condensed register graph — the same exact machinery RET003 uses to
+    cross-check achieved mappings, reused here to obtain the Figure-4
+    search's default bound up front.
+
+    Returns ``None`` when the condensed graph exceeds the Karp size
+    budget (callers fall back to the Bellman-Ford search); raises
+    ``ValueError`` on a combinational cycle, matching
+    ``min_feasible_period``.
+    """
+    graph = _condensed_register_graph(circuit)
+    if (
+        graph.n_regs > max_registers
+        or len(graph.edges) > max_condensed_edges
+    ):
+        return None
+    found = _karp_max_cycle_mean(graph.n_regs, graph.edges)
+    if found is None:
+        return 1
+    mu, _cycle = found
+    return max(1, math.ceil(mu))
+
+
 def build_cycle_certificate(
     circuit: SeqCircuit,
     phi: int,

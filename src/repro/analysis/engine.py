@@ -66,6 +66,7 @@ SCOPES = (
     "kernel",
     "incremental",
     "sanitizer",
+    "cache",
 )
 
 

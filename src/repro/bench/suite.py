@@ -136,6 +136,7 @@ def run_suite_report(
     max_copies: Optional[int] = None,
     flow: str = "dinic",
     kernel: str = "compiled",
+    cache: Optional[object] = None,
 ) -> dict:
     """Run mappers over suite circuits and return a JSON-able perf report.
 
@@ -160,7 +161,10 @@ def run_suite_report(
     configure the label engine of the phi-searching mappers (TurboMap /
     TurboSYN); they are recorded in the report envelope so the
     counter-based regression gate (:mod:`repro.perf.check`) only
-    compares like with like.
+    compares like with like.  ``cache`` (a persistent
+    :class:`repro.cache.OutcomeCache`) warms the phi-searching mappers
+    across runs — bit-identical results, and a snapshot of the cache's
+    hit/miss counters is attached to the report envelope.
     """
     import time
 
@@ -178,12 +182,12 @@ def run_suite_report(
         "turbomap": lambda c, b: turbomap(
             c, k, workers=workers, check=check, budget=b,
             engine=engine, warm_start=warm_start, max_copies=copies,
-            flow=flow, kernel=kernel,
+            flow=flow, kernel=kernel, cache=cache,
         ),
         "turbosyn": lambda c, b: turbosyn(
             c, k, workers=workers, check=check, budget=b,
             engine=engine, warm_start=warm_start, max_copies=copies,
-            flow=flow, kernel=kernel,
+            flow=flow, kernel=kernel, cache=cache,
         ),
     }
     selected_algos = list(algorithms)
@@ -196,13 +200,16 @@ def run_suite_report(
     runs, done = _completed_cells(resume)
     errors: List[dict] = []
 
+    def cache_snapshot() -> Optional[dict]:
+        return cache.stats() if cache is not None else None
+
     def flush(path: Optional[str]) -> None:
         if path is not None:
             perf_report.write_report(
                 perf_report.suite_report(
                     runs, k=k, workers=workers, errors=errors,
                     engine=engine, warm_start=warm_start,
-                    flow=flow, kernel=kernel,
+                    flow=flow, kernel=kernel, cache=cache_snapshot(),
                 ),
                 path,
             )
@@ -258,7 +265,7 @@ def run_suite_report(
     report = perf_report.suite_report(
         runs, k=k, workers=workers, errors=errors,
         engine=engine, warm_start=warm_start,
-        flow=flow, kernel=kernel,
+        flow=flow, kernel=kernel, cache=cache_snapshot(),
     )
     flush(checkpoint)
     return report

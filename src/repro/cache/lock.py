@@ -1,0 +1,67 @@
+"""Advisory inter-process file lock guarding cache read-modify-writes.
+
+Concurrent CLI runs and a long-lived :mod:`repro.serve` instance may
+share one cache directory; every mutation (entry merge, eviction,
+clear) happens under one exclusive ``flock`` on ``<root>/.lock`` so two
+writers merging outcomes into the same entry serialize instead of
+losing updates.  Reads go lock-free: entries are written atomically
+(:func:`repro.resilience.atomic.atomic_write_text`), so a reader sees
+either the old or the new complete file, never a torn one.
+
+On platforms without ``fcntl`` the lock degrades to a thread lock —
+in-process safety stays, cross-process safety is best-effort (the
+atomic entry writes still prevent corruption; concurrent merges may
+lose a probe, which only costs a re-probe later).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+try:  # pragma: no cover - import guard exercised only off-POSIX
+    import fcntl
+
+    HAVE_FCNTL = True
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
+    HAVE_FCNTL = False
+
+
+class FileLock:
+    """``with FileLock(path):`` — exclusive advisory lock on ``path``.
+
+    Reentrant within a process is *not* supported (and not needed: the
+    cache never nests mutations); a second ``__enter__`` from another
+    thread blocks on the internal thread lock first, so a single
+    process never competes with itself for the flock.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = os.fspath(path)
+        self._thread_lock = threading.Lock()
+        self._fd: int = -1
+
+    def __enter__(self) -> "FileLock":
+        self._thread_lock.acquire()
+        try:
+            self._fd = os.open(self.path, os.O_CREAT | os.O_RDWR, 0o644)
+            if HAVE_FCNTL:
+                fcntl.flock(self._fd, fcntl.LOCK_EX)
+        except Exception:
+            if self._fd >= 0:
+                os.close(self._fd)
+                self._fd = -1
+            self._thread_lock.release()
+            raise
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        try:
+            if self._fd >= 0:
+                if HAVE_FCNTL:
+                    fcntl.flock(self._fd, fcntl.LOCK_UN)
+                os.close(self._fd)
+                self._fd = -1
+        finally:
+            self._thread_lock.release()

@@ -64,13 +64,15 @@ from repro.retime.mdr import mdr_ratio, min_feasible_period
 from repro.retime.pipeline import pipeline_and_retime
 
 _ALGOS = {
-    "turbosyn": lambda c, k, w, chk, b, eng: turbosyn(
-        c, k, workers=w, check=chk, budget=b, **eng
+    "turbosyn": lambda c, k, w, chk, b, eng, cache=None: turbosyn(
+        c, k, workers=w, check=chk, budget=b, cache=cache, **eng
     ),
-    "turbomap": lambda c, k, w, chk, b, eng: turbomap(
-        c, k, workers=w, check=chk, budget=b, **eng
+    "turbomap": lambda c, k, w, chk, b, eng, cache=None: turbomap(
+        c, k, workers=w, check=chk, budget=b, cache=cache, **eng
     ),
-    "flowsyn-s": lambda c, k, w, chk, b, eng: flowsyn_s(c, k, check=chk),
+    "flowsyn-s": lambda c, k, w, chk, b, eng, cache=None: flowsyn_s(
+        c, k, check=chk
+    ),
 }
 
 
@@ -96,6 +98,40 @@ def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
         help="wall-clock budget per feasibility probe (one label "
         "computation)",
     )
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="persistent outcome cache directory (repro.cache): probe "
+        "verdicts and labels are reused across runs and processes, "
+        "bit-identical results; defaults to $REPRO_CACHE when set",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent outcome cache even when "
+        "$REPRO_CACHE is set",
+    )
+
+
+def _cache_from(args: argparse.Namespace):
+    """An :class:`repro.cache.OutcomeCache` from ``--cache``/``$REPRO_CACHE``.
+
+    ``--no-cache`` wins over both; returns ``None`` when no cache is in
+    play (the mappers then run exactly as before).
+    """
+    import os
+
+    if getattr(args, "no_cache", False):
+        return None
+    root = getattr(args, "cache", None) or os.environ.get("REPRO_CACHE")
+    if not root:
+        return None
+    from repro.cache import OutcomeCache
+
+    return OutcomeCache(root)
 
 
 def _maybe_sanitize(args: argparse.Namespace) -> None:
@@ -207,11 +243,12 @@ def _cmd_map(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     _maybe_sanitize(args)
+    cache = _cache_from(args)
     t0 = time.perf_counter()
     try:
         result = _ALGOS[args.algo](
             circuit, args.k, args.workers, not args.no_check,
-            _budget_from(args), _engine_kwargs(args),
+            _budget_from(args), _engine_kwargs(args), cache,
         )
     except BudgetExhausted as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -274,10 +311,16 @@ def _cmd_remap(args: argparse.Namespace) -> int:
     _maybe_sanitize(args)
     engine = _engine_kwargs(args)
     check = not args.no_check
+    cache = _cache_from(args)
     t0 = time.perf_counter()
     try:
+        # With a warm cache the base mapping replays in O(verify): the
+        # incremental repair then starts from the cached base fixpoint
+        # instead of paying a full cold search for a result we already
+        # certified in an earlier process.
         prev = _ALGOS[args.algo](
-            base, args.k, args.workers, check, _budget_from(args), engine
+            base, args.k, args.workers, check, _budget_from(args), engine,
+            cache,
         )
     except BudgetExhausted as exc:
         print(f"error: base mapping: {exc}", file=sys.stderr)
@@ -303,7 +346,7 @@ def _cmd_remap(args: argparse.Namespace) -> int:
         if edits is None:
             result = _ALGOS[args.algo](
                 edited, args.k, args.workers, check,
-                _budget_from(args), engine,
+                _budget_from(args), engine, cache,
             )
         else:
             result = incremental_remap(
@@ -314,6 +357,7 @@ def _cmd_remap(args: argparse.Namespace) -> int:
                 compiled=base.compiled(),
                 check=check,
                 budget=_budget_from(args),
+                cache=cache,
                 **engine,
             )
     except BudgetExhausted as exc:
@@ -335,6 +379,8 @@ def _cmd_remap(args: argparse.Namespace) -> int:
     )
     status = 0
     if args.verify_cold:
+        # The differential run stays cache-less on purpose: it must be
+        # an independent cold derivation of the same answer.
         cold = _ALGOS[args.algo](
             edited.copy(), args.k, args.workers, check,
             _budget_from(args), engine,
@@ -469,6 +515,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
             max_copies=args.max_copies,
             flow=args.flow,
             kernel=args.kernel,
+            cache=_cache_from(args),
         )
     except ValueError as exc:  # unknown benchmark or algorithm name
         flush_row()
@@ -612,6 +659,13 @@ def _cmd_serve_chaos(args: argparse.Namespace) -> int:
         return 0 if report["ok"] else 1
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Delegate to the cache CLI (``python -m repro.cache``)."""
+    from repro.cache.__main__ import main as cache_main
+
+    return cache_main(args.cache_args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="turbosyn",
@@ -649,6 +703,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_budget_arguments(p_map)
     _add_engine_arguments(p_map)
+    _add_cache_arguments(p_map)
     p_map.set_defaults(func=_cmd_map)
 
     p_remap = sub.add_parser(
@@ -696,6 +751,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_budget_arguments(p_remap)
     _add_engine_arguments(p_remap)
+    _add_cache_arguments(p_remap)
     p_remap.set_defaults(func=_cmd_remap)
 
     p_stats = sub.add_parser("stats", help="show retiming-graph statistics")
@@ -753,6 +809,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_budget_arguments(p_suite)
     _add_engine_arguments(p_suite)
+    _add_cache_arguments(p_suite)
     p_suite.set_defaults(func=_cmd_suite)
 
     p_verify = sub.add_parser("verify", help="equivalence-check two BLIFs")
@@ -824,6 +881,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--events-log", default=None,
                          help="copy the chaos journal (job-event log) here")
     p_chaos.set_defaults(func=_cmd_serve_chaos)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect the persistent outcome cache "
+        "(stats / clear / audit / warmcheck)",
+    )
+    p_cache.add_argument(
+        "cache_args",
+        nargs=argparse.REMAINDER,
+        metavar="...",
+        help="arguments for `python -m repro.cache` "
+        "(e.g. `stats DIR`, `clear DIR`, `audit DIR`, "
+        "`warmcheck COLD.json WARM.json`)",
+    )
+    p_cache.set_defaults(func=_cmd_cache)
 
     from repro.analysis.cli import add_lint_arguments, run_lint
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 from repro.core.expanded import DEFAULT_MAX_COPIES
 from repro.core.labels import (
@@ -43,6 +43,9 @@ from repro.resilience.budget import (
 )
 from repro.resilience.faultinject import fault_point
 from repro.retime.mdr import min_feasible_period
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (no runtime cycle)
+    from repro.cache.store import CacheKey, OutcomeCache
 
 
 @dataclass
@@ -202,6 +205,32 @@ def probe_phi(
     return solver.run()
 
 
+def default_upper_bound(circuit: SeqCircuit) -> int:
+    """The Figure-4 search's default bound: ``max(1, ceil(MDR))``.
+
+    Computed by one exact Karp maximum-cycle-mean pass on the condensed
+    register graph (:func:`repro.analysis.certify.exact_mdr_period`,
+    the RET003 machinery) instead of
+    :func:`~repro.retime.mdr.min_feasible_period`'s ``O(log n)``
+    Bellman-Ford probes; the two are equal by construction (asserted
+    bit-identical over the suite in the tests), so the search
+    trajectory is unchanged.  Oversized condensed graphs fall back to
+    the Bellman-Ford search.
+
+    Note ``ceil(MDR)`` of the *unmapped* network bounds the optimum
+    from **above** (the identity mapping achieves it; mapping only
+    compresses cycle delay), which is why it seeds ``hi``.  The
+    search's verified *floor* comes from cached infeasible probe
+    verdicts instead (see ``floor`` in :func:`search_min_phi`).
+    """
+    from repro.analysis.certify import exact_mdr_period
+
+    period = exact_mdr_period(circuit)
+    if period is None:  # condensed graph over the Karp size budget
+        period = min_feasible_period(circuit)
+    return period
+
+
 def search_bounds(
     circuit: SeqCircuit, upper_bound: int, io_constrained: bool
 ) -> "tuple[int, int]":
@@ -242,6 +271,9 @@ def search_min_phi(
     kernel: str = "compiled",
     prev_outcomes: Optional[Dict[int, LabelOutcome]] = None,
     dirty: Optional[Set[int]] = None,
+    cache: Optional["OutcomeCache"] = None,
+    cache_key: Optional["CacheKey"] = None,
+    floor: int = 1,
 ) -> "tuple[int, Dict[int, LabelOutcome]]":
     """Binary search the minimum feasible integer ``phi``.
 
@@ -271,6 +303,24 @@ def search_min_phi(
     :class:`DirtySeed` so every label outside the dirty region is
     adopted verbatim and clean SCCs are skipped.  Verdicts and labels
     stay bit-identical, so the search trajectory matches a cold run.
+
+    ``cache`` + ``cache_key`` consult the persistent outcome store
+    (:mod:`repro.cache`) exactly where the in-run ``outcomes`` dict is
+    consulted: a cached verdict is adopted instead of probing
+    (``outcome_cache_hits`` / ``cache_probes_skipped``), a cached
+    feasible outcome at a larger phi competes with in-run outcomes as
+    the warm seed (``cache_seeds``), every fresh probe is written
+    through, and cached *infeasible* verdicts raise the binary search's
+    starting floor.  Feasibility being monotone in phi makes all of
+    this trajectory-preserving: phi and its labels stay bit-identical
+    to a cold run.
+
+    ``floor`` (default 1) starts the binary search's lower bound above
+    1.  Soundness requires a *verified* floor — one backed by actual
+    infeasible probe verdicts (the cache floor is; cached entries are
+    checksummed and every verdict in them was computed by a real
+    probe).  It is clamped to the best known feasible phi, so even an
+    inconsistent floor cannot push the result above a feasible probe.
     """
     ensure_mappable(circuit, k)
     if budget is not None:
@@ -278,13 +328,46 @@ def search_min_phi(
     if outcomes is None:
         outcomes = {}
 
+    use_cache = cache is not None and cache_key is not None
+
     def probe(phi: int) -> bool:
-        # Consult the cache: the doubling phase may already have answered
-        # a value the binary search lands on again (e.g. the original
-        # upper bound after it proved infeasible).
+        # Consult the in-run cache: the doubling phase may already have
+        # answered a value the binary search lands on again (e.g. the
+        # original upper bound after it proved infeasible).
         if phi not in outcomes:
+            if use_cache:
+                cached = cache.get_outcome(cache_key, phi)
+                if cached is not None:
+                    # Adopt the persisted verdict instead of probing.
+                    # The synthesized stats carry only the saved-work
+                    # counters — never the solver counters of the run
+                    # that wrote the entry.
+                    cached.stats.outcome_cache_hits = 1
+                    cached.stats.cache_probes_skipped = 1
+                    outcomes[phi] = cached
+                    return cached.feasible
             allowance = budget.begin_probe() if budget is not None else None
             seed = nearest_warm_seed(outcomes, phi) if warm_start else None
+            seed_from_cache = False
+            if warm_start and use_cache:
+                # The persistent store competes with in-run outcomes
+                # for the tightest feasible seed above phi (labels are
+                # antitone in phi, so tighter is strictly less work).
+                in_run_best = min(
+                    (
+                        p
+                        for p, o in outcomes.items()
+                        if p > phi and o.feasible
+                    ),
+                    default=None,
+                )
+                if in_run_best is None or in_run_best > phi + 1:
+                    found = cache.nearest_seed(cache_key, phi)
+                    if found is not None and (
+                        in_run_best is None or found[0] < in_run_best
+                    ):
+                        seed = found[1]
+                        seed_from_cache = True
             dirty_seed: Optional[DirtySeed] = None
             if dirty is not None and prev_outcomes:
                 prev = prev_outcomes.get(phi)
@@ -293,7 +376,7 @@ def search_min_phi(
                     # fixpoint; an infeasible run aborted early and its
                     # labels for later SCCs are not trustworthy seeds.
                     dirty_seed = DirtySeed(prev.labels, dirty)
-            outcomes[phi] = probe_phi(
+            outcome = probe_phi(
                 circuit,
                 k,
                 phi,
@@ -310,9 +393,20 @@ def search_min_phi(
                 kernel=kernel,
                 dirty_seed=dirty_seed,
             )
+            if seed_from_cache:
+                outcome.stats.cache_seeds = 1
+            outcomes[phi] = outcome
+            if use_cache:
+                cache.put_outcome(cache_key, phi, outcome)
         return outcomes[phi].feasible
 
     hi, ceiling = search_bounds(circuit, upper_bound, io_constrained)
+    start_lo = max(1, floor)
+    if use_cache:
+        # Every cached infeasible verdict was probe-verified by the run
+        # that wrote it; monotonicity puts the optimum strictly above
+        # all of them.
+        start_lo = max(start_lo, cache.verified_floor(cache_key))
     best: Optional[int] = None  # smallest phi known feasible
     try:
         while not probe(hi):
@@ -320,7 +414,7 @@ def search_min_phi(
                 raise infeasible_error(circuit, hi)
             hi = min(2 * hi, ceiling)
         best = hi
-        lo = 1
+        lo = min(start_lo, best)
         while lo < best:
             mid = (lo + best) // 2
             if probe(mid):
@@ -418,6 +512,7 @@ def run_mapper(
     dirty: Optional[Set[int]] = None,
     outcomes: Optional[Dict[int, LabelOutcome]] = None,
     csr_handle: Optional[object] = None,
+    cache: Optional["OutcomeCache"] = None,
 ) -> SeqMapResult:
     """Full mapper pipeline: search ``phi``, regenerate the mapping.
 
@@ -469,15 +564,71 @@ def run_mapper(
     search is forced sequential — worker processes would re-pickle the
     mutated circuit and probe a different phi set, defeating the
     reuse — and the result is bit-identical to a cold sequential run.
+
+    ``cache`` (an :class:`repro.cache.OutcomeCache`) makes the search
+    warm across *processes*: probe verdicts are adopted from and
+    written through to the persistent store, cached infeasible
+    verdicts floor the binary search, and a recorded final for this
+    exact ``(circuit, options)`` key replays the whole result without
+    searching at all.  A replayed result is **never trusted blind**:
+    it still runs the full default-on verifier plus a stored-signature
+    comparison against the freshly regenerated mapping, and any
+    disagreement heals the cache entry and falls back to a cold
+    search.  Exact-hit replay therefore only engages when
+    ``check=True`` (and never for incremental repairs); plain probe
+    adoption works everywhere.
     """
-    ub = upper_bound if upper_bound is not None else min_feasible_period(circuit)
+    ub = upper_bound if upper_bound is not None else default_upper_bound(circuit)
     if budget is None:
         budget = Budget()
     budget.start()
+    ckey: Optional["CacheKey"] = None
+    if cache is not None:
+        from repro.cache.store import cache_key as build_cache_key
+
+        ckey = build_cache_key(
+            circuit,
+            k,
+            resynthesize,
+            cmax=cmax,
+            pld=pld,
+            extra_depth=extra_depth,
+            io_constrained=io_constrained,
+            max_copies=max_copies,
+        )
     t0 = time.perf_counter()
     if prev_result is not None:
         workers = 1
-    if workers > 1:
+    replay_final: Optional[dict] = None
+    if cache is not None and check and prev_result is None:
+        replay_final = cache.get_final(ckey)
+    if replay_final is not None:
+        # Exact full hit: adopt the optimum's verdict (and its
+        # minimality witness at phi - 1) from the store and skip the
+        # search.  Verification below re-establishes every invariant
+        # on the freshly regenerated mapping.
+        phi = int(replay_final["phi"])
+        at = cache.get_outcome(ckey, phi)
+        below = cache.get_outcome(ckey, phi - 1) if phi > 1 else None
+        if (
+            at is None
+            or not at.feasible
+            or (phi > 1 and (below is None or below.feasible))
+        ):
+            replay_final = None  # entry raced away / incoherent: miss
+        else:
+            if outcomes is None:
+                outcomes = {}
+            at.stats.outcome_cache_hits = 1
+            at.stats.cache_probes_skipped = 1
+            outcomes[phi] = at
+            if below is not None:
+                below.stats.outcome_cache_hits = 1
+                below.stats.cache_probes_skipped = 1
+                outcomes[phi - 1] = below
+    if replay_final is not None:
+        pass  # search skipped entirely
+    elif workers > 1:
         # Imported lazily: repro.perf.parallel imports probe_phi from here.
         from repro.perf.parallel import parallel_search_min_phi
 
@@ -499,6 +650,8 @@ def run_mapper(
             kernel=kernel,
             outcomes=outcomes,
             csr_handle=csr_handle,
+            cache=cache,
+            cache_key=ckey,
         )
     else:
         phi, outcomes = search_min_phi(
@@ -521,6 +674,8 @@ def run_mapper(
                 prev_result.outcomes if prev_result is not None else None
             ),
             dirty=dirty if prev_result is not None else None,
+            cache=cache,
+            cache_key=ckey,
         )
     t_search = time.perf_counter() - t0
     labels = outcomes[phi].labels
@@ -554,18 +709,89 @@ def run_mapper(
         incremental=prev_result is not None,
     )
     if check:
+        from repro.analysis import VerificationError
+
         resyn_roots = {
             circuit.name_of(v)
             for v, real in chosen.items()
             if real.resyn is not None
         }
-        verify_result(
-            circuit,
-            result,
-            k,
-            resyn_roots=resyn_roots,
-            # Incremental runs probed on a delta-patched CSR: hand it to
-            # the verifier so the round-trip rules certify the patch.
-            compiled=circuit.compiled() if prev_result is not None else None,
+        try:
+            verify_result(
+                circuit,
+                result,
+                k,
+                resyn_roots=resyn_roots,
+                # Incremental runs probed on a delta-patched CSR: hand it
+                # to the verifier so the round-trip rules certify the
+                # patch.
+                compiled=(
+                    circuit.compiled() if prev_result is not None else None
+                ),
+            )
+            if replay_final is not None:
+                from repro.cache.store import final_signature
+                from repro.netlist.blif import write_blif
+
+                fresh = final_signature(phi, labels, write_blif(mapped))
+                if fresh != replay_final["signature"]:
+                    raise VerificationError(
+                        f"{circuit.name}: replayed cache result does not "
+                        "reproduce the stored signature",
+                        [],
+                    )
+        except VerificationError:
+            if replay_final is None:
+                raise
+            # A replayed result failed re-verification: the entry is
+            # poison.  Heal it and fall back to a cold search — the
+            # cache must never make a run fail that would have
+            # succeeded cold.
+            cache.invalidate(ckey)
+            for stale in (phi, phi - 1):
+                outcomes.pop(stale, None)
+            return run_mapper(
+                circuit,
+                k,
+                algorithm,
+                resynthesize,
+                upper_bound=upper_bound,
+                cmax=cmax,
+                pld=pld,
+                extra_depth=extra_depth,
+                io_constrained=io_constrained,
+                name=name,
+                workers=workers,
+                check=check,
+                budget=None,
+                engine=engine,
+                warm_start=warm_start,
+                max_copies=max_copies,
+                flow=flow,
+                kernel=kernel,
+                outcomes=outcomes,
+                csr_handle=csr_handle,
+                cache=cache,
+            )
+    if (
+        cache is not None
+        and check
+        and replay_final is None
+        and prev_result is None
+        and not result.degraded
+    ):
+        # Record the verified end of a completed search: exact hits on
+        # this key now replay in O(verify).  Degraded searches never
+        # finalize (their phi is only an upper bound on the optimum).
+        from repro.cache.store import final_signature
+        from repro.netlist.blif import write_blif
+
+        cert = result.certificate or {}
+        cache.put_final(
+            ckey,
+            result.phi,
+            final_signature(result.phi, labels, write_blif(mapped)),
+            schedule_certificate=cert.get("schedule_certificate"),
+            cycle_certificate=cert.get("cycle_certificate"),
         )
     return result

@@ -166,6 +166,15 @@ class LabelStats:
     was adopted verbatim, ``witnesses_revalidated`` the dirty gates
     whose K-cut witness was re-established by a fresh cut query, and
     ``sccs_skipped`` the wholly clean SCCs never iterated.
+
+    The persistent-cache counters (:mod:`repro.cache`, all 0 without a
+    cache): ``outcome_cache_hits`` counts probe verdicts adopted from
+    the on-disk outcome store, ``cache_probes_skipped`` the label
+    fixpoints those adoptions avoided running at all (one per hit —
+    kept separate so an exact-hit replay that skips the *search* can
+    still report how many probes it saved), and ``cache_seeds`` the
+    uncached probes warm-started from a cached larger-phi label set
+    (the cross-run analogue of ``warm_seeded``).
     """
 
     rounds: int = 0
@@ -187,6 +196,9 @@ class LabelStats:
     labels_reused: int = 0
     witnesses_revalidated: int = 0
     sccs_skipped: int = 0
+    outcome_cache_hits: int = 0
+    cache_probes_skipped: int = 0
+    cache_seeds: int = 0
     t_total: float = 0.0
     t_expand: float = 0.0
     t_flow: float = 0.0
@@ -213,6 +225,9 @@ class LabelStats:
         self.labels_reused += other.labels_reused
         self.witnesses_revalidated += other.witnesses_revalidated
         self.sccs_skipped += other.sccs_skipped
+        self.outcome_cache_hits += other.outcome_cache_hits
+        self.cache_probes_skipped += other.cache_probes_skipped
+        self.cache_seeds += other.cache_seeds
         self.t_total += other.t_total
         self.t_expand += other.t_expand
         self.t_flow += other.t_flow

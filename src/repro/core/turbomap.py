@@ -44,6 +44,7 @@ def turbomap(
     dirty: Optional[Set[int]] = None,
     outcomes: Optional[Dict[int, "LabelOutcome"]] = None,
     csr_handle: Optional[object] = None,
+    cache: Optional[object] = None,
 ) -> SeqMapResult:
     """Map ``circuit`` onto K-LUTs minimizing the MDR ratio (no resynthesis).
 
@@ -107,6 +108,11 @@ def turbomap(
         ``outcomes`` seeds the probe cache so an interrupted search
         resumes bit-identically, ``csr_handle`` reuses an already-
         published compiled-circuit handle for the worker fleet.
+    cache:
+        A persistent :class:`repro.cache.OutcomeCache`: probe verdicts
+        are adopted/written through across processes and an exact
+        full hit replays the result in O(verify) (see
+        :func:`repro.core.driver.run_mapper`).
     """
     return run_mapper(
         circuit,
@@ -130,4 +136,5 @@ def turbomap(
         dirty=dirty,
         outcomes=outcomes,
         csr_handle=csr_handle,
+        cache=cache,
     )

@@ -20,7 +20,11 @@ Compares every ``(circuit, algorithm)`` run present in *both* reports:
   batch counters (``batched_queries``, ``prefilter_hits``,
   ``batch_rounds``) join them, with the first two gated in the
   *opposite* direction — they count saved work, so a drop beyond the
-  tolerance is the failure.  Counters gate only when
+  tolerance is the failure — as do the schema-8 persistent-cache
+  counters (``outcome_cache_hits``, ``cache_probes_skipped``,
+  ``cache_seeds``), all three inverted for the same reason (a warm run
+  that stops hitting the cache has lost its fast path).  Counters gate
+  only when
   the two runs are actually comparable: the report envelopes must
   declare the same label-engine configuration (``engine`` and
   ``warm_start``, absent in schema-1/2 baselines; ``flow`` and
@@ -94,12 +98,25 @@ GATED_COUNTERS = (
     "batched_queries",
     "prefilter_hits",
     "batch_rounds",
+    "outcome_cache_hits",
+    "cache_probes_skipped",
+    "cache_seeds",
 )
 
 #: Gated counters where *shrinking* is the regression: these count work
-#: the batch kernel saved (queries answered from the arena, flow solves
-#: skipped by the prefilter), so a drop means the fast path decayed.
-INVERTED_COUNTERS = frozenset({"batched_queries", "prefilter_hits"})
+#: saved — queries the batch kernel answered from the arena, flow solves
+#: the prefilter skipped, and (schema 8) probes the persistent outcome
+#: cache adopted, skipped or seeded — so a drop means a fast path
+#: decayed.  The cache counters are zero on cold/cache-less runs, and
+#: the gate skips zero-baseline counters, so they only bite on
+#: warm-vs-warm comparisons (e.g. the CI cache-smoke job's second pass).
+INVERTED_COUNTERS = frozenset({
+    "batched_queries",
+    "prefilter_hits",
+    "outcome_cache_hits",
+    "cache_probes_skipped",
+    "cache_seeds",
+})
 
 
 def _same_declared(baseline: dict, current: dict, key: str) -> bool:

@@ -48,11 +48,13 @@ import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.store import CacheKey, OutcomeCache
 
 from repro.core.driver import (
     infeasible_error,
-    nearest_warm_seed,
     probe_phi,
     search_bounds,
     search_min_phi,
@@ -178,12 +180,20 @@ class _ProbePool:
         warm_start: bool = True,
         csr_handle: Optional[CsrHandle] = None,
         owns_handle: bool = True,
+        cache: Optional["OutcomeCache"] = None,
+        cache_key: Optional["CacheKey"] = None,
     ) -> None:
         self._initargs = initargs
         self._workers = workers
         self._budget = budget
         self._policy = policy
         self._warm_start = warm_start
+        # Persistent outcome store (probe adoption, warm seeds, write-
+        # through); lives in the parent process only — workers receive
+        # seeds with their task and return plain outcomes.
+        self._cache = cache
+        self._cache_key = cache_key
+        self._cache_seeded: Set[int] = set()
         # Owner side of the published compiled circuit; must outlive
         # every pool restart (the same handle re-initializes rebuilt
         # pools).  When owned it is released exactly once, on shutdown;
@@ -224,6 +234,48 @@ class _ProbePool:
             raise _PoolGivenUp()
         time.sleep(self._policy.delay(self.failures))
 
+    def _adopt_cached(
+        self, phi: int, outcomes: Dict[int, LabelOutcome]
+    ) -> bool:
+        """Serve ``phi`` from the persistent store instead of a worker."""
+        if self._cache is None:
+            return False
+        cached = self._cache.get_outcome(self._cache_key, phi)
+        if cached is None:
+            return False
+        cached.stats.outcome_cache_hits = 1
+        cached.stats.cache_probes_skipped = 1
+        outcomes[phi] = cached
+        return True
+
+    def _seed_blob(
+        self, phi: int, outcomes: Dict[int, LabelOutcome]
+    ) -> Optional[bytes]:
+        """The warm seed shipped with a probe task, as packed int32.
+
+        The persistent store competes with in-run outcomes for the
+        tightest feasible label set above ``phi`` (a tighter seed is
+        strictly less solver work; the verdict is unchanged either
+        way)."""
+        if not self._warm_start:
+            return None
+        in_run_best = min(
+            (p for p, o in outcomes.items() if p > phi and o.feasible),
+            default=None,
+        )
+        if self._cache is not None and (
+            in_run_best is None or in_run_best > phi + 1
+        ):
+            found = self._cache.nearest_seed(self._cache_key, phi)
+            if found is not None and (
+                in_run_best is None or found[0] < in_run_best
+            ):
+                self._cache_seeded.add(phi)
+                return pack_labels(found[1])
+        if in_run_best is None:
+            return None
+        return pack_labels(outcomes[in_run_best].labels)
+
     def probe_all(
         self, phis: List[int], outcomes: Dict[int, LabelOutcome]
     ) -> Dict[int, bool]:
@@ -233,21 +285,18 @@ class _ProbePool:
         cache *at submission time* — answers from earlier rounds warm
         later rounds' probes, exactly like the sequential search (a
         probe in flight cannot seed a sibling of the same round).
+        Candidates answered by the persistent store never reach a
+        worker at all; fresh answers are written through to it.
         """
         missing = [p for p in phis if p not in outcomes]
+        missing = [p for p in missing if not self._adopt_cached(p, outcomes)]
         while missing:
             if self._budget is not None:
                 self._budget.check()
             pool = self._ensure()
             try:
                 pending = {
-                    pool.submit(
-                        _probe_worker,
-                        p,
-                        pack_labels(nearest_warm_seed(outcomes, p))
-                        if self._warm_start
-                        else None,
-                    )
+                    pool.submit(_probe_worker, p, self._seed_blob(p, outcomes))
                     for p in missing
                 }
                 while pending:
@@ -269,7 +318,14 @@ class _ProbePool:
                         )
                     for future in done:
                         phi, outcome = future.result()
+                        if phi in self._cache_seeded:
+                            self._cache_seeded.discard(phi)
+                            outcome.stats.cache_seeds = 1
                         outcomes[phi] = outcome
+                        if self._cache is not None:
+                            self._cache.put_outcome(
+                                self._cache_key, phi, outcome
+                            )
                 missing = []
             except BrokenProcessPool:
                 # Answers already harvested stay cached; retry the rest.
@@ -300,6 +356,8 @@ def parallel_search_min_phi(
     kernel: str = "compiled",
     outcomes: Optional[Dict[int, LabelOutcome]] = None,
     csr_handle: Optional[CsrHandle] = None,
+    cache: Optional["OutcomeCache"] = None,
+    cache_key: Optional["CacheKey"] = None,
 ) -> Tuple[int, Dict[int, LabelOutcome]]:
     """Find the minimum feasible ``phi`` with speculative parallel probes.
 
@@ -328,6 +386,13 @@ def parallel_search_min_phi(
     compiled-circuit handle; the caller keeps ownership (it is not
     unlinked here), so a service can publish a stored blob once for many
     searches.
+
+    ``cache`` + ``cache_key`` attach the persistent outcome store
+    (:mod:`repro.cache`): spread candidates with a cached verdict are
+    adopted without reaching a worker, cached feasible outcomes compete
+    as warm seeds, fresh answers are written through, and cached
+    infeasible verdicts raise the search's starting ``lo`` — the same
+    trajectory-preserving integration as the sequential search.
     """
     if workers is None:
         workers = os.cpu_count() or 1
@@ -348,6 +413,8 @@ def parallel_search_min_phi(
             flow=flow,
             kernel=kernel,
             outcomes=outcomes,
+            cache=cache,
+            cache_key=cache_key,
         )
     ensure_mappable(circuit, k)
     if budget is not None:
@@ -368,9 +435,15 @@ def parallel_search_min_phi(
         warm_start=warm_start,
         csr_handle=csr_handle,
         owns_handle=owns_handle,
+        cache=cache,
+        cache_key=cache_key,
     )
     top, ceiling = search_bounds(circuit, upper_bound, io_constrained)
     lo = 1
+    if cache is not None and cache_key is not None:
+        # Cached infeasible verdicts (probe-verified by the runs that
+        # wrote them) put the optimum strictly above all of them.
+        lo = max(lo, cache.verified_floor(cache_key))
     best: Optional[int] = None  # smallest phi known feasible
     try:
         # Establish a feasible upper end.  The first round already splits
@@ -421,6 +494,8 @@ def parallel_search_min_phi(
             max_copies=max_copies,
             flow=flow,
             kernel=kernel,
+            cache=cache,
+            cache_key=cache_key,
         )
     except (DeadlineExpired, ProbeTimeout) as exc:
         if budget is None or best is None:

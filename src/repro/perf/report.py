@@ -1,10 +1,10 @@
 """JSON run reports: the machine-readable perf/quality telemetry schema.
 
-Schema (version 7) — one *suite report* wraps any number of *mapper
+Schema (version 8) — one *suite report* wraps any number of *mapper
 runs* plus the structured *errors* of cells that failed::
 
     {
-      "schema": 7,
+      "schema": 8,
       "kind": "suite",                 # or "map" for a single-run report
       "python": "3.11.7", "platform": "Linux-...",
       "k": 5, "workers": 1,
@@ -20,6 +20,10 @@ runs* plus the structured *errors* of cells that failed::
         "journal": {...}, "stats": {...},   # offline sweeps
         "recovered": {...}
       },
+      "cache": {                       # v8: snapshot of the persistent
+        "entries": 16, "hits": 32,     # outcome cache (repro.cache) the
+        "misses": 0, "seeds": 5, ...   # sweep ran against; None/absent
+      },                               # for cache-less runs
       "runs": [
         {
           "circuit": "bbara", "algorithm": "turbomap",
@@ -62,6 +66,10 @@ runs* plus the structured *errors* of cells that failed::
             "batch_rounds": ...,       # skipped by the height prefilter,
                                        # and arena solves (all zero under
                                        # scalar kernels)
+            "outcome_cache_hits": ..., # v8: persistent-cache telemetry —
+            "cache_probes_skipped": ...,  # probes adopted from / skipped
+            "cache_seeds": ...,        # via repro.cache, and probes the
+                                       # cache seeded (zero without it)
             "t_total": ..., "t_expand": ..., "t_flow": ..., "t_pld": ...
           }
         }, ...
@@ -81,8 +89,9 @@ warm-start counters in ``stats``), version 3 reports (no ``flow`` /
 ``kernel`` envelope fields, no Dinic counters in ``stats``), version 4
 reports (no ``incremental`` run field, no repair counters in
 ``stats``), version 5 reports (no ``service`` envelope, no per-run
-``job`` objects) and version 6 reports (no vector-kernel batch
-counters in ``stats``) load fine:
+``job`` objects), version 6 reports (no vector-kernel batch
+counters in ``stats``) and version 7 reports (no ``cache`` envelope,
+no persistent-cache counters in ``stats``) load fine:
 :func:`load_report` fills the new envelope fields in, the regression
 gate treats absent run fields as non-degraded, and the counter gate
 only compares counters when both reports declare the same engine
@@ -106,7 +115,7 @@ from typing import IO, Dict, List, Optional, Union
 
 from repro.resilience.atomic import atomic_write_json
 
-SCHEMA_VERSION = 7
+SCHEMA_VERSION = 8
 
 
 def _environment() -> Dict[str, str]:
@@ -222,13 +231,17 @@ def suite_report(
     flow: str = "dinic",
     kernel: str = "compiled",
     service: Optional[dict] = None,
+    cache: Optional[dict] = None,
 ) -> dict:
     """Wrap mapper runs in a schema-versioned report envelope.
 
     ``service`` (schema 6) attaches the serving envelope — the
     :meth:`repro.serve.service.MappingService.health` snapshot of the
     instance the runs came out of — for reports assembled from served
-    jobs; offline sweeps carry ``null``.
+    jobs; offline sweeps carry ``null``.  ``cache`` (schema 8) attaches
+    a :meth:`repro.cache.OutcomeCache.stats` snapshot when the sweep
+    ran against a persistent outcome cache; cache-less runs carry
+    ``null``.
     """
     report = {"schema": SCHEMA_VERSION, "kind": kind}
     report.update(_environment())
@@ -240,6 +253,7 @@ def suite_report(
     report["flow"] = flow
     report["kernel"] = kernel
     report["service"] = dict(service) if service is not None else None
+    report["cache"] = dict(cache) if cache is not None else None
     report["runs"] = runs
     report["errors"] = list(errors) if errors else []
     return report
@@ -277,4 +291,6 @@ def load_report(path: str) -> dict:
     # Absent in schema-5 reports (and offline schema-6 sweeps): the runs
     # did not come out of a served instance.
     data.setdefault("service", None)
+    # Absent in schema-7 reports: no persistent outcome cache in play.
+    data.setdefault("cache", None)
     return data

@@ -64,6 +64,7 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Union
 
+from repro.cache.store import OutcomeCache
 from repro.core.flowsyn_s import flowsyn_s
 from repro.core.labels import LabelOutcome, LabelStats
 from repro.core.turbomap import turbomap
@@ -197,6 +198,12 @@ class MappingService:
         os.makedirs(self.state_dir, exist_ok=True)
         os.makedirs(os.path.join(self.state_dir, "results"), exist_ok=True)
         self.store = CircuitStore(os.path.join(self.state_dir, "store"))
+        # Outcome sidecar: persistent probe verdicts/labels keyed by the
+        # store's content ids, so repeat jobs for a known circuit return
+        # in O(verify) instead of re-searching (see repro.cache).
+        self.cache = OutcomeCache(
+            os.path.join(self.state_dir, "store", "outcomes")
+        )
         self.max_queue = max_queue
         self.stats = ServiceStats()
         self._budget_factory = budget_factory or self._default_budget
@@ -580,6 +587,7 @@ class MappingService:
                     "circuits": len(self.store.circuit_ids()),
                     "blob_hits": self.store.blob_hits,
                     "blob_recompiles": self.store.blob_recompiles,
+                    "outcomes": self.cache.stats(),
                 },
                 "breakers": [b.snapshot() for b in self.scheduler.breakers],
                 "recovered": self.recovered,
@@ -708,6 +716,16 @@ class MappingService:
             result = self._dispatch(job, circuit, budget, workers, csr_handle)
             if spec.workers > 1 and workers > 1:
                 breaker.record_success()
+            stats = result.total_stats
+            if stats.outcome_cache_hits or stats.cache_probes_skipped:
+                # Saved work is an *event* worth a breadcrumb, like
+                # store healing; replayed as a no-op.
+                self._journal.append(
+                    {"type": "note", "job": job.id, "what": "cache-hit",
+                     "hits": stats.outcome_cache_hits,
+                     "probes_skipped": stats.cache_probes_skipped,
+                     "seeds": stats.cache_seeds}
+                )
         except _INFRA_ERRORS:
             raise  # _run_job records the breaker failure
         finally:
@@ -771,6 +789,7 @@ class MappingService:
             flow=spec.flow,
             kernel=spec.kernel,
             csr_handle=csr_handle,
+            cache=self.cache,
         )
         if spec.algorithm == "turbomap":
             outcomes = self._seeded_outcomes(job, "main")

@@ -1,0 +1,63 @@
+"""Report filenames: portable slugs, and the checked-in results match."""
+
+import importlib.util
+import os
+
+import pytest
+
+BENCHMARKS = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "benchmarks"
+)
+
+
+def _load_conftest():
+    spec = importlib.util.spec_from_file_location(
+        "bench_conftest", os.path.join(BENCHMARKS, "conftest.py")
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def table_slug():
+    return _load_conftest().table_slug
+
+
+class TestTableSlug:
+    def test_strips_windows_hostile_characters(self, table_slug):
+        slug = table_slug("Table 1: Clock period (K=5)")
+        assert slug == "table_1_clock_period_k=5"
+        for ch in ':()" \\':
+            assert ch not in slug
+
+    def test_collapses_punctuation_runs(self, table_slug):
+        # ": " must not leave a double underscore behind.
+        assert "__" not in table_slug("BENCH: x (y) [z]")
+
+    def test_keeps_meaningful_symbols(self, table_slug):
+        assert table_slug("phi search, K=5 + retiming") == (
+            "phi_search_k=5_+_retiming"
+        )
+
+    def test_idempotent(self, table_slug):
+        once = table_slug("Table 2: LUTs (K=5)")
+        assert table_slug(once) == once
+
+
+class TestCheckedInResults:
+    def test_no_hostile_characters_in_results(self):
+        results = os.path.join(BENCHMARKS, "results")
+        for name in os.listdir(results):
+            for ch in ':() "':
+                assert ch not in name, f"{name!r} contains {ch!r}"
+
+    def test_results_are_addressable_by_slug(self, table_slug):
+        """Every checked-in table file must be reproducible from some
+        title the harness writes: its stem must be slug-idempotent."""
+        results = os.path.join(BENCHMARKS, "results")
+        for name in os.listdir(results):
+            stem, _ext = os.path.splitext(name)
+            if stem.startswith("BENCH_"):
+                stem = stem[len("BENCH_"):]
+            assert table_slug(stem) == stem, name

@@ -1,0 +1,222 @@
+"""Cache adversity: corruption, schema drift, lock contention, poison.
+
+The store's contract under hostile disk state: a corrupted or
+truncated entry heals to a miss (never an exception, never a wrong
+answer), a different schema version is ignored in place, concurrent
+writers merge instead of clobbering, and a poisoned final fails
+re-verification and falls back to a bit-identical cold search.
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.cache.store import (
+    OutcomeCache,
+    cache_key,
+    entry_checksum,
+)
+from repro.core.labels import LabelOutcome, LabelStats
+from repro.core.turbomap import turbomap
+from repro.netlist.blif import write_blif
+from tests.helpers import random_seq_circuit
+
+
+@pytest.fixture()
+def circuit():
+    return random_seq_circuit(4, 24, seed=11)
+
+
+@pytest.fixture()
+def key(circuit):
+    return cache_key(circuit, 4, False)
+
+
+def outcome(n, feasible=True):
+    return LabelOutcome(
+        feasible=feasible,
+        labels=[i % 3 for i in range(n)],
+        stats=LabelStats(),
+    )
+
+
+def entry_path(cache, key):
+    return cache._entry_path(key)
+
+
+def rewrite(path, entry, fix_checksum=True):
+    """Rewrite an entry file, optionally re-signing it so only the
+    *semantic* mutation (not the checksum guard) is under test."""
+    if fix_checksum:
+        entry["checksum"] = entry_checksum(entry)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(entry, fh, sort_keys=True, separators=(",", ":"))
+
+
+class TestCorruptionHeals:
+    def seeded(self, tmp_path, circuit, key):
+        cache = OutcomeCache(tmp_path)
+        cache.put_outcome(key, 3, outcome(len(circuit)))
+        return cache, entry_path(cache, key)
+
+    def assert_healed(self, tmp_path, key, path):
+        fresh = OutcomeCache(tmp_path)
+        assert fresh.get_outcome(key, 3) is None
+        assert fresh.healed == 1
+        assert not os.path.exists(path)
+
+    def test_garbage_bytes(self, tmp_path, circuit, key):
+        _cache, path = self.seeded(tmp_path, circuit, key)
+        with open(path, "w") as fh:
+            fh.write("\x00\xff not json at all")
+        self.assert_healed(tmp_path, key, path)
+
+    def test_truncated_json(self, tmp_path, circuit, key):
+        _cache, path = self.seeded(tmp_path, circuit, key)
+        text = open(path).read()
+        with open(path, "w") as fh:
+            fh.write(text[: len(text) // 2])
+        self.assert_healed(tmp_path, key, path)
+
+    def test_bitrot_fails_checksum(self, tmp_path, circuit, key):
+        _cache, path = self.seeded(tmp_path, circuit, key)
+        entry = json.load(open(path))
+        entry["phis"]["3"]["feasible"] = False  # flip without re-signing
+        rewrite(path, entry, fix_checksum=False)
+        self.assert_healed(tmp_path, key, path)
+
+    def test_wrong_label_count_fails_validation(
+        self, tmp_path, circuit, key
+    ):
+        from repro.cache.store import encode_labels
+
+        _cache, path = self.seeded(tmp_path, circuit, key)
+        entry = json.load(open(path))
+        entry["phis"]["3"]["labels"] = encode_labels([1, 2, 3])
+        rewrite(path, entry)  # checksum valid: deeper validation catches it
+        self.assert_healed(tmp_path, key, path)
+
+    def test_key_mismatch_heals(self, tmp_path, circuit, key):
+        _cache, path = self.seeded(tmp_path, circuit, key)
+        entry = json.load(open(path))
+        entry["key"]["k"] = 9  # answers for a key it does not address
+        rewrite(path, entry)
+        self.assert_healed(tmp_path, key, path)
+
+
+class TestSchemaMismatchIgnored:
+    def test_foreign_schema_survives_untouched(self, tmp_path, circuit, key):
+        cache = OutcomeCache(tmp_path)
+        cache.put_outcome(key, 3, outcome(len(circuit)))
+        path = entry_path(cache, key)
+        entry = json.load(open(path))
+        entry["schema"] = 999  # a future writer's entry
+        rewrite(path, entry)
+
+        fresh = OutcomeCache(tmp_path)
+        assert fresh.get_outcome(key, 3) is None  # acts as a cold cache
+        assert fresh.ignored == 1
+        assert fresh.healed == 0
+        assert os.path.exists(path)  # never deleted: not ours to heal
+
+    def test_writer_replaces_foreign_entry_atomically(
+        self, tmp_path, circuit, key
+    ):
+        cache = OutcomeCache(tmp_path)
+        cache.put_outcome(key, 3, outcome(len(circuit)))
+        path = entry_path(cache, key)
+        entry = json.load(open(path))
+        entry["schema"] = 999
+        rewrite(path, entry)
+
+        fresh = OutcomeCache(tmp_path)
+        fresh.put_outcome(key, 4, outcome(len(circuit)))
+        # The merge read ignored the foreign entry and started fresh;
+        # the write took the slot over at the current schema.
+        assert fresh.get_outcome(key, 4) is not None
+        assert json.load(open(path))["schema"] != 999
+
+
+def _hammer(root, blif_text, start, count):
+    """One writer process: merge `count` phis into the shared entry."""
+    from repro.netlist.blif import read_blif
+
+    circuit, _info = read_blif(blif_text)
+    cache = OutcomeCache(root)
+    key = cache_key(circuit, 4, False)
+    n = len(circuit)
+    for offset in range(count):
+        phi = start + offset
+        cache.put_outcome(
+            key,
+            phi,
+            LabelOutcome(
+                feasible=phi >= 10,
+                labels=[phi % 7] * n,
+                stats=LabelStats(),
+            ),
+        )
+
+
+class TestLockHammer:
+    def test_concurrent_writers_merge_all_phis(self, tmp_path, circuit):
+        from repro.netlist.blif import read_blif
+
+        blif_text = write_blif(circuit)
+        # Adopt the children's view: read_blif materializes nodes the
+        # builder elides, and key.n / label lengths must agree.
+        circuit, _info = read_blif(blif_text)
+        per_proc = 8
+        procs = [
+            multiprocessing.Process(
+                target=_hammer,
+                args=(str(tmp_path), blif_text, 1 + i * per_proc, per_proc),
+            )
+            for i in range(4)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(60)
+            assert p.exitcode == 0
+        cache = OutcomeCache(tmp_path)
+        key = cache_key(circuit, 4, False)
+        # Read-modify-write under the file lock: no phi lost to a
+        # clobbered merge, and the surviving entry validates.
+        for phi in range(1, 1 + 4 * per_proc):
+            got = cache.get_outcome(key, phi)
+            assert got is not None, f"phi={phi} lost in the merge"
+            assert got.labels == [phi % 7] * len(circuit)
+        assert cache.healed == 0
+
+
+class TestPoisonedFinal:
+    def test_replay_mismatch_falls_back_cold(self, tmp_path):
+        circuit = random_seq_circuit(4, 30, seed=7)
+        cache = OutcomeCache(tmp_path)
+        cold = turbomap(circuit.copy(), 4, cache=cache)
+
+        key = cache_key(circuit, 4, False)
+        path = entry_path(cache, key)
+        entry = json.load(open(path))
+        assert entry["final"] is not None
+        entry["final"]["signature"] = "0" * 64  # poison, correctly signed
+        rewrite(path, entry)
+
+        warm_cache = OutcomeCache(tmp_path)
+        warm = turbomap(circuit.copy(), 4, cache=warm_cache)
+        # The replayed result failed the signature check: the entry was
+        # healed and the run fell back to a cold search — same answer.
+        assert warm.phi == cold.phi
+        assert list(warm.labels) == list(cold.labels)
+        assert write_blif(warm.mapped) == write_blif(cold.mapped)
+        assert warm_cache.healed >= 1
+
+    def test_unverified_runs_never_write_finals(self, tmp_path):
+        circuit = random_seq_circuit(4, 30, seed=7)
+        cache = OutcomeCache(tmp_path)
+        turbomap(circuit.copy(), 4, check=False, cache=cache)
+        key = cache_key(circuit, 4, False)
+        assert cache.get_final(key) is None

@@ -1,0 +1,179 @@
+"""CACHE rule pack: audits of on-disk outcome-cache entries."""
+
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.analysis.cacherules import audit_cache
+from repro.cache.store import (
+    OutcomeCache,
+    cache_key,
+    encode_labels,
+    entry_checksum,
+    final_signature,
+)
+from repro.core.labels import LabelOutcome, LabelStats
+from tests.helpers import random_seq_circuit
+
+
+@pytest.fixture()
+def circuit():
+    return random_seq_circuit(4, 24, seed=11)
+
+
+@pytest.fixture()
+def populated(tmp_path, circuit):
+    """A cache holding one coherent entry with a witnessed final."""
+    cache = OutcomeCache(tmp_path)
+    key = cache_key(circuit, 4, False)
+    n = len(circuit)
+
+    def put(phi, feasible):
+        cache.put_outcome(
+            key,
+            phi,
+            LabelOutcome(
+                feasible=feasible, labels=[phi] * n, stats=LabelStats()
+            ),
+        )
+
+    put(2, False)
+    put(3, True)
+    cache.put_final(
+        key,
+        3,
+        final_signature(3, [3] * n, ".model x\n.end\n"),
+        {"phi": 3, "feasible": True},
+        {"phi": 3, "feasible": True},
+    )
+    return cache, key, cache._entry_path(key)
+
+
+def mutate(path, fn, fix_checksum=True):
+    entry = json.load(open(path))
+    fn(entry)
+    if fix_checksum:
+        entry["checksum"] = entry_checksum(entry)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(entry, fh, sort_keys=True, separators=(",", ":"))
+
+
+def codes(diags):
+    return sorted({d.rule_id for d in diags})
+
+
+class TestCleanCache:
+    def test_clean_cache_audits_clean(self, populated):
+        cache, _key, _path = populated
+        assert audit_cache(cache) == []
+
+    def test_accepts_a_plain_root_path(self, populated, tmp_path):
+        _cache, _key, _path = populated
+        assert audit_cache(str(tmp_path)) == []
+
+    def test_empty_root_audits_clean(self, tmp_path):
+        assert audit_cache(os.path.join(tmp_path, "nothing-here")) == []
+
+
+class TestCache001:
+    def test_unparseable_entry(self, populated):
+        cache, _key, path = populated
+        with open(path, "w") as fh:
+            fh.write("{ truncated")
+        assert codes(audit_cache(cache)) == ["CACHE001"]
+
+    def test_renamed_entry_breaks_the_content_address(self, populated):
+        cache, _key, path = populated
+        moved = os.path.join(os.path.dirname(path), "0" * 64 + "-bad.json")
+        shutil.move(path, moved)
+        assert "CACHE001" in codes(audit_cache(cache))
+
+    def test_checksum_tamper(self, populated):
+        cache, _key, path = populated
+        mutate(
+            path,
+            lambda e: e["phis"]["3"].update(feasible=False),
+            fix_checksum=False,
+        )
+        assert "CACHE001" in codes(audit_cache(cache))
+
+
+class TestCache002:
+    def test_wrong_label_length(self, populated):
+        cache, _key, path = populated
+        mutate(
+            path, lambda e: e["phis"]["3"].update(labels=encode_labels([1]))
+        )
+        assert "CACHE002" in codes(audit_cache(cache))
+
+    def test_negative_label(self, populated, circuit):
+        cache, _key, path = populated
+        n = len(circuit)
+        mutate(
+            path,
+            lambda e: e["phis"]["3"].update(
+                labels=encode_labels([-1] + [0] * (n - 1))
+            ),
+        )
+        assert "CACHE002" in codes(audit_cache(cache))
+
+    def test_misaligned_blob(self, populated):
+        import base64
+
+        cache, _key, path = populated
+        blob = base64.b64encode(b"\x01\x02\x03").decode("ascii")
+        mutate(path, lambda e: e["phis"]["3"].update(labels=blob))
+        assert "CACHE002" in codes(audit_cache(cache))
+
+
+class TestCache003:
+    def test_non_monotone_verdicts(self, populated, circuit):
+        cache, _key, path = populated
+        n = len(circuit)
+
+        def flip(entry):
+            # feasible at 3 but *also* infeasible at 5: impossible.
+            entry["phis"]["5"] = {
+                "feasible": False,
+                "labels": encode_labels([0] * n),
+            }
+
+        mutate(path, flip)
+        assert "CACHE003" in codes(audit_cache(cache))
+
+    def test_unwitnessed_final(self, populated):
+        cache, _key, path = populated
+        mutate(path, lambda e: e["phis"].pop("2"))
+        assert "CACHE003" in codes(audit_cache(cache))
+
+    def test_certificate_phi_mismatch(self, populated):
+        cache, _key, path = populated
+        mutate(
+            path,
+            lambda e: e["final"]["schedule_certificate"].update(phi=9),
+        )
+        assert "CACHE003" in codes(audit_cache(cache))
+
+    def test_infeasible_certificate_rejected(self, populated):
+        cache, _key, path = populated
+        mutate(
+            path,
+            lambda e: e["final"]["cycle_certificate"].update(feasible=False),
+        )
+        assert "CACHE003" in codes(audit_cache(cache))
+
+
+class TestSchemaSkip:
+    def test_foreign_schema_entries_are_skipped(self, populated):
+        cache, _key, path = populated
+        mutate(path, lambda e: e.update(schema=999))
+        assert audit_cache(cache) == []
+
+    def test_select_filters_rules(self, populated):
+        cache, _key, path = populated
+        with open(path, "w") as fh:
+            fh.write("not json")
+        assert audit_cache(cache, select=["CACHE002"]) == []
+        assert codes(audit_cache(cache, select=["CACHE001"])) == ["CACHE001"]

@@ -1,0 +1,259 @@
+"""Outcome-cache store: keys, round trips, seeds, floors, finals, LRU."""
+
+import os
+
+import pytest
+
+from repro.cache.store import (
+    CACHE_SCHEMA,
+    CacheKey,
+    OutcomeCache,
+    cache_key,
+    circuit_content_id,
+    decode_labels,
+    encode_labels,
+    final_signature,
+)
+from repro.core.labels import LabelOutcome, LabelStats
+from tests.helpers import lfsr, random_seq_circuit
+
+
+@pytest.fixture()
+def circuit():
+    return random_seq_circuit(4, 24, seed=11)
+
+
+@pytest.fixture()
+def key(circuit):
+    return cache_key(circuit, 4, False)
+
+
+def outcome(n, feasible=True, base=0, failed=()):
+    return LabelOutcome(
+        feasible=feasible,
+        labels=[base + (i % 3) for i in range(n)],
+        stats=LabelStats(),
+        failed_scc=list(failed),
+    )
+
+
+class TestKey:
+    def test_content_id_is_canonical_blif_sha(self, circuit):
+        a = circuit_content_id(circuit)
+        b = circuit_content_id(circuit)
+        assert a == b and len(a) == 64
+
+    def test_distinct_circuits_distinct_ids(self, circuit):
+        other = lfsr(5, (0, 2))
+        assert circuit_content_id(circuit) != circuit_content_id(other)
+
+    def test_cmax_normalized_away_without_resynthesis(self, circuit):
+        # TurboMap never consults cmax: keying on it would split
+        # identical result sets into distinct entries.
+        a = cache_key(circuit, 4, False, cmax=15)
+        b = cache_key(circuit, 4, False, cmax=7)
+        assert a == b and a.cmax is None
+
+    def test_cmax_kept_under_resynthesis(self, circuit):
+        a = cache_key(circuit, 4, True, cmax=15)
+        b = cache_key(circuit, 4, True, cmax=7)
+        assert a != b and a.cmax == 15
+
+    def test_config_id_differs_per_option(self, circuit):
+        base = cache_key(circuit, 4, False)
+        assert base.config_id != cache_key(circuit, 5, False).config_id
+        assert base.config_id != cache_key(circuit, 4, True).config_id
+        assert (
+            base.config_id
+            != cache_key(circuit, 4, False, pld=False).config_id
+        )
+
+    def test_explicit_circuit_id_skips_serialization(self, circuit):
+        direct = cache_key(circuit, 4, False)
+        via_id = cache_key(
+            circuit, 4, False, circuit_id=circuit_content_id(circuit)
+        )
+        assert direct == via_id
+
+    def test_key_roundtrips_through_dict(self, key):
+        rebuilt = CacheKey(
+            circuit_id=key.to_dict()["circuit"],
+            n=key.to_dict()["n"],
+            k=key.to_dict()["k"],
+            resynthesize=key.to_dict()["resynthesize"],
+            cmax=key.to_dict()["cmax"],
+            pld=key.to_dict()["pld"],
+            extra_depth=key.to_dict()["extra_depth"],
+            io_constrained=key.to_dict()["io_constrained"],
+            max_copies=key.to_dict()["max_copies"],
+        )
+        assert rebuilt == key and rebuilt.config_id == key.config_id
+
+
+class TestLabelCodec:
+    def test_roundtrip(self):
+        labels = [0, 1, 5, 1 << 20, 3]
+        assert decode_labels(encode_labels(labels)) == labels
+
+    def test_empty(self):
+        assert decode_labels(encode_labels([])) == []
+
+    def test_misaligned_blob_rejected(self):
+        import base64
+
+        blob = base64.b64encode(b"\x01\x02\x03").decode("ascii")
+        with pytest.raises(ValueError):
+            decode_labels(blob)
+
+
+class TestOutcomes:
+    def test_miss_then_roundtrip(self, tmp_path, circuit, key):
+        cache = OutcomeCache(tmp_path)
+        assert cache.get_outcome(key, 3) is None
+        assert cache.misses == 1
+        put = outcome(len(circuit), feasible=False, failed=[2, 5])
+        cache.put_outcome(key, 3, put)
+        got = cache.get_outcome(key, 3)
+        assert got is not None
+        assert got.feasible is False
+        assert got.labels == put.labels
+        assert got.failed_scc == [2, 5]
+        assert cache.hits == 1 and cache.puts == 1
+
+    def test_adopted_stats_are_fresh(self, tmp_path, circuit, key):
+        cache = OutcomeCache(tmp_path)
+        rich = outcome(len(circuit))
+        rich.stats.flow_queries = 999
+        rich.stats.updates = 123
+        cache.put_outcome(key, 2, rich)
+        got = cache.get_outcome(key, 2)
+        # Telemetry honesty: a cache hit must not replay the solver
+        # counters of the run that produced the entry.
+        assert got.stats.flow_queries == 0 and got.stats.updates == 0
+
+    def test_shared_across_instances(self, tmp_path, circuit, key):
+        OutcomeCache(tmp_path).put_outcome(key, 4, outcome(len(circuit)))
+        fresh = OutcomeCache(tmp_path)
+        assert fresh.get_outcome(key, 4) is not None
+
+    def test_keys_are_isolated(self, tmp_path, circuit):
+        cache = OutcomeCache(tmp_path)
+        k4 = cache_key(circuit, 4, False)
+        k5 = cache_key(circuit, 5, False)
+        cache.put_outcome(k4, 2, outcome(len(circuit)))
+        assert cache.get_outcome(k5, 2) is None
+
+
+class TestSeedsAndFloor:
+    def test_nearest_seed_picks_tightest_feasible_above(
+        self, tmp_path, circuit, key
+    ):
+        cache = OutcomeCache(tmp_path)
+        n = len(circuit)
+        cache.put_outcome(key, 9, outcome(n, base=9))
+        cache.put_outcome(key, 6, outcome(n, base=6))
+        cache.put_outcome(key, 5, outcome(n, feasible=False, base=5))
+        got = cache.nearest_seed(key, 4)
+        assert got is not None
+        phi, labels = got
+        assert phi == 6 and labels == outcome(n, base=6).labels
+        assert cache.seeds == 1
+
+    def test_nearest_seed_ignores_at_or_below(self, tmp_path, circuit, key):
+        cache = OutcomeCache(tmp_path)
+        cache.put_outcome(key, 4, outcome(len(circuit)))
+        assert cache.nearest_seed(key, 4) is None
+
+    def test_verified_floor(self, tmp_path, circuit, key):
+        cache = OutcomeCache(tmp_path)
+        assert cache.verified_floor(key) == 1
+        n = len(circuit)
+        cache.put_outcome(key, 2, outcome(n, feasible=False))
+        cache.put_outcome(key, 4, outcome(n, feasible=False))
+        cache.put_outcome(key, 7, outcome(n, feasible=True))
+        assert cache.verified_floor(key) == 5
+
+
+class TestFinals:
+    def sig(self):
+        return final_signature(3, [1, 2, 3], ".model x\n.end\n")
+
+    def test_unwitnessed_final_not_served(self, tmp_path, circuit, key):
+        cache = OutcomeCache(tmp_path)
+        cache.put_final(key, 3, self.sig())
+        # No feasible verdict at 3 and no infeasible one at 2: the
+        # final is *a* feasible period at best, not *the* minimum.
+        assert cache.get_final(key) is None
+        cache.put_outcome(key, 3, outcome(len(circuit)))
+        assert cache.get_final(key) is None
+
+    def test_witnessed_final_served(self, tmp_path, circuit, key):
+        cache = OutcomeCache(tmp_path)
+        n = len(circuit)
+        cache.put_outcome(key, 3, outcome(n, feasible=True))
+        cache.put_outcome(key, 2, outcome(n, feasible=False))
+        cache.put_final(key, 3, self.sig(), {"phi": 3}, {"phi": 3})
+        final = cache.get_final(key)
+        assert final is not None
+        assert final["phi"] == 3 and final["signature"] == self.sig()
+        assert final["schedule_certificate"] == {"phi": 3}
+        assert cache.final_hits == 1
+
+    def test_phi_one_needs_no_lower_witness(self, tmp_path, circuit, key):
+        cache = OutcomeCache(tmp_path)
+        cache.put_outcome(key, 1, outcome(len(circuit)))
+        cache.put_final(key, 1, self.sig())
+        assert cache.get_final(key) is not None
+
+    def test_invalidate_heals_the_entry(self, tmp_path, circuit, key):
+        cache = OutcomeCache(tmp_path)
+        cache.put_outcome(key, 2, outcome(len(circuit)))
+        cache.invalidate(key)
+        assert cache.get_outcome(key, 2) is None
+        assert cache.healed == 1
+
+
+class TestMaintenance:
+    def three_keys(self, cache):
+        keys = []
+        for seed in (1, 2, 3):
+            c = random_seq_circuit(4, 20, seed=seed)
+            k = cache_key(c, 4, False)
+            cache.put_outcome(k, 2, outcome(len(c)))
+            keys.append(k)
+        return keys
+
+    def test_lru_eviction_bounds_size(self, tmp_path):
+        cache = OutcomeCache(tmp_path, max_bytes=1)
+        self.three_keys(cache)
+        # Every put re-runs eviction; with a 1-byte bound at most one
+        # entry (the newest) survives each pass.
+        assert cache.stats()["entries"] <= 1
+        assert cache.evictions >= 2
+
+    def test_touch_on_hit_protects_hot_entries(self, tmp_path):
+        cache = OutcomeCache(tmp_path)
+        k1, k2, k3 = self.three_keys(cache)
+        size = cache.stats()["bytes"]
+        os.utime(cache._entry_path(k1), (1, 1))
+        os.utime(cache._entry_path(k2), (2, 2))
+        cache.get_outcome(k1, 2)  # touch: k1 is now the hottest
+        cache.max_bytes = size - 1  # force one eviction on next put
+        cache.put_outcome(k3, 3, cache.get_outcome(k3, 2))
+        assert cache.get_outcome(k1, 2) is not None  # survived
+        assert cache.get_outcome(k2, 2) is None  # the cold one went
+
+    def test_clear(self, tmp_path):
+        cache = OutcomeCache(tmp_path)
+        self.three_keys(cache)
+        assert cache.clear() == 3
+        assert cache.stats()["entries"] == 0
+
+    def test_stats_shape(self, tmp_path):
+        stats = OutcomeCache(tmp_path).stats()
+        assert stats["schema"] == CACHE_SCHEMA
+        for field in (
+            "entries", "bytes", "max_bytes", "hits", "misses", "seeds",
+            "final_hits", "puts", "healed", "ignored", "evictions",
+        ):
+            assert field in stats

@@ -342,6 +342,58 @@ class TestCounterGate:
         )
 
 
+class TestCacheCounterGate:
+    """Saved-work counters gate in the *inverted* direction: losing
+    cache hits between two warm runs is the regression."""
+
+    def _pair(self, base_hits, cur_hits):
+        base = _report(
+            [_run(workers=1)], engine="worklist", warm_start=True
+        )
+        cur = _report(
+            [_run(workers=1)], engine="worklist", warm_start=True
+        )
+        base["runs"][0]["stats"] = {"outcome_cache_hits": base_hits}
+        cur["runs"][0]["stats"] = {"outcome_cache_hits": cur_hits}
+        return base, cur
+
+    def test_hit_drop_is_a_regression(self):
+        base, cur = self._pair(10, 2)
+        comparison = perf_check.compare(base, cur, counter_tolerance=0.10)
+        assert not comparison.ok
+        assert any(
+            "outcome_cache_hits regressed" in r
+            for r in comparison.regressions
+        )
+
+    def test_hit_growth_is_an_improvement(self):
+        base, cur = self._pair(10, 20)
+        comparison = perf_check.compare(base, cur, counter_tolerance=0.10)
+        assert comparison.ok
+        assert not comparison.regressions
+
+    def test_cold_baseline_never_gates(self):
+        # A cold baseline reports zero hits; a warm current run must
+        # not be judged against it (no meaningful ratio) — the gate
+        # only bites warm-vs-warm.
+        base, cur = self._pair(0, 0)
+        comparison = perf_check.compare(base, cur, counter_tolerance=0.10)
+        assert comparison.ok
+
+    def test_probes_skipped_and_seeds_gated_too(self):
+        for counter in ("cache_probes_skipped", "cache_seeds"):
+            base, cur = self._pair(0, 0)
+            base["runs"][0]["stats"] = {counter: 50}
+            cur["runs"][0]["stats"] = {counter: 5}
+            comparison = perf_check.compare(
+                base, cur, counter_tolerance=0.10
+            )
+            assert not comparison.ok, counter
+            assert any(
+                f"{counter} regressed" in r for r in comparison.regressions
+            )
+
+
 class TestMain:
     def _write(self, path, runs):
         path.write_text(json.dumps(_report(runs)))

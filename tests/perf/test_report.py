@@ -72,7 +72,7 @@ class TestSuiteReport:
 
     def test_envelope_records_engine_configuration(self):
         report = perf_report.suite_report([], k=3)
-        assert report["schema"] == 7
+        assert report["schema"] == 8
         assert report["engine"] == "worklist"
         assert report["warm_start"] is True
         assert report["flow"] == "dinic"
@@ -88,6 +88,32 @@ class TestSuiteReport:
         stats = perf_report.mapper_run(result, circuit)["stats"]
         for key in ("warm_seeded", "warm_savings", "expansions_reused"):
             assert key in stats
+
+    def test_stats_carry_cache_counters(self):
+        circuit, result = _result()
+        stats = perf_report.mapper_run(result, circuit)["stats"]
+        for key in (
+            "outcome_cache_hits",
+            "cache_probes_skipped",
+            "cache_seeds",
+        ):
+            assert key in stats
+
+    def test_envelope_records_cache_snapshot(self):
+        snapshot = {"entries": 3, "hits": 7}
+        report = perf_report.suite_report([], k=3, cache=snapshot)
+        assert report["cache"] == snapshot
+        assert perf_report.suite_report([], k=3)["cache"] is None
+
+    def test_load_tolerates_schema_seven_without_cache(self, tmp_path):
+        # A schema-7 report predates the cache envelope: the loader
+        # fills it as None so v8 consumers need no special-casing.
+        path = tmp_path / "v7.json"
+        path.write_text(
+            '{"schema": 7, "kind": "suite", "runs": [], "errors": []}'
+        )
+        loaded = perf_report.load_report(str(path))
+        assert loaded["cache"] is None
 
     def test_load_tolerates_bare_run_list(self, tmp_path):
         path = tmp_path / "bare.json"
